@@ -1,0 +1,29 @@
+//! # hamlet-baselines
+//!
+//! The three state-of-the-art competitors HAMLET is evaluated against
+//! (§6.1), implemented from scratch:
+//!
+//! * [`greta`] — GRETA-style **non-shared online** trend aggregation:
+//!   Kleene-closure aggregation without trend construction, but each query
+//!   processed independently (§3.2). Implemented independently from
+//!   `hamlet-core`'s run engine, so it doubles as a cross-validation
+//!   oracle in tests.
+//! * [`sharon`] — SHARON-style **shared online sequence** aggregation:
+//!   no Kleene support; each `E+` is flattened into fixed-length sequences
+//!   up to an estimated maximum length (§6.1), processed with a prefix DP.
+//! * [`twostep`] — MCEP-style **two-step** processing: shared trend
+//!   *construction* (a common event graph), followed by per-query trend
+//!   enumeration and aggregation. Exponential in the number of events;
+//!   an enumeration budget guards the benchmarks, and the unlimited mode
+//!   serves as the brute-force oracle for correctness tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greta;
+pub mod sharon;
+pub mod twostep;
+
+pub use greta::GretaEngine;
+pub use sharon::SharonEngine;
+pub use twostep::TwoStepEngine;

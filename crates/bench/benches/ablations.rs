@@ -1,0 +1,211 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **Snapshot machinery cost** — uniform workload (graphlet-level
+//!   snapshots only) vs divergent predicates (event-level snapshots per
+//!   Def. 9) under a static always-share plan.
+//! * **Optimizer decision cost** — the per-burst `decide` call in
+//!   isolation (the paper claims O(1), < 0.2% of latency).
+//! * **Window overlap** — tumbling vs sliding windows (event replication
+//!   across instances).
+//! * **Group-by fan-out** — partition count scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hamlet_bench::{run_system, HarnessConfig, System};
+use hamlet_core::bitset::QSet;
+use hamlet_core::optimizer::{decide, SharingPolicy};
+use hamlet_core::run::BurstCtx;
+use hamlet_query::parse_query;
+use hamlet_stream::{ridesharing, stock, GenConfig};
+use std::hint::black_box;
+
+fn bench_snapshot_levels(c: &mut Criterion) {
+    let reg = stock::registry();
+    let hcfg = HarnessConfig::default();
+    let cfg = GenConfig {
+        events_per_min: 2_000,
+        minutes: 2,
+        mean_burst: 120.0,
+        num_groups: 32,
+        group_skew: 0.0,
+        seed: 13,
+    };
+    let events = stock::generate(&reg, &cfg);
+
+    // Uniform: same predicate everywhere → only graphlet-level snapshots.
+    let uniform: Vec<_> = (0..20)
+        .map(|i| {
+            parse_query(
+                &reg,
+                i,
+                "RETURN COUNT(*) PATTERN SEQ(Open, Tick+) WHERE Tick.price < 250 \
+                 GROUP BY company WITHIN 300",
+            )
+            .unwrap()
+        })
+        .collect();
+    // Divergent: query-specific thresholds → event-level snapshots.
+    let divergent: Vec<_> = (0..20)
+        .map(|i| {
+            parse_query(
+                &reg,
+                i,
+                &format!(
+                    "RETURN COUNT(*) PATTERN SEQ(Open, Tick+) WHERE Tick.price < {} \
+                     GROUP BY company WITHIN 300",
+                    100 + 15 * i
+                ),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("ablation_snapshot_levels");
+    g.sample_size(10);
+    g.bench_function("uniform_graphlet_snapshots", |b| {
+        b.iter(|| {
+            black_box(run_system(
+                System::HamletStatic,
+                &reg,
+                &uniform,
+                &events,
+                &hcfg,
+            ))
+        });
+    });
+    g.bench_function("divergent_event_snapshots", |b| {
+        b.iter(|| {
+            black_box(run_system(
+                System::HamletStatic,
+                &reg,
+                &divergent,
+                &events,
+                &hcfg,
+            ))
+        });
+    });
+    g.bench_function("divergent_dynamic_decisions", |b| {
+        b.iter(|| black_box(run_system(System::Hamlet, &reg, &divergent, &events, &hcfg)));
+    });
+    g.finish();
+}
+
+fn bench_decision_cost(c: &mut Criterion) {
+    // The per-burst optimizer decision in isolation (§4.2: O(1)-ish, O(m)
+    // in snapshot-introducing queries).
+    let ctx = BurstCtx {
+        n: 10_000,
+        g: 200,
+        sp: 3,
+        p: 2.0,
+        currently_shared: true,
+        diverging: vec![0, 0, 4, 0, 17, 0, 0, 2, 0, 0],
+        has_edge: vec![false; 10],
+        candidates: (0..10).collect(),
+    };
+    let mut g = c.benchmark_group("ablation_decision_cost");
+    for policy in [
+        SharingPolicy::Dynamic,
+        SharingPolicy::AlwaysShare,
+        SharingPolicy::NeverShare,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| black_box(decide(policy, &ctx, 64)));
+            },
+        );
+    }
+    // Larger candidate sets (the paper's O(m) claim).
+    for m in [10usize, 100, 1000] {
+        let ctx = BurstCtx {
+            n: 10_000,
+            g: 200,
+            sp: 3,
+            p: 2.0,
+            currently_shared: false,
+            diverging: (0..m as u64).map(|i| i % 7).collect(),
+            has_edge: vec![false; m],
+            candidates: (0..m).collect(),
+        };
+        g.bench_with_input(BenchmarkId::new("dynamic_m", m), &m, |b, _| {
+            b.iter(|| black_box(decide(SharingPolicy::Dynamic, &ctx, 64)));
+        });
+    }
+    g.finish();
+
+    // Sanity: policies produce the expected shapes.
+    let d = decide(SharingPolicy::Dynamic, &ctx, 64);
+    assert!(d.share.is_subset(&QSet::all(10)));
+}
+
+fn bench_window_overlap(c: &mut Criterion) {
+    let reg = ridesharing::registry();
+    let hcfg = HarnessConfig::default();
+    let cfg = GenConfig {
+        events_per_min: 2_000,
+        minutes: 2,
+        mean_burst: 40.0,
+        num_groups: 8,
+        group_skew: 0.0,
+        seed: 7,
+    };
+    let events = ridesharing::generate(&reg, &cfg);
+    let mut g = c.benchmark_group("ablation_window_overlap");
+    g.sample_size(10);
+    for (label, clause) in [
+        ("tumbling_60", "WITHIN 60"),
+        ("slide_30_x2", "WITHIN 60 SLIDE 30"),
+        ("slide_15_x4", "WITHIN 60 SLIDE 15"),
+    ] {
+        let queries: Vec<_> = (0..10)
+            .map(|i| {
+                parse_query(
+                    &reg,
+                    i,
+                    &format!(
+                        "RETURN COUNT(*) PATTERN SEQ(Request, Travel+) \
+                         GROUP BY district {clause}"
+                    ),
+                )
+                .unwrap()
+            })
+            .collect();
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run_system(System::Hamlet, &reg, &queries, &events, &hcfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition_fanout(c: &mut Criterion) {
+    let reg = ridesharing::registry();
+    let hcfg = HarnessConfig::default();
+    let queries = ridesharing::workload_shared_kleene(&reg, 10, 30);
+    let mut g = c.benchmark_group("ablation_partition_fanout");
+    g.sample_size(10);
+    for groups in [1u64, 8, 64] {
+        let cfg = GenConfig {
+            events_per_min: 2_000,
+            minutes: 1,
+            mean_burst: 40.0,
+            num_groups: groups,
+            group_skew: 0.0,
+            seed: 7,
+        };
+        let events = ridesharing::generate(&reg, &cfg);
+        g.bench_with_input(BenchmarkId::from_parameter(groups), &groups, |b, _| {
+            b.iter(|| black_box(run_system(System::Hamlet, &reg, &queries, &events, &hcfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_levels,
+    bench_decision_cost,
+    bench_window_overlap,
+    bench_partition_fanout
+);
+criterion_main!(benches);

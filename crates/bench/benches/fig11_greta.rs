@@ -1,0 +1,64 @@
+//! Criterion benchmarks behind Fig. 11: HAMLET versus GRETA on the
+//! NYC-taxi-like and smart-home-like streams, scaling the event rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hamlet_bench::{run_system, HarnessConfig, System};
+use hamlet_stream::{nyc_taxi, smart_home, GenConfig};
+use std::hint::black_box;
+
+fn bench_nyc(c: &mut Criterion) {
+    let reg = nyc_taxi::registry();
+    let queries = nyc_taxi::workload(&reg, 20, 300);
+    let hcfg = HarnessConfig::default();
+    let mut g = c.benchmark_group("fig11_nyc");
+    g.sample_size(10);
+    for rate in [100u64, 400] {
+        let cfg = GenConfig {
+            events_per_min: rate,
+            minutes: 5,
+            mean_burst: 25.0,
+            num_groups: 2,
+            group_skew: 0.0,
+            seed: 11,
+        };
+        let events = nyc_taxi::generate(&reg, &cfg);
+        g.throughput(Throughput::Elements(events.len() as u64));
+        g.bench_with_input(BenchmarkId::new("hamlet", rate), &rate, |b, _| {
+            b.iter(|| black_box(run_system(System::Hamlet, &reg, &queries, &events, &hcfg)));
+        });
+        g.bench_with_input(BenchmarkId::new("greta", rate), &rate, |b, _| {
+            b.iter(|| black_box(run_system(System::Greta, &reg, &queries, &events, &hcfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_smart_home(c: &mut Criterion) {
+    let reg = smart_home::registry();
+    let queries = smart_home::workload(&reg, 20, 60);
+    let hcfg = HarnessConfig::default();
+    let mut g = c.benchmark_group("fig11_smart_home");
+    g.sample_size(10);
+    for rate in [5_000u64, 20_000] {
+        let cfg = GenConfig {
+            events_per_min: rate,
+            minutes: 1,
+            mean_burst: 60.0,
+            num_groups: 40,
+            group_skew: 0.0,
+            seed: 5,
+        };
+        let events = smart_home::generate(&reg, &cfg);
+        g.throughput(Throughput::Elements(events.len() as u64));
+        g.bench_with_input(BenchmarkId::new("hamlet", rate), &rate, |b, _| {
+            b.iter(|| black_box(run_system(System::Hamlet, &reg, &queries, &events, &hcfg)));
+        });
+        g.bench_with_input(BenchmarkId::new("greta", rate), &rate, |b, _| {
+            b.iter(|| black_box(run_system(System::Greta, &reg, &queries, &events, &hcfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nyc, bench_smart_home);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmarks behind Figs. 12–13: HAMLET's dynamic per-burst
+//! sharing decisions versus a static always-share plan (and never-share
+//! reference) on the diverse stock workload with query-specific predicates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hamlet_bench::{run_system, HarnessConfig, System};
+use hamlet_stream::{stock, GenConfig};
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let reg = stock::registry();
+    let queries = stock::workload_diverse(&reg, 30, 99);
+    let hcfg = HarnessConfig::default();
+    let cfg = GenConfig {
+        events_per_min: 2_000,
+        minutes: 4,
+        mean_burst: 120.0,
+        num_groups: 32,
+        group_skew: 0.0,
+        seed: 13,
+    };
+    let events = stock::generate(&reg, &cfg);
+
+    let mut g = c.benchmark_group("fig12_policies");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events.len() as u64));
+    for sys in [
+        System::Hamlet,
+        System::HamletStatic,
+        System::HamletNoShare,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(sys.name()), &sys, |b, &sys| {
+            b.iter(|| black_box(run_system(sys, &reg, &queries, &events, &hcfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_burst_sensitivity(c: &mut Criterion) {
+    // The dynamic optimizer reacts to burst size (Def. 10); sweep the mean
+    // burst length and compare dynamic vs static.
+    let reg = stock::registry();
+    let queries = stock::workload_diverse(&reg, 30, 99);
+    let hcfg = HarnessConfig::default();
+    let mut g = c.benchmark_group("fig12_burst_sensitivity");
+    g.sample_size(10);
+    for mean_burst in [5.0f64, 40.0, 120.0] {
+        let cfg = GenConfig {
+            events_per_min: 2_000,
+            minutes: 2,
+            mean_burst,
+            num_groups: 32,
+            group_skew: 0.0,
+            seed: 13,
+        };
+        let events = stock::generate(&reg, &cfg);
+        g.bench_with_input(
+            BenchmarkId::new("dynamic", mean_burst as u64),
+            &mean_burst,
+            |b, _| {
+                b.iter(|| black_box(run_system(System::Hamlet, &reg, &queries, &events, &hcfg)));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("static", mean_burst as u64),
+            &mean_burst,
+            |b, _| {
+                b.iter(|| {
+                    black_box(run_system(
+                        System::HamletStatic,
+                        &reg,
+                        &queries,
+                        &events,
+                        &hcfg,
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_burst_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks behind Fig. 9: the four systems (HAMLET,
+//! GRETA, SHARON-style, MCEP-style two-step) processing the same
+//! ridesharing stream. Wall-clock per full stream pass; the `figures`
+//! binary reports latency/throughput/memory on larger sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hamlet_bench::{run_system, HarnessConfig, System};
+use hamlet_stream::{ridesharing, GenConfig};
+use std::hint::black_box;
+
+fn bench_systems(c: &mut Criterion) {
+    let reg = ridesharing::registry();
+    let cfg = GenConfig {
+        events_per_min: 2_000,
+        minutes: 1,
+        mean_burst: 40.0,
+        num_groups: 8,
+        group_skew: 0.0,
+        seed: 7,
+    };
+    let events = ridesharing::generate(&reg, &cfg);
+    let queries = ridesharing::workload_shared_kleene(&reg, 10, 30);
+    let hcfg = HarnessConfig {
+        sharon_max_len: 1_000,
+        twostep_budget: Some(100_000),
+    };
+
+    let mut g = c.benchmark_group("fig9_systems");
+    g.sample_size(10);
+    for sys in [
+        System::Hamlet,
+        System::Greta,
+        System::Sharon,
+        System::TwoStep,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(sys.name()), &sys, |b, &sys| {
+            b.iter(|| black_box(run_system(sys, &reg, &queries, &events, &hcfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_scaling(c: &mut Criterion) {
+    let reg = ridesharing::registry();
+    let cfg = GenConfig {
+        events_per_min: 2_000,
+        minutes: 1,
+        mean_burst: 40.0,
+        num_groups: 8,
+        group_skew: 0.0,
+        seed: 7,
+    };
+    let events = ridesharing::generate(&reg, &cfg);
+    let hcfg = HarnessConfig::default();
+
+    let mut g = c.benchmark_group("fig9_hamlet_vs_k");
+    g.sample_size(10);
+    for k in [5usize, 10, 25] {
+        let queries = ridesharing::workload_shared_kleene(&reg, k, 30);
+        g.bench_with_input(BenchmarkId::new("hamlet", k), &k, |b, _| {
+            b.iter(|| black_box(run_system(System::Hamlet, &reg, &queries, &events, &hcfg)));
+        });
+        g.bench_with_input(BenchmarkId::new("greta", k), &k, |b, _| {
+            b.iter(|| black_box(run_system(System::Greta, &reg, &queries, &events, &hcfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_systems, bench_query_scaling);
+criterion_main!(benches);

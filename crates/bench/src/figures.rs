@@ -1,0 +1,402 @@
+//! Figure-by-figure experiment drivers (§6.2).
+//!
+//! Each `figN_*` function reproduces one figure's parameter sweep and
+//! returns the measured series; the `figures` binary prints them as
+//! markdown tables. Absolute numbers depend on the host; the *shape* —
+//! who wins, by what factor, where the crossovers fall — is what the
+//! reproduction asserts (see EXPERIMENTS.md).
+
+use crate::{run_system, HarnessConfig, Measurement, System};
+use hamlet_stream::{nyc_taxi, ridesharing, smart_home, stock, GenConfig};
+use std::time::{Duration, Instant};
+
+/// One experiment: a title and the measured series.
+pub struct Figure {
+    /// Identifier, e.g. `fig9_events`.
+    pub id: &'static str,
+    /// What the paper plots.
+    pub title: String,
+    /// Rows: (x-axis value, measurements per system).
+    pub rows: Vec<(String, Vec<Measurement>)>,
+    /// The x-axis label.
+    pub x_label: &'static str,
+}
+
+fn scale(quick: bool, full: u64, quick_v: u64) -> u64 {
+    if quick {
+        quick_v
+    } else {
+        full
+    }
+}
+
+/// Fig. 9(a,c) + Fig. 10(a): all four systems on the ridesharing stream,
+/// varying the event rate (the paper's "low setting" so the competitors
+/// terminate).
+pub fn fig9_events(quick: bool) -> Figure {
+    let reg = ridesharing::registry();
+    let queries = ridesharing::workload_shared_kleene(&reg, 10, 30);
+    let rates: Vec<u64> = if quick {
+        vec![2_000, 4_000]
+    } else {
+        vec![10_000, 12_500, 15_000, 17_500, 20_000]
+    };
+    let mut rows = Vec::new();
+    for rate in rates {
+        // SHARON must flatten E+ up to the longest possible match — the
+        // number of Kleene-type events a window can hold (§6.1). This is
+        // what makes flattening blow up on Kleene workloads (Fig. 9).
+        let hcfg = HarnessConfig {
+            sharon_max_len: (rate as usize * 30 / 60).max(16),
+            ..HarnessConfig::default()
+        };
+        let cfg = GenConfig {
+            events_per_min: rate,
+            minutes: 1,
+            mean_burst: 40.0,
+            num_groups: 8,
+            group_skew: 0.0,
+            seed: 7,
+        };
+        let events = ridesharing::generate(&reg, &cfg);
+        let ms = [
+            System::Hamlet,
+            System::Greta,
+            System::Sharon,
+            System::TwoStep,
+        ]
+        .iter()
+        .map(|&s| run_system(s, &reg, &queries, &events, &hcfg))
+        .collect();
+        rows.push((format!("{rate}"), ms));
+    }
+    Figure {
+        id: "fig9_events",
+        title: "Fig. 9(a,c)/10(a): 4 systems vs events/min (Ridesharing, 10 queries)".into(),
+        rows,
+        x_label: "events/min",
+    }
+}
+
+/// Fig. 9(b,d) + Fig. 10(b): all four systems, varying the workload size.
+pub fn fig9_queries(quick: bool) -> Figure {
+    let reg = ridesharing::registry();
+    let hcfg = HarnessConfig {
+        sharon_max_len: scale(quick, 15_000, 3_000) as usize * 30 / 60,
+        ..HarnessConfig::default()
+    };
+    let cfg = GenConfig {
+        events_per_min: scale(quick, 15_000, 3_000),
+        minutes: 1,
+        mean_burst: 40.0,
+        num_groups: 8,
+        group_skew: 0.0,
+        seed: 7,
+    };
+    let events = ridesharing::generate(&reg, &cfg);
+    let sizes: Vec<usize> = if quick {
+        vec![5, 15]
+    } else {
+        vec![5, 10, 15, 20, 25]
+    };
+    let mut rows = Vec::new();
+    for k in sizes {
+        let queries = ridesharing::workload_shared_kleene(&reg, k, 30);
+        let ms = [
+            System::Hamlet,
+            System::HamletNoShare,
+            System::Greta,
+            System::Sharon,
+            System::TwoStep,
+        ]
+        .iter()
+        .map(|&s| run_system(s, &reg, &queries, &events, &hcfg))
+        .collect();
+        rows.push((format!("{k}"), ms));
+    }
+    Figure {
+        id: "fig9_queries",
+        title: "Fig. 9(b,d)/10(b): 4 systems vs #queries (Ridesharing)".into(),
+        rows,
+        x_label: "queries",
+    }
+}
+
+/// Fig. 11(a,c,e): HAMLET vs GRETA on the NYC-taxi-like stream, varying the
+/// event rate (100–400 events/min as in the paper).
+pub fn fig11_nyc(quick: bool) -> Figure {
+    let reg = nyc_taxi::registry();
+    let queries = nyc_taxi::workload(&reg, if quick { 10 } else { 50 }, 300);
+    let hcfg = HarnessConfig::default();
+    let rates: Vec<u64> = if quick {
+        vec![100, 200]
+    } else {
+        vec![100, 200, 300, 400]
+    };
+    let mut rows = Vec::new();
+    for rate in rates {
+        let cfg = GenConfig {
+            events_per_min: rate,
+            minutes: 5,
+            mean_burst: 25.0,
+            num_groups: 2,
+            group_skew: 0.0,
+            seed: 11,
+        };
+        let events = nyc_taxi::generate(&reg, &cfg);
+        let ms = [System::Hamlet, System::Greta]
+            .iter()
+            .map(|&s| run_system(s, &reg, &queries, &events, &hcfg))
+            .collect();
+        rows.push((format!("{rate}"), ms));
+    }
+    Figure {
+        id: "fig11_nyc",
+        title: "Fig. 11(a,c,e): HAMLET vs GRETA vs events/min (NYC-taxi-like, 50 queries)".into(),
+        rows,
+        x_label: "events/min",
+    }
+}
+
+/// Fig. 11(b,d,f): HAMLET vs GRETA on the smart-home-like stream.
+pub fn fig11_smart_home(quick: bool) -> Figure {
+    let reg = smart_home::registry();
+    let queries = smart_home::workload(&reg, if quick { 10 } else { 50 }, 60);
+    let hcfg = HarnessConfig::default();
+    let rates: Vec<u64> = if quick {
+        vec![5_000, 10_000]
+    } else {
+        vec![10_000, 20_000, 30_000, 40_000]
+    };
+    let mut rows = Vec::new();
+    for rate in rates {
+        let cfg = GenConfig {
+            events_per_min: rate,
+            minutes: 1,
+            mean_burst: 60.0,
+            num_groups: 40,
+            group_skew: 0.0,
+            seed: 5,
+        };
+        let events = smart_home::generate(&reg, &cfg);
+        let ms = [System::Hamlet, System::Greta]
+            .iter()
+            .map(|&s| run_system(s, &reg, &queries, &events, &hcfg))
+            .collect();
+        rows.push((format!("{rate}"), ms));
+    }
+    Figure {
+        id: "fig11_sh",
+        title: "Fig. 11(b,d,f): HAMLET vs GRETA vs events/min (Smart-home-like, 50 queries)"
+            .into(),
+        rows,
+        x_label: "events/min",
+    }
+}
+
+/// Fig. 11(g,h): HAMLET vs GRETA, varying the workload size.
+pub fn fig11_queries(quick: bool) -> Figure {
+    let reg = nyc_taxi::registry();
+    let hcfg = HarnessConfig::default();
+    let cfg = GenConfig {
+        events_per_min: scale(quick, 300, 100),
+        minutes: 5,
+        mean_burst: 25.0,
+        num_groups: 2,
+        group_skew: 0.0,
+        seed: 11,
+    };
+    let events = nyc_taxi::generate(&reg, &cfg);
+    let sizes: Vec<usize> = if quick {
+        vec![10, 30]
+    } else {
+        vec![10, 20, 30, 40, 50]
+    };
+    let mut rows = Vec::new();
+    for k in sizes {
+        let queries = nyc_taxi::workload(&reg, k, 300);
+        let ms = [System::Hamlet, System::Greta]
+            .iter()
+            .map(|&s| run_system(s, &reg, &queries, &events, &hcfg))
+            .collect();
+        rows.push((format!("{k}"), ms));
+    }
+    Figure {
+        id: "fig11_queries",
+        title: "Fig. 11(g,h): HAMLET vs GRETA vs #queries (NYC-taxi-like)".into(),
+        rows,
+        x_label: "queries",
+    }
+}
+
+/// Fig. 12(a,c) + Fig. 13(a): dynamic vs static sharing on the diverse
+/// stock workload, varying the event rate (2K–4K events/min).
+pub fn fig12_events(quick: bool) -> Figure {
+    let reg = stock::registry();
+    let queries = stock::workload_diverse(&reg, if quick { 20 } else { 50 }, 99);
+    let hcfg = HarnessConfig::default();
+    let rates: Vec<u64> = if quick {
+        vec![1_000, 2_000]
+    } else {
+        vec![2_000, 2_500, 3_000, 3_500, 4_000]
+    };
+    let mut rows = Vec::new();
+    for rate in rates {
+        let cfg = GenConfig {
+            events_per_min: rate,
+            minutes: 4,
+            mean_burst: 120.0, // the paper's ~120-event stock bursts
+            num_groups: 32,
+            group_skew: 0.0,
+            seed: 13,
+        };
+        let events = stock::generate(&reg, &cfg);
+        let ms = [System::Hamlet, System::HamletStatic, System::HamletNoShare]
+            .iter()
+            .map(|&s| run_system(s, &reg, &queries, &events, &hcfg))
+            .collect();
+        rows.push((format!("{rate}"), ms));
+    }
+    Figure {
+        id: "fig12_events",
+        title: "Fig. 12(a,c)/13(a): dynamic vs static sharing vs events/min (Stock-like)".into(),
+        rows,
+        x_label: "events/min",
+    }
+}
+
+/// Fig. 12(b,d) + Fig. 13(b): dynamic vs static, varying the workload size
+/// (20–100 queries).
+pub fn fig12_queries(quick: bool) -> Figure {
+    let reg = stock::registry();
+    let hcfg = HarnessConfig::default();
+    let cfg = GenConfig {
+        events_per_min: scale(quick, 3_000, 1_000),
+        minutes: 4,
+        mean_burst: 120.0,
+        num_groups: 32,
+        group_skew: 0.0,
+        seed: 13,
+    };
+    let events = stock::generate(&reg, &cfg);
+    let sizes: Vec<usize> = if quick {
+        vec![20, 60]
+    } else {
+        vec![20, 40, 60, 80, 100]
+    };
+    let mut rows = Vec::new();
+    for k in sizes {
+        let queries = stock::workload_diverse(&reg, k, 99);
+        let ms = [System::Hamlet, System::HamletStatic, System::HamletNoShare]
+            .iter()
+            .map(|&s| run_system(s, &reg, &queries, &events, &hcfg))
+            .collect();
+        rows.push((format!("{k}"), ms));
+    }
+    Figure {
+        id: "fig12_queries",
+        title: "Fig. 12(b,d)/13(b): dynamic vs static sharing vs #queries (Stock-like)".into(),
+        rows,
+        x_label: "queries",
+    }
+}
+
+/// §6.2 overhead experiment: one-time workload analysis latency and the
+/// per-burst decision overhead as a fraction of total processing time,
+/// under both divergence-statistics modes.
+pub struct OverheadReport {
+    /// Static workload-analysis (engine construction) time.
+    pub analysis: Duration,
+    /// Exact-mode (O(k·b) pre-scan) decision totals.
+    pub exact: (Duration, u64, Duration),
+    /// EMA-mode (O(k) statistics) decision totals.
+    pub ema: (Duration, u64, Duration),
+}
+
+/// Measures the optimizer overheads (paper: analysis ≤ 81 ms, decisions
+/// < 0.2% of latency).
+pub fn overhead(quick: bool) -> OverheadReport {
+    use hamlet_core::executor::DivergenceMode;
+    let reg = stock::registry();
+    let queries = stock::workload_diverse(&reg, if quick { 20 } else { 50 }, 99);
+    let cfg = GenConfig {
+        events_per_min: scale(quick, 3_000, 1_000),
+        minutes: 4,
+        mean_burst: 120.0,
+        num_groups: 32,
+        group_skew: 0.0,
+        seed: 13,
+    };
+    let events = stock::generate(&reg, &cfg);
+    let t0 = Instant::now();
+    let mut analysis = Duration::ZERO;
+    let mut run_mode = |mode: DivergenceMode| {
+        let t0 = Instant::now();
+        let mut eng = hamlet_core::HamletEngine::new(
+            reg.clone(),
+            queries.clone(),
+            hamlet_core::EngineConfig {
+                divergence: mode,
+                ..hamlet_core::EngineConfig::default()
+            },
+        )
+        .expect("engine builds");
+        analysis = t0.elapsed();
+        let t0 = Instant::now();
+        for e in &events {
+            eng.process(e);
+        }
+        eng.flush();
+        let wall = t0.elapsed();
+        let stats = eng.stats();
+        (stats.decision_time, stats.decisions, wall)
+    };
+    let exact = run_mode(DivergenceMode::Exact);
+    let ema = run_mode(DivergenceMode::Ema { alpha: 0.3 });
+    let _ = t0;
+    OverheadReport {
+        analysis,
+        exact,
+        ema,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_figures_produce_series() {
+        for fig in [
+            fig9_events(true),
+            fig9_queries(true),
+            fig11_nyc(true),
+            fig11_smart_home(true),
+            fig11_queries(true),
+            fig12_events(true),
+            fig12_queries(true),
+        ] {
+            assert!(fig.rows.len() >= 2, "{} has a sweep", fig.id);
+            for (_, ms) in &fig.rows {
+                assert!(ms.len() >= 2, "{} compares systems", fig.id);
+                for m in ms {
+                    assert!(m.throughput_eps > 0.0, "{} measured {:?}", fig.id, m.system);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_is_small_fraction() {
+        let r = overhead(true);
+        let (exact_total, exact_n, exact_wall) = r.exact;
+        let (ema_total, ema_n, _) = r.ema;
+        assert!(exact_n > 0 && ema_n > 0);
+        // The paper reports < 0.2% of latency for statistics-based
+        // decisions; allow loose bounds in the quick setting (tiny
+        // absolute times are noisy).
+        assert!(exact_total <= exact_wall.mul_f64(0.25).max(Duration::from_millis(50)));
+        // EMA decisions are much cheaper than the exact pre-scan.
+        assert!(ema_total < exact_total);
+    }
+}

@@ -1,0 +1,276 @@
+//! # hamlet-bench
+//!
+//! The measurement harness that regenerates every figure of the HAMLET
+//! evaluation (§6.2). [`run_system`] feeds one stream through one system
+//! under test and reports the paper's three metrics — latency, throughput,
+//! peak memory — plus the sharing counters behind the dynamic-vs-static
+//! analysis. The `figures` binary prints each figure's series; Criterion
+//! benches in `benches/` cover the same axes with statistical rigor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hamlet_baselines::{GretaEngine, SharonEngine, TwoStepEngine};
+use hamlet_core::{EngineConfig, HamletEngine, SharingPolicy};
+use hamlet_query::Query;
+use hamlet_types::{Event, TypeRegistry};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub mod figures;
+
+/// The systems compared in §6 (Table 1 / Fig. 9).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize)]
+pub enum System {
+    /// HAMLET with the dynamic sharing optimizer (§4).
+    Hamlet,
+    /// HAMLET's executor under a static always-share plan (§6.2).
+    HamletStatic,
+    /// HAMLET's executor with sharing disabled (cum-based non-shared).
+    HamletNoShare,
+    /// The GRETA baseline (per-query predecessor scans, §3.2).
+    Greta,
+    /// The SHARON-style flattening baseline (no Kleene support, §6.1).
+    Sharon,
+    /// The MCEP-style two-step baseline (trend construction).
+    TwoStep,
+}
+
+impl System {
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Hamlet => "HAMLET",
+            System::HamletStatic => "HAMLET-static",
+            System::HamletNoShare => "HAMLET-noshare",
+            System::Greta => "GRETA",
+            System::Sharon => "SHARON",
+            System::TwoStep => "MCEP-2step",
+        }
+    }
+}
+
+/// One measurement row.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Measurement {
+    /// System under test.
+    pub system: System,
+    /// Events fed.
+    pub events: u64,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// Wall-clock processing time.
+    #[serde(serialize_with = "ser_duration")]
+    pub wall: Duration,
+    /// Average result latency (result output − last contributing event).
+    #[serde(serialize_with = "ser_duration")]
+    pub latency_avg: Duration,
+    /// Throughput in events per second.
+    pub throughput_eps: f64,
+    /// Peak byte-accounted state.
+    pub peak_mem_bytes: usize,
+    /// Snapshots created (HAMLET variants only).
+    pub snapshots: u64,
+    /// Shared bursts (HAMLET variants only).
+    pub shared_bursts: u64,
+    /// Solo bursts (HAMLET variants only).
+    pub solo_bursts: u64,
+    /// Graphlet merges + splits (HAMLET variants only).
+    pub transitions: u64,
+    /// Results emitted.
+    pub results: u64,
+    /// Two-step enumerations truncated by the work budget.
+    pub truncated: u64,
+}
+
+fn ser_duration<S: serde::Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+    s.serialize_f64(d.as_secs_f64())
+}
+
+/// Harness knobs.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// SHARON's estimated longest Kleene match (`l`).
+    pub sharon_max_len: usize,
+    /// Two-step DFS work budget per (query, window).
+    pub twostep_budget: Option<u64>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            sharon_max_len: 64,
+            twostep_budget: Some(2_000_000),
+        }
+    }
+}
+
+/// Runs one system over a stream and reports the §6.1 metrics.
+pub fn run_system(
+    system: System,
+    reg: &Arc<TypeRegistry>,
+    queries: &[Query],
+    events: &[Event],
+    cfg: &HarnessConfig,
+) -> Measurement {
+    let mut m = Measurement {
+        system,
+        events: events.len() as u64,
+        queries: queries.len(),
+        wall: Duration::ZERO,
+        latency_avg: Duration::ZERO,
+        throughput_eps: 0.0,
+        peak_mem_bytes: 0,
+        snapshots: 0,
+        shared_bursts: 0,
+        solo_bursts: 0,
+        transitions: 0,
+        results: 0,
+        truncated: 0,
+    };
+    let t0 = Instant::now();
+    match system {
+        System::Hamlet | System::HamletStatic | System::HamletNoShare => {
+            let policy = match system {
+                System::Hamlet => SharingPolicy::Dynamic,
+                System::HamletStatic => SharingPolicy::AlwaysShare,
+                _ => SharingPolicy::NeverShare,
+            };
+            let mut eng = HamletEngine::new(
+                reg.clone(),
+                queries.to_vec(),
+                EngineConfig {
+                    policy,
+                    ..EngineConfig::default()
+                },
+            )
+            .expect("engine builds");
+            for e in events {
+                m.results += eng.process(e).len() as u64;
+            }
+            m.results += eng.flush().len() as u64;
+            m.wall = t0.elapsed();
+            m.latency_avg = eng.latency().avg();
+            m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+            let s = eng.stats();
+            m.snapshots = s.runs.snapshots();
+            m.shared_bursts = s.runs.shared_bursts;
+            m.solo_bursts = s.runs.solo_bursts;
+            m.transitions = s.runs.merges + s.runs.splits;
+        }
+        System::Greta => {
+            let mut eng = GretaEngine::new(reg.clone(), queries.to_vec()).expect("greta builds");
+            for e in events {
+                m.results += eng.process(e).len() as u64;
+            }
+            m.results += eng.flush().len() as u64;
+            m.wall = t0.elapsed();
+            m.latency_avg = eng.latency().avg();
+            m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+        }
+        System::Sharon => {
+            let mut eng = SharonEngine::new(reg.clone(), queries.to_vec(), cfg.sharon_max_len)
+                .expect("sharon builds");
+            for e in events {
+                m.results += eng.process(e).len() as u64;
+            }
+            m.results += eng.flush().len() as u64;
+            m.wall = t0.elapsed();
+            m.latency_avg = eng.latency().avg();
+            m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+        }
+        System::TwoStep => {
+            let mut eng = TwoStepEngine::new(reg.clone(), queries.to_vec(), cfg.twostep_budget)
+                .expect("twostep builds");
+            for e in events {
+                m.results += eng.process(e).len() as u64;
+            }
+            m.results += eng.flush().len() as u64;
+            m.wall = t0.elapsed();
+            m.latency_avg = eng.latency().avg();
+            m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+            m.truncated = eng.truncated();
+        }
+    }
+    m.throughput_eps = if m.wall.as_secs_f64() > 0.0 {
+        m.events as f64 / m.wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    m
+}
+
+/// Renders rows as a markdown table keyed by an x-axis label.
+pub fn markdown_table(x_label: &str, rows: &[(String, Vec<Measurement>)]) -> String {
+    let mut out = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "| {x_label} | system | latency avg | throughput (ev/s) | peak mem (KB) | snapshots | shared/solo bursts |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for (x, ms) in rows {
+        for m in ms {
+            let _ = writeln!(
+                out,
+                "| {x} | {} | {:?} | {:.0} | {} | {} | {}/{} |",
+                m.system.name(),
+                m.latency_avg,
+                m.throughput_eps,
+                m.peak_mem_bytes / 1024,
+                m.snapshots,
+                m.shared_bursts,
+                m.solo_bursts,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_stream::{ridesharing, GenConfig};
+
+    #[test]
+    fn harness_runs_all_systems() {
+        let reg = ridesharing::registry();
+        let cfg = GenConfig {
+            events_per_min: 600,
+            minutes: 1,
+            mean_burst: 10.0,
+            num_groups: 2,
+            group_skew: 0.0,
+            seed: 5,
+        };
+        let events = ridesharing::generate(&reg, &cfg);
+        let queries = ridesharing::workload_shared_kleene(&reg, 5, 30);
+        let hcfg = HarnessConfig {
+            sharon_max_len: 32,
+            twostep_budget: Some(200_000),
+        };
+        let mut rows = Vec::new();
+        for sys in [
+            System::Hamlet,
+            System::HamletStatic,
+            System::HamletNoShare,
+            System::Greta,
+            System::Sharon,
+            System::TwoStep,
+        ] {
+            let m = run_system(sys, &reg, &queries, &events, &hcfg);
+            assert_eq!(m.events, 600);
+            assert!(m.results > 0, "{sys:?} produced results");
+            assert!(m.throughput_eps > 0.0);
+            rows.push((sys, m));
+        }
+        // HAMLET variants expose sharing counters.
+        assert!(rows[0].1.shared_bursts + rows[0].1.solo_bursts > 0);
+        let table = markdown_table(
+            "x",
+            &[("600".into(), rows.into_iter().map(|(_, m)| m).collect())],
+        );
+        assert!(table.contains("HAMLET"));
+        assert!(table.contains("GRETA"));
+    }
+}

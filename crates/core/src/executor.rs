@@ -1,0 +1,918 @@
+//! The HAMLET executor (Fig. 2): stream partitioning, pane-aligned burst
+//! buffering, per-window runs, optimizer invocation, and result emission.
+//!
+//! For each share group the executor partitions the stream by the group's
+//! grouping/equivalence attributes (§2.2), tracks the window instances that
+//! contain each event (`WITHIN`/`SLIDE`), buffers consecutive same-type
+//! events into bursts bounded by pane boundaries (Def. 10), asks the
+//! optimizer for a sharing decision per burst (§4.2), and feeds the burst
+//! to the window's [`Run`]. When the watermark (event time) passes a
+//! window's end, the run is finalized and one result per member query and
+//! group-by key is emitted.
+
+use crate::general::{self, CombineKind};
+use crate::metrics::{LatencyRecorder, MemoryGauge};
+use crate::optimizer::{decide, DivergenceEstimator, SharingPolicy};
+use crate::run::{GroupRuntime, MemberOutput, Run, RunStats};
+use crate::workload::{self, WorkloadError};
+use hamlet_query::{AggFunc, Query, QueryId, Window};
+use hamlet_types::{AttrValue, Event, GroupKey, Ts, TypeRegistry};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the optimizer obtains per-burst divergence counts (`sc`, §4.1).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum DivergenceMode {
+    /// Pre-scan each burst's predicates exactly — O(k·b) per decision.
+    Exact,
+    /// Predict from exponential moving averages of past bursts — O(k) per
+    /// decision, the paper's "locally available stream statistics" (§4.2).
+    /// `alpha` is the EMA smoothing factor.
+    Ema {
+        /// Weight of the newest observation.
+        alpha: f64,
+    },
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Sharing policy (dynamic HAMLET, static always-share, or GRETA-style
+    /// never-share).
+    pub policy: SharingPolicy,
+    /// Divergence statistics for dynamic decisions.
+    pub divergence: DivergenceMode,
+    /// Sample the byte-accounted state size every this many events
+    /// (0 disables the memory gauge).
+    pub mem_sample_every: u64,
+    /// Track per-result latency with wall-clock arrival stamps.
+    pub track_latency: bool,
+    /// Shared-nothing sharding: `(index, total)` makes this engine own
+    /// only the partitions whose key hashes to `index` — the building
+    /// block of [`crate::parallel::ParallelEngine`]. `None` owns all.
+    pub shard: Option<(u32, u32)>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            policy: SharingPolicy::Dynamic,
+            divergence: DivergenceMode::Exact,
+            mem_sample_every: 256,
+            track_latency: true,
+            shard: None,
+        }
+    }
+}
+
+/// A rendered aggregation value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AggValue {
+    /// `COUNT(*)` / `COUNT(E)` result (ring-valued, wraps at 2⁶⁴ like the
+    /// reference implementation's `long`).
+    Count(u64),
+    /// `SUM` / `AVG` / `MIN` / `MAX` result.
+    Float(f64),
+    /// No value (e.g. `MIN` over an empty trend set).
+    Null,
+}
+
+impl AggValue {
+    /// Numeric view (Null → 0, counts as f64).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            AggValue::Count(c) => *c as f64,
+            AggValue::Float(f) => *f,
+            AggValue::Null => 0.0,
+        }
+    }
+
+    /// Count view (panics on floats — intended for `COUNT` queries).
+    pub fn as_count(&self) -> u64 {
+        match self {
+            AggValue::Count(c) => *c,
+            AggValue::Null => 0,
+            AggValue::Float(_) => panic!("float aggregate read as count"),
+        }
+    }
+}
+
+/// One aggregation result: query × group-by key × window instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowResult {
+    /// The (original) query that produced the result.
+    pub query: QueryId,
+    /// Group-by / equivalence key of the partition.
+    pub group_key: GroupKey,
+    /// Window instance start.
+    pub window_start: Ts,
+    /// The aggregate.
+    pub value: AggValue,
+}
+
+/// Engine construction errors.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Workload analysis failed.
+    Workload(WorkloadError),
+    /// A general (`OR`/`AND`) query could not be decomposed.
+    General(QueryId, general::GeneralError),
+    /// Unsupported clause combination.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Workload(e) => write!(f, "workload analysis: {e}"),
+            EngineError::General(q, e) => write!(f, "query {q:?}: {e}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Aggregated executor statistics (feeds §6.2's figures).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Accumulated run counters (snapshots, graphlets, merges, splits …).
+    pub runs: RunStats,
+    /// Optimizer decisions taken.
+    pub decisions: u64,
+    /// Total wall time spent deciding (§6.2 reports < 0.2% of latency).
+    pub decision_time: Duration,
+    /// Window results emitted.
+    pub windows_emitted: u64,
+    /// Events accepted by at least one group.
+    pub events_routed: u64,
+}
+
+struct RunState {
+    run: Run,
+    burst_ty: Option<usize>,
+    burst: Vec<Event>,
+    burst_pane: u64,
+    last_arrival: Option<Instant>,
+}
+
+impl RunState {
+    fn new(rt: Arc<GroupRuntime>) -> RunState {
+        RunState {
+            run: Run::new(rt),
+            burst_ty: None,
+            burst: Vec::new(),
+            burst_pane: 0,
+            last_arrival: None,
+        }
+    }
+}
+
+struct GroupExec {
+    rt: Arc<GroupRuntime>,
+    window: Window,
+    pane: u64,
+    partition_attrs: Vec<Arc<str>>,
+    partitions: HashMap<GroupKey, BTreeMap<u64, RunState>>,
+    /// Stream statistics for O(k) dynamic decisions (shared across the
+    /// group's partitions — divergence is a property of the stream).
+    estimator: DivergenceEstimator,
+}
+
+impl GroupExec {
+    fn partition_key(&self, reg: &TypeRegistry, e: &Event) -> GroupKey {
+        GroupKey(
+            self.partition_attrs
+                .iter()
+                .map(|name| {
+                    reg.attr_index(e.ty, name)
+                        .and_then(|i| e.attr(i).cloned())
+                        .unwrap_or(AttrValue::Int(0))
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Identifies a decomposed general query's halves.
+struct Combiner {
+    orig: QueryId,
+    kind: CombineKind,
+    same_pattern: bool,
+    left: QueryId,
+    right: QueryId,
+}
+
+/// The multi-query trend aggregation engine (§2.2).
+pub struct HamletEngine {
+    reg: Arc<TypeRegistry>,
+    cfg: EngineConfig,
+    groups: Vec<GroupExec>,
+    combiners: Vec<Combiner>,
+    /// sub-query id → combiner index.
+    sub_of: HashMap<QueryId, usize>,
+    /// (combiner, key, window) → the half that arrived first.
+    pending: HashMap<(usize, GroupKey, u64), (QueryId, u64)>,
+    stats: EngineStats,
+    latency: LatencyRecorder,
+    gauge: MemoryGauge,
+    event_counter: u64,
+}
+
+impl HamletEngine {
+    /// Compiles a workload and builds the engine (§3.1 pre-processing).
+    pub fn new(
+        reg: Arc<TypeRegistry>,
+        queries: Vec<Query>,
+        cfg: EngineConfig,
+    ) -> Result<HamletEngine, EngineError> {
+        let mut next_id = queries.iter().map(|q| q.id.0 + 1).max().unwrap_or(0);
+        let mut simple: Vec<Arc<Query>> = Vec::new();
+        let mut combiners = Vec::new();
+        let mut sub_of = HashMap::new();
+        for q in &queries {
+            if !q.pattern.negated_types().is_empty()
+                && matches!(q.agg, AggFunc::Min(..) | AggFunc::Max(..))
+            {
+                return Err(EngineError::Unsupported(format!(
+                    "query {:?}: MIN/MAX with negation (lattice values cannot be \
+                     un-blocked; see DESIGN.md)",
+                    q.id
+                )));
+            }
+            match general::decompose(q, QueryId(next_id), QueryId(next_id + 1))
+                .map_err(|e| EngineError::General(q.id, e))?
+            {
+                Some(d) => {
+                    let ci = combiners.len();
+                    sub_of.insert(d.left.id, ci);
+                    sub_of.insert(d.right.id, ci);
+                    combiners.push(Combiner {
+                        orig: q.id,
+                        kind: d.kind,
+                        same_pattern: d.same_pattern,
+                        left: d.left.id,
+                        right: d.right.id,
+                    });
+                    simple.push(Arc::new(d.left));
+                    simple.push(Arc::new(d.right));
+                    next_id += 2;
+                }
+                None => simple.push(Arc::new(q.clone())),
+            }
+        }
+        let plan = workload::analyze(&simple).map_err(EngineError::Workload)?;
+        let groups = plan
+            .groups
+            .iter()
+            .map(|g| {
+                let pane = hamlet_types::time::gcd(g.window.within, g.window.slide);
+                let rt = GroupRuntime::new(g);
+                let alpha = match cfg.divergence {
+                    DivergenceMode::Ema { alpha } => alpha,
+                    DivergenceMode::Exact => 0.5,
+                };
+                GroupExec {
+                    estimator: DivergenceEstimator::new(
+                        rt.template.num_types(),
+                        rt.k(),
+                        alpha,
+                    ),
+                    rt,
+                    window: g.window,
+                    pane: pane.max(1),
+                    partition_attrs: g.partition_attrs.clone(),
+                    partitions: HashMap::new(),
+                }
+            })
+            .collect();
+        Ok(HamletEngine {
+            reg,
+            cfg,
+            groups,
+            combiners,
+            sub_of,
+            pending: HashMap::new(),
+            stats: EngineStats::default(),
+            latency: LatencyRecorder::new(),
+            gauge: MemoryGauge::new(),
+            event_counter: 0,
+        })
+    }
+
+    /// Number of share groups (singletons included).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Processes one event; returns results of windows closed by the
+    /// watermark advance.
+    pub fn process(&mut self, e: &Event) -> Vec<WindowResult> {
+        let now = self.cfg.track_latency.then(Instant::now);
+        let mut out = Vec::new();
+        self.emit_expired(e.time, &mut out);
+
+        let mut routed = false;
+        let reg = self.reg.clone();
+        let policy = self.cfg.policy;
+        for gi in 0..self.groups.len() {
+            let Some(tl) = self.groups[gi].rt.template.local(e.ty) else {
+                continue;
+            };
+            let key = self.groups[gi].partition_key(&reg, e);
+            if let Some((idx, total)) = self.cfg.shard {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                key.hash(&mut h);
+                if (h.finish() % total as u64) as u32 != idx {
+                    continue;
+                }
+            }
+            routed = true;
+            let (window, pane, rt) = {
+                let g = &self.groups[gi];
+                (g.window, g.pane, g.rt.clone())
+            };
+            let pane_idx = e.time.ticks() / pane;
+            let starts: Vec<Ts> = window.instances_containing(e.time).collect();
+            let mode = self.cfg.divergence;
+            let g = &mut self.groups[gi];
+            let runs = g.partitions.entry(key).or_default();
+            for start in starts {
+                let rs = runs
+                    .entry(start.ticks())
+                    .or_insert_with(|| RunState::new(rt.clone()));
+                if rs.burst_ty != Some(tl) || rs.burst_pane != pane_idx {
+                    flush_burst(rs, policy, mode, &mut g.estimator, &mut self.stats);
+                }
+                rs.burst_ty = Some(tl);
+                rs.burst_pane = pane_idx;
+                rs.burst.push(e.clone());
+                if let Some(now) = now {
+                    rs.last_arrival = Some(now);
+                }
+            }
+        }
+        if routed {
+            self.stats.events_routed += 1;
+        }
+        self.event_counter += 1;
+        if self.cfg.mem_sample_every > 0 && self.event_counter.is_multiple_of(self.cfg.mem_sample_every)
+        {
+            let bytes = self.state_bytes();
+            self.gauge.sample(bytes);
+        }
+        out
+    }
+
+    /// Emits every window whose end has passed the watermark.
+    fn emit_expired(&mut self, watermark: Ts, out: &mut Vec<WindowResult>) {
+        for gi in 0..self.groups.len() {
+            let within = self.groups[gi].window.within;
+            let policy = self.cfg.policy;
+            let mut finished: Vec<(GroupKey, u64, RunState)> = Vec::new();
+            for (key, runs) in self.groups[gi].partitions.iter_mut() {
+                while let Some((&start, _)) = runs.first_key_value() {
+                    if start + within <= watermark.ticks() {
+                        let rs = runs.remove(&start).expect("first key exists");
+                        finished.push((key.clone(), start, rs));
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.groups[gi].partitions.retain(|_, runs| !runs.is_empty());
+            let mode = self.cfg.divergence;
+            for (key, start, mut rs) in finished {
+                flush_burst(&mut rs, policy, mode, &mut self.groups[gi].estimator, &mut self.stats);
+                let outputs = rs.run.finalize();
+                self.stats.runs.add(rs.run.stats());
+                if let Some(arr) = rs.last_arrival {
+                    self.latency.record(arr.elapsed());
+                }
+                self.emit_run(gi, &key, start, &outputs, out);
+            }
+        }
+    }
+
+    fn emit_run(
+        &mut self,
+        gi: usize,
+        key: &GroupKey,
+        start: u64,
+        outputs: &[MemberOutput],
+        out: &mut Vec<WindowResult>,
+    ) {
+        let rt = self.groups[gi].rt.clone();
+        for (qi, o) in outputs.iter().enumerate() {
+            let q = &rt.queries[qi];
+            if let Some(&ci) = self.sub_of.get(&q.id) {
+                // Half of a decomposed OR/AND query: combine when both
+                // halves of the same (key, window) have arrived.
+                let slot = (ci, key.clone(), start);
+                let count = o.raw.count.0;
+                match self.pending.remove(&slot) {
+                    None => {
+                        self.pending.insert(slot, (q.id, count));
+                    }
+                    Some((other_id, other_count)) => {
+                        let c = &self.combiners[ci];
+                        let (c1, c2) = if other_id == c.left {
+                            (other_count, count)
+                        } else {
+                            debug_assert_eq!(other_id, c.right);
+                            (count, other_count)
+                        };
+                        let combined = general::combine(
+                            c.kind,
+                            hamlet_types::TrendVal(c1),
+                            hamlet_types::TrendVal(c2),
+                            c.same_pattern,
+                        );
+                        out.push(WindowResult {
+                            query: c.orig,
+                            group_key: key.clone(),
+                            window_start: Ts(start),
+                            value: AggValue::Count(combined.0),
+                        });
+                        self.stats.windows_emitted += 1;
+                    }
+                }
+                continue;
+            }
+            out.push(WindowResult {
+                query: q.id,
+                group_key: key.clone(),
+                window_start: Ts(start),
+                value: render(&q.agg, o),
+            });
+            self.stats.windows_emitted += 1;
+        }
+    }
+
+    /// Finalizes all in-flight windows (end of stream).
+    pub fn flush(&mut self) -> Vec<WindowResult> {
+        let mut out = Vec::new();
+        self.emit_expired(Ts(u64::MAX), &mut out);
+        // Any unmatched general-query half emits with the other half = 0
+        // (its branch matched nothing in that window).
+        let pending: Vec<_> = self.pending.drain().collect();
+        for ((ci, key, start), (id, count)) in pending {
+            let c = &self.combiners[ci];
+            let (c1, c2) = if id == c.left { (count, 0) } else { (0, count) };
+            let combined = general::combine(
+                c.kind,
+                hamlet_types::TrendVal(c1),
+                hamlet_types::TrendVal(c2),
+                c.same_pattern,
+            );
+            out.push(WindowResult {
+                query: c.orig,
+                group_key: key,
+                window_start: Ts(start),
+                value: AggValue::Count(combined.0),
+            });
+            self.stats.windows_emitted += 1;
+        }
+        out
+    }
+
+    /// Renders the compiled sharing plan: share groups, their members,
+    /// windows, panes, aggregation skeletons, and the merged template's
+    /// labeled transitions (Fig. 3(b)) with sharable Kleene types
+    /// highlighted (Def. 4). Useful as an `EXPLAIN` for workloads.
+    pub fn explain(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "workload plan: {} share group(s)", self.groups.len());
+        for (gi, g) in self.groups.iter().enumerate() {
+            let tpl = &g.rt.template;
+            let members: Vec<String> = g
+                .rt
+                .queries
+                .iter()
+                .map(|q| format!("{}", q.id))
+                .collect();
+            let _ = writeln!(
+                out,
+                "group {gi}: members [{}], WITHIN {} SLIDE {} (pane {}), partition by [{}], skeleton {:?}",
+                members.join(", "),
+                g.window.within,
+                g.window.slide,
+                g.pane,
+                g.partition_attrs
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                g.rt.skeleton,
+            );
+            for (tl, ty) in tpl.types.iter().enumerate() {
+                if tpl.sharable[tl] {
+                    let _ = writeln!(
+                        out,
+                        "  sharable Kleene sub-pattern: {}+ (members {:?})",
+                        self.reg.name(*ty),
+                        tpl.self_loop[tl].iter().collect::<Vec<_>>(),
+                    );
+                }
+            }
+            for ((from, to), qs) in tpl.labeled_edges() {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [{}]",
+                    self.reg.name(from),
+                    self.reg.name(to),
+                    qs.iter()
+                        .map(|q| format!("{}", g.rt.queries[*q].id))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                );
+            }
+        }
+        out
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Per-result latency recorder.
+    pub fn latency(&self) -> &LatencyRecorder {
+        &self.latency
+    }
+
+    /// Peak byte-accounted state (§6.1 memory metric).
+    pub fn peak_memory(&self) -> usize {
+        self.gauge.peak()
+    }
+
+    /// Current byte-accounted state across all live runs and buffers.
+    pub fn state_bytes(&self) -> usize {
+        let mut b = 0;
+        for g in &self.groups {
+            for runs in g.partitions.values() {
+                for rs in runs.values() {
+                    b += rs.run.mem_bytes();
+                    b += rs.burst.iter().map(Event::mem_bytes).sum::<usize>();
+                }
+            }
+        }
+        b
+    }
+}
+
+fn flush_burst(
+    rs: &mut RunState,
+    policy: SharingPolicy,
+    mode: DivergenceMode,
+    estimator: &mut DivergenceEstimator,
+    stats: &mut EngineStats,
+) {
+    let Some(tl) = rs.burst_ty else { return };
+    if rs.burst.is_empty() {
+        return;
+    }
+    let b = rs.burst.len() as u64;
+    let t0 = Instant::now();
+    let mut ctx = rs.run.burst_shape(tl);
+    let exact = match mode {
+        DivergenceMode::Exact => {
+            ctx.diverging = rs.run.exact_divergence(tl, &rs.burst, &ctx.candidates);
+            true
+        }
+        DivergenceMode::Ema { .. } => {
+            ctx.diverging = ctx
+                .candidates
+                .iter()
+                .map(|&q| estimator.predict(tl, q, b))
+                .collect();
+            false
+        }
+    };
+    let dec = decide(policy, &ctx, b);
+    stats.decision_time += t0.elapsed();
+    stats.decisions += 1;
+    let snaps_before = rs.run.stats().event_snapshots;
+    rs.run.process_burst(tl, &rs.burst, &dec.share);
+    // Feed the statistics back: exact mode learns the true per-member
+    // divergence; EMA mode attributes the event-level snapshots the burst
+    // actually created across the sharing members.
+    if exact {
+        for (i, &q) in ctx.candidates.iter().enumerate() {
+            estimator.observe(tl, q, ctx.diverging[i], b);
+        }
+    } else {
+        let created = rs.run.stats().event_snapshots - snaps_before;
+        let members: Vec<usize> = dec.share.iter().collect();
+        if members.is_empty() {
+            // No sharing happened; decay gently toward the prediction.
+            for &q in &ctx.candidates {
+                let predicted = estimator.predict(tl, q, b);
+                estimator.observe(tl, q, predicted, b);
+            }
+        } else {
+            estimator.observe_aggregate(tl, &members, created, b);
+        }
+    }
+    rs.burst.clear();
+    rs.burst_ty = None;
+}
+
+/// Renders a member's raw output according to its aggregation function.
+pub fn render(agg: &AggFunc, o: &MemberOutput) -> AggValue {
+    match agg {
+        AggFunc::CountStar => AggValue::Count(o.raw.count.0),
+        AggFunc::CountType(_) => AggValue::Count(o.raw.cnt.0),
+        AggFunc::Sum(_, _) => AggValue::Float(crate::agg::attr_of_ring(o.raw.sum)),
+        AggFunc::Avg(_, _) => {
+            if o.raw.cnt.is_zero() {
+                AggValue::Null
+            } else {
+                AggValue::Float(crate::agg::attr_of_ring(o.raw.sum) / o.raw.cnt.0 as f64)
+            }
+        }
+        AggFunc::Min(_, _) | AggFunc::Max(_, _) => {
+            if o.mm.is_finite() {
+                AggValue::Float(o.mm)
+            } else {
+                AggValue::Null
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_query::Pattern;
+    use hamlet_types::EventTypeId;
+
+    fn registry() -> (Arc<TypeRegistry>, EventTypeId, EventTypeId, EventTypeId) {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register("A", &["g", "v"]);
+        let b = reg.register("B", &["g", "v"]);
+        let c = reg.register("C", &["g", "v"]);
+        (Arc::new(reg), a, b, c)
+    }
+
+    fn seq(a: EventTypeId, b: EventTypeId) -> Pattern {
+        Pattern::seq(vec![Pattern::Type(a), Pattern::plus(Pattern::Type(b))])
+    }
+
+    fn ev(reg: &TypeRegistry, ty: EventTypeId, t: u64, g: i64, v: f64) -> Event {
+        hamlet_types::EventBuilder::new(reg, ty, t)
+            .attr("g", g)
+            .attr("v", v)
+            .build()
+    }
+
+    fn collect(
+        engine: &mut HamletEngine,
+        events: impl IntoIterator<Item = Event>,
+    ) -> Vec<WindowResult> {
+        let mut out = Vec::new();
+        for e in events {
+            out.extend(engine.process(&e));
+        }
+        out.extend(engine.flush());
+        out
+    }
+
+    #[test]
+    fn tumbling_window_counts() {
+        let (reg, a, b, c) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(10));
+        let q2 = Query::count_star(2, seq(c, b), Window::tumbling(10));
+        let mut eng =
+            HamletEngine::new(reg.clone(), vec![q1, q2], EngineConfig::default()).unwrap();
+        assert_eq!(eng.num_groups(), 1);
+        // Window [0,10): a@1, c@2, b@3, b@4 → q1: trends (a,b3),(a,b4),
+        // (a,b3,b4) = 3; q2 likewise = 3.
+        // Window [10,20): a@11, b@12 → q1: 1; q2: 0.
+        let evs = vec![
+            ev(&reg, a, 1, 0, 0.0),
+            ev(&reg, c, 2, 0, 0.0),
+            ev(&reg, b, 3, 0, 0.0),
+            ev(&reg, b, 4, 0, 0.0),
+            ev(&reg, a, 11, 0, 0.0),
+            ev(&reg, b, 12, 0, 0.0),
+        ];
+        let mut results = collect(&mut eng, evs);
+        results.sort_by_key(|r| (r.window_start, r.query));
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].value, AggValue::Count(3)); // q1 w0
+        assert_eq!(results[1].value, AggValue::Count(3)); // q2 w0
+        assert_eq!(results[2].value, AggValue::Count(1)); // q1 w1
+        assert_eq!(results[3].value, AggValue::Count(0)); // q2 w1
+        assert!(eng.stats().decisions > 0);
+        assert_eq!(eng.stats().windows_emitted, 4);
+    }
+
+    #[test]
+    fn policies_agree_on_results() {
+        let (reg, a, b, c) = registry();
+        let mk = |policy| {
+            let q1 = Query::count_star(1, seq(a, b), Window::tumbling(20));
+            let q2 = Query::count_star(2, seq(c, b), Window::tumbling(20));
+            HamletEngine::new(
+                reg.clone(),
+                vec![q1, q2],
+                EngineConfig {
+                    policy,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let evs: Vec<Event> = (0..18)
+            .map(|t| {
+                let ty = match t % 6 {
+                    0 => a,
+                    1 => c,
+                    _ => b,
+                };
+                ev(&reg, ty, t, 0, t as f64)
+            })
+            .collect();
+        let mut base: Option<Vec<WindowResult>> = None;
+        for policy in [
+            SharingPolicy::Dynamic,
+            SharingPolicy::AlwaysShare,
+            SharingPolicy::NeverShare,
+        ] {
+            let mut eng = mk(policy);
+            let mut rs = collect(&mut eng, evs.clone());
+            rs.sort_by_key(|r| (r.window_start, r.query));
+            match &base {
+                None => base = Some(rs),
+                Some(b) => assert_eq!(b, &rs, "policy {policy:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_partitions_results() {
+        let (reg, a, b, _) = registry();
+        let mut q1 = Query::count_star(1, seq(a, b), Window::tumbling(10));
+        q1.group_by = vec![Arc::from("g")];
+        let mut eng = HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+        let evs = vec![
+            ev(&reg, a, 1, 1, 0.0),
+            ev(&reg, a, 1, 2, 0.0),
+            ev(&reg, b, 2, 1, 0.0),
+            ev(&reg, b, 3, 2, 0.0),
+            ev(&reg, b, 4, 2, 0.0),
+        ];
+        let mut results = collect(&mut eng, evs);
+        results.sort_by_key(|r| match &r.group_key.0[0] {
+            AttrValue::Int(i) => *i,
+            _ => 0,
+        });
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].value, AggValue::Count(1)); // g=1: (a,b)
+        assert_eq!(results[1].value, AggValue::Count(3)); // g=2: b3,b4,b3b4
+    }
+
+    #[test]
+    fn sliding_windows_replicate() {
+        let (reg, a, b, _) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::new(10, 5));
+        let mut eng = HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+        // a@6, b@8: in windows starting at 0 and 5.
+        let evs = vec![ev(&reg, a, 6, 0, 0.0), ev(&reg, b, 8, 0, 0.0)];
+        let mut results = collect(&mut eng, evs);
+        results.sort_by_key(|r| r.window_start);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].window_start, Ts(0));
+        assert_eq!(results[0].value, AggValue::Count(1));
+        assert_eq!(results[1].window_start, Ts(5));
+        assert_eq!(results[1].value, AggValue::Count(1));
+    }
+
+    #[test]
+    fn sum_and_avg_render() {
+        let (reg, a, b, _) = registry();
+        let mk_q = |id, agg| {
+            Query::new(
+                QueryId(id),
+                seq(a, b),
+                agg,
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                Window::tumbling(10),
+            )
+            .unwrap()
+        };
+        let vb = reg.attr_index(b, "v").unwrap();
+        let queries = vec![
+            mk_q(1, AggFunc::Sum(b, vb)),
+            mk_q(2, AggFunc::Avg(b, vb)),
+            mk_q(3, AggFunc::CountType(b)),
+        ];
+        let mut eng = HamletEngine::new(reg.clone(), queries, EngineConfig::default()).unwrap();
+        // a@1, b@2 (v=10), b@3 (v=20). Trends: (a,b2) (a,b3) (a,b2,b3).
+        // B-events across trends: b2×2, b3×2 → COUNT(B)=4, SUM=10+20+30=60,
+        // AVG = 60/4 = 15.
+        let evs = vec![
+            ev(&reg, a, 1, 0, 0.0),
+            ev(&reg, b, 2, 0, 10.0),
+            ev(&reg, b, 3, 0, 20.0),
+        ];
+        let mut results = collect(&mut eng, evs);
+        results.sort_by_key(|r| r.query);
+        assert_eq!(results[0].value, AggValue::Float(60.0));
+        assert_eq!(results[1].value, AggValue::Float(15.0));
+        assert_eq!(results[2].value, AggValue::Count(4));
+    }
+
+    #[test]
+    fn min_max_render() {
+        let (reg, a, b, _) = registry();
+        let vb = reg.attr_index(b, "v").unwrap();
+        let mk_q = |id, agg| {
+            Query::new(
+                QueryId(id),
+                seq(a, b),
+                agg,
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                Window::tumbling(10),
+            )
+            .unwrap()
+        };
+        let queries = vec![mk_q(1, AggFunc::Min(b, vb)), mk_q(2, AggFunc::Max(b, vb))];
+        let mut eng = HamletEngine::new(reg.clone(), queries, EngineConfig::default()).unwrap();
+        let evs = vec![
+            ev(&reg, a, 1, 0, 0.0),
+            ev(&reg, b, 2, 0, 7.0),
+            ev(&reg, b, 3, 0, 3.0),
+        ];
+        let mut results = collect(&mut eng, evs);
+        results.sort_by_key(|r| r.query);
+        assert_eq!(results[0].value, AggValue::Float(3.0));
+        assert_eq!(results[1].value, AggValue::Float(7.0));
+        // Empty window → Null.
+        let mut eng2 = HamletEngine::new(
+            reg.clone(),
+            vec![mk_q(3, AggFunc::Min(b, vb))],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let evs = vec![ev(&reg, b, 2, 0, 7.0)]; // no A → no trend
+        let results = collect(&mut eng2, evs);
+        assert_eq!(results[0].value, AggValue::Null);
+    }
+
+    #[test]
+    fn or_query_combines_branches() {
+        let (reg, a, b, c) = registry();
+        let mut regm = (*reg).clone();
+        let d = regm.register("D", &["g", "v"]);
+        let reg = Arc::new(regm);
+        let p = Pattern::Or(Box::new(seq(a, b)), Box::new(seq(c, d)));
+        let q = Query::count_star(9, p, Window::tumbling(10));
+        let mut eng = HamletEngine::new(reg.clone(), vec![q], EngineConfig::default()).unwrap();
+        // Branch 1: a@1,b@2 → 1 trend. Branch 2: c@3,d@4,d@5 → 3 trends.
+        let evs = vec![
+            ev(&reg, a, 1, 0, 0.0),
+            ev(&reg, b, 2, 0, 0.0),
+            ev(&reg, c, 3, 0, 0.0),
+            ev(&reg, d, 4, 0, 0.0),
+            ev(&reg, d, 5, 0, 0.0),
+        ];
+        let results = collect(&mut eng, evs);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].query, QueryId(9));
+        assert_eq!(results[0].value, AggValue::Count(4));
+    }
+
+    #[test]
+    fn latency_and_memory_tracked() {
+        let (reg, a, b, _) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(4));
+        let mut eng = HamletEngine::new(
+            reg.clone(),
+            vec![q1],
+            EngineConfig {
+                mem_sample_every: 1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let evs: Vec<Event> = (0..20)
+            .map(|t| ev(&reg, if t % 4 == 0 { a } else { b }, t, 0, 0.0))
+            .collect();
+        let _ = collect(&mut eng, evs);
+        assert!(eng.latency().count() > 0);
+        assert!(eng.peak_memory() > 0);
+        assert!(eng.stats().runs.events > 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Measurement utilities for the evaluation metrics of §6.1: latency,
+//! throughput, and peak memory.
+
+use std::time::{Duration, Instant};
+
+/// Records per-result latencies: the difference between result output time
+/// and the arrival time of the last event that contributed to the result
+/// (§2.2 / §6.1).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    total: Duration,
+    max: Duration,
+    count: u64,
+}
+
+impl LatencyRecorder {
+    /// New empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        self.total += d;
+        self.max = self.max.max(d);
+        self.count += 1;
+    }
+
+    /// Average latency (zero when no samples).
+    pub fn avg(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+
+    /// Maximum latency observed.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Merges another recorder.
+    pub fn merge(&mut self, o: &LatencyRecorder) {
+        self.total += o.total;
+        self.max = self.max.max(o.max);
+        self.count += o.count;
+    }
+}
+
+/// Wall-clock throughput meter: events per second over a processing span.
+#[derive(Clone, Debug)]
+pub struct ThroughputMeter {
+    started: Instant,
+    events: u64,
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThroughputMeter {
+    /// Starts the clock.
+    pub fn new() -> Self {
+        ThroughputMeter {
+            started: Instant::now(),
+            events: 0,
+        }
+    }
+
+    /// Counts processed events.
+    pub fn add(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Events processed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events per second since construction.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
+}
+
+/// Tracks the peak of a byte-accounted state size (§6.1: snapshot
+/// expressions, stored events, per-query aggregates — not RSS, for
+/// determinism).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryGauge {
+    peak: usize,
+    last: usize,
+}
+
+impl MemoryGauge {
+    /// New gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds a current state size sample.
+    pub fn sample(&mut self, bytes: usize) {
+        self.last = bytes;
+        if bytes > self.peak {
+            self.peak = bytes;
+        }
+    }
+
+    /// Peak bytes observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Last sample.
+    pub fn last(&self) -> usize {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_recorder_stats() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.avg(), Duration::ZERO);
+        r.record(Duration::from_millis(10));
+        r.record(Duration::from_millis(30));
+        assert_eq!(r.avg(), Duration::from_millis(20));
+        assert_eq!(r.max(), Duration::from_millis(30));
+        assert_eq!(r.count(), 2);
+        let mut r2 = LatencyRecorder::new();
+        r2.record(Duration::from_millis(50));
+        r.merge(&r2);
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.max(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn throughput_counts() {
+        let mut t = ThroughputMeter::new();
+        t.add(100);
+        t.add(50);
+        assert_eq!(t.events(), 150);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(t.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn memory_gauge_peaks() {
+        let mut g = MemoryGauge::new();
+        g.sample(10);
+        g.sample(100);
+        g.sample(20);
+        assert_eq!(g.peak(), 100);
+        assert_eq!(g.last(), 20);
+    }
+}

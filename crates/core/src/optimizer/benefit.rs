@@ -1,0 +1,159 @@
+//! The dynamic sharing benefit model (§4.1, Def. 12 / Eq. 8).
+//!
+//! For a burst `B_E` of `b` events of a sharable type `E`:
+//!
+//! ```text
+//! Shared(G_E, Q_E)    = sc·k·g·p + b·(log₂g + n·sp)
+//! NonShared(Gⁱ_E, Q_E) = k·b·(log₂g + n)
+//! Benefit             = NonShared − Shared
+//! ```
+//!
+//! where `k` = queries sharing, `g` = events per graphlet, `n` = events per
+//! window, `p` = predecessor types per type per query, `sc` = snapshots
+//! created from the burst, `sp` = snapshots propagated while processing it
+//! (Table 2). Sharing pays off when the re-computation saved across `k`
+//! queries outweighs the snapshot-maintenance overhead.
+
+/// Stream statistics the model plugs in (all observed locally, making each
+/// decision O(1) — §4.2 complexity analysis).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CostFactors {
+    /// Events in the burst (`b`).
+    pub b: f64,
+    /// Events per window so far (`n`).
+    pub n: f64,
+    /// Events in the (prospective) graphlet (`g`).
+    pub g: f64,
+    /// Snapshots propagated at a time (`sp`).
+    pub sp: f64,
+    /// Predecessor types per type per query (`p`).
+    pub p: f64,
+}
+
+#[inline]
+fn log2(g: f64) -> f64 {
+    g.max(1.0).log2()
+}
+
+/// Cost of processing the burst in a graphlet shared by `k` queries,
+/// creating `sc` snapshots (Eq. 8, first line).
+pub fn shared_cost(k: f64, sc: f64, f: &CostFactors) -> f64 {
+    sc * k * f.g * f.p + f.b * (log2(f.g) + f.n * f.sp)
+}
+
+/// Cost of processing the burst in `k` separate per-query graphlets
+/// (Eq. 8, second line).
+pub fn nonshared_cost(k: f64, f: &CostFactors) -> f64 {
+    k * f.b * (log2(f.g) + f.n)
+}
+
+/// `Benefit = NonShared − Shared`; positive means sharing wins (Def. 12).
+pub fn benefit(k: f64, sc: f64, f: &CostFactors) -> f64 {
+    nonshared_cost(k, f) - shared_cost(k, sc, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Eq. 9: b=4, n=7, sp=1, sc=1, k=2, g=4, p=2 (the example uses
+    /// the simplified Def. 11 without the log₂ term; with Eq. 8 the log₂g
+    /// terms appear on both sides).
+    ///
+    /// Def. 11 (Eq. 9): Shared = 4·7·1 + 1·2·4·2 = 44, NonShared = 2·4·7 =
+    /// 56, Benefit = 12 > 0. Eq. 8 adds b·log₂g = 8 to Shared and
+    /// k·b·log₂g = 16 to NonShared → Benefit = 12 + 8 = 20 > 0: same
+    /// decision.
+    #[test]
+    fn equation9_decision_to_share() {
+        let f = CostFactors {
+            b: 4.0,
+            n: 7.0,
+            g: 4.0,
+            sp: 1.0,
+            p: 2.0,
+        };
+        let shared = shared_cost(2.0, 1.0, &f);
+        let nonshared = nonshared_cost(2.0, &f);
+        assert_eq!(shared, 44.0 + 4.0 * 2.0); // Def. 11 value + b·log₂g
+        assert_eq!(nonshared, 56.0 + 8.0 * 2.0); // Def. 11 value + k·b·log₂g
+        assert!(benefit(2.0, 1.0, &f) > 0.0);
+    }
+
+    /// Paper Eq. 10: predicates force sp=2, sc=1, g=8, n=11 → sharing
+    /// loses. Def. 11: Shared = 4·11·2 + 1·2·8·2 = 120, NonShared = 2·4·11
+    /// = 88, Benefit = −32. Eq. 8 adds 4·3 = 12 vs 2·4·3 = 24 → −32 + 12 =
+    /// −20 < 0: same decision (split).
+    #[test]
+    fn equation10_decision_to_split() {
+        let f = CostFactors {
+            b: 4.0,
+            n: 11.0,
+            g: 8.0,
+            sp: 2.0,
+            p: 2.0,
+        };
+        assert_eq!(shared_cost(2.0, 1.0, &f), 120.0 + 4.0 * 3.0);
+        assert_eq!(nonshared_cost(2.0, &f), 88.0 + 8.0 * 3.0);
+        assert!(benefit(2.0, 1.0, &f) < 0.0);
+    }
+
+    /// Paper Eq. 11: burst without new divergence merges again: n=15,
+    /// g=4, sp=1, sc=1 → Benefit = 120 − 76 = 44 > 0 (Def. 11); Eq. 8
+    /// preserves the sign.
+    #[test]
+    fn equation11_decision_to_merge() {
+        let f = CostFactors {
+            b: 4.0,
+            n: 15.0,
+            g: 4.0,
+            sp: 1.0,
+            p: 2.0,
+        };
+        assert_eq!(shared_cost(2.0, 1.0, &f), 76.0 + 4.0 * 2.0);
+        assert_eq!(nonshared_cost(2.0, &f), 120.0 + 8.0 * 2.0);
+        assert!(benefit(2.0, 1.0, &f) > 0.0);
+    }
+
+    #[test]
+    fn more_queries_increase_benefit() {
+        // §4.1: the more queries share, the higher the benefit.
+        let f = CostFactors {
+            b: 10.0,
+            n: 100.0,
+            g: 20.0,
+            sp: 1.0,
+            p: 1.5,
+        };
+        let b2 = benefit(2.0, 1.0, &f);
+        let b10 = benefit(10.0, 1.0, &f);
+        assert!(b10 > b2);
+    }
+
+    #[test]
+    fn more_snapshots_decrease_benefit() {
+        let f = CostFactors {
+            b: 10.0,
+            n: 100.0,
+            g: 20.0,
+            sp: 1.0,
+            p: 1.5,
+        };
+        assert!(benefit(5.0, 1.0, &f) > benefit(5.0, 10.0, &f));
+        let f_heavy = CostFactors { sp: 8.0, ..f };
+        assert!(benefit(5.0, 1.0, &f) > benefit(5.0, 1.0, &f_heavy));
+    }
+
+    #[test]
+    fn log_term_is_safe_at_zero() {
+        let f = CostFactors {
+            b: 1.0,
+            n: 0.0,
+            g: 0.0,
+            sp: 0.0,
+            p: 1.0,
+        };
+        assert_eq!(shared_cost(1.0, 0.0, &f), 0.0);
+        assert_eq!(nonshared_cost(1.0, &f), 0.0);
+    }
+}

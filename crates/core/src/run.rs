@@ -1,0 +1,1183 @@
+//! The per-window evaluation engine: the HAMLET graph of one share group
+//! over one stream partition and one window instance.
+//!
+//! Events arrive in *bursts* (maximal runs of one event type, Def. 10).
+//! For each burst the caller (executor + optimizer) supplies the sharing
+//! decision — which members process the burst in a shared graphlet versus
+//! per-query solo graphlets (§4.2). The run maintains:
+//!
+//! * `cum[type][member]` — the resolved per-member sum of intermediate
+//!   aggregates of all *closed* graphlets of each type. Snapshot values and
+//!   external predecessor contributions are read off these (Def. 8:
+//!   `value(x, q) = Σ sum(G_E', q)`).
+//! * one *active* graphlet per type: either a shared graphlet whose events
+//!   carry [`LinearExpr`] aggregates over snapshots, or per-member solo
+//!   graphlets with numeric aggregates (§3.2), or both (when the optimizer
+//!   shares only a subset of the queries, §4.3).
+//! * the snapshot table `S` (Algorithm 1).
+//!
+//! Because `fcount(q) = Σ count(e, q)` over end-type events (Eq. 3), the
+//! final aggregate per member is just the end-type totals of `cum` at
+//! window close — no per-event result bookkeeping is needed.
+
+use crate::agg::{ring_of_attr, MmVal, NodeVal};
+use crate::bitset::QSet;
+use crate::expr::{LinearExpr, SnapId};
+use crate::snapshot::SnapTable;
+use crate::template::{MergedTemplate, NegKind};
+use crate::workload::{AggSkeleton, ShareGroup};
+use hamlet_query::{EdgePredicate, Query, SelectionPredicate};
+use hamlet_types::{Event, TrendVal};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Immutable per-group runtime info shared by all of the group's runs:
+/// the merged template plus per-(type, member) predicate tables.
+pub struct GroupRuntime {
+    /// The merged template.
+    pub template: Arc<MergedTemplate>,
+    /// Member queries in dense member order.
+    pub queries: Vec<Arc<Query>>,
+    /// Aggregation skeleton.
+    pub skeleton: AggSkeleton,
+    /// `sel[type][member]` — selection predicates on that type.
+    pub sel: Vec<Vec<Vec<SelectionPredicate>>>,
+    /// `edge[type][member]` — edge predicates whose head is that type.
+    pub edge: Vec<Vec<Vec<EdgePredicate>>>,
+    /// Per type: true iff any member has an edge predicate on it (forces
+    /// event storage and pairwise scans).
+    pub type_any_edge: Vec<bool>,
+    /// Negation constraints indexed by the *negated* type:
+    /// `(member, kind)` pairs in local type indices.
+    pub negs: Vec<Vec<(usize, LocalNegKind)>>,
+}
+
+/// [`NegKind`] with local type indices.
+#[derive(Clone, Debug)]
+pub enum LocalNegKind {
+    /// Blocks trend starts after the match.
+    Leading,
+    /// Severs `pred → succ` connections across the match.
+    Gap {
+        /// Local predecessor types.
+        pred: Vec<usize>,
+        /// Local successor types.
+        succ: Vec<usize>,
+    },
+    /// Invalidates results accumulated before the match.
+    Trailing,
+}
+
+impl GroupRuntime {
+    /// Builds the runtime tables for a share group.
+    pub fn new(group: &ShareGroup) -> Arc<GroupRuntime> {
+        let tpl = group.template.clone();
+        let nt = tpl.num_types();
+        let k = tpl.k;
+        let mut sel = vec![vec![Vec::new(); k]; nt];
+        let mut edge = vec![vec![Vec::new(); k]; nt];
+        let mut negs: Vec<Vec<(usize, LocalNegKind)>> = vec![Vec::new(); nt];
+        for (qi, q) in group.queries.iter().enumerate() {
+            for s in &q.selections {
+                if let Some(tl) = tpl.local(s.ty) {
+                    sel[tl][qi].push(s.clone());
+                }
+            }
+            for e in &q.edges {
+                if let Some(tl) = tpl.local(e.ty) {
+                    edge[tl][qi].push(e.clone());
+                }
+            }
+            for n in &tpl.per_query[qi].negations {
+                let nl = tpl.local(n.neg_ty).expect("negated type interned");
+                let kind = match &n.kind {
+                    NegKind::Leading { .. } => LocalNegKind::Leading,
+                    NegKind::Gap { pred, succ } => LocalNegKind::Gap {
+                        pred: pred.iter().filter_map(|t| tpl.local(*t)).collect(),
+                        succ: succ.iter().filter_map(|t| tpl.local(*t)).collect(),
+                    },
+                    NegKind::Trailing => LocalNegKind::Trailing,
+                };
+                negs[nl].push((qi, kind));
+            }
+        }
+        let type_any_edge = edge
+            .iter()
+            .map(|per_q| per_q.iter().any(|v| !v.is_empty()))
+            .collect();
+        Arc::new(GroupRuntime {
+            template: tpl,
+            queries: group.queries.clone(),
+            skeleton: group.skeleton.clone(),
+            sel,
+            edge,
+            type_any_edge,
+            negs,
+        })
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.template.k
+    }
+
+    /// Skeleton weight of an event: the ring embedding of the target
+    /// attribute (0 when the event is not of the target type or no
+    /// attribute is read).
+    #[inline]
+    fn weight(&self, e: &Event) -> (TrendVal, bool) {
+        match &self.skeleton {
+            AggSkeleton::CountOnly => (TrendVal::ZERO, false),
+            AggSkeleton::Linear { ty, attr } => {
+                if e.ty == *ty {
+                    let w = attr
+                        .and_then(|a| e.attr(a))
+                        .map(|v| ring_of_attr(v.as_f64()))
+                        .unwrap_or(TrendVal::ZERO);
+                    (w, true)
+                } else {
+                    (TrendVal::ZERO, false)
+                }
+            }
+            AggSkeleton::MinMax { .. } => (TrendVal::ZERO, false),
+        }
+    }
+
+    /// True iff member `q`'s selection predicates accept `e` (type `tl`).
+    #[inline]
+    fn selects(&self, tl: usize, q: usize, e: &Event) -> bool {
+        self.sel[tl][q].iter().all(|p| p.matches(e))
+    }
+
+    /// True iff member `q`'s edge predicates accept the pair `prev → cur`.
+    #[inline]
+    fn edge_holds(&self, tl: usize, q: usize, prev: &Event, cur: &Event) -> bool {
+        self.edge[tl][q].iter().all(|p| p.matches(prev, cur))
+    }
+}
+
+/// A shared graphlet (Def. 7): one symbolic propagation for its member set.
+struct SharedGraphlet {
+    members: QSet,
+    /// Graphlet-level snapshot (Def. 8).
+    x: SnapId,
+    /// Unit snapshot carrying per-member trend-start indicators (handles
+    /// start-type divergence among members without leaving the shared
+    /// path).
+    unit: Option<SnapId>,
+    /// Σ of member events' expressions (doubles as the self-loop
+    /// predecessor prefix and the close-time resolution source).
+    sum_exprs: LinearExpr,
+    /// Events in this graphlet (`g`).
+    size: u64,
+}
+
+/// A per-member (non-shared) graphlet (§3.2).
+#[derive(Clone)]
+struct SoloGraphlet {
+    sum: NodeVal,
+    mm: MmVal,
+    alive: bool,
+    size: u64,
+}
+
+impl SoloGraphlet {
+    fn new(mm_identity: MmVal) -> SoloGraphlet {
+        SoloGraphlet {
+            sum: NodeVal::ZERO,
+            mm: mm_identity,
+            alive: false,
+            size: 0,
+        }
+    }
+}
+
+/// Active graphlets of one type.
+#[derive(Default)]
+struct Active {
+    shared: Option<SharedGraphlet>,
+    solo: Vec<Option<SoloGraphlet>>,
+}
+
+/// Stored per-event data for types with edge predicates (pairwise scans
+/// need the raw events and per-member evaluable contributions).
+struct StoredEvent {
+    event: Event,
+    /// Members covered by the symbolic contribution.
+    shared: Option<(QSet, LinearExpr)>,
+    /// Per-member numeric contributions (solo path).
+    solo: Vec<(u16, NodeVal)>,
+    /// Per-member lattice contributions (min/max path).
+    mm: Vec<(u16, MmVal)>,
+}
+
+/// Counters exposed for the evaluation section's figures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Graphlet-level snapshots created (Def. 8).
+    pub graphlet_snapshots: u64,
+    /// Event-level snapshots created (Def. 9).
+    pub event_snapshots: u64,
+    /// Graphlets opened (shared + solo).
+    pub graphlets: u64,
+    /// Solo → shared transitions (§4.2 "decision to merge").
+    pub merges: u64,
+    /// Shared → solo transitions (§4.2 "decision to split").
+    pub splits: u64,
+    /// Bursts processed with sharing.
+    pub shared_bursts: u64,
+    /// Bursts processed without sharing.
+    pub solo_bursts: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+impl RunStats {
+    /// Accumulates another run's counters.
+    pub fn add(&mut self, o: &RunStats) {
+        self.graphlet_snapshots += o.graphlet_snapshots;
+        self.event_snapshots += o.event_snapshots;
+        self.graphlets += o.graphlets;
+        self.merges += o.merges;
+        self.splits += o.splits;
+        self.shared_bursts += o.shared_bursts;
+        self.solo_bursts += o.solo_bursts;
+        self.events += o.events;
+    }
+
+    /// Total snapshots (both levels).
+    pub fn snapshots(&self) -> u64 {
+        self.graphlet_snapshots + self.event_snapshots
+    }
+}
+
+/// Final per-member aggregate of a finished window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemberOutput {
+    /// Ring-valued (count, sum, cnt) totals.
+    pub raw: NodeVal,
+    /// Lattice value for `MIN`/`MAX` members (identity otherwise).
+    pub mm: f64,
+}
+
+/// Inputs the dynamic optimizer reads before deciding on a burst (§4.1).
+#[derive(Clone, Debug)]
+pub struct BurstCtx {
+    /// Events per window so far (`n`).
+    pub n: u64,
+    /// Events in the currently active graphlet of the type (`g`).
+    pub g: u64,
+    /// Snapshot terms currently propagated in the active shared graphlet
+    /// (`sp`).
+    pub sp: usize,
+    /// Average predecessor types per type per query (`p`).
+    pub p: f64,
+    /// Whether the active graphlet of this type is currently shared.
+    pub currently_shared: bool,
+    /// Per candidate member: events of the burst whose predicate outcome
+    /// diverges from the other candidates (drives `sc`, Def. 9).
+    pub diverging: Vec<u64>,
+    /// Per candidate member: whether edge predicates force event-level
+    /// snapshots on every event.
+    pub has_edge: Vec<bool>,
+    /// Candidate member indices (involved, Kleene self-loop, linear agg).
+    pub candidates: Vec<usize>,
+}
+
+/// The evaluation state of one (share group × partition × window instance).
+pub struct Run {
+    rt: Arc<GroupRuntime>,
+    k: usize,
+    n_events: u64,
+    cum: Vec<Vec<NodeVal>>,
+    mm_cum: Vec<Vec<MmVal>>,
+    alive_cum: Vec<Vec<bool>>,
+    start_blocked: Vec<bool>,
+    gap_blocked: HashMap<(usize, usize, usize), NodeVal>,
+    result_blocked: Vec<NodeVal>,
+    snaps: SnapTable,
+    active: Vec<Active>,
+    stored: Vec<Vec<StoredEvent>>,
+    stats: RunStats,
+    mm_identity: MmVal,
+    is_min: bool,
+}
+
+impl Run {
+    /// Creates an empty run.
+    pub fn new(rt: Arc<GroupRuntime>) -> Run {
+        let nt = rt.template.num_types();
+        let k = rt.k();
+        let (mm_identity, is_min) = match rt.skeleton {
+            AggSkeleton::MinMax { is_min, .. } => (
+                if is_min {
+                    MmVal::MIN_IDENTITY
+                } else {
+                    MmVal::MAX_IDENTITY
+                },
+                is_min,
+            ),
+            _ => (MmVal::MIN_IDENTITY, true),
+        };
+        Run {
+            k,
+            n_events: 0,
+            cum: vec![vec![NodeVal::ZERO; k]; nt],
+            mm_cum: vec![vec![mm_identity; k]; nt],
+            alive_cum: vec![vec![false; k]; nt],
+            start_blocked: vec![false; k],
+            gap_blocked: HashMap::new(),
+            result_blocked: vec![NodeVal::ZERO; k],
+            snaps: SnapTable::new(k),
+            active: (0..nt)
+                .map(|_| Active {
+                    shared: None,
+                    solo: vec![None; k],
+                })
+                .collect(),
+            stored: (0..nt).map(|_| Vec::new()).collect(),
+            stats: RunStats::default(),
+            rt,
+            mm_identity,
+            is_min,
+        }
+    }
+
+    /// Events processed so far (`n`).
+    pub fn n_events(&self) -> u64 {
+        self.n_events
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Number of snapshots in the table.
+    pub fn num_snapshots(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Collects the cheap structural optimizer inputs for a burst of local
+    /// type `tl` — everything except the divergence counts (§4.1). O(k).
+    pub fn burst_shape(&self, tl: usize) -> BurstCtx {
+        let tpl = &self.rt.template;
+        let linear_ok = self.rt.skeleton.supports_sharing();
+        let candidates: Vec<usize> = (0..self.k)
+            .filter(|&q| {
+                linear_ok && tpl.involved[tl].contains(q) && tpl.self_loop[tl].contains(q)
+            })
+            .collect();
+        let has_edge: Vec<bool> = candidates
+            .iter()
+            .map(|&q| !self.rt.edge[tl][q].is_empty())
+            .collect();
+        let diverging = vec![0u64; candidates.len()];
+        let (g, sp, currently_shared) = match &self.active[tl].shared {
+            Some(sh) => (sh.size, sh.sum_exprs.num_terms(), true),
+            None => {
+                let g = self.active[tl]
+                    .solo
+                    .iter()
+                    .flatten()
+                    .map(|s| s.size)
+                    .max()
+                    .unwrap_or(0);
+                (g, 0, false)
+            }
+        };
+        BurstCtx {
+            n: self.n_events,
+            g,
+            sp,
+            p: tpl.avg_pred_types().max(1.0),
+            currently_shared,
+            diverging,
+            has_edge,
+            candidates,
+        }
+    }
+
+    /// Exact per-candidate divergence counts of a burst: an event
+    /// "diverges" for a member when its selection outcome differs from at
+    /// least one other candidate — the Def. 9 snapshot trigger. O(k·b);
+    /// the EMA estimator ([`crate::optimizer::stats`]) avoids this scan.
+    pub fn exact_divergence(&self, tl: usize, events: &[Event], candidates: &[usize]) -> Vec<u64> {
+        let mut diverging = vec![0u64; candidates.len()];
+        for e in events {
+            let m: Vec<bool> = candidates
+                .iter()
+                .map(|&q| self.rt.selects(tl, q, e))
+                .collect();
+            if m.iter().any(|&x| x) && m.iter().any(|&x| !x) {
+                for (i, &acc) in m.iter().enumerate() {
+                    if !acc {
+                        diverging[i] += 1;
+                    }
+                }
+            }
+        }
+        diverging
+    }
+
+    /// Full optimizer inputs with exact divergence (§4.1). `events` must
+    /// all have local type `tl`.
+    pub fn burst_context(&self, tl: usize, events: &[Event]) -> BurstCtx {
+        let mut ctx = self.burst_shape(tl);
+        ctx.diverging = self.exact_divergence(tl, events, &ctx.candidates);
+        ctx
+    }
+
+    /// Processes one complete burst of local type `tl`.
+    ///
+    /// `shared_members` is the optimizer's choice of queries that share the
+    /// burst (must be a subset of the Kleene candidates); everyone else in
+    /// `involved[tl]` processes the burst solo. Passing an empty set yields
+    /// pure GRETA-style non-shared execution.
+    pub fn process_burst(&mut self, tl: usize, events: &[Event], shared_members: &QSet) {
+        debug_assert!(events.iter().all(|e| {
+            self.rt.template.local(e.ty) == Some(tl)
+        }));
+        if events.is_empty() {
+            return;
+        }
+        let tpl = self.rt.template.clone();
+
+        // Deactivate other types' graphlets for affected members
+        // (Algorithm 1 lines 4–6). Conservative: type relevance, not
+        // per-event match, triggers deactivation — early closure is always
+        // correct, it only forgoes some sharing.
+        let mut relevant = tpl.involved[tl].clone();
+        relevant.union_with(&tpl.neg_involved[tl]);
+        for ty in 0..tpl.num_types() {
+            if ty == tl {
+                continue;
+            }
+            let close_shared = self.active[ty]
+                .shared
+                .as_ref()
+                .is_some_and(|sh| sh.members.intersects(&relevant));
+            if close_shared {
+                self.close_shared(ty);
+            }
+            for q in 0..self.k {
+                if relevant.contains(q) && self.active[ty].solo[q].is_some() {
+                    self.close_solo(ty, q);
+                }
+            }
+        }
+
+        // Negation constraints fire before positive processing (§5): the
+        // negated match blocks connections across it.
+        if !tpl.neg_involved[tl].is_empty() {
+            self.apply_negations(tl, events);
+        }
+
+        if tpl.involved[tl].is_empty() {
+            return;
+        }
+
+        // Effective sharing set: candidates with a Kleene self-loop and a
+        // linear skeleton; sharing needs ≥ 2 members (Def. 4).
+        let mut share: QSet = shared_members
+            .iter()
+            .filter(|&q| {
+                tpl.involved[tl].contains(q)
+                    && tpl.self_loop[tl].contains(q)
+                    && self.rt.skeleton.supports_sharing()
+            })
+            .collect();
+        if share.len() < 2 {
+            share = QSet::new();
+        }
+
+        self.transition_graphlets(tl, &share, events[0].time);
+        if share.is_empty() {
+            self.stats.solo_bursts += 1;
+        } else {
+            self.stats.shared_bursts += 1;
+        }
+
+        for e in events {
+            self.process_event(tl, e, &share);
+            self.n_events += 1;
+            self.stats.events += 1;
+        }
+    }
+
+    /// Applies Leading/Gap/Trailing negation effects of a burst of negated
+    /// type `tl` (§5).
+    fn apply_negations(&mut self, tl: usize, events: &[Event]) {
+        let rt = self.rt.clone();
+        for (q, kind) in &rt.negs[tl] {
+            // The negated sub-pattern may carry selection predicates.
+            if !events.iter().any(|e| rt.selects(tl, *q, e)) {
+                continue;
+            }
+            match kind {
+                LocalNegKind::Leading => self.start_blocked[*q] = true,
+                LocalNegKind::Gap { pred, succ } => {
+                    for &p in pred {
+                        for &s in succ {
+                            let v = self.cum[p][*q];
+                            self.gap_blocked.insert((*q, p, s), v);
+                        }
+                    }
+                }
+                LocalNegKind::Trailing => {
+                    self.result_blocked[*q] = self.result_total(*q);
+                }
+            }
+        }
+    }
+
+    /// Current Σ of end-type totals for member `q` (Eq. 3 over `cum`).
+    fn result_total(&self, q: usize) -> NodeVal {
+        let tpl = &self.rt.template;
+        let mut out = NodeVal::ZERO;
+        for ty in 0..tpl.num_types() {
+            if tpl.end[ty].contains(q) {
+                out.add(self.cum[ty][q]);
+                // Include active graphlets (they haven't been folded yet).
+                if let Some(sh) = &self.active[ty].shared {
+                    if sh.members.contains(q) {
+                        out.add(self.snaps.eval(&sh.sum_exprs, q));
+                    }
+                }
+                if let Some(solo) = &self.active[ty].solo[q] {
+                    out.add(solo.sum);
+                }
+            }
+        }
+        out
+    }
+
+    /// Opens/closes graphlets of type `tl` so the active configuration
+    /// matches the sharing decision (§4.2 split & merge).
+    fn transition_graphlets(&mut self, tl: usize, share: &QSet, _now: hamlet_types::Ts) {
+        let keep_shared = self.active[tl]
+            .shared
+            .as_ref()
+            .is_some_and(|sh| sh.members == *share);
+        if !keep_shared && self.active[tl].shared.is_some() {
+            // Split (or re-form with a different member set).
+            self.close_shared(tl);
+            self.stats.splits += 1;
+        }
+        if !share.is_empty() && self.active[tl].shared.is_none() {
+            // Merge: members' solo graphlets collapse into cum, and one
+            // consolidated graphlet-level snapshot is created (Fig. 6(f)).
+            let mut was_solo = false;
+            for q in share.iter() {
+                if self.active[tl].solo[q].is_some() {
+                    self.close_solo(tl, q);
+                    was_solo = true;
+                }
+            }
+            if was_solo {
+                self.stats.merges += 1;
+            }
+            self.open_shared(tl, share.clone());
+        }
+        // Solo members keep (or lazily open) their graphlets in
+        // `process_event`; members newly covered by the shared graphlet
+        // must not also run solo.
+        for q in share.iter() {
+            if self.active[tl].solo[q].is_some() {
+                self.close_solo(tl, q);
+            }
+        }
+    }
+
+    /// Creates a shared graphlet with its graphlet-level snapshot
+    /// (Algorithm 1 lines 7–13).
+    fn open_shared(&mut self, tl: usize, members: QSet) {
+        let tpl = self.rt.template.clone();
+        let mut vals = vec![NodeVal::ZERO; self.k];
+        for q in members.iter() {
+            let scan_self = !self.rt.edge[tl][q].is_empty();
+            let mut v = NodeVal::ZERO;
+            for &p in &tpl.pt[tl][q] {
+                if p == tl && scan_self {
+                    // Self contributions come from pairwise scans instead.
+                    continue;
+                }
+                let blocked = self
+                    .gap_blocked
+                    .get(&(q, p, tl))
+                    .copied()
+                    .unwrap_or(NodeVal::ZERO);
+                v.add(self.cum[p][q].minus(blocked));
+            }
+            vals[q] = v;
+        }
+        let x = self.snaps.create(vals);
+        self.stats.graphlet_snapshots += 1;
+        self.stats.graphlets += 1;
+        // Unit snapshot: per-member trend-start indicator (1 iff the type
+        // starts trends for the member and no leading negation blocks it).
+        let needs_unit = members
+            .iter()
+            .any(|q| tpl.start[tl].contains(q) && !self.start_blocked[q]);
+        let unit = needs_unit.then(|| {
+            let vals = (0..self.k)
+                .map(|q| {
+                    if members.contains(q)
+                        && tpl.start[tl].contains(q)
+                        && !self.start_blocked[q]
+                    {
+                        NodeVal {
+                            count: TrendVal::ONE,
+                            sum: TrendVal::ZERO,
+                            cnt: TrendVal::ZERO,
+                        }
+                    } else {
+                        NodeVal::ZERO
+                    }
+                })
+                .collect();
+            self.snaps.create(vals)
+        });
+        self.active[tl].shared = Some(SharedGraphlet {
+            members,
+            x,
+            unit,
+            sum_exprs: LinearExpr::zero(),
+            size: 0,
+        });
+    }
+
+    /// Resolves a shared graphlet's totals per member into `cum` and drops
+    /// its symbolic state ("the snapshot is replaced by its value",
+    /// Fig. 6(d)).
+    fn close_shared(&mut self, tl: usize) {
+        if let Some(sh) = self.active[tl].shared.take() {
+            for q in sh.members.iter() {
+                let v = self.snaps.eval(&sh.sum_exprs, q);
+                self.cum[tl][q].add(v);
+                // Shared graphlets exist only for linear skeletons; the
+                // lattice dimensions stay untouched.
+            }
+        }
+    }
+
+    /// Folds a solo graphlet into `cum` / lattice accumulators.
+    fn close_solo(&mut self, tl: usize, q: usize) {
+        if let Some(solo) = self.active[tl].solo[q].take() {
+            self.cum[tl][q].add(solo.sum);
+            self.mm_cum[tl][q].fold(solo.mm.0, self.is_min);
+            self.alive_cum[tl][q] |= solo.alive;
+        }
+    }
+
+    /// External (non-self or fully resolved) predecessor contribution for
+    /// member `q` at type `tl`, honoring gap negations (§5).
+    fn external_pred(&self, tl: usize, q: usize) -> NodeVal {
+        let tpl = &self.rt.template;
+        let scan_self = !self.rt.edge[tl][q].is_empty();
+        let mut v = NodeVal::ZERO;
+        for &p in &tpl.pt[tl][q] {
+            if p == tl {
+                if scan_self {
+                    continue; // covered by the pairwise scan
+                }
+                // Closed same-type graphlets; the active one is added by
+                // the caller (prefix / sum_exprs).
+                v.add(self.cum[p][q]);
+                continue;
+            }
+            let blocked = self
+                .gap_blocked
+                .get(&(q, p, tl))
+                .copied()
+                .unwrap_or(NodeVal::ZERO);
+            v.add(self.cum[p][q].minus(blocked));
+        }
+        v
+    }
+
+    /// Lattice predecessor fold for member `q` at type `tl`.
+    fn mm_pred(&self, tl: usize, q: usize) -> (MmVal, bool) {
+        let tpl = &self.rt.template;
+        let mut mm = self.mm_identity;
+        let mut alive = false;
+        for &p in &tpl.pt[tl][q] {
+            mm.fold(self.mm_cum[p][q].0, self.is_min);
+            alive |= self.alive_cum[p][q];
+            if p == tl {
+                if let Some(solo) = &self.active[p].solo[q] {
+                    mm.fold(solo.mm.0, self.is_min);
+                    alive |= solo.alive;
+                }
+            }
+        }
+        (mm, alive)
+    }
+
+    /// Pairwise scan over stored same-type events for an edge-predicate
+    /// member: Σ of contributions of events whose edge to `e` holds.
+    fn scan_pred(&self, tl: usize, q: usize, e: &Event) -> NodeVal {
+        let mut v = NodeVal::ZERO;
+        for se in &self.stored[tl] {
+            if !self.rt.edge_holds(tl, q, &se.event, e) {
+                continue;
+            }
+            if let Some((members, expr)) = &se.shared {
+                if members.contains(q) {
+                    v.add(self.snaps.eval(expr, q));
+                    continue;
+                }
+            }
+            if let Some((_, sv)) = se.solo.iter().find(|(m, _)| *m as usize == q) {
+                v.add(*sv);
+            }
+        }
+        v
+    }
+
+    /// Lattice variant of [`Run::scan_pred`].
+    fn scan_mm(&self, tl: usize, q: usize, e: &Event) -> (MmVal, bool) {
+        let mut mm = self.mm_identity;
+        let mut alive = false;
+        for se in &self.stored[tl] {
+            if !self.rt.edge_holds(tl, q, &se.event, e) {
+                continue;
+            }
+            if let Some((_, sv)) = se.mm.iter().find(|(m, _)| *m as usize == q) {
+                mm.fold(sv.0, self.is_min);
+                alive = true;
+            }
+        }
+        (mm, alive)
+    }
+
+    /// Processes a single event within its (already transitioned) burst.
+    fn process_event(&mut self, tl: usize, e: &Event, share: &QSet) {
+        let rt = self.rt.clone();
+        let tpl = &rt.template;
+        let (w, is_target) = rt.weight(e);
+        let store_needed = rt.type_any_edge[tl];
+        let mut stored_shared: Option<(QSet, LinearExpr)> = None;
+        let mut stored_solo: Vec<(u16, NodeVal)> = Vec::new();
+        let mut stored_mm: Vec<(u16, MmVal)> = Vec::new();
+
+        // ---- Shared path -------------------------------------------------
+        if !share.is_empty() {
+            let matched: Vec<(usize, bool)> = share
+                .iter()
+                .map(|q| (q, rt.selects(tl, q, e)))
+                .collect();
+            let any_edge = share.iter().any(|q| !rt.edge[tl][q].is_empty());
+            let uniform = !any_edge && matched.iter().all(|&(_, m)| m);
+            let sh = self.active[tl].shared.as_ref().expect("shared graphlet");
+            let expr = if uniform {
+                // Eq. 2 symbolically: preds = x (+ unit) + in-graphlet
+                // prefix; then the per-event propagation map.
+                let mut pred = LinearExpr::snapshot(sh.x);
+                if let Some(u) = sh.unit {
+                    pred.add_assign(&LinearExpr::snapshot(u));
+                }
+                pred.add_assign(&sh.sum_exprs);
+                pred.propagate(w, is_target)
+            } else {
+                // Event-level snapshot (Def. 9): per-member numeric values.
+                let mut vals = vec![NodeVal::ZERO; self.k];
+                for &(q, m) in &matched {
+                    if !m {
+                        continue;
+                    }
+                    let mut pred = self.snaps.value(sh.x, q);
+                    if !rt.edge[tl][q].is_empty() {
+                        pred.add(self.scan_pred(tl, q, e));
+                    } else {
+                        pred.add(self.snaps.eval(&sh.sum_exprs, q));
+                    }
+                    let start =
+                        tpl.start[tl].contains(q) && !self.start_blocked[q];
+                    vals[q] = NodeVal::propagate(pred, start, w, is_target);
+                }
+                let z = self.snaps.create(vals);
+                self.stats.event_snapshots += 1;
+                LinearExpr::snapshot(z)
+            };
+            let sh = self.active[tl].shared.as_mut().expect("shared graphlet");
+            sh.sum_exprs.add_assign(&expr);
+            sh.size += 1;
+            if store_needed {
+                stored_shared = Some((sh.members.clone(), expr));
+            }
+        }
+
+        // ---- Solo path ----------------------------------------------------
+        for q in 0..self.k {
+            if !tpl.involved[tl].contains(q) || share.contains(q) {
+                continue;
+            }
+            if self.active[tl].solo[q].is_none() {
+                self.active[tl].solo[q] = Some(SoloGraphlet::new(self.mm_identity));
+                self.stats.graphlets += 1;
+            }
+            if !rt.selects(tl, q, e) {
+                continue;
+            }
+            let has_edge = !rt.edge[tl][q].is_empty();
+            let mut pred = self.external_pred(tl, q);
+            if has_edge {
+                pred.add(self.scan_pred(tl, q, e));
+            } else if tpl.self_loop[tl].contains(q) {
+                if let Some(solo) = &self.active[tl].solo[q] {
+                    pred.add(solo.sum);
+                }
+            }
+            let start = tpl.start[tl].contains(q) && !self.start_blocked[q];
+            let val = NodeVal::propagate(pred, start, w, is_target);
+
+            // Lattice propagation for MIN/MAX members.
+            let mut mmv = self.mm_identity;
+            let mut alive_out = false;
+            if let AggSkeleton::MinMax { ty, attr, .. } = &rt.skeleton {
+                let (mut mm, mut alive) = if has_edge {
+                    self.scan_mm(tl, q, e)
+                } else {
+                    self.mm_pred(tl, q)
+                };
+                alive |= start;
+                if alive {
+                    if e.ty == *ty {
+                        if let Some(v) = e.attr(*attr) {
+                            mm.fold(v.as_f64(), self.is_min);
+                        }
+                    }
+                    mmv = mm;
+                    alive_out = true;
+                }
+            }
+
+            let solo = self.active[tl].solo[q].as_mut().expect("solo graphlet");
+            solo.sum.add(val);
+            solo.mm.fold(mmv.0, self.is_min);
+            solo.alive |= alive_out;
+            solo.size += 1;
+            if store_needed {
+                stored_solo.push((q as u16, val));
+                if alive_out {
+                    stored_mm.push((q as u16, mmv));
+                }
+            }
+        }
+
+        if store_needed {
+            self.stored[tl].push(StoredEvent {
+                event: e.clone(),
+                shared: stored_shared,
+                solo: stored_solo,
+                mm: stored_mm,
+            });
+        }
+    }
+
+    /// Closes all graphlets and returns the per-member window outputs
+    /// (Eq. 3 over end-type totals, minus trailing-negation blocks).
+    pub fn finalize(&mut self) -> Vec<MemberOutput> {
+        let tpl = self.rt.template.clone();
+        for ty in 0..tpl.num_types() {
+            self.close_shared(ty);
+            for q in 0..self.k {
+                self.close_solo(ty, q);
+            }
+        }
+        (0..self.k)
+            .map(|q| {
+                let mut raw = NodeVal::ZERO;
+                let mut mm = self.mm_identity;
+                for ty in 0..tpl.num_types() {
+                    if tpl.end[ty].contains(q) {
+                        raw.add(self.cum[ty][q]);
+                        mm.fold(self.mm_cum[ty][q].0, self.is_min);
+                    }
+                }
+                MemberOutput {
+                    raw: raw.minus(self.result_blocked[q]),
+                    mm: mm.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Approximate state footprint in bytes (§6.1 memory metric: stored
+    /// events, snapshot expressions, snapshot values, per-member totals).
+    pub fn mem_bytes(&self) -> usize {
+        let mut b = std::mem::size_of::<Run>();
+        b += self.cum.len() * self.k * std::mem::size_of::<NodeVal>() * 3; // cum + mm + alive (approx)
+        b += self.snaps.mem_bytes();
+        for a in &self.active {
+            if let Some(sh) = &a.shared {
+                b += sh.sum_exprs.mem_bytes();
+            }
+            b += a.solo.iter().flatten().count() * std::mem::size_of::<SoloGraphlet>();
+        }
+        for per_ty in &self.stored {
+            for se in per_ty {
+                b += se.event.mem_bytes();
+                if let Some((_, ex)) = &se.shared {
+                    b += ex.mem_bytes();
+                }
+                b += se.solo.len() * (2 + std::mem::size_of::<NodeVal>());
+                b += se.mm.len() * (2 + std::mem::size_of::<MmVal>());
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_query::{Pattern, Window};
+    use hamlet_types::{EventTypeId, Ts};
+
+    const A: EventTypeId = EventTypeId(0);
+    const B: EventTypeId = EventTypeId(1);
+    const C: EventTypeId = EventTypeId(2);
+
+    fn ev(ty: EventTypeId, t: u64) -> Event {
+        Event::new(Ts(t), ty, vec![])
+    }
+
+    fn seq(first: EventTypeId, kleene: EventTypeId) -> Pattern {
+        Pattern::seq(vec![Pattern::Type(first), Pattern::plus(Pattern::Type(kleene))])
+    }
+
+    fn rt_two_queries() -> Arc<GroupRuntime> {
+        let q1 = Arc::new(Query::count_star(1, seq(A, B), Window::tumbling(1000)));
+        let q2 = Arc::new(Query::count_star(2, seq(C, B), Window::tumbling(1000)));
+        let plan = crate::workload::analyze(&[q1, q2]).unwrap();
+        assert_eq!(plan.groups.len(), 1);
+        GroupRuntime::new(&plan.groups[0])
+    }
+
+    /// Drives the paper's running example (Fig. 4(b): a1 a2 c1 | b1..b3)
+    /// and checks count(b3) per query (Example 4: 2 for q1, 1 for q2).
+    #[test]
+    fn example4_counts_shared() {
+        let rt = rt_two_queries();
+        let tl = |t| rt.template.local(t).unwrap();
+        let mut run = Run::new(rt.clone());
+        let all = QSet::all(2);
+        run.process_burst(tl(A), &[ev(A, 1), ev(A, 2)], &all);
+        run.process_burst(tl(C), &[ev(C, 3)], &all);
+        run.process_burst(tl(B), &[ev(B, 4)], &all);
+        let out = run.finalize();
+        // One B event: count(b,q1) = a1+a2 = 2; count(b,q2) = c1 = 1.
+        assert_eq!(out[0].raw.count, TrendVal(2));
+        assert_eq!(out[1].raw.count, TrendVal(1));
+    }
+
+    #[test]
+    fn shared_equals_solo_counts() {
+        // The same stream processed fully shared and fully solo must agree
+        // bit-exactly.
+        let rt = rt_two_queries();
+        let tl = |t| rt.template.local(t).unwrap();
+        let stream: Vec<(usize, Vec<Event>)> = vec![
+            (tl(A), vec![ev(A, 1), ev(A, 2)]),
+            (tl(C), vec![ev(C, 3)]),
+            (tl(B), vec![ev(B, 4), ev(B, 5), ev(B, 6), ev(B, 7)]),
+            (tl(A), vec![ev(A, 8)]),
+            (tl(C), vec![ev(C, 9)]),
+            (tl(B), vec![ev(B, 10), ev(B, 11)]),
+        ];
+        let mut shared = Run::new(rt.clone());
+        let mut solo = Run::new(rt.clone());
+        for (ty, burst) in &stream {
+            shared.process_burst(*ty, burst, &QSet::all(2));
+            solo.process_burst(*ty, burst, &QSet::new());
+        }
+        assert_eq!(shared.finalize(), solo.finalize());
+        assert!(shared.stats().shared_bursts > 0);
+        assert!(solo.stats().solo_bursts > 0);
+    }
+
+    #[test]
+    fn table3_graphlet_counts() {
+        // Fig. 5(a)/Table 3: after a1 a2 c1, four B events share graphlet
+        // B3 via snapshot x. Final counts: q1 ends at B → Σ count(b_i, q1)
+        // = x+2x+4x+8x = 15x with x=2 → 30; q2: 15·1 = 15.
+        let rt = rt_two_queries();
+        let tl = |t| rt.template.local(t).unwrap();
+        let mut run = Run::new(rt.clone());
+        let all = QSet::all(2);
+        run.process_burst(tl(A), &[ev(A, 1), ev(A, 2)], &all);
+        run.process_burst(tl(C), &[ev(C, 3)], &all);
+        run.process_burst(tl(B), &[ev(B, 4), ev(B, 5), ev(B, 6), ev(B, 7)], &all);
+        assert_eq!(run.num_snapshots(), 1); // only the graphlet snapshot x
+        let out = run.finalize();
+        assert_eq!(out[0].raw.count, TrendVal(30));
+        assert_eq!(out[1].raw.count, TrendVal(15));
+    }
+
+    #[test]
+    fn mid_stream_split_preserves_results() {
+        // Share the first B burst; the second B burst (next pane, no
+        // intervening events — the graphlet is still active, Def. 6) is
+        // processed solo, forcing a split (Fig. 6(d)). Totals must match
+        // the fully solo execution.
+        let rt = rt_two_queries();
+        let tl = |t| rt.template.local(t).unwrap();
+        let stream: Vec<(usize, Vec<Event>)> = vec![
+            (tl(A), vec![ev(A, 1)]),
+            (tl(C), vec![ev(C, 2)]),
+            (tl(B), vec![ev(B, 3), ev(B, 4)]),
+            (tl(B), vec![ev(B, 6), ev(B, 7)]),
+        ];
+        let mut dynamic = Run::new(rt.clone());
+        let mut solo = Run::new(rt.clone());
+        for (i, (ty, burst)) in stream.iter().enumerate() {
+            let share = if i < 3 { QSet::all(2) } else { QSet::new() };
+            dynamic.process_burst(*ty, burst, &share);
+            solo.process_burst(*ty, burst, &QSet::new());
+        }
+        assert!(dynamic.stats().splits > 0);
+        assert_eq!(dynamic.finalize(), solo.finalize());
+    }
+
+    #[test]
+    fn shared_sum_and_cnt_dimensions_agree_with_solo() {
+        // SUM/COUNT(E) propagate through the same shared expressions; the
+        // skeleton carries the (attr, type) dims for every member.
+        let mk = |id: u32, first: EventTypeId| {
+            Arc::new(
+                Query::new(
+                    hamlet_query::QueryId(id),
+                    seq(first, B),
+                    hamlet_query::AggFunc::Sum(B, 0),
+                    vec![],
+                    vec![],
+                    vec![],
+                    vec![],
+                    Window::tumbling(1000),
+                )
+                .unwrap(),
+            )
+        };
+        let plan = crate::workload::analyze(&[mk(1, A), mk(2, C)]).unwrap();
+        assert_eq!(plan.groups.len(), 1);
+        let rt = GroupRuntime::new(&plan.groups[0]);
+        let tl = |t| rt.template.local(t).unwrap();
+        let evv = |ty, t, v: f64| {
+            Event::new(Ts(t), ty, vec![hamlet_types::AttrValue::Float(v)])
+        };
+        let stream: Vec<(usize, Vec<Event>)> = vec![
+            (tl(A), vec![evv(A, 1, 0.0)]),
+            (tl(C), vec![evv(C, 2, 0.0)]),
+            (tl(B), vec![evv(B, 3, 1.5), evv(B, 4, 2.5), evv(B, 5, 4.0)]),
+        ];
+        let mut shared = Run::new(rt.clone());
+        let mut solo = Run::new(rt.clone());
+        for (ty, burst) in &stream {
+            shared.process_burst(*ty, burst, &QSet::all(2));
+            solo.process_burst(*ty, burst, &QSet::new());
+        }
+        let a = shared.finalize();
+        let b = solo.finalize();
+        assert_eq!(a, b);
+        // Hand check: trends over {b3,b4,b5} (7 subsets); SUM over all
+        // events in all trends: each b appears in 4 trends → 4·(1.5+2.5+4)
+        // = 32 (fixed point ×1e6).
+        assert_eq!(a[0].raw.sum, crate::agg::ring_of_attr(32.0));
+        assert_eq!(a[0].raw.cnt, TrendVal(12)); // 3 events × 4 trends each
+    }
+
+    #[test]
+    fn start_type_divergence_handled_by_unit_snapshot() {
+        // q1 = B+ (B starts trends), q2 = SEQ(A, B+) (B does not): the
+        // shared graphlet must apply the +1 start increment only for q1 —
+        // via the per-member unit snapshot.
+        let q1 = Arc::new(Query::count_star(
+            1,
+            Pattern::plus(Pattern::Type(B)),
+            Window::tumbling(1000),
+        ));
+        let q2 = Arc::new(Query::count_star(2, seq(A, B), Window::tumbling(1000)));
+        let plan = crate::workload::analyze(&[q1, q2]).unwrap();
+        assert_eq!(plan.groups.len(), 1);
+        let rt = GroupRuntime::new(&plan.groups[0]);
+        let tl = |t| rt.template.local(t).unwrap();
+        let mut shared = Run::new(rt.clone());
+        let mut solo = Run::new(rt.clone());
+        let stream: Vec<(usize, Vec<Event>)> = vec![
+            (tl(A), vec![ev(A, 1)]),
+            (tl(B), vec![ev(B, 2), ev(B, 3), ev(B, 4)]),
+        ];
+        for (ty, burst) in &stream {
+            shared.process_burst(*ty, burst, &QSet::all(2));
+            solo.process_burst(*ty, burst, &QSet::new());
+        }
+        let a = shared.finalize();
+        assert_eq!(a, solo.finalize());
+        // q1: all non-empty subsets of 3 B's = 7. q2: 7 (one A × subsets).
+        assert_eq!(a[0].raw.count, TrendVal(7));
+        assert_eq!(a[1].raw.count, TrendVal(7));
+        // The shared burst stayed fully shared (no event-level snapshots).
+        assert_eq!(shared.stats().event_snapshots, 0);
+        assert!(shared.stats().graphlet_snapshots >= 1);
+    }
+
+    #[test]
+    fn selection_divergence_creates_event_snapshots() {
+        use hamlet_query::{CmpOp, SelectionPredicate};
+        let mk = |id: u32, first: EventTypeId, cut: f64| {
+            let mut q = Query::count_star(id, seq(first, B), Window::tumbling(1000));
+            q.selections.push(SelectionPredicate {
+                ty: B,
+                attr: 0,
+                op: CmpOp::Lt,
+                value: hamlet_types::AttrValue::Float(cut),
+            });
+            Arc::new(q)
+        };
+        let plan = crate::workload::analyze(&[mk(1, A, 5.0), mk(2, C, 2.0)]).unwrap();
+        let rt = GroupRuntime::new(&plan.groups[0]);
+        let tl = |t| rt.template.local(t).unwrap();
+        let evv = |ty, t, v: f64| {
+            Event::new(Ts(t), ty, vec![hamlet_types::AttrValue::Float(v)])
+        };
+        let mut shared = Run::new(rt.clone());
+        let mut solo = Run::new(rt.clone());
+        let stream: Vec<(usize, Vec<Event>)> = vec![
+            (tl(A), vec![evv(A, 1, 0.0)]),
+            (tl(C), vec![evv(C, 2, 0.0)]),
+            // v=1 accepted by both; v=3 only q1; v=9 by neither.
+            (tl(B), vec![evv(B, 3, 1.0), evv(B, 4, 3.0), evv(B, 5, 9.0)]),
+        ];
+        for (ty, burst) in &stream {
+            shared.process_burst(*ty, burst, &QSet::all(2));
+            solo.process_burst(*ty, burst, &QSet::new());
+        }
+        assert!(shared.stats().event_snapshots > 0, "Def. 9 exercised");
+        assert_eq!(shared.finalize(), solo.finalize());
+    }
+
+    #[test]
+    fn mid_stream_merge_preserves_results() {
+        // Start solo, then merge into a shared graphlet (Fig. 6(f)).
+        let rt = rt_two_queries();
+        let tl = |t| rt.template.local(t).unwrap();
+        let stream: Vec<(usize, Vec<Event>)> = vec![
+            (tl(A), vec![ev(A, 1)]),
+            (tl(C), vec![ev(C, 2)]),
+            (tl(B), vec![ev(B, 3), ev(B, 4)]),
+            (tl(B), vec![ev(B, 6), ev(B, 7)]),
+        ];
+        let mut dynamic = Run::new(rt.clone());
+        let mut solo = Run::new(rt.clone());
+        for (i, (ty, burst)) in stream.iter().enumerate() {
+            let share = if i >= 3 { QSet::all(2) } else { QSet::new() };
+            dynamic.process_burst(*ty, burst, &share);
+            solo.process_burst(*ty, burst, &QSet::new());
+        }
+        assert!(dynamic.stats().merges > 0);
+        assert_eq!(dynamic.finalize(), solo.finalize());
+    }
+}

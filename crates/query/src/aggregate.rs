@@ -1,0 +1,122 @@
+//! Aggregation functions over event trends (§2.1).
+//!
+//! HAMLET computes distributive (`COUNT`, `SUM`, `MIN`, `MAX`) and algebraic
+//! (`AVG`) functions incrementally. `COUNT(*)` counts trends per group;
+//! `COUNT(E)` counts events of type `E` across all trends; `SUM`/`AVG`/
+//! `MIN`/`MAX` fold an attribute of `E` across all trends.
+
+use hamlet_types::EventTypeId;
+use std::fmt;
+
+/// One aggregation function of the `RETURN` clause.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` — number of trends per group.
+    CountStar,
+    /// `COUNT(E)` — number of `E` events summed over all trends.
+    CountType(EventTypeId),
+    /// `SUM(E.attr)` — sum of `attr` over all `E` events in all trends.
+    Sum(EventTypeId, usize),
+    /// `AVG(E.attr)` = `SUM(E.attr) / COUNT(E)`.
+    Avg(EventTypeId, usize),
+    /// `MIN(E.attr)` over all `E` events in all trends.
+    Min(EventTypeId, usize),
+    /// `MAX(E.attr)` over all `E` events in all trends.
+    Max(EventTypeId, usize),
+}
+
+impl AggFunc {
+    /// True iff the function propagates *linearly* through the trend graph
+    /// (count/sum pairs). Linear functions can be encoded in snapshot
+    /// expressions and therefore shared (§3.3); `MIN`/`MAX` cannot.
+    pub fn is_linear(&self) -> bool {
+        !matches!(self, AggFunc::Min(..) | AggFunc::Max(..))
+    }
+
+    /// Two functions are *sharable* (Def. 5) when their graph propagation is
+    /// identical. `COUNT(*)` is computed by every strategy; `SUM`, `COUNT(E)`
+    /// and `AVG` all reduce to (count, sum-like) pairs over the same type and
+    /// attribute; `MIN`/`MAX` share only with the identical function.
+    pub fn sharable_with(&self, other: &AggFunc) -> bool {
+        use AggFunc::*;
+        match (self, other) {
+            (CountStar, CountStar) => true,
+            // COUNT(E), SUM(E.a), AVG(E.a) share a propagation skeleton when
+            // they talk about the same type (AVG = SUM / COUNT, §3.1).
+            (CountType(a), CountType(b)) => a == b,
+            (Sum(t1, a1), Sum(t2, a2))
+            | (Avg(t1, a1), Avg(t2, a2))
+            | (Sum(t1, a1), Avg(t2, a2))
+            | (Avg(t1, a1), Sum(t2, a2)) => t1 == t2 && a1 == a2,
+            (CountType(a), Sum(t, _))
+            | (CountType(a), Avg(t, _))
+            | (Sum(t, _), CountType(a))
+            | (Avg(t, _), CountType(a)) => a == t,
+            (Min(t1, a1), Min(t2, a2)) | (Max(t1, a1), Max(t2, a2)) => t1 == t2 && a1 == a2,
+            _ => false,
+        }
+    }
+
+    /// The event type whose attribute this function folds, if any.
+    pub fn target_type(&self) -> Option<EventTypeId> {
+        match self {
+            AggFunc::CountStar => None,
+            AggFunc::CountType(t)
+            | AggFunc::Sum(t, _)
+            | AggFunc::Avg(t, _)
+            | AggFunc::Min(t, _)
+            | AggFunc::Max(t, _) => Some(*t),
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::CountStar => write!(f, "COUNT(*)"),
+            AggFunc::CountType(t) => write!(f, "COUNT({t:?})"),
+            AggFunc::Sum(t, a) => write!(f, "SUM({t:?}.{a})"),
+            AggFunc::Avg(t, a) => write!(f, "AVG({t:?}.{a})"),
+            AggFunc::Min(t, a) => write!(f, "MIN({t:?}.{a})"),
+            AggFunc::Max(t, a) => write!(f, "MAX({t:?}.{a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: EventTypeId = EventTypeId(0);
+    const F: EventTypeId = EventTypeId(1);
+
+    #[test]
+    fn linearity() {
+        assert!(AggFunc::CountStar.is_linear());
+        assert!(AggFunc::Sum(E, 0).is_linear());
+        assert!(AggFunc::Avg(E, 0).is_linear());
+        assert!(!AggFunc::Min(E, 0).is_linear());
+        assert!(!AggFunc::Max(E, 0).is_linear());
+    }
+
+    #[test]
+    fn sharability_matrix() {
+        use AggFunc::*;
+        assert!(CountStar.sharable_with(&CountStar));
+        assert!(!CountStar.sharable_with(&CountType(E)));
+        assert!(Sum(E, 0).sharable_with(&Avg(E, 0)));
+        assert!(Avg(E, 0).sharable_with(&Sum(E, 0)));
+        assert!(CountType(E).sharable_with(&Avg(E, 1)));
+        assert!(!Sum(E, 0).sharable_with(&Sum(E, 1)));
+        assert!(!Sum(E, 0).sharable_with(&Sum(F, 0)));
+        assert!(Min(E, 0).sharable_with(&Min(E, 0)));
+        assert!(!Min(E, 0).sharable_with(&Max(E, 0)));
+        assert!(!Min(E, 0).sharable_with(&Sum(E, 0)));
+    }
+
+    #[test]
+    fn target_types() {
+        assert_eq!(AggFunc::CountStar.target_type(), None);
+        assert_eq!(AggFunc::Max(F, 2).target_type(), Some(F));
+    }
+}

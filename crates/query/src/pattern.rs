@@ -1,0 +1,369 @@
+//! Kleene patterns (paper Def. 1) and their structural analysis.
+
+use hamlet_types::EventTypeId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A pattern per Def. 1: `E`, `P+`, `NOT P`, `SEQ(P1, P2, …)`, `P1 ∨ P2`,
+/// `P1 ∧ P2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// A single event type.
+    Type(EventTypeId),
+    /// Kleene plus: one or more consecutive matches of the inner pattern.
+    Kleene(Box<Pattern>),
+    /// Event sequence: components match in time order.
+    Seq(Vec<Pattern>),
+    /// Disjunction: a trend matches either branch (§5).
+    Or(Box<Pattern>, Box<Pattern>),
+    /// Conjunction: a pair of trends, one per branch (§5).
+    And(Box<Pattern>, Box<Pattern>),
+    /// Negation: no match of the inner pattern may occur at this position
+    /// (only meaningful inside a `Seq`, §5).
+    Not(Box<Pattern>),
+}
+
+/// Structural validation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternError {
+    /// The same event type occurs at two positions. The merged template
+    /// identifies automaton states with event types (§3.1), so each type may
+    /// appear once per query — the paper's assumption (3) in §3.
+    DuplicateType(EventTypeId),
+    /// A SEQ with no components.
+    EmptySeq,
+    /// `NOT` used outside a `SEQ` (it constrains a gap between two
+    /// positive components, §5).
+    MisplacedNot,
+    /// A pattern with no positive component (e.g. `SEQ(NOT A)`).
+    NoPositiveComponent,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::DuplicateType(t) => {
+                write!(f, "event type {t:?} appears more than once in the pattern")
+            }
+            PatternError::EmptySeq => write!(f, "SEQ requires at least one component"),
+            PatternError::MisplacedNot => write!(f, "NOT may only appear inside SEQ"),
+            PatternError::NoPositiveComponent => {
+                write!(f, "pattern has no positive component")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl Pattern {
+    /// Convenience constructor for `SEQ(…)`.
+    pub fn seq(parts: Vec<Pattern>) -> Pattern {
+        Pattern::Seq(parts)
+    }
+
+    /// Convenience constructor for `P+`.
+    pub fn plus(inner: Pattern) -> Pattern {
+        Pattern::Kleene(Box::new(inner))
+    }
+
+    /// True iff the pattern contains a Kleene plus (making it a *Kleene
+    /// pattern*, Def. 1).
+    pub fn is_kleene(&self) -> bool {
+        match self {
+            Pattern::Type(_) => false,
+            Pattern::Kleene(_) => true,
+            Pattern::Seq(ps) => ps.iter().any(Pattern::is_kleene),
+            Pattern::Or(a, b) | Pattern::And(a, b) => a.is_kleene() || b.is_kleene(),
+            Pattern::Not(p) => p.is_kleene(),
+        }
+    }
+
+    /// All event types referenced, including under `NOT`.
+    pub fn event_types(&self) -> BTreeSet<EventTypeId> {
+        let mut set = BTreeSet::new();
+        self.collect_types(&mut set);
+        set
+    }
+
+    fn collect_types(&self, out: &mut BTreeSet<EventTypeId>) {
+        match self {
+            Pattern::Type(t) => {
+                out.insert(*t);
+            }
+            Pattern::Kleene(p) | Pattern::Not(p) => p.collect_types(out),
+            Pattern::Seq(ps) => ps.iter().for_each(|p| p.collect_types(out)),
+            Pattern::Or(a, b) | Pattern::And(a, b) => {
+                a.collect_types(out);
+                b.collect_types(out);
+            }
+        }
+    }
+
+    /// Event types that appear directly under a Kleene plus (`E+`). These
+    /// are the *sharable Kleene sub-patterns* of Def. 4.
+    pub fn kleene_types(&self) -> BTreeSet<EventTypeId> {
+        let mut set = BTreeSet::new();
+        self.collect_kleene(&mut set);
+        set
+    }
+
+    fn collect_kleene(&self, out: &mut BTreeSet<EventTypeId>) {
+        match self {
+            Pattern::Type(_) => {}
+            Pattern::Kleene(p) => {
+                // `E+` contributes E; `(SEQ(A, B+))+` contributes B via the
+                // inner walk, and every type inside an outer Kleene also
+                // self-loops in the template — but Def. 4 concerns `E+`
+                // sub-patterns, so only direct `Type` children count here.
+                if let Pattern::Type(t) = &**p {
+                    out.insert(*t);
+                }
+                p.collect_kleene(out);
+            }
+            Pattern::Seq(ps) => ps.iter().for_each(|p| p.collect_kleene(out)),
+            Pattern::Or(a, b) | Pattern::And(a, b) => {
+                a.collect_kleene(out);
+                b.collect_kleene(out);
+            }
+            Pattern::Not(p) => p.collect_kleene(out),
+        }
+    }
+
+    /// Types that occur under a `NOT`.
+    pub fn negated_types(&self) -> BTreeSet<EventTypeId> {
+        let mut set = BTreeSet::new();
+        self.collect_negated(&mut set, false);
+        set
+    }
+
+    fn collect_negated(&self, out: &mut BTreeSet<EventTypeId>, under_not: bool) {
+        match self {
+            Pattern::Type(t) => {
+                if under_not {
+                    out.insert(*t);
+                }
+            }
+            Pattern::Kleene(p) => p.collect_negated(out, under_not),
+            Pattern::Seq(ps) => ps.iter().for_each(|p| p.collect_negated(out, under_not)),
+            Pattern::Or(a, b) | Pattern::And(a, b) => {
+                a.collect_negated(out, under_not);
+                b.collect_negated(out, under_not);
+            }
+            Pattern::Not(p) => p.collect_negated(out, true),
+        }
+    }
+
+    /// Validates the structural rules the execution layer relies on.
+    pub fn validate(&self) -> Result<(), PatternError> {
+        // No duplicate positive types (merged template states = types).
+        let mut seen = BTreeSet::new();
+        self.check_duplicates(&mut seen)?;
+        self.check_structure(false)?;
+        if self
+            .event_types()
+            .difference(&self.negated_types())
+            .next()
+            .is_none()
+        {
+            return Err(PatternError::NoPositiveComponent);
+        }
+        Ok(())
+    }
+
+    fn check_duplicates(&self, seen: &mut BTreeSet<EventTypeId>) -> Result<(), PatternError> {
+        match self {
+            Pattern::Type(t) => {
+                if !seen.insert(*t) {
+                    return Err(PatternError::DuplicateType(*t));
+                }
+                Ok(())
+            }
+            Pattern::Kleene(p) | Pattern::Not(p) => p.check_duplicates(seen),
+            Pattern::Seq(ps) => {
+                if ps.is_empty() {
+                    return Err(PatternError::EmptySeq);
+                }
+                ps.iter().try_for_each(|p| p.check_duplicates(seen))
+            }
+            Pattern::Or(a, b) | Pattern::And(a, b) => {
+                // Branches are alternative (or independent) patterns: a type
+                // may appear in both branches; duplicates are only checked
+                // within each branch.
+                let mut left = seen.clone();
+                a.check_duplicates(&mut left)?;
+                b.check_duplicates(&mut seen.clone())
+            }
+        }
+    }
+
+    fn check_structure(&self, inside_seq: bool) -> Result<(), PatternError> {
+        match self {
+            Pattern::Type(_) => Ok(()),
+            Pattern::Kleene(p) => p.check_structure(false),
+            Pattern::Seq(ps) => {
+                if ps.is_empty() {
+                    return Err(PatternError::EmptySeq);
+                }
+                ps.iter().try_for_each(|p| p.check_structure(true))
+            }
+            Pattern::Or(a, b) | Pattern::And(a, b) => {
+                a.check_structure(false)?;
+                b.check_structure(false)
+            }
+            Pattern::Not(p) => {
+                if !inside_seq {
+                    return Err(PatternError::MisplacedNot);
+                }
+                p.check_structure(false)
+            }
+        }
+    }
+
+    /// Renders the pattern with type names resolved through `f`.
+    pub fn display_with<'a>(
+        &'a self,
+        f: &'a dyn Fn(EventTypeId) -> String,
+    ) -> PatternDisplay<'a> {
+        PatternDisplay { p: self, f }
+    }
+}
+
+/// Helper returned by [`Pattern::display_with`].
+pub struct PatternDisplay<'a> {
+    p: &'a Pattern,
+    f: &'a dyn Fn(EventTypeId) -> String,
+}
+
+impl fmt::Display for PatternDisplay<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(
+            p: &Pattern,
+            f: &dyn Fn(EventTypeId) -> String,
+            out: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            match p {
+                Pattern::Type(t) => write!(out, "{}", f(*t)),
+                Pattern::Kleene(inner) => {
+                    if matches!(**inner, Pattern::Type(_)) {
+                        go(inner, f, out)?;
+                        write!(out, "+")
+                    } else {
+                        write!(out, "(")?;
+                        go(inner, f, out)?;
+                        write!(out, ")+")
+                    }
+                }
+                Pattern::Seq(ps) => {
+                    write!(out, "SEQ(")?;
+                    for (i, q) in ps.iter().enumerate() {
+                        if i > 0 {
+                            write!(out, ", ")?;
+                        }
+                        go(q, f, out)?;
+                    }
+                    write!(out, ")")
+                }
+                Pattern::Or(a, b) => {
+                    write!(out, "(")?;
+                    go(a, f, out)?;
+                    write!(out, " OR ")?;
+                    go(b, f, out)?;
+                    write!(out, ")")
+                }
+                Pattern::And(a, b) => {
+                    write!(out, "(")?;
+                    go(a, f, out)?;
+                    write!(out, " AND ")?;
+                    go(b, f, out)?;
+                    write!(out, ")")
+                }
+                Pattern::Not(inner) => {
+                    write!(out, "NOT ")?;
+                    go(inner, f, out)
+                }
+            }
+        }
+        go(self.p, self.f, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: EventTypeId = EventTypeId(0);
+    const B: EventTypeId = EventTypeId(1);
+    const C: EventTypeId = EventTypeId(2);
+
+    fn seq_a_bplus() -> Pattern {
+        Pattern::seq(vec![Pattern::Type(A), Pattern::plus(Pattern::Type(B))])
+    }
+
+    #[test]
+    fn kleene_detection() {
+        assert!(seq_a_bplus().is_kleene());
+        assert!(!Pattern::Type(A).is_kleene());
+        assert!(Pattern::plus(Pattern::Type(A)).is_kleene());
+        assert!(
+            Pattern::Or(Box::new(Pattern::Type(A)), Box::new(Pattern::plus(Pattern::Type(B))))
+                .is_kleene()
+        );
+    }
+
+    #[test]
+    fn event_and_kleene_types() {
+        let p = seq_a_bplus();
+        assert_eq!(p.event_types(), [A, B].into_iter().collect());
+        assert_eq!(p.kleene_types(), [B].into_iter().collect());
+    }
+
+    #[test]
+    fn nested_kleene_types() {
+        // (SEQ(A, B+))+ — Kleene sub-pattern is B+ (Example 10).
+        let p = Pattern::plus(seq_a_bplus());
+        assert_eq!(p.kleene_types(), [B].into_iter().collect());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn negated_types_tracked() {
+        let p = Pattern::seq(vec![
+            Pattern::Type(A),
+            Pattern::Not(Box::new(Pattern::Type(C))),
+            Pattern::plus(Pattern::Type(B)),
+        ]);
+        assert_eq!(p.negated_types(), [C].into_iter().collect());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        let p = Pattern::seq(vec![Pattern::Type(A), Pattern::Type(A)]);
+        assert_eq!(p.validate(), Err(PatternError::DuplicateType(A)));
+    }
+
+    #[test]
+    fn empty_seq_rejected() {
+        assert_eq!(Pattern::Seq(vec![]).validate(), Err(PatternError::EmptySeq));
+    }
+
+    #[test]
+    fn top_level_not_rejected() {
+        let p = Pattern::Not(Box::new(Pattern::Type(A)));
+        assert_eq!(p.validate(), Err(PatternError::MisplacedNot));
+    }
+
+    #[test]
+    fn all_negative_rejected() {
+        let p = Pattern::seq(vec![Pattern::Not(Box::new(Pattern::Type(A)))]);
+        assert_eq!(p.validate(), Err(PatternError::NoPositiveComponent));
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let p = Pattern::plus(seq_a_bplus());
+        let name = |t: EventTypeId| ["A", "B", "C"][t.idx()].to_string();
+        assert_eq!(format!("{}", p.display_with(&name)), "(SEQ(A, B+))+");
+    }
+}

@@ -1,0 +1,190 @@
+//! Query predicates (`WHERE` clause).
+//!
+//! Two classes matter to HAMLET's sharing machinery (§3.3):
+//!
+//! * **Selection predicates** filter a single event (`T.speed < 10`). When
+//!   the queries sharing a graphlet disagree on whether an event qualifies,
+//!   the executor introduces an *event-level snapshot* (Def. 9).
+//! * **Edge predicates** constrain two *adjacent* events in a trend
+//!   (`S.price > PREV.price`). Per-query disagreement on an edge likewise
+//!   forces an event-level snapshot.
+//!
+//! Attribute-equivalence constraints like `[driver, rider]` in Fig. 1 are
+//! handled upstream by partitioning the stream on those attributes (§2.2),
+//! see [`crate::query::Query::partition_attrs`].
+
+use hamlet_types::{AttrValue, Event, EventTypeId};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the operator to an ordering result.
+    #[inline]
+    pub fn eval(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// `TYPE.attr OP constant` — filters events of one type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectionPredicate {
+    /// Event type the predicate applies to.
+    pub ty: EventTypeId,
+    /// Attribute slot within that type's schema.
+    pub attr: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant to compare against.
+    pub value: AttrValue,
+}
+
+impl SelectionPredicate {
+    /// True iff `e` satisfies the predicate. Events of other types are
+    /// unaffected (vacuously true).
+    #[inline]
+    pub fn matches(&self, e: &Event) -> bool {
+        if e.ty != self.ty {
+            return true;
+        }
+        match e.attr(self.attr) {
+            Some(v) => self.op.eval(v.total_cmp(&self.value)),
+            None => false,
+        }
+    }
+}
+
+/// `TYPE.attr OP PREV.attr` — constrains adjacent events in a trend where
+/// the *current* event has type [`EdgePredicate::ty`].
+///
+/// Both events are typically of the same Kleene type (e.g. consecutive stock
+/// quotes with rising price), but the predicate is evaluated on any edge
+/// whose head has the given type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgePredicate {
+    /// Type of the current (head) event.
+    pub ty: EventTypeId,
+    /// Attribute slot of the current event.
+    pub cur_attr: usize,
+    /// Comparison operator (applied as `cur OP prev`).
+    pub op: CmpOp,
+    /// Attribute slot of the predecessor event. Only evaluated when the
+    /// predecessor also has type [`EdgePredicate::ty`]; cross-type edges are
+    /// unconstrained (they connect different pattern positions).
+    pub prev_attr: usize,
+}
+
+impl EdgePredicate {
+    /// True iff the edge `prev → cur` satisfies the predicate.
+    #[inline]
+    pub fn matches(&self, prev: &Event, cur: &Event) -> bool {
+        if cur.ty != self.ty || prev.ty != self.ty {
+            return true;
+        }
+        match (cur.attr(self.cur_attr), prev.attr(self.prev_attr)) {
+            (Some(c), Some(p)) => self.op.eval(c.total_cmp(p)),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_types::Ts;
+
+    const T: EventTypeId = EventTypeId(3);
+    const U: EventTypeId = EventTypeId(4);
+
+    fn ev(ty: EventTypeId, v: f64) -> Event {
+        Event::new(Ts(0), ty, vec![AttrValue::Float(v)])
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        use Ordering::*;
+        assert!(CmpOp::Lt.eval(Less) && !CmpOp::Lt.eval(Equal));
+        assert!(CmpOp::Le.eval(Less) && CmpOp::Le.eval(Equal) && !CmpOp::Le.eval(Greater));
+        assert!(CmpOp::Gt.eval(Greater) && !CmpOp::Gt.eval(Equal));
+        assert!(CmpOp::Ge.eval(Equal) && !CmpOp::Ge.eval(Less));
+        assert!(CmpOp::Eq.eval(Equal) && !CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Ne.eval(Less) && !CmpOp::Ne.eval(Equal));
+    }
+
+    #[test]
+    fn selection_filters_only_its_type() {
+        let p = SelectionPredicate {
+            ty: T,
+            attr: 0,
+            op: CmpOp::Lt,
+            value: AttrValue::Float(10.0),
+        };
+        assert!(p.matches(&ev(T, 5.0)));
+        assert!(!p.matches(&ev(T, 15.0)));
+        // Other types pass vacuously.
+        assert!(p.matches(&ev(U, 15.0)));
+    }
+
+    #[test]
+    fn selection_missing_attr_fails() {
+        let p = SelectionPredicate {
+            ty: T,
+            attr: 7,
+            op: CmpOp::Eq,
+            value: AttrValue::Int(1),
+        };
+        assert!(!p.matches(&ev(T, 1.0)));
+    }
+
+    #[test]
+    fn edge_predicate_same_type_only() {
+        let p = EdgePredicate {
+            ty: T,
+            cur_attr: 0,
+            op: CmpOp::Gt,
+            prev_attr: 0,
+        };
+        assert!(p.matches(&ev(T, 1.0), &ev(T, 2.0)));
+        assert!(!p.matches(&ev(T, 2.0), &ev(T, 1.0)));
+        // Cross-type edges unconstrained.
+        assert!(p.matches(&ev(U, 9.0), &ev(T, 1.0)));
+        assert!(p.matches(&ev(T, 9.0), &ev(U, 1.0)));
+    }
+}

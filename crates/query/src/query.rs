@@ -1,0 +1,232 @@
+//! Event trend aggregation queries (Def. 2).
+
+use crate::aggregate::AggFunc;
+use crate::pattern::{Pattern, PatternError};
+use crate::predicate::{EdgePredicate, SelectionPredicate};
+use crate::window::Window;
+use hamlet_types::{Event, EventTypeId, GroupKey, TypeRegistry};
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense workload-local query identifier.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// Index form for direct vector addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// An event trend aggregation query: the five clauses of Def. 2.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Workload-local identifier.
+    pub id: QueryId,
+    /// The Kleene pattern (`PATTERN` clause).
+    pub pattern: Pattern,
+    /// Aggregation function (`RETURN` clause).
+    pub agg: AggFunc,
+    /// Selection predicates (`WHERE`, single-event).
+    pub selections: Vec<SelectionPredicate>,
+    /// Edge predicates (`WHERE`, adjacent-pair).
+    pub edges: Vec<EdgePredicate>,
+    /// Grouping attribute names (`GROUP BY`); results are computed per
+    /// distinct value combination.
+    pub group_by: Vec<Arc<str>>,
+    /// Equivalence attributes (`[driver, rider]` in Fig. 1): all events in a
+    /// trend must agree on them. Implemented by stream partitioning, like
+    /// grouping.
+    pub equiv: Vec<Arc<str>>,
+    /// Sliding window (`WITHIN` / `SLIDE`).
+    pub window: Window,
+}
+
+impl Query {
+    /// Creates a query, validating the pattern.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: QueryId,
+        pattern: Pattern,
+        agg: AggFunc,
+        selections: Vec<SelectionPredicate>,
+        edges: Vec<EdgePredicate>,
+        group_by: Vec<Arc<str>>,
+        equiv: Vec<Arc<str>>,
+        window: Window,
+    ) -> Result<Self, PatternError> {
+        pattern.validate()?;
+        Ok(Query {
+            id,
+            pattern,
+            agg,
+            selections,
+            edges,
+            group_by,
+            equiv,
+            window,
+        })
+    }
+
+    /// Minimal constructor for tests and examples: `COUNT(*)`, no
+    /// predicates, no grouping.
+    pub fn count_star(id: u32, pattern: Pattern, window: Window) -> Self {
+        Query::new(
+            QueryId(id),
+            pattern,
+            AggFunc::CountStar,
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            window,
+        )
+        .expect("invalid pattern")
+    }
+
+    /// The attributes the stream must be partitioned on for this query:
+    /// group-by plus equivalence attributes, deduplicated, in stable order.
+    pub fn partition_attrs(&self) -> Vec<Arc<str>> {
+        let mut out: Vec<Arc<str>> = Vec::new();
+        for a in self.group_by.iter().chain(self.equiv.iter()) {
+            if !out.iter().any(|x| x == a) {
+                out.push(a.clone());
+            }
+        }
+        out
+    }
+
+    /// Extracts this query's partition key from an event (missing
+    /// attributes contribute `Int(0)`, so events lacking the attribute all
+    /// land in one partition rather than being dropped).
+    pub fn partition_key(&self, reg: &TypeRegistry, e: &Event) -> GroupKey {
+        let attrs = self.partition_attrs();
+        GroupKey(
+            attrs
+                .iter()
+                .map(|name| {
+                    reg.attr_index(e.ty, name)
+                        .and_then(|i| e.attr(i).cloned())
+                        .unwrap_or(hamlet_types::AttrValue::Int(0))
+                })
+                .collect(),
+        )
+    }
+
+    /// True iff `e`'s type is relevant to this query (appears positively in
+    /// the pattern).
+    pub fn involves(&self, ty: EventTypeId) -> bool {
+        let neg = self.pattern.negated_types();
+        self.pattern.event_types().contains(&ty) && !neg.contains(&ty)
+    }
+
+    /// Evaluates all selection predicates on `e`.
+    pub fn selects(&self, e: &Event) -> bool {
+        self.selections.iter().all(|p| p.matches(e))
+    }
+
+    /// Evaluates all edge predicates on the adjacent pair `prev → cur`.
+    pub fn edge_holds(&self, prev: &Event, cur: &Event) -> bool {
+        self.edges.iter().all(|p| p.matches(prev, cur))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use hamlet_types::{AttrValue, EventBuilder, Ts};
+
+    fn registry() -> (TypeRegistry, EventTypeId, EventTypeId) {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register("A", &["district", "v"]);
+        let b = reg.register("B", &["district", "v"]);
+        (reg, a, b)
+    }
+
+    fn base_query(a: EventTypeId, b: EventTypeId) -> Query {
+        Query::count_star(
+            0,
+            Pattern::seq(vec![Pattern::Type(a), Pattern::plus(Pattern::Type(b))]),
+            Window::tumbling(100),
+        )
+    }
+
+    #[test]
+    fn partition_attrs_dedup() {
+        let (_, a, b) = registry();
+        let mut q = base_query(a, b);
+        q.group_by = vec![Arc::from("district")];
+        q.equiv = vec![Arc::from("district"), Arc::from("v")];
+        let attrs = q.partition_attrs();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(&*attrs[0], "district");
+        assert_eq!(&*attrs[1], "v");
+    }
+
+    #[test]
+    fn partition_key_extraction() {
+        let (reg, a, b) = registry();
+        let mut q = base_query(a, b);
+        q.group_by = vec![Arc::from("district")];
+        let e = EventBuilder::new(&reg, b, Ts(1)).attr("district", 7i64).build();
+        assert_eq!(
+            q.partition_key(&reg, &e),
+            GroupKey(vec![AttrValue::Int(7)])
+        );
+    }
+
+    #[test]
+    fn involves_positive_types_only() {
+        let (mut reg, a, b) = registry();
+        let c = reg.register("C", &[]);
+        let p = Pattern::seq(vec![
+            Pattern::Type(a),
+            Pattern::Not(Box::new(Pattern::Type(c))),
+            Pattern::plus(Pattern::Type(b)),
+        ]);
+        let q = Query::count_star(1, p, Window::tumbling(10));
+        assert!(q.involves(a));
+        assert!(q.involves(b));
+        assert!(!q.involves(c));
+    }
+
+    #[test]
+    fn selection_and_edge_evaluation() {
+        let (reg, a, b) = registry();
+        let mut q = base_query(a, b);
+        q.selections.push(SelectionPredicate {
+            ty: b,
+            attr: 1,
+            op: CmpOp::Lt,
+            value: AttrValue::Int(10),
+        });
+        q.edges.push(EdgePredicate {
+            ty: b,
+            cur_attr: 1,
+            op: CmpOp::Gt,
+            prev_attr: 1,
+        });
+        let lo = EventBuilder::new(&reg, b, Ts(1)).attr("v", 3i64).build();
+        let hi = EventBuilder::new(&reg, b, Ts(2)).attr("v", 50i64).build();
+        let mid = EventBuilder::new(&reg, b, Ts(3)).attr("v", 5i64).build();
+        assert!(q.selects(&lo));
+        assert!(!q.selects(&hi));
+        assert!(q.edge_holds(&lo, &mid)); // 5 > 3
+        assert!(!q.edge_holds(&mid, &lo)); // 3 > 5 fails
+    }
+}

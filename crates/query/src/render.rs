@@ -1,0 +1,156 @@
+//! Rendering queries back to the SASE-style text language — the inverse of
+//! [`crate::parser`], used by EXPLAIN output and round-trip tests.
+
+use crate::aggregate::AggFunc;
+use crate::query::Query;
+use hamlet_types::{AttrValue, TypeRegistry};
+use std::fmt::Write;
+
+fn attr_name(reg: &TypeRegistry, ty: hamlet_types::EventTypeId, idx: usize) -> String {
+    reg.info(ty)
+        .attrs
+        .get(idx)
+        .map(|a| a.to_string())
+        .unwrap_or_else(|| format!("attr{idx}"))
+}
+
+fn literal(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) => {
+            // Keep a decimal point so re-parsing yields a Float again.
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                f.to_string()
+            }
+        }
+        AttrValue::Str(s) => format!("'{s}'"),
+    }
+}
+
+/// Renders a full query in the language of Fig. 1. The output re-parses to
+/// an equivalent query (`parse_query(reg, q.id.0, &to_sase(q, reg))`).
+pub fn to_sase(q: &Query, reg: &TypeRegistry) -> String {
+    let mut out = String::new();
+    let agg = match &q.agg {
+        AggFunc::CountStar => "COUNT(*)".to_string(),
+        AggFunc::CountType(t) => format!("COUNT({})", reg.name(*t)),
+        AggFunc::Sum(t, a) => format!("SUM({}.{})", reg.name(*t), attr_name(reg, *t, *a)),
+        AggFunc::Avg(t, a) => format!("AVG({}.{})", reg.name(*t), attr_name(reg, *t, *a)),
+        AggFunc::Min(t, a) => format!("MIN({}.{})", reg.name(*t), attr_name(reg, *t, *a)),
+        AggFunc::Max(t, a) => format!("MAX({}.{})", reg.name(*t), attr_name(reg, *t, *a)),
+    };
+    let name = |t: hamlet_types::EventTypeId| reg.name(t).to_string();
+    let _ = write!(out, "RETURN {agg} PATTERN {}", q.pattern.display_with(&name));
+
+    let mut conds: Vec<String> = Vec::new();
+    for s in &q.selections {
+        conds.push(format!(
+            "{}.{} {} {}",
+            reg.name(s.ty),
+            attr_name(reg, s.ty, s.attr),
+            s.op,
+            literal(&s.value)
+        ));
+    }
+    for e in &q.edges {
+        conds.push(format!(
+            "{}.{} {} PREV.{}",
+            reg.name(e.ty),
+            attr_name(reg, e.ty, e.cur_attr),
+            e.op,
+            attr_name(reg, e.ty, e.prev_attr)
+        ));
+    }
+    if !q.equiv.is_empty() {
+        conds.push(format!(
+            "[{}]",
+            q.equiv
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    if !conds.is_empty() {
+        let _ = write!(out, " WHERE {}", conds.join(" AND "));
+    }
+    if !q.group_by.is_empty() {
+        let _ = write!(
+            out,
+            " GROUP BY {}",
+            q.group_by
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    let _ = write!(out, " WITHIN {}", q.window.within);
+    if !q.window.is_tumbling() {
+        let _ = write!(out, " SLIDE {}", q.window.slide);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn registry() -> TypeRegistry {
+        let mut reg = TypeRegistry::new();
+        reg.register("Request", &["district", "driver", "kind"]);
+        reg.register("Travel", &["district", "driver", "speed"]);
+        reg.register("Pickup", &["district", "driver"]);
+        reg
+    }
+
+    fn round_trip(reg: &TypeRegistry, text: &str) {
+        let q = parse_query(reg, 3, text).expect(text);
+        let rendered = to_sase(&q, reg);
+        let back = parse_query(reg, 3, &rendered)
+            .unwrap_or_else(|e| panic!("{text} → {rendered}: {e}"));
+        assert_eq!(back.pattern, q.pattern, "{rendered}");
+        assert_eq!(back.agg, q.agg, "{rendered}");
+        assert_eq!(back.selections, q.selections, "{rendered}");
+        assert_eq!(back.edges, q.edges, "{rendered}");
+        assert_eq!(back.group_by, q.group_by, "{rendered}");
+        assert_eq!(back.equiv, q.equiv, "{rendered}");
+        assert_eq!(back.window, q.window, "{rendered}");
+    }
+
+    #[test]
+    fn round_trips_representative_queries() {
+        let reg = registry();
+        for text in [
+            "RETURN COUNT(*) PATTERN SEQ(Request, Travel+) WITHIN 300",
+            "RETURN COUNT(*) PATTERN SEQ(Request, Travel+, NOT Pickup) \
+             WHERE [driver] GROUP BY district WITHIN 1800",
+            "RETURN AVG(Travel.speed) PATTERN SEQ(Request, Travel+) \
+             WHERE Travel.speed < 10.5 AND Travel.speed > PREV.speed \
+             GROUP BY district WITHIN 600 SLIDE 300",
+            "RETURN MAX(Travel.speed) PATTERN Travel+ WITHIN 60",
+            "RETURN COUNT(Travel) PATTERN (SEQ(Request, Travel+))+ WITHIN 60",
+            "RETURN COUNT(*) PATTERN SEQ(Request, Travel+) \
+             WHERE Request.kind = 'Pool' WITHIN 120",
+        ] {
+            round_trip(&reg, text);
+        }
+    }
+
+    #[test]
+    fn integer_literal_stays_integer() {
+        let reg = registry();
+        let q = parse_query(
+            &reg,
+            0,
+            "RETURN COUNT(*) PATTERN Travel+ WHERE Travel.speed != 7 WITHIN 10",
+        )
+        .unwrap();
+        let rendered = to_sase(&q, &reg);
+        assert!(rendered.contains("!= 7"), "{rendered}");
+        round_trip(&reg, &rendered);
+    }
+}

@@ -1,0 +1,107 @@
+//! Sliding windows (`WITHIN w SLIDE s`, Def. 2).
+
+use hamlet_types::Ts;
+
+/// A sliding time window. `within` is the window length in ticks; `slide`
+/// the distance between consecutive window starts. `slide == within` yields
+/// tumbling windows.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// Window length in ticks.
+    pub within: u64,
+    /// Slide in ticks.
+    pub slide: u64,
+}
+
+impl Window {
+    /// Creates a window; panics on zero length/slide (meaningless and would
+    /// divide by zero downstream).
+    pub fn new(within: u64, slide: u64) -> Self {
+        assert!(within > 0 && slide > 0, "window/slide must be positive");
+        assert!(
+            slide <= within,
+            "slide larger than window would drop events"
+        );
+        Window { within, slide }
+    }
+
+    /// A tumbling window of length `within`.
+    pub fn tumbling(within: u64) -> Self {
+        Window::new(within, within)
+    }
+
+    /// True for tumbling windows.
+    pub fn is_tumbling(&self) -> bool {
+        self.within == self.slide
+    }
+
+    /// Start times of all window instances containing time `t`: starts
+    /// `w₀ ≤ t` with `t < w₀ + within`, aligned to multiples of `slide`.
+    pub fn instances_containing(&self, t: Ts) -> impl Iterator<Item = Ts> + '_ {
+        let t = t.ticks();
+        let last_start = (t / self.slide) * self.slide;
+        let lo = t.saturating_sub(self.within - 1);
+        // first aligned start ≥ lo
+        let first_start = lo.div_ceil(self.slide) * self.slide;
+        (first_start..=last_start)
+            .step_by(self.slide as usize)
+            .map(Ts)
+    }
+
+    /// Number of overlapping instances covering any given instant.
+    pub fn overlap_factor(&self) -> u64 {
+        self.within.div_ceil(self.slide)
+    }
+
+    /// End (exclusive) of the window instance starting at `start`.
+    pub fn end_of(&self, start: Ts) -> Ts {
+        start + self.within
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_instances() {
+        let w = Window::tumbling(10);
+        assert!(w.is_tumbling());
+        let got: Vec<_> = w.instances_containing(Ts(25)).collect();
+        assert_eq!(got, vec![Ts(20)]);
+        let got: Vec<_> = w.instances_containing(Ts(0)).collect();
+        assert_eq!(got, vec![Ts(0)]);
+    }
+
+    #[test]
+    fn sliding_instances() {
+        // WITHIN 10 SLIDE 5 → every instant is in 2 instances.
+        let w = Window::new(10, 5);
+        assert_eq!(w.overlap_factor(), 2);
+        let got: Vec<_> = w.instances_containing(Ts(12)).collect();
+        assert_eq!(got, vec![Ts(5), Ts(10)]);
+        let got: Vec<_> = w.instances_containing(Ts(4)).collect();
+        assert_eq!(got, vec![Ts(0)]);
+        let got: Vec<_> = w.instances_containing(Ts(9)).collect();
+        assert_eq!(got, vec![Ts(0), Ts(5)]);
+    }
+
+    #[test]
+    fn window_end() {
+        let w = Window::new(15, 5);
+        assert_eq!(w.end_of(Ts(5)), Ts(20));
+        assert_eq!(w.overlap_factor(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = Window::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop events")]
+    fn slide_exceeding_window_rejected() {
+        let _ = Window::new(5, 10);
+    }
+}

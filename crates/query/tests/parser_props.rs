@@ -1,0 +1,140 @@
+//! Property tests for the query layer: pattern display/parse round trips,
+//! window instance coverage, and predicate evaluation consistency.
+
+use hamlet_query::{parse_pattern, CmpOp, Pattern, SelectionPredicate, Window};
+use hamlet_types::{AttrValue, Event, EventTypeId, Ts, TypeRegistry};
+use proptest::prelude::*;
+
+const NAMES: [&str; 5] = ["Alpha", "Beta", "Gamma", "Delta", "Epsilon"];
+
+fn registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    for n in NAMES {
+        reg.register(n, &["v"]);
+    }
+    reg
+}
+
+/// Random *valid* patterns: SEQ chains over distinct types with one
+/// optional Kleene and optional negation, plus OR/AND composition of
+/// type-disjoint branches.
+fn pattern() -> impl Strategy<Value = Pattern> {
+    // A permutation prefix of the five types.
+    (1usize..=4, any::<u8>(), any::<bool>()).prop_map(|(len, pick, kleene_first)| {
+        let ids: Vec<EventTypeId> = (0..5).map(|i| EventTypeId(i as u16)).collect();
+        let mut order: Vec<EventTypeId> = ids.clone();
+        // Cheap deterministic shuffle from `pick`.
+        order.rotate_left((pick as usize) % 5);
+        let chain: Vec<EventTypeId> = order.into_iter().take(len).collect();
+        let kleene_at = if kleene_first { 0 } else { len - 1 };
+        let parts: Vec<Pattern> = chain
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if i == kleene_at {
+                    Pattern::plus(Pattern::Type(*t))
+                } else {
+                    Pattern::Type(*t)
+                }
+            })
+            .collect();
+        if parts.len() == 1 {
+            parts.into_iter().next().expect("one part")
+        } else {
+            Pattern::Seq(parts)
+        }
+    })
+}
+
+proptest! {
+    /// Rendering a pattern with `display_with` and re-parsing it yields
+    /// the same AST.
+    #[test]
+    fn pattern_display_parse_round_trip(p in pattern()) {
+        let reg = registry();
+        let name = |t: EventTypeId| NAMES[t.idx()].to_string();
+        let text = format!("{}", p.display_with(&name));
+        let back = parse_pattern(&reg, &text).expect("rendered pattern parses");
+        prop_assert_eq!(back, p);
+    }
+
+    /// Round trip survives OR composition of branches.
+    #[test]
+    fn or_display_parse_round_trip(a in pattern(), b in pattern()) {
+        let reg = registry();
+        let p = Pattern::Or(Box::new(a), Box::new(b));
+        let name = |t: EventTypeId| NAMES[t.idx()].to_string();
+        let text = format!("{}", p.display_with(&name));
+        let back = parse_pattern(&reg, &text).expect("rendered OR parses");
+        prop_assert_eq!(back, p);
+    }
+
+    /// Every window instance containing `t` indeed contains it, instances
+    /// are aligned to the slide, and their count equals the overlap
+    /// factor once `t ≥ within`.
+    #[test]
+    fn window_instances_cover_correctly(
+        within in 1u64..500,
+        slide_frac in 1u64..500,
+        t in 0u64..10_000,
+    ) {
+        let slide = slide_frac.min(within);
+        let w = Window::new(within, slide);
+        let instances: Vec<Ts> = w.instances_containing(Ts(t)).collect();
+        prop_assert!(!instances.is_empty());
+        for s in &instances {
+            prop_assert!(s.ticks() <= t && t < s.ticks() + within);
+            prop_assert_eq!(s.ticks() % slide, 0);
+        }
+        // Consecutive instances step by exactly `slide`.
+        for pair in instances.windows(2) {
+            prop_assert_eq!(pair[1].ticks() - pair[0].ticks(), slide);
+        }
+        if t >= within {
+            // When slide ∤ within, instants alternate between ⌊within/slide⌋
+            // and ⌈within/slide⌉ covering instances.
+            let lo = within / slide;
+            let hi = w.overlap_factor();
+            let got = instances.len() as u64;
+            prop_assert!(got == hi || got == lo.max(1), "got {} not in [{}, {}]", got, lo.max(1), hi);
+        }
+        // And no instance outside the returned range contains t.
+        if let Some(first) = instances.first() {
+            if first.ticks() >= slide {
+                let prev = first.ticks() - slide;
+                prop_assert!(!(prev <= t && t < prev + within));
+            }
+        }
+    }
+
+    /// Selection predicates are consistent with the raw comparison on the
+    /// attribute value.
+    #[test]
+    fn selection_matches_raw_compare(v in -1000i64..1000, bound in -1000i64..1000) {
+        let p = SelectionPredicate {
+            ty: EventTypeId(0),
+            attr: 0,
+            op: CmpOp::Lt,
+            value: AttrValue::Int(bound),
+        };
+        let e = Event::new(Ts(0), EventTypeId(0), vec![AttrValue::Int(v)]);
+        prop_assert_eq!(p.matches(&e), v < bound);
+    }
+}
+
+#[test]
+fn kleene_round_trip_nested() {
+    let reg = registry();
+    for text in [
+        "(SEQ(Alpha, Beta+))+",
+        "SEQ(Alpha, NOT Gamma, Beta+)",
+        "SEQ(Alpha, Beta+, NOT Gamma)",
+        "Alpha AND SEQ(Beta, Gamma+)",
+    ] {
+        let p = parse_pattern(&reg, text).expect(text);
+        let name = |t: EventTypeId| NAMES[t.idx()].to_string();
+        let rendered = format!("{}", p.display_with(&name));
+        let back = parse_pattern(&reg, &rendered).expect("re-parse");
+        assert_eq!(back, p, "{text} → {rendered}");
+    }
+}

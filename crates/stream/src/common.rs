@@ -1,0 +1,260 @@
+//! Shared generator machinery: rate control, bursty type sequencing, and
+//! attribute sampling.
+
+use hamlet_types::{Event, EventTypeId, Ts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters common to all data sets.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Average events per minute (the paper's speed-up knob, §6.1).
+    pub events_per_min: u64,
+    /// Stream length in minutes.
+    pub minutes: u64,
+    /// Mean same-type run length — the expected burst size `b` (Def. 10).
+    /// 1.0 means types alternate freely; the paper's stock experiments use
+    /// ~120 events per burst (§6.2).
+    pub mean_burst: f64,
+    /// Number of distinct partition-key values (districts / houses /
+    /// companies).
+    pub num_groups: u64,
+    /// Zipf exponent for the key distribution (0 = uniform, ~1 = realistic
+    /// hot-key skew).
+    pub group_skew: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            events_per_min: 10_000,
+            minutes: 1,
+            mean_burst: 40.0,
+            num_groups: 4,
+            group_skew: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Total number of events the config yields.
+    pub fn total_events(&self) -> u64 {
+        self.events_per_min * self.minutes
+    }
+
+    /// Convenience: override the rate.
+    pub fn with_rate(mut self, events_per_min: u64) -> Self {
+        self.events_per_min = events_per_min;
+        self
+    }
+
+    /// Convenience: override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Weighted event-type mix with bursty (geometric run-length) sequencing.
+///
+/// Consecutive events keep the current type with probability
+/// `1 − 1/mean_burst`, yielding geometric same-type runs with the requested
+/// mean — the burst structure the HAMLET optimizer exploits (Def. 10).
+pub struct BurstyMix {
+    types: Vec<EventTypeId>,
+    weights: Vec<f64>,
+    /// Per-type stay probability (`1 − 1/mean_burst` of that type).
+    stay: Vec<f64>,
+    total_weight: f64,
+    current: Option<usize>,
+}
+
+impl BurstyMix {
+    /// Creates a mix from `(type, weight)` pairs with one mean burst length
+    /// for every type.
+    pub fn new(mix: &[(EventTypeId, f64)], mean_burst: f64) -> Self {
+        let triples: Vec<(EventTypeId, f64, f64)> =
+            mix.iter().map(|(t, w)| (*t, *w, mean_burst)).collect();
+        Self::with_bursts(&triples)
+    }
+
+    /// Creates a mix from `(type, weight, mean_burst)` triples — Kleene
+    /// types typically get long runs, bookkeeping types short ones.
+    pub fn with_bursts(mix: &[(EventTypeId, f64, f64)]) -> Self {
+        assert!(!mix.is_empty(), "empty type mix");
+        assert!(
+            mix.iter().all(|(_, _, m)| *m >= 1.0),
+            "mean burst must be ≥ 1"
+        );
+        let types = mix.iter().map(|(t, _, _)| *t).collect();
+        let weights: Vec<f64> = mix.iter().map(|(_, w, _)| *w).collect();
+        let stay = mix.iter().map(|(_, _, m)| 1.0 - 1.0 / m).collect();
+        let total_weight = weights.iter().sum();
+        BurstyMix {
+            types,
+            weights,
+            stay,
+            total_weight,
+            current: None,
+        }
+    }
+
+    /// Draws the next event type.
+    pub fn next_type(&mut self, rng: &mut StdRng) -> EventTypeId {
+        if let Some(cur) = self.current {
+            if rng.gen::<f64>() < self.stay[cur] {
+                return self.types[cur];
+            }
+        }
+        // Switch: redraw excluding the current type, so run lengths are
+        // exactly geometric with the requested mean.
+        let cur = self.current;
+        let excluded: f64 = cur.map(|c| self.weights[c]).unwrap_or(0.0);
+        let pool = self.total_weight - excluded;
+        if pool <= 0.0 {
+            // Single-type mix: stay forever.
+            self.current = Some(0);
+            return self.types[0];
+        }
+        let mut x = rng.gen::<f64>() * pool;
+        let mut pick = None;
+        for (i, w) in self.weights.iter().enumerate() {
+            if Some(i) == cur {
+                continue;
+            }
+            x -= w;
+            if x <= 0.0 {
+                pick = Some(i);
+                break;
+            }
+        }
+        let pick = pick.unwrap_or_else(|| {
+            (0..self.types.len())
+                .rev()
+                .find(|i| Some(*i) != cur)
+                .expect("pool non-empty")
+        });
+        self.current = Some(pick);
+        self.types[pick]
+    }
+}
+
+/// Spreads `total` events uniformly over `minutes` of stream time
+/// (integral seconds) and materializes them through `make`.
+pub fn generate_stream(
+    cfg: &GenConfig,
+    mut mix: BurstyMix,
+    mut make: impl FnMut(&mut StdRng, Ts, EventTypeId, u64) -> Event,
+) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let total = cfg.total_events();
+    let span_secs = (cfg.minutes * 60).max(1);
+    let zipf = crate::zipf::Zipf::new(cfg.num_groups.max(1), cfg.group_skew);
+    let mut out = Vec::with_capacity(total as usize);
+    for i in 0..total {
+        let t = Ts(i * span_secs / total.max(1));
+        let ty = mix.next_type(&mut rng);
+        let group = if cfg.group_skew > 0.0 {
+            zipf.sample(&mut rng)
+        } else {
+            rng.gen_range(0..cfg.num_groups)
+        };
+        out.push(make(&mut rng, t, ty, group));
+    }
+    out
+}
+
+/// Measures the empirical mean same-type run length of a stream (used in
+/// tests to validate the burst model).
+pub fn mean_run_length(events: &[Event]) -> f64 {
+    if events.is_empty() {
+        return 0.0;
+    }
+    let mut runs = 1u64;
+    for w in events.windows(2) {
+        if w[0].ty != w[1].ty {
+            runs += 1;
+        }
+    }
+    events.len() as f64 / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_types::TypeRegistry;
+
+    fn mini_registry() -> (TypeRegistry, Vec<EventTypeId>) {
+        let mut reg = TypeRegistry::new();
+        let ts = (0..4)
+            .map(|i| reg.register(&format!("T{i}"), &["g"]))
+            .collect();
+        (reg, ts)
+    }
+
+    #[test]
+    fn stream_respects_rate_and_order() {
+        let (_, ts) = mini_registry();
+        let cfg = GenConfig {
+            events_per_min: 600,
+            minutes: 2,
+            mean_burst: 5.0,
+            num_groups: 3,
+            group_skew: 0.0,
+            seed: 1,
+        };
+        let mix = BurstyMix::new(&[(ts[0], 1.0), (ts[1], 1.0)], cfg.mean_burst);
+        let evs = generate_stream(&cfg, mix, |_, t, ty, g| {
+            Event::new(t, ty, vec![hamlet_types::AttrValue::Int(g as i64)])
+        });
+        assert_eq!(evs.len(), 1200);
+        assert!(evs.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(evs.last().unwrap().time.ticks() < 120);
+    }
+
+    #[test]
+    fn burst_model_hits_requested_mean() {
+        let (_, ts) = mini_registry();
+        for target in [1.5, 10.0, 50.0] {
+            let cfg = GenConfig {
+                events_per_min: 60_000,
+                minutes: 1,
+                mean_burst: target,
+                num_groups: 1,
+                group_skew: 0.0,
+                seed: 42,
+            };
+            let mix = BurstyMix::new(
+                &[(ts[0], 1.0), (ts[1], 1.0), (ts[2], 1.0)],
+                cfg.mean_burst,
+            );
+            let evs = generate_stream(&cfg, mix, |_, t, ty, _| Event::new(t, ty, vec![]));
+            let got = mean_run_length(&evs);
+            assert!(
+                (got - target).abs() / target < 0.25,
+                "target {target}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (_, ts) = mini_registry();
+        let cfg = GenConfig::default().with_rate(1000).with_seed(9);
+        let make = |_: &mut StdRng, t: Ts, ty: EventTypeId, _: u64| Event::new(t, ty, vec![]);
+        let mix1 = BurstyMix::new(&[(ts[0], 1.0), (ts[1], 2.0)], cfg.mean_burst);
+        let mix2 = BurstyMix::new(&[(ts[0], 1.0), (ts[1], 2.0)], cfg.mean_burst);
+        let a = generate_stream(&cfg, mix1, make);
+        let b = generate_stream(&cfg, mix2, make);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty type mix")]
+    fn empty_mix_rejected() {
+        BurstyMix::new(&[], 2.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! NYC-taxi-like stream (§6.1): trip events with driver and rider
+//! identifiers, pick-up/drop-off districts, passenger counts and price.
+//! Default rate 200 events/minute (the slowest of the paper's data sets).
+
+use crate::common::{generate_stream, BurstyMix, GenConfig};
+use hamlet_query::{parse_query, Query};
+use hamlet_types::{AttrValue, Event, EventTypeId, TypeRegistry};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Trip lifecycle event types; `Travel` is the Kleene type.
+pub const TYPES: [&str; 8] = [
+    "Request", "Assign", "Travel", "Pickup", "Dropoff", "Cancel", "Payment", "Rate",
+];
+
+/// Attribute schema.
+pub const ATTRS: [&str; 6] = ["district", "driver", "rider", "passengers", "speed", "price"];
+
+/// Default events per minute for this data set (§6.1).
+pub const DEFAULT_RATE: u64 = 200;
+
+/// Registers the taxi schema.
+pub fn registry() -> Arc<TypeRegistry> {
+    let mut reg = TypeRegistry::new();
+    for t in TYPES {
+        reg.register(t, &ATTRS);
+    }
+    Arc::new(reg)
+}
+
+/// Generates a bursty taxi stream.
+pub fn generate(reg: &TypeRegistry, cfg: &GenConfig) -> Vec<Event> {
+    // The Kleene type arrives in long bursts of the configured mean
+    // length; bookkeeping types arrive in short runs.
+    let mix: Vec<(EventTypeId, f64, f64)> = TYPES
+        .iter()
+        .map(|t| {
+            let id = reg.type_id(t).expect("registered");
+            let (w, burst) = if *t == "Travel" {
+                (8.0, cfg.mean_burst)
+            } else {
+                (1.0, 2.0_f64.min(cfg.mean_burst))
+            };
+            (id, w, burst)
+        })
+        .collect();
+    generate_stream(cfg, BurstyMix::with_bursts(&mix), |rng, t, ty, g| {
+        Event::new(
+            t,
+            ty,
+            vec![
+                AttrValue::Int(g as i64),
+                AttrValue::Int(rng.gen_range(0..200)),
+                AttrValue::Int(rng.gen_range(0..1000)),
+                AttrValue::Int(rng.gen_range(1..5)),
+                AttrValue::Float(rng.gen_range(0.0..45.0)),
+                AttrValue::Float(rng.gen_range(2.5..120.0)),
+            ],
+        )
+    })
+}
+
+/// Workload of `k` trip-statistics queries sharing `Travel+` (per-district
+/// trip counts, Example 1).
+pub fn workload(reg: &TypeRegistry, k: usize, window_secs: u64) -> Vec<Query> {
+    let firsts: Vec<&str> = TYPES.iter().copied().filter(|t| *t != "Travel").collect();
+    (0..k)
+        .map(|i| {
+            let first = firsts[i % firsts.len()];
+            parse_query(
+                reg,
+                i as u32,
+                &format!(
+                    "RETURN COUNT(*) PATTERN SEQ({first}, Travel+) \
+                     GROUP BY district WITHIN {window_secs}"
+                ),
+            )
+            .expect("workload query parses")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rate_stream() {
+        let reg = registry();
+        let cfg = GenConfig {
+            events_per_min: DEFAULT_RATE,
+            minutes: 5,
+            mean_burst: 10.0,
+            num_groups: 8,
+            group_skew: 0.0,
+            seed: 11,
+        };
+        let evs = generate(&reg, &cfg);
+        assert_eq!(evs.len(), 1000);
+        assert!(evs.iter().all(|e| e.attrs.len() == ATTRS.len()));
+    }
+
+    #[test]
+    fn workload_parses_and_shares() {
+        let reg = registry();
+        let qs = workload(&reg, 10, 600);
+        let travel = reg.type_id("Travel").unwrap();
+        assert!(qs.iter().all(|q| q.pattern.kleene_types().contains(&travel)));
+        assert!(qs.iter().all(|q| q.window.within == 600));
+    }
+}

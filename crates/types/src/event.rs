@@ -1,0 +1,281 @@
+//! Events, event types, and schemas.
+//!
+//! Event types are interned to dense `u16` ids ([`EventTypeId`]) so the hot
+//! path — template transitions, graphlet routing, predecessor lookups —
+//! works on small integers instead of strings (§2.1).
+
+use crate::time::Ts;
+use crate::value::AttrValue;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense identifier of an event type, assigned by [`TypeRegistry`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventTypeId(pub u16);
+
+impl EventTypeId {
+    /// Index form for direct vector addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EventTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// Schema and name of one registered event type.
+#[derive(Clone, Debug)]
+pub struct TypeInfo {
+    /// Human-readable type name (`Request`, `Travel`, ...).
+    pub name: Arc<str>,
+    /// Ordered attribute names; an event of this type stores its attribute
+    /// values in the same order.
+    pub attrs: Vec<Arc<str>>,
+}
+
+impl TypeInfo {
+    /// Index of `attr` within this type's schema.
+    pub fn attr_index(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| &**a == attr)
+    }
+}
+
+/// Bidirectional registry mapping event type names to dense ids and holding
+/// each type's attribute schema.
+///
+/// A registry is created once per application (or per generated data set)
+/// and then shared immutably by queries, templates, and executors.
+#[derive(Clone, Debug, Default)]
+pub struct TypeRegistry {
+    types: Vec<TypeInfo>,
+    by_name: HashMap<Arc<str>, EventTypeId>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an event type with its attribute schema, returning its id.
+    /// Registering an existing name returns the existing id (the schema must
+    /// match; mismatches panic, as they indicate a programming error).
+    pub fn register(&mut self, name: &str, attrs: &[&str]) -> EventTypeId {
+        if let Some(&id) = self.by_name.get(name) {
+            let existing = &self.types[id.idx()];
+            assert!(
+                existing.attrs.iter().map(|a| &**a).eq(attrs.iter().copied()),
+                "event type {name:?} re-registered with a different schema"
+            );
+            return id;
+        }
+        assert!(
+            self.types.len() < u16::MAX as usize,
+            "too many event types"
+        );
+        let id = EventTypeId(self.types.len() as u16);
+        let name: Arc<str> = Arc::from(name);
+        self.types.push(TypeInfo {
+            name: name.clone(),
+            attrs: attrs.iter().map(|a| Arc::from(*a)).collect(),
+        });
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Looks up a type id by name.
+    pub fn type_id(&self, name: &str) -> Option<EventTypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Info (name + schema) for a registered type.
+    pub fn info(&self, id: EventTypeId) -> &TypeInfo {
+        &self.types[id.idx()]
+    }
+
+    /// Name of a registered type.
+    pub fn name(&self, id: EventTypeId) -> &str {
+        &self.types[id.idx()].name
+    }
+
+    /// Index of `attr` in the schema of type `id`.
+    pub fn attr_index(&self, id: EventTypeId, attr: &str) -> Option<usize> {
+        self.types[id.idx()].attr_index(attr)
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True iff no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over all registered `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (EventTypeId, &TypeInfo)> {
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (EventTypeId(i as u16), t))
+    }
+}
+
+/// One stream event: a timestamped tuple of a registered type (§2.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Stream timestamp assigned by the event source.
+    pub time: Ts,
+    /// Interned event type.
+    pub ty: EventTypeId,
+    /// Attribute values, positionally matching the type's schema.
+    pub attrs: Vec<AttrValue>,
+}
+
+impl Event {
+    /// Creates an event. Most call sites should prefer [`EventBuilder`],
+    /// which resolves attribute names against the registry.
+    pub fn new(time: impl Into<Ts>, ty: EventTypeId, attrs: Vec<AttrValue>) -> Self {
+        Event {
+            time: time.into(),
+            ty,
+            attrs,
+        }
+    }
+
+    /// Attribute value by schema slot.
+    #[inline]
+    pub fn attr(&self, idx: usize) -> Option<&AttrValue> {
+        self.attrs.get(idx)
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the peak-memory
+    /// metric (§6.1: "matched events" count toward every strategy's memory).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Event>()
+            + self.attrs.len() * std::mem::size_of::<AttrValue>()
+    }
+}
+
+/// Ergonomic constructor for events that resolves attribute names through a
+/// [`TypeRegistry`].
+///
+/// ```
+/// use hamlet_types::{TypeRegistry, EventBuilder};
+/// let mut reg = TypeRegistry::new();
+/// let travel = reg.register("Travel", &["driver", "speed"]);
+/// let e = EventBuilder::new(&reg, travel, 42)
+///     .attr("driver", 7i64)
+///     .attr("speed", 12.5)
+///     .build();
+/// assert_eq!(e.time.ticks(), 42);
+/// assert_eq!(e.attrs.len(), 2);
+/// ```
+pub struct EventBuilder<'r> {
+    registry: &'r TypeRegistry,
+    ty: EventTypeId,
+    time: Ts,
+    attrs: Vec<AttrValue>,
+}
+
+impl<'r> EventBuilder<'r> {
+    /// Starts building an event of type `ty` at time `time`. Unset
+    /// attributes default to `Int(0)`.
+    pub fn new(registry: &'r TypeRegistry, ty: EventTypeId, time: impl Into<Ts>) -> Self {
+        let n = registry.info(ty).attrs.len();
+        EventBuilder {
+            registry,
+            ty,
+            time: time.into(),
+            attrs: vec![AttrValue::Int(0); n],
+        }
+    }
+
+    /// Sets attribute `name` to `value`. Panics on unknown names —
+    /// misspelled attributes are programming errors worth failing fast on.
+    pub fn attr(mut self, name: &str, value: impl Into<AttrValue>) -> Self {
+        let idx = self
+            .registry
+            .attr_index(self.ty, name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "type {:?} has no attribute {name:?}",
+                    self.registry.name(self.ty)
+                )
+            });
+        self.attrs[idx] = value.into();
+        self
+    }
+
+    /// Finishes the event.
+    pub fn build(self) -> Event {
+        Event {
+            time: self.time,
+            ty: self.ty,
+            attrs: self.attrs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register("A", &["x", "y"]);
+        let b = reg.register("B", &[]);
+        assert_ne!(a, b);
+        assert_eq!(reg.type_id("A"), Some(a));
+        assert_eq!(reg.type_id("missing"), None);
+        assert_eq!(reg.name(a), "A");
+        assert_eq!(reg.attr_index(a, "y"), Some(1));
+        assert_eq!(reg.attr_index(a, "z"), None);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    fn reregister_same_schema_is_idempotent() {
+        let mut reg = TypeRegistry::new();
+        let a1 = reg.register("A", &["x"]);
+        let a2 = reg.register("A", &["x"]);
+        assert_eq!(a1, a2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different schema")]
+    fn reregister_different_schema_panics() {
+        let mut reg = TypeRegistry::new();
+        reg.register("A", &["x"]);
+        reg.register("A", &["y"]);
+    }
+
+    #[test]
+    fn builder_sets_attrs() {
+        let mut reg = TypeRegistry::new();
+        let t = reg.register("T", &["p", "q"]);
+        let e = EventBuilder::new(&reg, t, 5).attr("q", 9i64).build();
+        assert_eq!(e.attr(0), Some(&AttrValue::Int(0)));
+        assert_eq!(e.attr(1), Some(&AttrValue::Int(9)));
+        assert_eq!(e.attr(2), None);
+        assert!(e.mem_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no attribute")]
+    fn builder_unknown_attr_panics() {
+        let mut reg = TypeRegistry::new();
+        let t = reg.register("T", &["p"]);
+        let _ = EventBuilder::new(&reg, t, 0).attr("nope", 1i64);
+    }
+}

@@ -1,0 +1,23 @@
+//! # hamlet-types
+//!
+//! Foundational types for the HAMLET complex-event-processing engine:
+//! timestamps, attribute values, event schemas, interned event types, and
+//! the modular trend-count arithmetic shared by every execution strategy.
+//!
+//! HAMLET (SIGMOD 2021) aggregates *event trends* — matches of Kleene
+//! patterns — online. Trend counts grow exponentially in the number of
+//! matched events, so all engines in this workspace compute counts and sums
+//! in the ring ℤ/2⁶⁴ ([`TrendVal`]). Addition and multiplication are the
+//! only operations any strategy performs, hence shared, non-shared and
+//! two-step executions agree bit-exactly and can be cross-checked in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod time;
+pub mod value;
+
+pub use event::{Event, EventBuilder, EventTypeId, TypeInfo, TypeRegistry};
+pub use time::Ts;
+pub use value::{AttrValue, GroupKey, TrendVal};

@@ -1,0 +1,135 @@
+//! Logical stream time.
+//!
+//! The paper models time as a linearly ordered set of points (§2.1). All
+//! generators and executors in this workspace use an integral tick clock
+//! (`u64`, semantically seconds unless a data set states otherwise) so that
+//! window arithmetic — panes, slides, gcd alignment — is exact.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A logical event timestamp (stream time, in ticks).
+///
+/// Events are assumed to arrive in non-decreasing `Ts` order (§2.1; the
+/// paper defers out-of-order handling to orthogonal work).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Ts(pub u64);
+
+impl Ts {
+    /// The zero timestamp (stream start).
+    pub const ZERO: Ts = Ts(0);
+
+    /// Raw tick value.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction, useful for window lower bounds.
+    #[inline]
+    pub fn saturating_sub(self, rhs: u64) -> Ts {
+        Ts(self.0.saturating_sub(rhs))
+    }
+}
+
+impl Add<u64> for Ts {
+    type Output = Ts;
+    #[inline]
+    fn add(self, rhs: u64) -> Ts {
+        Ts(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Ts {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Ts> for Ts {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Ts) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Ts {
+    fn from(v: u64) -> Self {
+        Ts(v)
+    }
+}
+
+/// Greatest common divisor, used to derive the shared pane size from the
+/// window sizes and slides of a sharable query set (§3.1).
+#[inline]
+pub fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+/// Gcd over an iterator; returns `None` on an empty iterator.
+pub fn gcd_all<I: IntoIterator<Item = u64>>(xs: I) -> Option<u64> {
+    xs.into_iter().fold(None, |acc, x| match acc {
+        None => Some(x),
+        Some(g) => Some(gcd(g, x)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_arithmetic() {
+        let t = Ts(10);
+        assert_eq!(t + 5, Ts(15));
+        assert_eq!(Ts(15) - t, 5);
+        assert_eq!(Ts(3).saturating_sub(10), Ts(0));
+        let mut u = Ts(1);
+        u += 2;
+        assert_eq!(u, Ts(3));
+    }
+
+    #[test]
+    fn ts_ordering_and_display() {
+        assert!(Ts(1) < Ts(2));
+        assert_eq!(format!("{}", Ts(7)), "7");
+        assert_eq!(format!("{:?}", Ts(7)), "t7");
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(10, 15), 5);
+        assert_eq!(gcd(15, 10), 5);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 9), 9);
+        assert_eq!(gcd(9, 0), 9);
+    }
+
+    #[test]
+    fn gcd_all_matches_paper_example() {
+        // WITHIN 10min SLIDE 5min and WITHIN 15min SLIDE 5min → pane 5min (§3.1).
+        assert_eq!(gcd_all([10, 5, 15, 5]), Some(5));
+        assert_eq!(gcd_all(std::iter::empty()), None);
+        assert_eq!(gcd_all([42]), Some(42));
+    }
+}

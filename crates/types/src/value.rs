@@ -1,0 +1,308 @@
+//! Attribute values, group-by keys, and the modular trend arithmetic.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Sub};
+use std::sync::Arc;
+
+/// A single event attribute value.
+///
+/// The paper's data sets carry integers (identifiers, districts), floats
+/// (price, speed, measurements) and strings (request type). Attribute values
+/// are small and cheap to clone; strings are reference-counted since the
+/// same value (e.g. a district name) recurs across many events.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Signed integer attribute (ids, counts, districts).
+    Int(i64),
+    /// Floating point attribute (price, speed, measurement).
+    Float(f64),
+    /// Interned string attribute (request type, company symbol).
+    Str(Arc<str>),
+}
+
+impl AttrValue {
+    /// Returns the value as `f64` for aggregation (`SUM`/`AVG`/`MIN`/`MAX`).
+    /// Strings aggregate as 0, matching SQL-ish "non-numeric" behavior.
+    #[inline]
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            AttrValue::Int(i) => *i as f64,
+            AttrValue::Float(f) => *f,
+            AttrValue::Str(_) => 0.0,
+        }
+    }
+
+    /// Returns the value as an integer if it is one.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice if it is one.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total order used by predicate evaluation. Numeric values compare by
+    /// value (Int vs Float compare numerically); strings compare
+    /// lexicographically; numerics sort before strings.
+    pub fn total_cmp(&self, other: &AttrValue) -> std::cmp::Ordering {
+        use AttrValue::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => std::cmp::Ordering::Greater,
+            (_, Str(_)) => std::cmp::Ordering::Less,
+        }
+    }
+}
+
+impl Eq for AttrValue {}
+
+impl Hash for AttrValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            AttrValue::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            AttrValue::Float(f) => {
+                1u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            AttrValue::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(Arc::from(v))
+    }
+}
+
+/// Key identifying one group-by partition (the values of the grouping
+/// attributes, §2.1 Def. 2). Hashable so partitions live in a hash map.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct GroupKey(pub Vec<AttrValue>);
+
+impl GroupKey {
+    /// The empty key used when a query has no GROUP BY clause.
+    pub fn empty() -> Self {
+        GroupKey(Vec::new())
+    }
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Trend-count / trend-sum scalar in the ring ℤ/2⁶⁴.
+///
+/// The number of event trends is exponential in the number of matched events
+/// (§1), so any fixed-width representation overflows; the paper's Java
+/// implementation wraps `long` silently. We make wrapping explicit: all
+/// strategies use only `+` and `×`, which are well defined mod 2⁶⁴, so
+/// results from shared, non-shared and brute-force execution remain
+/// bit-identical and are asserted so in tests.
+#[derive(Copy, Clone, PartialEq, Eq, Default, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TrendVal(pub u64);
+
+impl TrendVal {
+    /// Additive identity.
+    pub const ZERO: TrendVal = TrendVal(0);
+    /// Multiplicative identity.
+    pub const ONE: TrendVal = TrendVal(1);
+
+    /// True iff this is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Embeds a signed quantity (e.g. a SUM over a negative attribute) into
+    /// the ring via two's complement.
+    #[inline]
+    pub fn from_i64(v: i64) -> TrendVal {
+        TrendVal(v as u64)
+    }
+}
+
+impl Add for TrendVal {
+    type Output = TrendVal;
+    #[inline]
+    fn add(self, rhs: TrendVal) -> TrendVal {
+        TrendVal(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl AddAssign for TrendVal {
+    #[inline]
+    fn add_assign(&mut self, rhs: TrendVal) {
+        self.0 = self.0.wrapping_add(rhs.0);
+    }
+}
+
+impl Sub for TrendVal {
+    type Output = TrendVal;
+    #[inline]
+    fn sub(self, rhs: TrendVal) -> TrendVal {
+        TrendVal(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl Mul for TrendVal {
+    type Output = TrendVal;
+    #[inline]
+    fn mul(self, rhs: TrendVal) -> TrendVal {
+        TrendVal(self.0.wrapping_mul(rhs.0))
+    }
+}
+
+impl MulAssign for TrendVal {
+    #[inline]
+    fn mul_assign(&mut self, rhs: TrendVal) {
+        self.0 = self.0.wrapping_mul(rhs.0);
+    }
+}
+
+impl Sum for TrendVal {
+    fn sum<I: Iterator<Item = TrendVal>>(iter: I) -> TrendVal {
+        iter.fold(TrendVal::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for TrendVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for TrendVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for TrendVal {
+    fn from(v: u64) -> Self {
+        TrendVal(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn attr_value_conversions() {
+        assert_eq!(AttrValue::from(3i64).as_int(), Some(3));
+        assert_eq!(AttrValue::from(2.5f64).as_f64(), 2.5);
+        assert_eq!(AttrValue::from("x").as_str(), Some("x"));
+        assert_eq!(AttrValue::from("x").as_int(), None);
+        assert_eq!(AttrValue::from(3i64).as_f64(), 3.0);
+        assert_eq!(AttrValue::from("s").as_f64(), 0.0);
+    }
+
+    #[test]
+    fn attr_value_total_order() {
+        use std::cmp::Ordering::*;
+        assert_eq!(AttrValue::Int(1).total_cmp(&AttrValue::Int(2)), Less);
+        assert_eq!(AttrValue::Int(2).total_cmp(&AttrValue::Float(2.0)), Equal);
+        assert_eq!(AttrValue::Float(3.0).total_cmp(&AttrValue::Int(2)), Greater);
+        assert_eq!(
+            AttrValue::from("a").total_cmp(&AttrValue::from("b")),
+            Less
+        );
+        assert_eq!(AttrValue::from("a").total_cmp(&AttrValue::Int(9)), Greater);
+        assert_eq!(AttrValue::Int(9).total_cmp(&AttrValue::from("a")), Less);
+    }
+
+    #[test]
+    fn float_keys_hash_consistently() {
+        let a = AttrValue::Float(1.5);
+        let b = AttrValue::Float(1.5);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn group_key_display() {
+        let k = GroupKey(vec![AttrValue::Int(7), AttrValue::from("d1")]);
+        assert_eq!(format!("{k}"), "[7, d1]");
+        assert_eq!(format!("{}", GroupKey::empty()), "[]");
+    }
+
+    #[test]
+    fn trendval_ring_ops() {
+        let a = TrendVal(u64::MAX);
+        assert_eq!(a + TrendVal::ONE, TrendVal::ZERO);
+        assert_eq!(TrendVal(3) * TrendVal(4), TrendVal(12));
+        assert_eq!(TrendVal(1) - TrendVal(2), TrendVal(u64::MAX));
+        let s: TrendVal = [TrendVal(1), TrendVal(2), TrendVal(3)].into_iter().sum();
+        assert_eq!(s, TrendVal(6));
+        assert_eq!(TrendVal::from_i64(-1), TrendVal(u64::MAX));
+        assert!(TrendVal::ZERO.is_zero());
+        assert!(!TrendVal::ONE.is_zero());
+    }
+
+    #[test]
+    fn trendval_distributes() {
+        // (a + b) * c == a*c + b*c even under wrapping.
+        let a = TrendVal(u64::MAX - 3);
+        let b = TrendVal(17);
+        let c = TrendVal(1 << 60);
+        assert_eq!((a + b) * c, a * c + b * c);
+    }
+}

@@ -1,0 +1,202 @@
+//! `hamlet-cli` — run a generated workload over a synthetic stream and
+//! report aggregates, sharing statistics, and the compiled plan.
+//!
+//! ```text
+//! cargo run --release --bin hamlet-cli -- \
+//!     --dataset ridesharing --rate 10000 --minutes 2 --queries 10 \
+//!     --policy dynamic --window 60 --explain
+//! ```
+//!
+//! Datasets: ridesharing | nyc | smarthome | stock (stock uses the
+//! diverse predicate-heavy workload of Figs. 12–13; the others use the
+//! shared-Kleene workload of Fig. 9).
+
+use hamlet::prelude::*;
+use hamlet_stream::{nyc_taxi, ridesharing, smart_home, stock};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    dataset: String,
+    rate: u64,
+    minutes: u64,
+    queries: usize,
+    window: u64,
+    policy: SharingPolicy,
+    mean_burst: f64,
+    groups: u64,
+    skew: f64,
+    seed: u64,
+    explain: bool,
+    show_results: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dataset: "ridesharing".into(),
+        rate: 10_000,
+        minutes: 1,
+        queries: 10,
+        window: 60,
+        policy: SharingPolicy::Dynamic,
+        mean_burst: 40.0,
+        groups: 8,
+        skew: 0.0,
+        seed: 7,
+        explain: false,
+        show_results: 5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--dataset" => args.dataset = val("--dataset")?,
+            "--rate" => args.rate = val("--rate")?.parse().map_err(|e| format!("{e}"))?,
+            "--minutes" => args.minutes = val("--minutes")?.parse().map_err(|e| format!("{e}"))?,
+            "--queries" => args.queries = val("--queries")?.parse().map_err(|e| format!("{e}"))?,
+            "--window" => args.window = val("--window")?.parse().map_err(|e| format!("{e}"))?,
+            "--burst" => args.mean_burst = val("--burst")?.parse().map_err(|e| format!("{e}"))?,
+            "--groups" => args.groups = val("--groups")?.parse().map_err(|e| format!("{e}"))?,
+            "--skew" => args.skew = val("--skew")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--show" => {
+                args.show_results = val("--show")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--policy" => {
+                args.policy = match val("--policy")?.as_str() {
+                    "dynamic" => SharingPolicy::Dynamic,
+                    "static" => SharingPolicy::AlwaysShare,
+                    "noshare" => SharingPolicy::NeverShare,
+                    other => return Err(format!("unknown policy {other}")),
+                }
+            }
+            "--explain" => args.explain = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: hamlet-cli [--dataset ridesharing|nyc|smarthome|stock] \
+                     [--rate N] [--minutes N] [--queries K] [--window SECS] \
+                     [--policy dynamic|static|noshare] [--burst B] [--groups G] \
+                     [--skew Z] [--seed S] [--show N] [--explain]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let gen = GenConfig {
+        events_per_min: args.rate,
+        minutes: args.minutes,
+        mean_burst: args.mean_burst,
+        num_groups: args.groups,
+        group_skew: args.skew,
+        seed: args.seed,
+    };
+    let (reg, events, queries): (Arc<TypeRegistry>, Vec<Event>, Vec<Query>) =
+        match args.dataset.as_str() {
+            "ridesharing" => {
+                let reg = ridesharing::registry();
+                let ev = ridesharing::generate(&reg, &gen);
+                let qs = ridesharing::workload_shared_kleene(&reg, args.queries, args.window);
+                (reg, ev, qs)
+            }
+            "nyc" => {
+                let reg = nyc_taxi::registry();
+                let ev = nyc_taxi::generate(&reg, &gen);
+                let qs = nyc_taxi::workload(&reg, args.queries, args.window);
+                (reg, ev, qs)
+            }
+            "smarthome" => {
+                let reg = smart_home::registry();
+                let ev = smart_home::generate(&reg, &gen);
+                let qs = smart_home::workload(&reg, args.queries, args.window);
+                (reg, ev, qs)
+            }
+            "stock" => {
+                let reg = stock::registry();
+                let ev = stock::generate(&reg, &gen);
+                let qs = stock::workload_diverse(&reg, args.queries, args.seed);
+                (reg, ev, qs)
+            }
+            other => {
+                eprintln!("unknown dataset {other}");
+                std::process::exit(2);
+            }
+        };
+
+    println!(
+        "dataset={} events={} queries={} policy={:?}",
+        args.dataset,
+        events.len(),
+        queries.len(),
+        args.policy
+    );
+    let mut engine = match HamletEngine::new(
+        reg.clone(),
+        queries,
+        EngineConfig {
+            policy: args.policy,
+            ..EngineConfig::default()
+        },
+    ) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("engine error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if args.explain {
+        println!("\n{}", engine.explain());
+    }
+
+    let t0 = Instant::now();
+    let mut results = Vec::new();
+    for e in &events {
+        results.extend(engine.process(e));
+    }
+    results.extend(engine.flush());
+    let wall = t0.elapsed();
+
+    let stats = engine.stats();
+    println!(
+        "\nprocessed in {wall:?} ({:.0} events/s), {} window results",
+        events.len() as f64 / wall.as_secs_f64(),
+        results.len()
+    );
+    println!(
+        "latency avg {:?} · peak state {} KB · {} snapshots · \
+         {} shared / {} solo bursts · {} merges · {} splits · \
+         decisions {:?} ({:.2}% of wall)",
+        engine.latency().avg(),
+        engine.peak_memory() / 1024,
+        stats.runs.snapshots(),
+        stats.runs.shared_bursts,
+        stats.runs.solo_bursts,
+        stats.runs.merges,
+        stats.runs.splits,
+        stats.decision_time,
+        100.0 * stats.decision_time.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+    );
+    if args.show_results > 0 {
+        println!("\nsample results:");
+        for r in results.iter().take(args.show_results) {
+            println!(
+                "  {} key={} window@{}: {:?}",
+                r.query, r.group_key, r.window_start, r.value
+            );
+        }
+    }
+}

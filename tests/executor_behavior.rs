@@ -1,0 +1,202 @@
+//! Focused executor-behavior tests: pane-bounded bursts (Def. 10),
+//! equivalence-attribute partitioning, EXPLAIN output, and the parallel
+//! engine on generated workloads.
+
+use hamlet_core::{EngineConfig, HamletEngine, ParallelEngine, SharingPolicy};
+use hamlet_query::parse_query;
+use hamlet_types::{AttrValue, Event, Ts, TypeRegistry};
+use std::sync::Arc;
+
+fn registry() -> Arc<TypeRegistry> {
+    let mut reg = TypeRegistry::new();
+    for t in ["A", "B", "C"] {
+        reg.register(t, &["g", "v", "driver"]);
+    }
+    Arc::new(reg)
+}
+
+fn ev(reg: &TypeRegistry, name: &str, t: u64, g: i64, driver: i64) -> Event {
+    Event::new(
+        Ts(t),
+        reg.type_id(name).unwrap(),
+        vec![
+            AttrValue::Int(g),
+            AttrValue::Float(t as f64),
+            AttrValue::Int(driver),
+        ],
+    )
+}
+
+/// Bursts are bounded by pane boundaries (Def. 10): a run of B events
+/// crossing a pane boundary yields one optimizer decision per pane.
+#[test]
+fn bursts_split_at_pane_boundaries() {
+    let reg = registry();
+    // WITHIN 20 SLIDE 10 → pane = gcd(20, 10) = 10.
+    let queries = vec![
+        parse_query(&reg, 1, "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 20 SLIDE 10").unwrap(),
+        parse_query(&reg, 2, "RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 20 SLIDE 10").unwrap(),
+    ];
+    let mut eng = HamletEngine::new(reg.clone(), queries, EngineConfig::default()).unwrap();
+    // One window instance [0,20): a@1, c@2, then B events at 3..=15 — the
+    // B run crosses the pane boundary at t=10.
+    let mut events = vec![ev(&reg, "A", 1, 0, 0), ev(&reg, "C", 2, 0, 0)];
+    for t in 3..=15u64 {
+        events.push(ev(&reg, "B", t, 0, 0));
+    }
+    let mut out = Vec::new();
+    for e in &events {
+        out.extend(eng.process(e));
+    }
+    out.extend(eng.flush());
+    let stats = eng.stats();
+    // Window [0,20): bursts A, C, B(pane 0: t=3..9), B(pane 1: t=10..15).
+    // Window [10,30): bursts B(pane1). Plus decisions for each.
+    assert!(
+        stats.decisions >= 5,
+        "pane boundary forces an extra burst decision: {stats:?}"
+    );
+    assert!(!out.is_empty());
+}
+
+/// Equivalence attributes (`[driver]`, Fig. 1) partition trends: events of
+/// different drivers never join the same trend.
+#[test]
+fn equivalence_attributes_partition_trends() {
+    let reg = registry();
+    let q = parse_query(
+        &reg,
+        1,
+        "RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE [driver] WITHIN 100",
+    )
+    .unwrap();
+    let mut eng = HamletEngine::new(reg.clone(), vec![q], EngineConfig::default()).unwrap();
+    // Driver 1: a@1, b@3. Driver 2: a@2, b@4. Without [driver] the count
+    // would be 1+2+... cross matches; with it, each driver gets 1 trend.
+    let events = vec![
+        ev(&reg, "A", 1, 0, 1),
+        ev(&reg, "A", 2, 0, 2),
+        ev(&reg, "B", 3, 0, 1),
+        ev(&reg, "B", 4, 0, 2),
+    ];
+    let mut out = Vec::new();
+    for e in &events {
+        out.extend(eng.process(e));
+    }
+    out.extend(eng.flush());
+    assert_eq!(out.len(), 2, "one result per driver partition");
+    for r in &out {
+        assert_eq!(r.value.as_count(), 1, "driver-local trend only: {r:?}");
+    }
+}
+
+/// EXPLAIN renders the merged template with query-set labels (Fig. 3(b)).
+#[test]
+fn explain_shows_shared_plan() {
+    let reg = registry();
+    let queries = vec![
+        parse_query(&reg, 1, "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 50").unwrap(),
+        parse_query(&reg, 2, "RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 50").unwrap(),
+    ];
+    let eng = HamletEngine::new(reg.clone(), queries, EngineConfig::default()).unwrap();
+    let plan = eng.explain();
+    assert!(plan.contains("1 share group"), "{plan}");
+    assert!(plan.contains("sharable Kleene sub-pattern: B+"), "{plan}");
+    assert!(plan.contains("B -> B [q1, q2]"), "{plan}");
+    assert!(plan.contains("A -> B [q1]"), "{plan}");
+    assert!(plan.contains("C -> B [q2]"), "{plan}");
+}
+
+/// The parallel engine agrees with sequential execution on a generated
+/// ridesharing workload across policies.
+#[test]
+fn parallel_generated_workload_agrees() {
+    let reg = hamlet_stream::ridesharing::registry();
+    let cfg = hamlet_stream::GenConfig {
+        events_per_min: 3_000,
+        minutes: 1,
+        mean_burst: 30.0,
+        num_groups: 12,
+        group_skew: 0.0,
+        seed: 31,
+    };
+    let events = hamlet_stream::ridesharing::generate(&reg, &cfg);
+    let queries = hamlet_stream::ridesharing::workload_shared_kleene(&reg, 8, 30);
+    for policy in [SharingPolicy::Dynamic, SharingPolicy::NeverShare] {
+        let cfg = EngineConfig {
+            policy,
+            ..EngineConfig::default()
+        };
+        let seq = ParallelEngine::new(reg.clone(), queries.clone(), cfg.clone(), 1)
+            .unwrap()
+            .run(&events);
+        let par = ParallelEngine::new(reg.clone(), queries.clone(), cfg, 3)
+            .unwrap()
+            .run(&events);
+        let norm = |rs: &[hamlet_core::WindowResult]| {
+            let mut v: Vec<String> = rs
+                .iter()
+                .filter(|r| {
+                    !matches!(
+                        r.value,
+                        hamlet_core::AggValue::Count(0) | hamlet_core::AggValue::Null
+                    )
+                })
+                .map(|r| {
+                    format!(
+                        "{:?}|{}|{}|{:?}",
+                        r.query, r.group_key, r.window_start, r.value
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&seq.results), norm(&par.results), "{policy:?}");
+    }
+}
+
+/// Skewed (Zipf) partition keys: the hot partition dominates, and the
+/// parallel engine still agrees with sequential execution under skew.
+#[test]
+fn skewed_partitions_agree_in_parallel() {
+    let reg = hamlet_stream::ridesharing::registry();
+    let cfg = hamlet_stream::GenConfig {
+        events_per_min: 3_000,
+        minutes: 1,
+        mean_burst: 30.0,
+        num_groups: 16,
+        group_skew: 1.0,
+        seed: 55,
+    };
+    let events = hamlet_stream::ridesharing::generate(&reg, &cfg);
+    // Hot-key skew materialized: district 0 holds a large share.
+    let district_idx = 0usize;
+    let hot = events
+        .iter()
+        .filter(|e| e.attr(district_idx) == Some(&AttrValue::Int(0)))
+        .count();
+    assert!(
+        hot as f64 > 0.15 * events.len() as f64,
+        "hot key fraction {hot}/{}",
+        events.len()
+    );
+    let queries = hamlet_stream::ridesharing::workload_shared_kleene(&reg, 6, 30);
+    let cfg = EngineConfig::default();
+    let seq = ParallelEngine::new(reg.clone(), queries.clone(), cfg.clone(), 1)
+        .unwrap()
+        .run(&events);
+    let par = ParallelEngine::new(reg.clone(), queries, cfg, 4)
+        .unwrap()
+        .run(&events);
+    let norm = |rs: &[hamlet_core::WindowResult]| {
+        let mut v: Vec<String> = rs
+            .iter()
+            .filter(|r| !matches!(r.value, hamlet_core::AggValue::Count(0)))
+            .map(|r| format!("{:?}|{}|{}|{:?}", r.query, r.group_key, r.window_start, r.value))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(norm(&seq.results), norm(&par.results));
+}

@@ -1,0 +1,175 @@
+//! Larger-scale end-to-end checks on generated workloads: the engines stay
+//! in agreement at realistic stream sizes, windows roll correctly over
+//! multi-minute streams, and the dynamic optimizer actually exercises both
+//! shared and solo execution on divergent workloads.
+
+use hamlet_baselines::GretaEngine;
+use hamlet_core::executor::DivergenceMode;
+use hamlet_core::{AggValue, EngineConfig, HamletEngine, SharingPolicy, WindowResult};
+use hamlet_stream::{ridesharing, smart_home, stock, GenConfig};
+
+fn norm(mut rs: Vec<WindowResult>) -> Vec<String> {
+    rs.retain(|r| !matches!(r.value, AggValue::Count(0) | AggValue::Null));
+    let mut v: Vec<String> = rs
+        .iter()
+        .map(|r| {
+            format!(
+                "{:?}|{}|{}|{:?}",
+                r.query, r.group_key, r.window_start, r.value
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn drive_hamlet(
+    reg: &std::sync::Arc<hamlet_types::TypeRegistry>,
+    queries: Vec<hamlet_query::Query>,
+    events: &[hamlet_types::Event],
+    policy: SharingPolicy,
+    divergence: DivergenceMode,
+) -> (Vec<WindowResult>, hamlet_core::EngineStats) {
+    let mut eng = HamletEngine::new(
+        reg.clone(),
+        queries,
+        EngineConfig {
+            policy,
+            divergence,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let mut out = Vec::new();
+    for e in events {
+        out.extend(eng.process(e));
+    }
+    out.extend(eng.flush());
+    (out, *eng.stats())
+}
+
+#[test]
+fn ridesharing_10k_events_all_policies_and_greta_agree() {
+    let reg = ridesharing::registry();
+    let cfg = GenConfig {
+        events_per_min: 5_000,
+        minutes: 2,
+        mean_burst: 40.0,
+        num_groups: 4,
+        group_skew: 0.0,
+        seed: 71,
+    };
+    let events = ridesharing::generate(&reg, &cfg);
+    assert_eq!(events.len(), 10_000);
+    let queries = ridesharing::workload_shared_kleene(&reg, 12, 30);
+
+    let (dynamic, stats) = drive_hamlet(
+        &reg,
+        queries.clone(),
+        &events,
+        SharingPolicy::Dynamic,
+        DivergenceMode::Exact,
+    );
+    assert!(stats.runs.shared_bursts > 0, "sharing exercised: {stats:?}");
+    assert!(stats.windows_emitted > 0);
+
+    let (always, _) = drive_hamlet(
+        &reg,
+        queries.clone(),
+        &events,
+        SharingPolicy::AlwaysShare,
+        DivergenceMode::Exact,
+    );
+    let (never, _) = drive_hamlet(
+        &reg,
+        queries.clone(),
+        &events,
+        SharingPolicy::NeverShare,
+        DivergenceMode::Exact,
+    );
+    let mut greta = GretaEngine::new(reg.clone(), queries).unwrap();
+    let mut gout = Vec::new();
+    for e in &events {
+        gout.extend(greta.process(e));
+    }
+    gout.extend(greta.flush());
+
+    let base = norm(dynamic);
+    assert!(!base.is_empty());
+    assert_eq!(base, norm(always), "dynamic vs always-share");
+    assert_eq!(base, norm(never), "dynamic vs never-share");
+    assert_eq!(base, norm(gout), "dynamic vs GRETA");
+}
+
+#[test]
+fn stock_diverse_workload_with_ema_agrees_with_exact() {
+    let reg = stock::registry();
+    let cfg = GenConfig {
+        events_per_min: 2_000,
+        minutes: 3,
+        mean_burst: 120.0,
+        num_groups: 16,
+        group_skew: 0.0,
+        seed: 5,
+    };
+    let events = stock::generate(&reg, &cfg);
+    let queries = stock::workload_diverse(&reg, 40, 2024);
+
+    let (exact, se) = drive_hamlet(
+        &reg,
+        queries.clone(),
+        &events,
+        SharingPolicy::Dynamic,
+        DivergenceMode::Exact,
+    );
+    let (ema, sm) = drive_hamlet(
+        &reg,
+        queries.clone(),
+        &events,
+        SharingPolicy::Dynamic,
+        DivergenceMode::Ema { alpha: 0.4 },
+    );
+    let (never, _) = drive_hamlet(
+        &reg,
+        queries,
+        &events,
+        SharingPolicy::NeverShare,
+        DivergenceMode::Exact,
+    );
+    assert_eq!(norm(exact.clone()), norm(ema), "exact vs EMA results");
+    assert_eq!(norm(exact), norm(never), "dynamic vs never results");
+    // Both modes took real decisions and mixed shared/solo bursts.
+    assert!(se.runs.shared_bursts > 0 && se.runs.solo_bursts > 0, "{se:?}");
+    assert!(sm.decisions > 0);
+}
+
+#[test]
+fn smart_home_sliding_windows_roll_over_long_stream() {
+    let reg = smart_home::registry();
+    let cfg = GenConfig {
+        events_per_min: 6_000,
+        minutes: 3,
+        mean_burst: 60.0,
+        num_groups: 10,
+        group_skew: 0.0,
+        seed: 9,
+    };
+    let events = smart_home::generate(&reg, &cfg);
+    let queries = smart_home::workload(&reg, 8, 60);
+    let (results, stats) = drive_hamlet(
+        &reg,
+        queries,
+        &events,
+        SharingPolicy::Dynamic,
+        DivergenceMode::Exact,
+    );
+    // 3 minutes of stream with 60 s tumbling windows → results from at
+    // least 2 fully-closed window generations plus the flush.
+    let mut starts: Vec<u64> = results.iter().map(|r| r.window_start.ticks()).collect();
+    starts.sort_unstable();
+    starts.dedup();
+    assert!(starts.len() >= 3, "window generations: {starts:?}");
+    assert!(stats.windows_emitted as usize >= starts.len());
+    // Every window start is aligned to the pane/window grid.
+    assert!(starts.iter().all(|s| s % 60 == 0));
+}

@@ -16,29 +16,25 @@ fn print_figure(fig: &Figure, json_dir: Option<&str>) {
     println!("\n## {} — {}\n", fig.id, fig.title);
     print!("{}", markdown_table(fig.x_label, &fig.rows));
     if let Some(dir) = json_dir {
-        #[derive(serde::Serialize)]
-        struct Row<'a> {
-            x: &'a str,
-            measurements: &'a [hamlet_bench::Measurement],
-        }
-        let rows: Vec<Row> = fig
+        let rows: Vec<String> = fig
             .rows
             .iter()
-            .map(|(x, ms)| Row {
-                x,
-                measurements: ms,
+            .map(|(x, ms)| {
+                let measurements: Vec<String> =
+                    ms.iter().map(|m| format!("    {}", m.to_json())).collect();
+                format!(
+                    "  {{\"x\": {:?}, \"measurements\": [\n{}\n  ]}}",
+                    x,
+                    measurements.join(",\n")
+                )
             })
             .collect();
+        let body = format!("[\n{}\n]\n", rows.join(",\n"));
         let path = format!("{dir}/{}.json", fig.id);
-        match serde_json::to_string_pretty(&rows) {
-            Ok(body) => {
-                if let Err(e) = std::fs::write(&path, body) {
-                    eprintln!("could not write {path}: {e}");
-                } else {
-                    println!("\n(data written to {path})");
-                }
-            }
-            Err(e) => eprintln!("serialize {}: {e}", fig.id),
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("could not write {path}: {e}");
+        } else {
+            println!("\n(data written to {path})");
         }
     }
 }

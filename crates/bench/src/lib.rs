@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 pub mod figures;
 
 /// The systems compared in §6 (Table 1 / Fig. 9).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum System {
     /// HAMLET with the dynamic sharing optimizer (§4).
     Hamlet,
@@ -51,7 +51,7 @@ impl System {
 }
 
 /// One measurement row.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Measurement {
     /// System under test.
     pub system: System,
@@ -60,10 +60,8 @@ pub struct Measurement {
     /// Queries in the workload.
     pub queries: usize,
     /// Wall-clock processing time.
-    #[serde(serialize_with = "ser_duration")]
     pub wall: Duration,
     /// Average result latency (result output − last contributing event).
-    #[serde(serialize_with = "ser_duration")]
     pub latency_avg: Duration,
     /// Throughput in events per second.
     pub throughput_eps: f64,
@@ -83,8 +81,29 @@ pub struct Measurement {
     pub truncated: u64,
 }
 
-fn ser_duration<S: serde::Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-    s.serialize_f64(d.as_secs_f64())
+impl Measurement {
+    /// Serializes this row as a JSON object. Durations are emitted as
+    /// fractional seconds. (Hand-rolled: the offline build has no serde.)
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"system\":\"{}\",\"events\":{},\"queries\":{},\"wall\":{},\"latency_avg\":{},\
+             \"throughput_eps\":{},\"peak_mem_bytes\":{},\"snapshots\":{},\"shared_bursts\":{},\
+             \"solo_bursts\":{},\"transitions\":{},\"results\":{},\"truncated\":{}}}",
+            self.system.name(),
+            self.events,
+            self.queries,
+            self.wall.as_secs_f64(),
+            self.latency_avg.as_secs_f64(),
+            self.throughput_eps,
+            self.peak_mem_bytes,
+            self.snapshots,
+            self.shared_bursts,
+            self.solo_bursts,
+            self.transitions,
+            self.results,
+            self.truncated,
+        )
+    }
 }
 
 /// Harness knobs.

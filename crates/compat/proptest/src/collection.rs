@@ -1,0 +1,98 @@
+//! Collection strategies (mirror of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// A collection size specification: an exact count or a range of counts.
+#[derive(Copy, Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.lo < self.hi);
+        self.lo + (rng.next_u64() as usize) % (self.hi - self.lo)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec`s with element strategy `S` (see [`vec`]).
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s whose length lies in `size` with elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet`s (see [`btree_set`]).
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        // Like real proptest, duplicates may make the set smaller than the
+        // drawn size; that is acceptable for the properties asserted here.
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `BTreeSet`s with up to `size` elements from `element`.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,123 @@
+//! Case execution support: configuration, the per-case RNG, and
+//! regression-seed persistence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+
+/// Test-runner configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic RNG driving strategy generation for one case.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the case RNG.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// FNV-1a hash of the test name, mixed with an optional
+/// `HAMLET_PROPTEST_SEED` override — the base seed for random cases.
+pub fn base_seed(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(s) = std::env::var("HAMLET_PROPTEST_SEED") {
+        if let Ok(extra) = s.trim().parse::<u64>() {
+            h = h.rotate_left(17) ^ extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    h
+}
+
+/// Path of the regression file for a test source file:
+/// `<manifest_dir>/proptest-regressions/<source-file-stem>.txt`.
+pub fn regression_path(manifest_dir: &str, source_file: &str) -> String {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    format!("{manifest_dir}/proptest-regressions/{stem}.txt")
+}
+
+/// Loads the pinned seeds for one test from a regression file. Lines have
+/// the form `cc <test_fn_name> <hex seed>`; `#` starts a comment.
+pub fn regression_seeds(path: &str, test_name: &str) -> Vec<u64> {
+    let Ok(body) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in body.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        let (Some(name), Some(hex)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if name != test_name {
+            continue;
+        }
+        if let Ok(seed) = u64::from_str_radix(hex, 16) {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_seed_is_deterministic_per_name() {
+        assert_eq!(base_seed("a"), base_seed("a"));
+        assert_ne!(base_seed("a"), base_seed("b"));
+    }
+
+    #[test]
+    fn regression_lines_parse() {
+        let dir = std::env::temp_dir().join("hamlet_proptest_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("props.txt");
+        std::fs::write(
+            &path,
+            "# pinned counterexamples\ncc my_test 00ff\ncc other_test 1\ncc my_test dead_beef\ncc my_test deadbeef\n",
+        )
+        .unwrap();
+        let seeds = regression_seeds(path.to_str().unwrap(), "my_test");
+        assert_eq!(seeds, vec![0xff, 0xdeadbeef]);
+        assert_eq!(
+            regression_seeds("/nonexistent/x.txt", "my_test"),
+            Vec::<u64>::new()
+        );
+    }
+}

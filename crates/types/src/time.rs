@@ -12,7 +12,7 @@ use std::ops::{Add, AddAssign, Sub};
 ///
 /// Events are assumed to arrive in non-decreasing `Ts` order (§2.1; the
 /// paper defers out-of-order handling to orthogonal work).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ts(pub u64);
 
 impl Ts {

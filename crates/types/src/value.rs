@@ -149,7 +149,7 @@ impl fmt::Display for GroupKey {
 /// strategies use only `+` and `×`, which are well defined mod 2⁶⁴, so
 /// results from shared, non-shared and brute-force execution remain
 /// bit-identical and are asserted so in tests.
-#[derive(Copy, Clone, PartialEq, Eq, Default, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Default, Hash)]
 pub struct TrendVal(pub u64);
 
 impl TrendVal {
@@ -261,10 +261,7 @@ mod tests {
         assert_eq!(AttrValue::Int(1).total_cmp(&AttrValue::Int(2)), Less);
         assert_eq!(AttrValue::Int(2).total_cmp(&AttrValue::Float(2.0)), Equal);
         assert_eq!(AttrValue::Float(3.0).total_cmp(&AttrValue::Int(2)), Greater);
-        assert_eq!(
-            AttrValue::from("a").total_cmp(&AttrValue::from("b")),
-            Less
-        );
+        assert_eq!(AttrValue::from("a").total_cmp(&AttrValue::from("b")), Less);
         assert_eq!(AttrValue::from("a").total_cmp(&AttrValue::Int(9)), Greater);
         assert_eq!(AttrValue::Int(9).total_cmp(&AttrValue::from("a")), Less);
     }

@@ -17,15 +17,15 @@
 //! bit-exactly in tests.
 
 use hamlet_core::agg::{ring_of_attr, MmVal, NodeVal};
-use hamlet_core::executor::{render, WindowResult};
 #[cfg(test)]
 use hamlet_core::executor::AggValue;
+use hamlet_core::executor::{render, WindowResult};
 use hamlet_core::metrics::{LatencyRecorder, MemoryGauge};
 use hamlet_core::run::MemberOutput;
 use hamlet_core::template::{NegKind, QueryTemplate, TemplateError};
 use hamlet_core::workload::AggSkeleton;
 use hamlet_query::{Query, QueryId};
-use hamlet_types::{AttrValue, Event, EventTypeId, GroupKey, Ts, TrendVal, TypeRegistry};
+use hamlet_types::{AttrValue, Event, EventTypeId, GroupKey, TrendVal, Ts, TypeRegistry};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
@@ -376,10 +376,8 @@ fn process_event(qx: &QMeta, run: &mut GRun, tl: usize, e: &Event, is_min: bool,
 }
 
 fn emit(qx: &QMeta, run: &GRun, key: GroupKey, start: u64, mm_id: MmVal) -> WindowResult {
-    let is_min = matches!(
-        qx.skeleton,
-        AggSkeleton::MinMax { is_min: true, .. }
-    ) || !matches!(qx.skeleton, AggSkeleton::MinMax { .. });
+    let is_min = matches!(qx.skeleton, AggSkeleton::MinMax { is_min: true, .. })
+        || !matches!(qx.skeleton, AggSkeleton::MinMax { .. });
     let mut raw = NodeVal::ZERO;
     let mut mm = mm_id;
     for (ty, &is_end) in qx.end.iter().enumerate() {

@@ -14,7 +14,7 @@ use hamlet_core::agg::NodeVal;
 use hamlet_core::executor::{AggValue, WindowResult};
 use hamlet_core::metrics::{LatencyRecorder, MemoryGauge};
 use hamlet_query::{AggFunc, Pattern, Query};
-use hamlet_types::{AttrValue, Event, EventTypeId, GroupKey, Ts, TrendVal, TypeRegistry};
+use hamlet_types::{AttrValue, Event, EventTypeId, GroupKey, TrendVal, Ts, TypeRegistry};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -89,11 +89,7 @@ fn flatten_pattern(p: &Pattern) -> Result<(Vec<EventTypeId>, usize), SharonError
                     kleene_at = Some(chain.len());
                     chain.push(*t);
                 }
-                _ => {
-                    return Err(SharonError::Unsupported(
-                        "nested Kleene patterns".into(),
-                    ))
-                }
+                _ => return Err(SharonError::Unsupported("nested Kleene patterns".into())),
             },
             _ => {
                 return Err(SharonError::Unsupported(
@@ -102,8 +98,7 @@ fn flatten_pattern(p: &Pattern) -> Result<(Vec<EventTypeId>, usize), SharonError
             }
         }
     }
-    let k = kleene_at
-        .ok_or_else(|| SharonError::Unsupported("no Kleene sub-pattern".into()))?;
+    let k = kleene_at.ok_or_else(|| SharonError::Unsupported("no Kleene sub-pattern".into()))?;
     Ok((chain, k))
 }
 
@@ -231,10 +226,7 @@ impl SharonEngine {
                     // Total = Σ over flattened queries: sequences ending at
                     // the last position of each `SEQ(…, E×j, …)`.
                     let total: TrendVal = if flat.kleene.end == flat.positions.len() {
-                        run.dp[flat.kleene.clone()]
-                            .iter()
-                            .map(|v| v.count)
-                            .sum()
+                        run.dp[flat.kleene.clone()].iter().map(|v| v.count).sum()
                     } else {
                         // A suffix exists; only full chains count. The
                         // suffix block is shared across j, so the final

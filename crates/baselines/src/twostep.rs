@@ -14,15 +14,15 @@
 //! correctness oracle for every other strategy in the workspace.
 
 use hamlet_core::agg::{ring_of_attr, MmVal, NodeVal};
-use hamlet_core::executor::{render, WindowResult};
 #[cfg(test)]
 use hamlet_core::executor::AggValue;
+use hamlet_core::executor::{render, WindowResult};
 use hamlet_core::metrics::{LatencyRecorder, MemoryGauge};
 use hamlet_core::run::MemberOutput;
 use hamlet_core::template::{NegKind, QueryTemplate, TemplateError};
 use hamlet_core::workload::AggSkeleton;
 use hamlet_query::Query;
-use hamlet_types::{AttrValue, Event, EventTypeId, GroupKey, Ts, TrendVal, TypeRegistry};
+use hamlet_types::{AttrValue, Event, EventTypeId, GroupKey, TrendVal, Ts, TypeRegistry};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
@@ -111,8 +111,7 @@ impl TwoStepEngine {
         let reg = self.reg.clone();
         for g in &mut self.groups {
             let relevant = g.queries.iter().any(|tq| {
-                tq.tpl.states.contains(&e.ty)
-                    || tq.tpl.negations.iter().any(|n| n.neg_ty == e.ty)
+                tq.tpl.states.contains(&e.ty) || tq.tpl.negations.iter().any(|n| n.neg_ty == e.ty)
             });
             if !relevant {
                 continue;
@@ -238,9 +237,7 @@ fn enumerate(tq: &TQuery, events: &[Event], budget: Option<u64>) -> (MemberOutpu
     let neg_positions: Vec<(usize, EventTypeId)> = events
         .iter()
         .enumerate()
-        .filter(|(_, e)| {
-            tpl.negations.iter().any(|n| n.neg_ty == e.ty) && q.selects(e)
-        })
+        .filter(|(_, e)| tpl.negations.iter().any(|n| n.neg_ty == e.ty) && q.selects(e))
         .map(|(i, e)| (i, e.ty))
         .collect();
 
@@ -290,7 +287,11 @@ fn enumerate(tq: &TQuery, events: &[Event], budget: Option<u64>) -> (MemberOutpu
         q: &'a Query,
         tpl: &'a QueryTemplate,
         skeleton: &'a AggSkeleton,
-        gaps: &'a [(&'a BTreeSet<EventTypeId>, &'a BTreeSet<EventTypeId>, Vec<usize>)],
+        gaps: &'a [(
+            &'a BTreeSet<EventTypeId>,
+            &'a BTreeSet<EventTypeId>,
+            Vec<usize>,
+        )],
         trailing_after: Option<usize>,
         is_min: bool,
         steps: u64,
@@ -328,10 +329,12 @@ fn enumerate(tq: &TQuery, events: &[Event], budget: Option<u64>) -> (MemberOutpu
                 return false;
             }
             for (pred, succ, negs) in self.gaps {
-                if pred.contains(&pi.ty) && succ.contains(&pj.ty)
-                    && negs.iter().any(|&n| i < n && n < j) {
-                        return false;
-                    }
+                if pred.contains(&pi.ty)
+                    && succ.contains(&pj.ty)
+                    && negs.iter().any(|&n| i < n && n < j)
+                {
+                    return false;
+                }
             }
             true
         }
@@ -429,7 +432,11 @@ mod tests {
     }
 
     fn ev(ty: EventTypeId, t: u64) -> Event {
-        Event::new(Ts(t), ty, vec![AttrValue::Int(0), AttrValue::Float(t as f64)])
+        Event::new(
+            Ts(t),
+            ty,
+            vec![AttrValue::Int(0), AttrValue::Float(t as f64)],
+        )
     }
 
     fn run(engine: &mut TwoStepEngine, evs: &[Event]) -> Vec<WindowResult> {
@@ -495,10 +502,17 @@ mod tests {
             )
             .unwrap()
         };
-        let queries = [mk(1, hamlet_query::AggFunc::Sum(b, vb)),
+        let queries = [
+            mk(1, hamlet_query::AggFunc::Sum(b, vb)),
             mk(2, hamlet_query::AggFunc::Min(b, vb)),
-            mk(3, hamlet_query::AggFunc::Max(b, vb))];
-        let mut eng = TwoStepEngine::new(reg, vec![queries[0].clone(), queries[1].clone(), queries[2].clone()], None).unwrap();
+            mk(3, hamlet_query::AggFunc::Max(b, vb)),
+        ];
+        let mut eng = TwoStepEngine::new(
+            reg,
+            vec![queries[0].clone(), queries[1].clone(), queries[2].clone()],
+            None,
+        )
+        .unwrap();
         // a@1, b@2 (v=2), b@3 (v=3): trends (a,b2)(a,b3)(a,b2,b3);
         // SUM = 2 + 3 + 5 = 10; MIN = 2; MAX = 3.
         let evs = vec![ev(a, 1), ev(b, 2), ev(b, 3)];

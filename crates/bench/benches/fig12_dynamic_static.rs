@@ -24,11 +24,7 @@ fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12_policies");
     g.sample_size(10);
     g.throughput(Throughput::Elements(events.len() as u64));
-    for sys in [
-        System::Hamlet,
-        System::HamletStatic,
-        System::HamletNoShare,
-    ] {
+    for sys in [System::Hamlet, System::HamletStatic, System::HamletNoShare] {
         g.bench_with_input(BenchmarkId::from_parameter(sys.name()), &sys, |b, &sys| {
             b.iter(|| black_box(run_system(sys, &reg, &queries, &events, &hcfg)));
         });

@@ -275,11 +275,7 @@ impl HamletEngine {
                     DivergenceMode::Exact => 0.5,
                 };
                 GroupExec {
-                    estimator: DivergenceEstimator::new(
-                        rt.template.num_types(),
-                        rt.k(),
-                        alpha,
-                    ),
+                    estimator: DivergenceEstimator::new(rt.template.num_types(), rt.k(), alpha),
                     rt,
                     window: g.window,
                     pane: pane.max(1),
@@ -359,7 +355,8 @@ impl HamletEngine {
             self.stats.events_routed += 1;
         }
         self.event_counter += 1;
-        if self.cfg.mem_sample_every > 0 && self.event_counter.is_multiple_of(self.cfg.mem_sample_every)
+        if self.cfg.mem_sample_every > 0
+            && self.event_counter.is_multiple_of(self.cfg.mem_sample_every)
         {
             let bytes = self.state_bytes();
             self.gauge.sample(bytes);
@@ -383,10 +380,18 @@ impl HamletEngine {
                     }
                 }
             }
-            self.groups[gi].partitions.retain(|_, runs| !runs.is_empty());
+            self.groups[gi]
+                .partitions
+                .retain(|_, runs| !runs.is_empty());
             let mode = self.cfg.divergence;
             for (key, start, mut rs) in finished {
-                flush_burst(&mut rs, policy, mode, &mut self.groups[gi].estimator, &mut self.stats);
+                flush_burst(
+                    &mut rs,
+                    policy,
+                    mode,
+                    &mut self.groups[gi].estimator,
+                    &mut self.stats,
+                );
                 let outputs = rs.run.finalize();
                 self.stats.runs.add(rs.run.stats());
                 if let Some(arr) = rs.last_arrival {
@@ -489,12 +494,7 @@ impl HamletEngine {
         let _ = writeln!(out, "workload plan: {} share group(s)", self.groups.len());
         for (gi, g) in self.groups.iter().enumerate() {
             let tpl = &g.rt.template;
-            let members: Vec<String> = g
-                .rt
-                .queries
-                .iter()
-                .map(|q| format!("{}", q.id))
-                .collect();
+            let members: Vec<String> = g.rt.queries.iter().map(|q| format!("{}", q.id)).collect();
             let _ = writeln!(
                 out,
                 "group {gi}: members [{}], WITHIN {} SLIDE {} (pane {}), partition by [{}], skeleton {:?}",

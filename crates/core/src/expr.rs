@@ -51,7 +51,10 @@ impl LinearExpr {
 
     /// A constant expression.
     pub fn constant(c: NodeVal) -> Self {
-        LinearExpr { c, terms: Vec::new() }
+        LinearExpr {
+            c,
+            terms: Vec::new(),
+        }
     }
 
     /// The expression `1 · x` for snapshot `x`.

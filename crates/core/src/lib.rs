@@ -54,7 +54,7 @@ pub mod template;
 pub mod workload;
 
 pub use executor::{AggValue, EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult};
-pub use parallel::{ParallelEngine, ParallelReport};
 pub use optimizer::SharingPolicy;
+pub use parallel::{ParallelEngine, ParallelReport};
 pub use run::{BurstCtx, GroupRuntime, MemberOutput, Run, RunStats};
 pub use workload::{analyze, AggSkeleton, ShareGroup, WorkloadPlan};

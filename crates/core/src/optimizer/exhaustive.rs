@@ -35,9 +35,7 @@ pub fn plan_cost(ctx: &BurstCtx, b: u64, share_idx: &[usize]) -> f64 {
         let sc: f64 = 1.0
             + share_idx
                 .iter()
-                .map(|&i| {
-                    ctx.diverging[i] as f64 + if ctx.has_edge[i] { bf } else { 0.0 }
-                })
+                .map(|&i| ctx.diverging[i] as f64 + if ctx.has_edge[i] { bf } else { 0.0 })
                 .sum::<f64>();
         cost += shared_cost(k_shared as f64, sc, &factors);
     } else {
@@ -73,13 +71,7 @@ mod tests {
     use crate::optimizer::choose_query_set;
     use proptest::prelude::*;
 
-    fn ctx(
-        n: u64,
-        g: u64,
-        sp: usize,
-        diverging: Vec<u64>,
-        has_edge: Vec<bool>,
-    ) -> BurstCtx {
+    fn ctx(n: u64, g: u64, sp: usize, diverging: Vec<u64>, has_edge: Vec<bool>) -> BurstCtx {
         let m = diverging.len();
         BurstCtx {
             n,

@@ -86,8 +86,7 @@ pub fn choose_query_set(ctx: &BurstCtx, b: u64) -> Decision {
         if members < 2 {
             continue;
         }
-        let cost =
-            shared_cost(members as f64, acc, &factors) + (m - members) as f64 * solo_one;
+        let cost = shared_cost(members as f64, acc, &factors) + (m - members) as f64 * solo_one;
         if cost < best_cost {
             best_cost = cost;
             best_k = members;
@@ -169,14 +168,7 @@ mod tests {
     fn snapshot_free_queries_always_kept_with_light_divergers() {
         // A lightly diverging query is kept when n is large (re-computation
         // dominates), mirroring the merge decision of Eq. 11.
-        let c = ctx(
-            10_000,
-            0,
-            1,
-            vec![0, 1],
-            vec![0, 2],
-            vec![false, false],
-        );
+        let c = ctx(10_000, 0, 1, vec![0, 1], vec![0, 2], vec![false, false]);
         let d = choose_query_set(&c, 50);
         assert_eq!(d.share.len(), 2);
         assert!(d.estimated_benefit > 0.0);

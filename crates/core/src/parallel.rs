@@ -114,10 +114,18 @@ mod tests {
         let c = reg.register("C", &["g"]);
         let reg = Arc::new(reg);
         let queries = vec![
-            parse_query(&reg, 1, "RETURN COUNT(*) PATTERN SEQ(A, B+) GROUP BY g WITHIN 20")
-                .unwrap(),
-            parse_query(&reg, 2, "RETURN COUNT(*) PATTERN SEQ(C, B+) GROUP BY g WITHIN 20")
-                .unwrap(),
+            parse_query(
+                &reg,
+                1,
+                "RETURN COUNT(*) PATTERN SEQ(A, B+) GROUP BY g WITHIN 20",
+            )
+            .unwrap(),
+            parse_query(
+                &reg,
+                2,
+                "RETURN COUNT(*) PATTERN SEQ(C, B+) GROUP BY g WITHIN 20",
+            )
+            .unwrap(),
         ];
         let mut events = Vec::new();
         for t in 0..200u64 {
@@ -135,7 +143,12 @@ mod tests {
         rs.retain(|r| !matches!(r.value, crate::AggValue::Count(0) | crate::AggValue::Null));
         let mut v: Vec<String> = rs
             .iter()
-            .map(|r| format!("{:?}|{}|{}|{:?}", r.query, r.group_key, r.window_start, r.value))
+            .map(|r| {
+                format!(
+                    "{:?}|{}|{}|{:?}",
+                    r.query, r.group_key, r.window_start, r.value
+                )
+            })
             .collect();
         v.sort();
         v
@@ -179,11 +192,7 @@ mod tests {
             .collect();
         assert_eq!(keys.len(), 7);
         // Work split across more than one worker.
-        let active = par
-            .stats
-            .iter()
-            .filter(|s| s.events_routed > 0)
-            .count();
+        let active = par.stats.iter().filter(|s| s.events_routed > 0).count();
         assert!(active >= 2, "work spread over workers: {active}");
         // Each result belongs to exactly one query per key/window (no
         // duplicates across workers).

@@ -365,9 +365,7 @@ impl Run {
         let tpl = &self.rt.template;
         let linear_ok = self.rt.skeleton.supports_sharing();
         let candidates: Vec<usize> = (0..self.k)
-            .filter(|&q| {
-                linear_ok && tpl.involved[tl].contains(q) && tpl.self_loop[tl].contains(q)
-            })
+            .filter(|&q| linear_ok && tpl.involved[tl].contains(q) && tpl.self_loop[tl].contains(q))
             .collect();
         let has_edge: Vec<bool> = candidates
             .iter()
@@ -436,9 +434,9 @@ impl Run {
     /// `involved[tl]` processes the burst solo. Passing an empty set yields
     /// pure GRETA-style non-shared execution.
     pub fn process_burst(&mut self, tl: usize, events: &[Event], shared_members: &QSet) {
-        debug_assert!(events.iter().all(|e| {
-            self.rt.template.local(e.ty) == Some(tl)
-        }));
+        debug_assert!(events
+            .iter()
+            .all(|e| { self.rt.template.local(e.ty) == Some(tl) }));
         if events.is_empty() {
             return;
         }
@@ -623,10 +621,7 @@ impl Run {
         let unit = needs_unit.then(|| {
             let vals = (0..self.k)
                 .map(|q| {
-                    if members.contains(q)
-                        && tpl.start[tl].contains(q)
-                        && !self.start_blocked[q]
-                    {
+                    if members.contains(q) && tpl.start[tl].contains(q) && !self.start_blocked[q] {
                         NodeVal {
                             count: TrendVal::ONE,
                             sum: TrendVal::ZERO,
@@ -764,10 +759,8 @@ impl Run {
 
         // ---- Shared path -------------------------------------------------
         if !share.is_empty() {
-            let matched: Vec<(usize, bool)> = share
-                .iter()
-                .map(|q| (q, rt.selects(tl, q, e)))
-                .collect();
+            let matched: Vec<(usize, bool)> =
+                share.iter().map(|q| (q, rt.selects(tl, q, e))).collect();
             let any_edge = share.iter().any(|q| !rt.edge[tl][q].is_empty());
             let uniform = !any_edge && matched.iter().all(|&(_, m)| m);
             let sh = self.active[tl].shared.as_ref().expect("shared graphlet");
@@ -793,8 +786,7 @@ impl Run {
                     } else {
                         pred.add(self.snaps.eval(&sh.sum_exprs, q));
                     }
-                    let start =
-                        tpl.start[tl].contains(q) && !self.start_blocked[q];
+                    let start = tpl.start[tl].contains(q) && !self.start_blocked[q];
                     vals[q] = NodeVal::propagate(pred, start, w, is_target);
                 }
                 let z = self.snaps.create(vals);
@@ -946,7 +938,10 @@ mod tests {
     }
 
     fn seq(first: EventTypeId, kleene: EventTypeId) -> Pattern {
-        Pattern::seq(vec![Pattern::Type(first), Pattern::plus(Pattern::Type(kleene))])
+        Pattern::seq(vec![
+            Pattern::Type(first),
+            Pattern::plus(Pattern::Type(kleene)),
+        ])
     }
 
     fn rt_two_queries() -> Arc<GroupRuntime> {
@@ -1065,9 +1060,7 @@ mod tests {
         assert_eq!(plan.groups.len(), 1);
         let rt = GroupRuntime::new(&plan.groups[0]);
         let tl = |t| rt.template.local(t).unwrap();
-        let evv = |ty, t, v: f64| {
-            Event::new(Ts(t), ty, vec![hamlet_types::AttrValue::Float(v)])
-        };
+        let evv = |ty, t, v: f64| Event::new(Ts(t), ty, vec![hamlet_types::AttrValue::Float(v)]);
         let stream: Vec<(usize, Vec<Event>)> = vec![
             (tl(A), vec![evv(A, 1, 0.0)]),
             (tl(C), vec![evv(C, 2, 0.0)]),
@@ -1140,9 +1133,7 @@ mod tests {
         let plan = crate::workload::analyze(&[mk(1, A, 5.0), mk(2, C, 2.0)]).unwrap();
         let rt = GroupRuntime::new(&plan.groups[0]);
         let tl = |t| rt.template.local(t).unwrap();
-        let evv = |ty, t, v: f64| {
-            Event::new(Ts(t), ty, vec![hamlet_types::AttrValue::Float(v)])
-        };
+        let evv = |ty, t, v: f64| Event::new(Ts(t), ty, vec![hamlet_types::AttrValue::Float(v)]);
         let mut shared = Run::new(rt.clone());
         let mut solo = Run::new(rt.clone());
         let stream: Vec<(usize, Vec<Event>)> = vec![

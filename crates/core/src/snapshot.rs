@@ -21,7 +21,10 @@ pub struct SnapTable {
 impl SnapTable {
     /// Creates a table for `k` member queries.
     pub fn new(k: usize) -> Self {
-        SnapTable { k, vals: Vec::new() }
+        SnapTable {
+            k,
+            vals: Vec::new(),
+        }
     }
 
     /// Number of snapshots created so far (`s` in Table 2).

@@ -72,12 +72,8 @@ impl AggSkeleton {
     /// Merges another member's skeleton into this one, filling in the
     /// attribute slot if needed. Assumes sharability was already checked.
     fn absorb(&mut self, other: &AggSkeleton) {
-        if let (
-            AggSkeleton::Linear { attr, .. },
-            AggSkeleton::Linear {
-                attr: Some(a2), ..
-            },
-        ) = (&mut *self, other)
+        if let (AggSkeleton::Linear { attr, .. }, AggSkeleton::Linear { attr: Some(a2), .. }) =
+            (&mut *self, other)
         {
             attr.get_or_insert(*a2);
         }
@@ -107,7 +103,10 @@ pub struct ShareGroup {
 impl fmt::Debug for ShareGroup {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShareGroup")
-            .field("members", &self.queries.iter().map(|q| q.id).collect::<Vec<_>>())
+            .field(
+                "members",
+                &self.queries.iter().map(|q| q.id).collect::<Vec<_>>(),
+            )
             .field("window", &self.window)
             .field("skeleton", &self.skeleton)
             .finish()
@@ -193,8 +192,8 @@ pub fn analyze(queries: &[Arc<Query>]) -> Result<WorkloadPlan, WorkloadError> {
     let mut groups = Vec::with_capacity(buckets.len());
     for bucket in buckets {
         let refs: Vec<&Query> = bucket.iter().map(|q| q.as_ref()).collect();
-        let template = MergedTemplate::build(&refs)
-            .map_err(|e| WorkloadError::Template(bucket[0].id, e))?;
+        let template =
+            MergedTemplate::build(&refs).map_err(|e| WorkloadError::Template(bucket[0].id, e))?;
         let mut skeleton = AggSkeleton::of(&bucket[0].agg);
         for m in &bucket[1..] {
             skeleton.absorb(&AggSkeleton::of(&m.agg));
@@ -220,7 +219,10 @@ mod tests {
     const C: EventTypeId = EventTypeId(2);
 
     fn seq(first: EventTypeId, kleene: EventTypeId) -> Pattern {
-        Pattern::seq(vec![Pattern::Type(first), Pattern::plus(Pattern::Type(kleene))])
+        Pattern::seq(vec![
+            Pattern::Type(first),
+            Pattern::plus(Pattern::Type(kleene)),
+        ])
     }
 
     fn q(id: u32, p: Pattern, w: Window) -> Arc<Query> {
@@ -271,7 +273,10 @@ mod tests {
         assert_eq!(AggSkeleton::of(&AggFunc::CountStar), AggSkeleton::CountOnly);
         assert_eq!(
             AggSkeleton::of(&AggFunc::Avg(B, 3)),
-            AggSkeleton::Linear { ty: B, attr: Some(3) }
+            AggSkeleton::Linear {
+                ty: B,
+                attr: Some(3)
+            }
         );
         assert!(!AggSkeleton::of(&AggFunc::Min(B, 0)).supports_sharing());
         assert!(AggSkeleton::of(&AggFunc::CountStar).supports_sharing());
@@ -299,7 +304,10 @@ mod tests {
         assert_eq!(plan.groups.len(), 1);
         assert_eq!(
             plan.groups[0].skeleton,
-            AggSkeleton::Linear { ty: B, attr: Some(1) }
+            AggSkeleton::Linear {
+                ty: B,
+                attr: Some(1)
+            }
         );
     }
 

@@ -259,15 +259,12 @@ impl<'a> P<'a> {
         let ty = self.type_id()?;
         self.expect(Tok::Dot)?;
         let attr = self.ident()?;
-        let idx = self
-            .reg
-            .attr_index(ty, &attr)
-            .ok_or_else(|| {
-                ParseError(format!(
-                    "type {:?} has no attribute {attr:?}",
-                    self.reg.name(ty)
-                ))
-            })?;
+        let idx = self.reg.attr_index(ty, &attr).ok_or_else(|| {
+            ParseError(format!(
+                "type {:?} has no attribute {attr:?}",
+                self.reg.name(ty)
+            ))
+        })?;
         Ok((ty, idx))
     }
 
@@ -572,9 +569,18 @@ mod tests {
                 "COUNT(Travel)",
                 AggFunc::CountType(reg.type_id("Travel").unwrap()),
             ),
-            ("SUM(Travel.speed)", AggFunc::Sum(reg.type_id("Travel").unwrap(), 3)),
-            ("MIN(Travel.speed)", AggFunc::Min(reg.type_id("Travel").unwrap(), 3)),
-            ("MAX(Travel.speed)", AggFunc::Max(reg.type_id("Travel").unwrap(), 3)),
+            (
+                "SUM(Travel.speed)",
+                AggFunc::Sum(reg.type_id("Travel").unwrap(), 3),
+            ),
+            (
+                "MIN(Travel.speed)",
+                AggFunc::Min(reg.type_id("Travel").unwrap(), 3),
+            ),
+            (
+                "MAX(Travel.speed)",
+                AggFunc::Max(reg.type_id("Travel").unwrap(), 3),
+            ),
         ] {
             let q = parse_query(
                 &reg,

@@ -221,10 +221,7 @@ impl Pattern {
     }
 
     /// Renders the pattern with type names resolved through `f`.
-    pub fn display_with<'a>(
-        &'a self,
-        f: &'a dyn Fn(EventTypeId) -> String,
-    ) -> PatternDisplay<'a> {
+    pub fn display_with<'a>(&'a self, f: &'a dyn Fn(EventTypeId) -> String) -> PatternDisplay<'a> {
         PatternDisplay { p: self, f }
     }
 }
@@ -305,10 +302,11 @@ mod tests {
         assert!(seq_a_bplus().is_kleene());
         assert!(!Pattern::Type(A).is_kleene());
         assert!(Pattern::plus(Pattern::Type(A)).is_kleene());
-        assert!(
-            Pattern::Or(Box::new(Pattern::Type(A)), Box::new(Pattern::plus(Pattern::Type(B))))
-                .is_kleene()
-        );
+        assert!(Pattern::Or(
+            Box::new(Pattern::Type(A)),
+            Box::new(Pattern::plus(Pattern::Type(B)))
+        )
+        .is_kleene());
     }
 
     #[test]

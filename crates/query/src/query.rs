@@ -183,11 +183,10 @@ mod tests {
         let (reg, a, b) = registry();
         let mut q = base_query(a, b);
         q.group_by = vec![Arc::from("district")];
-        let e = EventBuilder::new(&reg, b, Ts(1)).attr("district", 7i64).build();
-        assert_eq!(
-            q.partition_key(&reg, &e),
-            GroupKey(vec![AttrValue::Int(7)])
-        );
+        let e = EventBuilder::new(&reg, b, Ts(1))
+            .attr("district", 7i64)
+            .build();
+        assert_eq!(q.partition_key(&reg, &e), GroupKey(vec![AttrValue::Int(7)]));
     }
 
     #[test]

@@ -42,7 +42,11 @@ pub fn to_sase(q: &Query, reg: &TypeRegistry) -> String {
         AggFunc::Max(t, a) => format!("MAX({}.{})", reg.name(*t), attr_name(reg, *t, *a)),
     };
     let name = |t: hamlet_types::EventTypeId| reg.name(t).to_string();
-    let _ = write!(out, "RETURN {agg} PATTERN {}", q.pattern.display_with(&name));
+    let _ = write!(
+        out,
+        "RETURN {agg} PATTERN {}",
+        q.pattern.display_with(&name)
+    );
 
     let mut conds: Vec<String> = Vec::new();
     for s in &q.selections {
@@ -110,8 +114,8 @@ mod tests {
     fn round_trip(reg: &TypeRegistry, text: &str) {
         let q = parse_query(reg, 3, text).expect(text);
         let rendered = to_sase(&q, reg);
-        let back = parse_query(reg, 3, &rendered)
-            .unwrap_or_else(|e| panic!("{text} → {rendered}: {e}"));
+        let back =
+            parse_query(reg, 3, &rendered).unwrap_or_else(|e| panic!("{text} → {rendered}: {e}"));
         assert_eq!(back.pattern, q.pattern, "{rendered}");
         assert_eq!(back.agg, q.agg, "{rendered}");
         assert_eq!(back.selections, q.selections, "{rendered}");

@@ -227,10 +227,7 @@ mod tests {
                 group_skew: 0.0,
                 seed: 42,
             };
-            let mix = BurstyMix::new(
-                &[(ts[0], 1.0), (ts[1], 1.0), (ts[2], 1.0)],
-                cfg.mean_burst,
-            );
+            let mix = BurstyMix::new(&[(ts[0], 1.0), (ts[1], 1.0), (ts[2], 1.0)], cfg.mean_burst);
             let evs = generate_stream(&cfg, mix, |_, t, ty, _| Event::new(t, ty, vec![]));
             let got = mean_run_length(&evs);
             assert!(

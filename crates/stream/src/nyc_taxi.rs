@@ -14,7 +14,14 @@ pub const TYPES: [&str; 8] = [
 ];
 
 /// Attribute schema.
-pub const ATTRS: [&str; 6] = ["district", "driver", "rider", "passengers", "speed", "price"];
+pub const ATTRS: [&str; 6] = [
+    "district",
+    "driver",
+    "rider",
+    "passengers",
+    "speed",
+    "price",
+];
 
 /// Default events per minute for this data set (§6.1).
 pub const DEFAULT_RATE: u64 = 200;
@@ -105,7 +112,9 @@ mod tests {
         let reg = registry();
         let qs = workload(&reg, 10, 600);
         let travel = reg.type_id("Travel").unwrap();
-        assert!(qs.iter().all(|q| q.pattern.kleene_types().contains(&travel)));
+        assert!(qs
+            .iter()
+            .all(|q| q.pattern.kleene_types().contains(&travel)));
         assert!(qs.iter().all(|q| q.window.within == 600));
     }
 }

@@ -4,17 +4,34 @@
 //! Default rate 10K events/minute.
 
 use crate::common::{generate_stream, BurstyMix, GenConfig};
-use hamlet_types::{AttrValue, Event, EventTypeId, TypeRegistry};
 use hamlet_query::{parse_query, Query};
+use hamlet_types::{AttrValue, Event, EventTypeId, TypeRegistry};
 use rand::Rng;
 use std::sync::Arc;
 
 /// The 20 ridesharing event types. `Travel` is the hot Kleene type the
 /// workload shares (Fig. 1).
 pub const TYPES: [&str; 20] = [
-    "Request", "Accept", "Travel", "Pickup", "Dropoff", "Cancel", "PoolRequest", "Rate", "Tip",
-    "Payment", "Idle", "Reposition", "Arrive", "Wait", "Begin", "End", "Surge", "Promo",
-    "Support", "Maintenance",
+    "Request",
+    "Accept",
+    "Travel",
+    "Pickup",
+    "Dropoff",
+    "Cancel",
+    "PoolRequest",
+    "Rate",
+    "Tip",
+    "Payment",
+    "Idle",
+    "Reposition",
+    "Arrive",
+    "Wait",
+    "Begin",
+    "End",
+    "Surge",
+    "Promo",
+    "Support",
+    "Maintenance",
 ];
 
 /// Attribute schema shared by all ridesharing types.
@@ -66,11 +83,7 @@ pub fn generate(reg: &TypeRegistry, cfg: &GenConfig) -> Vec<Event> {
 /// but the same sharable Kleene sub-pattern `Travel+`, window, grouping,
 /// predicates and aggregate — queries like `SEQ(Request, Travel+)`,
 /// `SEQ(Accept, Travel+)`, … (Fig. 1 / Examples 2–9).
-pub fn workload_shared_kleene(
-    reg: &TypeRegistry,
-    k: usize,
-    window_secs: u64,
-) -> Vec<Query> {
+pub fn workload_shared_kleene(reg: &TypeRegistry, k: usize, window_secs: u64) -> Vec<Query> {
     let firsts: Vec<&str> = TYPES.iter().copied().filter(|t| *t != "Travel").collect();
     (0..k)
         .map(|i| {

@@ -161,8 +161,7 @@ mod tests {
         let reg = registry();
         let qs = workload_diverse(&reg, 24, 9);
         assert_eq!(qs.len(), 24);
-        let windows: std::collections::BTreeSet<u64> =
-            qs.iter().map(|q| q.window.within).collect();
+        let windows: std::collections::BTreeSet<u64> = qs.iter().map(|q| q.window.within).collect();
         assert!(windows.len() >= 3, "windows vary: {windows:?}");
         let with_pred = qs.iter().filter(|q| !q.selections.is_empty()).count();
         assert!(with_pred >= 8);

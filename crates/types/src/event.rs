@@ -69,15 +69,16 @@ impl TypeRegistry {
         if let Some(&id) = self.by_name.get(name) {
             let existing = &self.types[id.idx()];
             assert!(
-                existing.attrs.iter().map(|a| &**a).eq(attrs.iter().copied()),
+                existing
+                    .attrs
+                    .iter()
+                    .map(|a| &**a)
+                    .eq(attrs.iter().copied()),
                 "event type {name:?} re-registered with a different schema"
             );
             return id;
         }
-        assert!(
-            self.types.len() < u16::MAX as usize,
-            "too many event types"
-        );
+        assert!(self.types.len() < u16::MAX as usize, "too many event types");
         let id = EventTypeId(self.types.len() as u16);
         let name: Arc<str> = Arc::from(name);
         self.types.push(TypeInfo {
@@ -158,8 +159,7 @@ impl Event {
     /// Approximate in-memory footprint in bytes, used by the peak-memory
     /// metric (§6.1: "matched events" count toward every strategy's memory).
     pub fn mem_bytes(&self) -> usize {
-        std::mem::size_of::<Event>()
-            + self.attrs.len() * std::mem::size_of::<AttrValue>()
+        std::mem::size_of::<Event>() + self.attrs.len() * std::mem::size_of::<AttrValue>()
     }
 }
 
@@ -200,15 +200,12 @@ impl<'r> EventBuilder<'r> {
     /// Sets attribute `name` to `value`. Panics on unknown names —
     /// misspelled attributes are programming errors worth failing fast on.
     pub fn attr(mut self, name: &str, value: impl Into<AttrValue>) -> Self {
-        let idx = self
-            .registry
-            .attr_index(self.ty, name)
-            .unwrap_or_else(|| {
-                panic!(
-                    "type {:?} has no attribute {name:?}",
-                    self.registry.name(self.ty)
-                )
-            });
+        let idx = self.registry.attr_index(self.ty, name).unwrap_or_else(|| {
+            panic!(
+                "type {:?} has no attribute {name:?}",
+                self.registry.name(self.ty)
+            )
+        });
         self.attrs[idx] = value.into();
         self
     }

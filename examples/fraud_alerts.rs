@@ -111,15 +111,19 @@ fn main() {
     }
 
     // Partition-parallel run over the same stream must agree.
-    let par: ParallelReport =
-        ParallelEngine::new(reg.clone(), queries, EngineConfig::default(), 4)
-            .unwrap()
-            .run(&events);
+    let par: ParallelReport = ParallelEngine::new(reg.clone(), queries, EngineConfig::default(), 4)
+        .unwrap()
+        .run(&events);
     let norm = |rs: &[WindowResult]| {
         let mut v: Vec<String> = rs
             .iter()
             .filter(|r| !matches!(r.value, AggValue::Count(0) | AggValue::Null))
-            .map(|r| format!("{:?}|{}|{}|{:?}", r.query, r.group_key, r.window_start, r.value))
+            .map(|r| {
+                format!(
+                    "{:?}|{}|{}|{:?}",
+                    r.query, r.group_key, r.window_start, r.value
+                )
+            })
             .collect();
         v.sort();
         v
@@ -128,6 +132,9 @@ fn main() {
     println!(
         "\nparallel (4 shards) verified identical; sequential took {sequential:?}, \
          workers routed {:?} events each",
-        par.stats.iter().map(|s| s.events_routed).collect::<Vec<_>>()
+        par.stats
+            .iter()
+            .map(|s| s.events_routed)
+            .collect::<Vec<_>>()
     );
 }

@@ -43,11 +43,15 @@ fn main() {
             .build()
     };
     let mut events = vec![
-        EventBuilder::new(&reg, request, 0).attr("district", 7i64).build(),
+        EventBuilder::new(&reg, request, 0)
+            .attr("district", 7i64)
+            .build(),
         mk(travel, 60, 7, 8.0),
         mk(travel, 120, 7, 6.5),
         mk(travel, 180, 7, 9.0),
-        EventBuilder::new(&reg, request, 200).attr("district", 9i64).build(),
+        EventBuilder::new(&reg, request, 200)
+            .attr("district", 9i64)
+            .build(),
         mk(travel, 260, 9, 35.0),
         mk(travel, 320, 9, 42.0),
     ];

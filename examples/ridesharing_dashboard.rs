@@ -51,8 +51,14 @@ fn main() {
 
     // --- Dashboard -------------------------------------------------------
     let stats = hamlet.stats();
-    println!("\nHAMLET  : {hamlet_time:?} ({:.0} events/s)", events.len() as f64 / hamlet_time.as_secs_f64());
-    println!("GRETA   : {greta_time:?} ({:.0} events/s)", events.len() as f64 / greta_time.as_secs_f64());
+    println!(
+        "\nHAMLET  : {hamlet_time:?} ({:.0} events/s)",
+        events.len() as f64 / hamlet_time.as_secs_f64()
+    );
+    println!(
+        "GRETA   : {greta_time:?} ({:.0} events/s)",
+        events.len() as f64 / greta_time.as_secs_f64()
+    );
     println!(
         "speed-up: {:.1}x",
         greta_time.as_secs_f64() / hamlet_time.as_secs_f64()
@@ -89,7 +95,12 @@ fn main() {
         rs.retain(|r| !matches!(r.value, AggValue::Count(0) | AggValue::Null));
         rs.sort_by_key(|r| (r.query, r.window_start, format!("{}", r.group_key)));
         rs.iter()
-            .map(|r| format!("{:?}|{}|{}|{:?}", r.query, r.group_key, r.window_start, r.value))
+            .map(|r| {
+                format!(
+                    "{:?}|{}|{}|{:?}",
+                    r.query, r.group_key, r.window_start, r.value
+                )
+            })
             .collect::<Vec<_>>()
     };
     assert_eq!(norm(hamlet_results), norm(greta_results), "engines agree");

@@ -39,8 +39,7 @@ fn main() {
         .unwrap(),
     ];
 
-    let mut engine =
-        HamletEngine::new(reg.clone(), queries, EngineConfig::default()).unwrap();
+    let mut engine = HamletEngine::new(reg.clone(), queries, EngineConfig::default()).unwrap();
     let mut results = Vec::new();
     for e in &events {
         results.extend(engine.process(e));
@@ -65,8 +64,15 @@ fn main() {
         }
     }
 
-    println!("{} events processed, {} window results\n", events.len(), results.len());
-    println!("{:<10} {:>22} {:>26}", "house", "windows w/ load trends", "avg overload value (>200V)");
+    println!(
+        "{} events processed, {} window results\n",
+        events.len(),
+        results.len()
+    );
+    println!(
+        "{:<10} {:>22} {:>26}",
+        "house", "windows w/ load trends", "avg overload value (>200V)"
+    );
     for (house, wins) in &load_windows {
         let avg = overload_avgs
             .get(house)

@@ -94,7 +94,12 @@ fn main() {
         let mut v: Vec<String> = rs
             .iter()
             .filter(|r| !matches!(r.value, AggValue::Count(0) | AggValue::Null))
-            .map(|r| format!("{:?}|{}|{}|{:?}", r.query, r.group_key, r.window_start, r.value))
+            .map(|r| {
+                format!(
+                    "{:?}|{}|{}|{:?}",
+                    r.query, r.group_key, r.window_start, r.value
+                )
+            })
             .collect();
         v.sort();
         v

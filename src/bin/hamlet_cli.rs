@@ -48,10 +48,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match a.as_str() {
             "--dataset" => args.dataset = val("--dataset")?,
             "--rate" => args.rate = val("--rate")?.parse().map_err(|e| format!("{e}"))?,
@@ -62,9 +59,7 @@ fn parse_args() -> Result<Args, String> {
             "--groups" => args.groups = val("--groups")?.parse().map_err(|e| format!("{e}"))?,
             "--skew" => args.skew = val("--skew")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
-            "--show" => {
-                args.show_results = val("--show")?.parse().map_err(|e| format!("{e}"))?
-            }
+            "--show" => args.show_results = val("--show")?.parse().map_err(|e| format!("{e}"))?,
             "--policy" => {
                 args.policy = match val("--policy")?.as_str() {
                     "dynamic" => SharingPolicy::Dynamic,

@@ -34,8 +34,18 @@ fn bursts_split_at_pane_boundaries() {
     let reg = registry();
     // WITHIN 20 SLIDE 10 → pane = gcd(20, 10) = 10.
     let queries = vec![
-        parse_query(&reg, 1, "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 20 SLIDE 10").unwrap(),
-        parse_query(&reg, 2, "RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 20 SLIDE 10").unwrap(),
+        parse_query(
+            &reg,
+            1,
+            "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 20 SLIDE 10",
+        )
+        .unwrap(),
+        parse_query(
+            &reg,
+            2,
+            "RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 20 SLIDE 10",
+        )
+        .unwrap(),
     ];
     let mut eng = HamletEngine::new(reg.clone(), queries, EngineConfig::default()).unwrap();
     // One window instance [0,20): a@1, c@2, then B events at 3..=15 — the
@@ -193,7 +203,12 @@ fn skewed_partitions_agree_in_parallel() {
         let mut v: Vec<String> = rs
             .iter()
             .filter(|r| !matches!(r.value, hamlet_core::AggValue::Count(0)))
-            .map(|r| format!("{:?}|{}|{}|{:?}", r.query, r.group_key, r.window_start, r.value))
+            .map(|r| {
+                format!(
+                    "{:?}|{}|{}|{:?}",
+                    r.query, r.group_key, r.window_start, r.value
+                )
+            })
             .collect();
         v.sort();
         v

@@ -55,6 +55,7 @@ fn figure4b_tables_3_and_4() {
     // fcount(q1) so far = 30, fcount(q2) = 15.
     run.process_burst(tl(A), &[ev(A, 8)], &all); // A4 — deactivates B3
     run.process_burst(tl(C), &[ev(C, 9)], &all); // C5
+
     // Graphlet B6 opens with snapshot y; Table 4: value(y, q1) =
     // x + sum(B3) + sum(A4) = 2 + 30 + 1 = 33? The paper counts
     // sum(A4,q1) = 2 because A4 = {a7} extends *all* trends… a7's count is
@@ -149,13 +150,13 @@ fn figure1_queries_end_to_end() {
     .unwrap();
     // q1 and q3 share Request (duplicate start types are fine across
     // queries); all three share Travel+.
-    let mut engine = HamletEngine::new(
-        reg.clone(),
-        vec![q1, q2, q3],
-        EngineConfig::default(),
-    )
-    .unwrap();
-    assert_eq!(engine.num_groups(), 1, "Fig. 1 queries form one share group");
+    let mut engine =
+        HamletEngine::new(reg.clone(), vec![q1, q2, q3], EngineConfig::default()).unwrap();
+    assert_eq!(
+        engine.num_groups(),
+        1,
+        "Fig. 1 queries form one share group"
+    );
 
     let mk = |name: &str, t: u64, speed: f64| {
         let ty = reg.type_id(name).unwrap();
@@ -294,8 +295,16 @@ fn min_max_stay_non_shared() {
     let evs = vec![
         Event::new(Ts(1), reg.type_id("A").unwrap(), vec![]),
         Event::new(Ts(2), reg.type_id("C").unwrap(), vec![]),
-        Event::new(Ts(3), reg.type_id("B").unwrap(), vec![AttrValue::Float(4.0)]),
-        Event::new(Ts(4), reg.type_id("B").unwrap(), vec![AttrValue::Float(2.0)]),
+        Event::new(
+            Ts(3),
+            reg.type_id("B").unwrap(),
+            vec![AttrValue::Float(4.0)],
+        ),
+        Event::new(
+            Ts(4),
+            reg.type_id("B").unwrap(),
+            vec![AttrValue::Float(2.0)],
+        ),
     ];
     let mut results = Vec::new();
     for e in &evs {

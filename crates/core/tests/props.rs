@@ -34,8 +34,7 @@ fn expr() -> impl Strategy<Value = LinearExpr> {
     leaf.prop_recursive(3, 16, 4, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.plus(&b)),
-            (inner, any::<u64>(), any::<bool>())
-                .prop_map(|(e, w, t)| e.propagate(TrendVal(w), t)),
+            (inner, any::<u64>(), any::<bool>()).prop_map(|(e, w, t)| e.propagate(TrendVal(w), t)),
         ]
     })
 }
@@ -160,7 +159,23 @@ proptest! {
         let lhs = benefit(k, sc, &f);
         let rhs = nonshared_cost(k, &f) - shared_cost(k, sc, &f);
         prop_assert!((lhs - rhs).abs() <= 1e-6 * lhs.abs().max(1.0));
-        // With one graphlet snapshot only, more queries never hurt.
-        prop_assert!(benefit(k + 1.0, 1.0, &f) + 1e-6 >= benefit(k, 1.0, &f));
+        // Marginal benefit of one more query (Def. 12 algebra): one more
+        // query saves one non-shared pass `b·(log₂g + n)` and costs one
+        // more share of snapshot upkeep `sc·g·p`. Benefit is monotone in k
+        // exactly when the saved pass outweighs the upkeep — not
+        // unconditionally (tiny bursts over a huge graphlet reverse it).
+        let marginal = benefit(k + 1.0, sc, &f) - benefit(k, sc, &f);
+        let expected = b * (g.max(1.0).log2() + n) - sc * g * p;
+        // `marginal` is a difference of values up to ~1e12, so the
+        // tolerance must scale with the cost magnitude, not with
+        // `expected` (which legitimately passes through 0).
+        let tol = 1e-9 * nonshared_cost(k + 1.0, &f).abs().max(shared_cost(k + 1.0, sc, &f).abs()).max(1.0);
+        prop_assert!(
+            (marginal - expected).abs() <= tol,
+            "marginal {} expected {}", marginal, expected
+        );
+        if expected >= tol {
+            prop_assert!(benefit(k + 1.0, sc, &f) + tol >= benefit(k, sc, &f));
+        }
     }
 }

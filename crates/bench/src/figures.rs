@@ -187,8 +187,7 @@ pub fn fig11_smart_home(quick: bool) -> Figure {
     }
     Figure {
         id: "fig11_sh",
-        title: "Fig. 11(b,d,f): HAMLET vs GRETA vs events/min (Smart-home-like, 50 queries)"
-            .into(),
+        title: "Fig. 11(b,d,f): HAMLET vs GRETA vs events/min (Smart-home-like, 50 queries)".into(),
         rows,
         x_label: "events/min",
     }
@@ -365,7 +364,11 @@ pub fn overhead(quick: bool) -> OverheadReport {
 mod tests {
     use super::*;
 
+    // Slow tier: runs every figure sweep (all systems × all axes) and
+    // takes minutes unoptimized. Run with `cargo test -- --ignored`
+    // (fast in --release).
     #[test]
+    #[ignore = "slow tier: full quick-mode figure sweeps; run with `cargo test -- --ignored`"]
     fn quick_figures_produce_series() {
         for fig in [
             fig9_events(true),

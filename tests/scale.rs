@@ -48,7 +48,10 @@ fn drive_hamlet(
     (out, *eng.stats())
 }
 
+// Slow tier: 10K events through four engines is the most expensive
+// agreement check; run with `cargo test -- --ignored` (fast in --release).
 #[test]
+#[ignore = "slow tier: 10K-event four-engine agreement; run with `cargo test -- --ignored`"]
 fn ridesharing_10k_events_all_policies_and_greta_agree() {
     let reg = ridesharing::registry();
     let cfg = GenConfig {
@@ -139,7 +142,10 @@ fn stock_diverse_workload_with_ema_agrees_with_exact() {
     assert_eq!(norm(exact.clone()), norm(ema), "exact vs EMA results");
     assert_eq!(norm(exact), norm(never), "dynamic vs never results");
     // Both modes took real decisions and mixed shared/solo bursts.
-    assert!(se.runs.shared_bursts > 0 && se.runs.solo_bursts > 0, "{se:?}");
+    assert!(
+        se.runs.shared_bursts > 0 && se.runs.solo_bursts > 0,
+        "{se:?}"
+    );
     assert!(sm.decisions > 0);
 }
 

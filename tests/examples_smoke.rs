@@ -1,0 +1,51 @@
+//! Smoke test: every `examples/` binary runs to completion.
+//!
+//! The examples are the public face of the API (each mirrors a doc
+//! scenario); running them end-to-end in CI keeps the documented surface
+//! honest. Each example is spawned via the same `cargo` that is running
+//! this test, in the same profile, so the binaries are already compiled
+//! by the time the test phase starts.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "smart_home",
+    "stock_trends",
+    "ridesharing_dashboard",
+    "fraud_alerts",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    let cargo = env!("CARGO");
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml");
+    for example in EXAMPLES {
+        let mut cmd = Command::new(cargo);
+        cmd.args([
+            "run",
+            "-q",
+            "--manifest-path",
+            manifest,
+            "--example",
+            example,
+        ]);
+        if !cfg!(debug_assertions) {
+            cmd.arg("--release");
+        }
+        let out = cmd
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {example}: {e}"));
+        assert!(
+            out.status.success(),
+            "example `{example}` failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "example `{example}` printed nothing; expected a report"
+        );
+    }
+}

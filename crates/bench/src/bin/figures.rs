@@ -1,16 +1,35 @@
-//! Regenerates the paper's figures as markdown tables.
+//! Regenerates the paper's figures as markdown tables and a
+//! machine-readable `BENCH.json` report.
 //!
 //! ```text
 //! cargo run -p hamlet-bench --release --bin figures -- all
 //! cargo run -p hamlet-bench --release --bin figures -- fig9_events
-//! cargo run -p hamlet-bench --release --bin figures -- all --quick
+//! cargo run -p hamlet-bench --release --bin figures -- --quick
+//! cargo run -p hamlet-bench --release --bin figures -- --quick --bench-json out.json
 //! ```
 //!
 //! Available ids: fig9_events fig9_queries fig11_nyc fig11_sh
-//! fig11_queries fig12_events fig12_queries overhead all
+//! fig11_queries fig12_events fig12_queries fig_scaling overhead all
+//!
+//! Flags:
+//! - `--quick`            small sweeps (CI-sized)
+//! - `--json <dir>`       also write one JSON series file per figure
+//! - `--bench-json <path>` consolidated report path (default `BENCH.json`)
+//! - `--no-bench-json`    skip the consolidated report
 
 use hamlet_bench::figures::{self, Figure};
-use hamlet_bench::markdown_table;
+use hamlet_bench::{bench_json, markdown_table};
+
+const ALL_FIGURES: [&str; 8] = [
+    "fig9_events",
+    "fig9_queries",
+    "fig11_nyc",
+    "fig11_sh",
+    "fig11_queries",
+    "fig12_events",
+    "fig12_queries",
+    "fig_scaling",
+];
 
 fn print_figure(fig: &Figure, json_dir: Option<&str>) {
     println!("\n## {} — {}\n", fig.id, fig.title);
@@ -41,34 +60,33 @@ fn print_figure(fig: &Figure, json_dir: Option<&str>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| ".".into()));
+    let mut quick = false;
+    let mut json_dir: Option<String> = None;
+    let mut bench_path: Option<String> = Some("BENCH.json".into());
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_dir = Some(it.next().unwrap_or_else(|| ".".into())),
+            "--bench-json" => bench_path = Some(it.next().unwrap_or_else(|| "BENCH.json".into())),
+            "--no-bench-json" => bench_path = None,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
     if let Some(dir) = &json_dir {
         let _ = std::fs::create_dir_all(dir);
     }
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
-    let targets: Vec<&str> = targets
-        .into_iter()
-        .filter(|t| Some(*t) != json_dir.as_deref())
-        .collect();
-    let targets = if targets.is_empty() || targets.contains(&"all") {
-        vec![
-            "fig9_events",
-            "fig9_queries",
-            "fig11_nyc",
-            "fig11_sh",
-            "fig11_queries",
-            "fig12_events",
-            "fig12_queries",
-            "overhead",
-        ]
+    let targets: Vec<String> = if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        ALL_FIGURES
+            .iter()
+            .map(|s| s.to_string())
+            .chain(std::iter::once("overhead".to_string()))
+            .collect()
     } else {
         targets
     };
@@ -77,15 +95,17 @@ fn main() {
         "# HAMLET figure reproduction ({} mode)",
         if quick { "quick" } else { "full" }
     );
-    for t in targets {
-        match t {
-            "fig9_events" => print_figure(&figures::fig9_events(quick), json_dir.as_deref()),
-            "fig9_queries" => print_figure(&figures::fig9_queries(quick), json_dir.as_deref()),
-            "fig11_nyc" => print_figure(&figures::fig11_nyc(quick), json_dir.as_deref()),
-            "fig11_sh" => print_figure(&figures::fig11_smart_home(quick), json_dir.as_deref()),
-            "fig11_queries" => print_figure(&figures::fig11_queries(quick), json_dir.as_deref()),
-            "fig12_events" => print_figure(&figures::fig12_events(quick), json_dir.as_deref()),
-            "fig12_queries" => print_figure(&figures::fig12_queries(quick), json_dir.as_deref()),
+    let mut measured: Vec<Figure> = Vec::new();
+    for t in &targets {
+        let fig = match t.as_str() {
+            "fig9_events" => figures::fig9_events(quick),
+            "fig9_queries" => figures::fig9_queries(quick),
+            "fig11_nyc" => figures::fig11_nyc(quick),
+            "fig11_sh" => figures::fig11_smart_home(quick),
+            "fig11_queries" => figures::fig11_queries(quick),
+            "fig12_events" => figures::fig12_events(quick),
+            "fig12_queries" => figures::fig12_queries(quick),
+            "fig_scaling" => figures::fig_scaling(quick),
             "overhead" => {
                 let r = figures::overhead(quick);
                 println!("\n## overhead — §6.2 optimizer overhead\n");
@@ -102,8 +122,29 @@ fn main() {
                         100.0 * total.as_secs_f64() / wall.as_secs_f64().max(1e-9),
                     );
                 }
+                continue;
             }
-            other => eprintln!("unknown figure id: {other}"),
+            other => {
+                eprintln!("unknown figure id: {other}");
+                continue;
+            }
+        };
+        print_figure(&fig, json_dir.as_deref());
+        measured.push(fig);
+    }
+
+    if let Some(path) = bench_path {
+        if measured.is_empty() {
+            eprintln!("no figures measured; skipping {path}");
+        } else {
+            let doc = bench_json(if quick { "quick" } else { "full" }, &measured);
+            match std::fs::write(&path, doc) {
+                Ok(()) => println!("\n(machine-readable report written to {path})"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
 }

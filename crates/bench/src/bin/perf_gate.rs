@@ -1,0 +1,193 @@
+//! CI perf gate: compares a fresh `BENCH.json` against a committed
+//! baseline and fails on shared-HAMLET throughput regressions, and
+//! checks that the workers sweep actually scales.
+//!
+//! ```text
+//! cargo run -p hamlet-bench --release --bin perf_gate -- BENCH.json bench-baseline.json
+//! ```
+//!
+//! Flags:
+//! - `--max-regression <frac>`  allowed throughput drop vs baseline per
+//!   (figure, x) point for the gated system (default 0.25)
+//! - `--min-scaling <factor>`   required 4-worker over 1-worker speedup in
+//!   `fig_scaling` (default 1.5; 0 disables the check)
+//! - `--system <name>`          system to gate on (default `HAMLET`)
+//!
+//! Exit code 0 = pass, 1 = regression/scaling failure, 2 = usage or
+//! unreadable/invalid input.
+
+use hamlet_bench::json::{self, Json};
+
+/// Flattened view of one measured point.
+struct Point {
+    figure: String,
+    x: String,
+    throughput: f64,
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("hamlet-bench-v1") => Ok(doc),
+        other => Err(format!("{path}: unexpected schema {other:?}")),
+    }
+}
+
+/// Extracts every (figure, x) throughput for one system name.
+fn points(doc: &Json, system: &str) -> Vec<Point> {
+    let mut out = Vec::new();
+    let Some(figs) = doc.get("figures").and_then(Json::as_arr) else {
+        return out;
+    };
+    for fig in figs {
+        let figure = fig.get("id").and_then(Json::as_str).unwrap_or("?");
+        for row in fig.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+            let x = row.get("x").and_then(Json::as_str).unwrap_or("?");
+            for m in row
+                .get("measurements")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+            {
+                if m.get("system").and_then(Json::as_str) == Some(system) {
+                    if let Some(tp) = m.get("throughput_eps").and_then(Json::as_f64) {
+                        out.push(Point {
+                            figure: figure.to_string(),
+                            x: x.to_string(),
+                            throughput: tp,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regression = 0.25f64;
+    let mut min_scaling = 1.5f64;
+    let mut system = "HAMLET".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--max-regression" => {
+                max_regression = take("--max-regression").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --max-regression: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--min-scaling" => {
+                min_scaling = take("--min-scaling").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --min-scaling: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--system" => system = take("--system"),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [current_path, baseline_path] = paths.as_slice() else {
+        eprintln!("usage: perf_gate <current BENCH.json> <baseline.json> [flags]");
+        std::process::exit(2);
+    };
+    let (current, baseline) = match (load(current_path), load(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for r in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("{r}");
+            }
+            std::process::exit(2);
+        }
+    };
+
+    let mut failures = 0u32;
+
+    // 1. Throughput regression of the gated system vs the baseline.
+    let base_points = points(&baseline, &system);
+    let cur_points = points(&current, &system);
+    if base_points.is_empty() {
+        eprintln!("warning: baseline has no {system} measurements; nothing gated");
+    }
+    for bp in &base_points {
+        let Some(cp) = cur_points
+            .iter()
+            .find(|p| p.figure == bp.figure && p.x == bp.x)
+        else {
+            println!(
+                "MISS {}/{} {}: point present in baseline but not measured now",
+                bp.figure, bp.x, system
+            );
+            failures += 1;
+            continue;
+        };
+        let ratio = cp.throughput / bp.throughput.max(f64::MIN_POSITIVE);
+        let verdict = if ratio < 1.0 - max_regression {
+            failures += 1;
+            "FAIL"
+        } else {
+            "OK  "
+        };
+        println!(
+            "{verdict} {}/{} {}: {:.0} ev/s vs baseline {:.0} ({:+.1}%)",
+            bp.figure,
+            bp.x,
+            system,
+            cp.throughput,
+            bp.throughput,
+            (ratio - 1.0) * 100.0
+        );
+    }
+
+    // 2. The workers sweep must actually scale.
+    if min_scaling > 0.0 {
+        let t1 = points(&current, "HAMLET-par1")
+            .into_iter()
+            .find(|p| p.figure == "fig_scaling" && p.x == "1");
+        let t4 = points(&current, "HAMLET-par4")
+            .into_iter()
+            .find(|p| p.figure == "fig_scaling" && p.x == "4");
+        match (t1, t4) {
+            (Some(t1), Some(t4)) => {
+                let speedup = t4.throughput / t1.throughput.max(f64::MIN_POSITIVE);
+                if speedup >= min_scaling {
+                    println!(
+                        "OK   fig_scaling: 4 workers = {speedup:.2}x of 1 worker \
+                         (needs >= {min_scaling:.2}x)"
+                    );
+                } else {
+                    println!(
+                        "FAIL fig_scaling: 4 workers = {speedup:.2}x of 1 worker \
+                         (needs >= {min_scaling:.2}x)"
+                    );
+                    failures += 1;
+                }
+            }
+            _ => {
+                println!(
+                    "FAIL fig_scaling: workers sweep missing from {current_path} \
+                     (run the full sweep or pass --min-scaling 0)"
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("perf gate: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("perf gate: all checks passed");
+}

@@ -11,13 +11,14 @@
 #![warn(missing_docs)]
 
 use hamlet_baselines::{GretaEngine, SharonEngine, TwoStepEngine};
-use hamlet_core::{EngineConfig, HamletEngine, SharingPolicy};
+use hamlet_core::{EngineConfig, HamletEngine, ParallelEngine, SharingPolicy};
 use hamlet_query::Query;
 use hamlet_types::{Event, TypeRegistry};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub mod figures;
+pub mod json;
 
 /// The systems compared in §6 (Table 1 / Fig. 9).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -34,18 +35,22 @@ pub enum System {
     Sharon,
     /// The MCEP-style two-step baseline (trend construction).
     TwoStep,
+    /// HAMLET's shared-nothing parallel path: `n` shard-owning engines
+    /// behind a batching router (`hamlet_core::ParallelEngine`).
+    HamletParallel(u32),
 }
 
 impl System {
-    /// Display name used in tables.
-    pub fn name(&self) -> &'static str {
+    /// Display name used in tables and in `BENCH.json`.
+    pub fn name(&self) -> String {
         match self {
-            System::Hamlet => "HAMLET",
-            System::HamletStatic => "HAMLET-static",
-            System::HamletNoShare => "HAMLET-noshare",
-            System::Greta => "GRETA",
-            System::Sharon => "SHARON",
-            System::TwoStep => "MCEP-2step",
+            System::Hamlet => "HAMLET".into(),
+            System::HamletStatic => "HAMLET-static".into(),
+            System::HamletNoShare => "HAMLET-noshare".into(),
+            System::Greta => "GRETA".into(),
+            System::Sharon => "SHARON".into(),
+            System::TwoStep => "MCEP-2step".into(),
+            System::HamletParallel(w) => format!("HAMLET-par{w}"),
         }
     }
 }
@@ -149,6 +154,25 @@ pub fn run_system(
     };
     let t0 = Instant::now();
     match system {
+        System::HamletParallel(workers) => {
+            let eng = ParallelEngine::new(
+                reg.clone(),
+                queries.to_vec(),
+                EngineConfig::default(),
+                workers,
+            )
+            .expect("parallel engine builds");
+            let report = eng.run(events);
+            m.results = report.results.len() as u64;
+            m.wall = t0.elapsed();
+            m.latency_avg = report.merged_latency().avg();
+            m.peak_mem_bytes = report.total_peak_mem();
+            let s = report.merged_stats();
+            m.snapshots = s.runs.snapshots();
+            m.shared_bursts = s.runs.shared_bursts;
+            m.solo_bursts = s.runs.solo_bursts;
+            m.transitions = s.runs.merges + s.runs.splits;
+        }
         System::Hamlet | System::HamletStatic | System::HamletNoShare => {
             let policy = match system {
                 System::Hamlet => SharingPolicy::Dynamic,
@@ -219,6 +243,44 @@ pub fn run_system(
     m
 }
 
+/// Serializes measured figures as the machine-readable `BENCH.json`
+/// report: one document with the run mode and, per figure, its id,
+/// x-axis, and per-system measurements (throughput, latency, peak
+/// memory, sharing counters). The CI perf gate (`perf_gate` binary)
+/// consumes this format and compares it against a committed baseline.
+pub fn bench_json(mode: &str, figs: &[figures::Figure]) -> String {
+    let mut fig_docs = Vec::with_capacity(figs.len());
+    for fig in figs {
+        let rows: Vec<String> = fig
+            .rows
+            .iter()
+            .map(|(x, ms)| {
+                let measurements: Vec<String> = ms
+                    .iter()
+                    .map(|m| format!("        {}", m.to_json()))
+                    .collect();
+                format!(
+                    "      {{\"x\": \"{}\", \"measurements\": [\n{}\n      ]}}",
+                    json::escape(x),
+                    measurements.join(",\n")
+                )
+            })
+            .collect();
+        fig_docs.push(format!(
+            "    {{\"id\": \"{}\", \"title\": \"{}\", \"x_label\": \"{}\", \"rows\": [\n{}\n    ]}}",
+            json::escape(fig.id),
+            json::escape(&fig.title),
+            json::escape(fig.x_label),
+            rows.join(",\n")
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"hamlet-bench-v1\",\n  \"mode\": \"{}\",\n  \"figures\": [\n{}\n  ]\n}}\n",
+        json::escape(mode),
+        fig_docs.join(",\n")
+    )
+}
+
 /// Renders rows as a markdown table keyed by an x-axis label.
 pub fn markdown_table(x_label: &str, rows: &[(String, Vec<Measurement>)]) -> String {
     let mut out = String::new();
@@ -276,6 +338,7 @@ mod tests {
             System::Greta,
             System::Sharon,
             System::TwoStep,
+            System::HamletParallel(2),
         ] {
             let m = run_system(sys, &reg, &queries, &events, &hcfg);
             assert_eq!(m.events, 600);
@@ -285,11 +348,45 @@ mod tests {
         }
         // HAMLET variants expose sharing counters.
         assert!(rows[0].1.shared_bursts + rows[0].1.solo_bursts > 0);
-        let table = markdown_table(
-            "x",
-            &[("600".into(), rows.into_iter().map(|(_, m)| m).collect())],
-        );
+        let ms: Vec<Measurement> = rows.into_iter().map(|(_, m)| m).collect();
+        let table = markdown_table("x", &[("600".into(), ms.clone())]);
         assert!(table.contains("HAMLET"));
         assert!(table.contains("GRETA"));
+        assert!(table.contains("HAMLET-par2"));
+
+        // The machine-readable report parses back and carries the §6.1
+        // metrics per system.
+        let fig = figures::Figure {
+            id: "test_fig",
+            title: "harness \"smoke\"".into(),
+            rows: vec![("600".into(), ms)],
+            x_label: "events/min",
+        };
+        let doc = bench_json("quick", &[fig]);
+        let v = json::parse(&doc).expect("BENCH.json parses");
+        assert_eq!(
+            v.get("schema").and_then(json::Json::as_str),
+            Some("hamlet-bench-v1")
+        );
+        let figs = v.get("figures").and_then(json::Json::as_arr).unwrap();
+        let row = figs[0].get("rows").and_then(json::Json::as_arr).unwrap();
+        let measurements = row[0]
+            .get("measurements")
+            .and_then(json::Json::as_arr)
+            .unwrap();
+        assert_eq!(measurements.len(), 7);
+        for m in measurements {
+            assert!(
+                m.get("throughput_eps")
+                    .and_then(json::Json::as_f64)
+                    .unwrap()
+                    > 0.0
+            );
+            assert!(m
+                .get("peak_mem_bytes")
+                .and_then(json::Json::as_f64)
+                .is_some());
+            assert!(m.get("latency_avg").and_then(json::Json::as_f64).is_some());
+        }
     }
 }

@@ -150,6 +150,41 @@ pub struct EngineStats {
     pub events_routed: u64,
 }
 
+impl EngineStats {
+    /// Accumulates another engine's counters, e.g. to aggregate the
+    /// per-worker statistics of a [`crate::parallel::ParallelEngine`] run
+    /// into one workload-level view.
+    pub fn merge(&mut self, o: &EngineStats) {
+        self.runs.add(&o.runs);
+        self.decisions += o.decisions;
+        self.decision_time += o.decision_time;
+        self.windows_emitted += o.windows_emitted;
+        self.events_routed += o.events_routed;
+    }
+}
+
+/// Maps a partition key to its owning shard under `total`-way sharding —
+/// the single hash both the engine's `EngineConfig::shard` filter and the
+/// parallel router use, so they can never disagree.
+pub(crate) fn shard_index(key: &GroupKey, total: u32) -> u32 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % total as u64) as u32
+}
+
+/// Sorts window results into the canonical report order: ascending
+/// `(window_start, query, group_key)`. This is the order
+/// [`crate::parallel::ParallelReport::results`] guarantees; applying it to
+/// a single-threaded run makes the two byte-comparable.
+pub fn sort_results(results: &mut [WindowResult]) {
+    results.sort_by(|a, b| {
+        (a.window_start, a.query)
+            .cmp(&(b.window_start, b.query))
+            .then_with(|| a.group_key.total_cmp(&b.group_key))
+    });
+}
+
 struct RunState {
     run: Run,
     burst_ty: Option<usize>,
@@ -303,6 +338,39 @@ impl HamletEngine {
         self.groups.len()
     }
 
+    /// Bitmask of the shards (under `total`-way sharding, `total` ≤ 64)
+    /// that must see `e`: for each share group the event is local to, the
+    /// bit of the shard owning its partition key is set. An event can
+    /// carry different keys in different groups, so more than one bit may
+    /// be set; an event no group accepts routes nowhere (empty mask).
+    ///
+    /// Uses the same hash as the `EngineConfig::shard` filter, so a
+    /// sharded engine fed only the events whose mask covers its index
+    /// computes exactly what it would from the full stream.
+    pub fn shard_mask(&self, e: &Event, total: u32) -> u64 {
+        assert!(
+            (1..=64).contains(&total),
+            "shard_mask needs 1..=64 shards, got {total}"
+        );
+        let full: u64 = if total == 64 {
+            u64::MAX
+        } else {
+            (1u64 << total) - 1
+        };
+        let mut mask = 0u64;
+        for g in &self.groups {
+            if g.rt.template.local(e.ty).is_none() {
+                continue;
+            }
+            let key = g.partition_key(&self.reg, e);
+            mask |= 1u64 << shard_index(&key, total);
+            if mask == full {
+                break;
+            }
+        }
+        mask
+    }
+
     /// Processes one event; returns results of windows closed by the
     /// watermark advance.
     pub fn process(&mut self, e: &Event) -> Vec<WindowResult> {
@@ -319,10 +387,7 @@ impl HamletEngine {
             };
             let key = self.groups[gi].partition_key(&reg, e);
             if let Some((idx, total)) = self.cfg.shard {
-                use std::hash::{Hash, Hasher};
-                let mut h = std::collections::hash_map::DefaultHasher::new();
-                key.hash(&mut h);
-                if (h.finish() % total as u64) as u32 != idx {
+                if shard_index(&key, total) != idx {
                     continue;
                 }
             }
@@ -459,6 +524,13 @@ impl HamletEngine {
 
     /// Finalizes all in-flight windows (end of stream).
     pub fn flush(&mut self) -> Vec<WindowResult> {
+        // Capture the end-of-stream state before draining it: short
+        // streams (or small shards) may never hit a periodic sample, and
+        // peak_memory() would otherwise read 0.
+        if self.cfg.mem_sample_every > 0 {
+            let bytes = self.state_bytes();
+            self.gauge.sample(bytes);
+        }
         let mut out = Vec::new();
         self.emit_expired(Ts(u64::MAX), &mut out);
         // Any unmatched general-query half emits with the other half = 0

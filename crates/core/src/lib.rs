@@ -53,8 +53,11 @@ pub mod snapshot;
 pub mod template;
 pub mod workload;
 
-pub use executor::{AggValue, EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult};
+pub use executor::{
+    sort_results, AggValue, EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult,
+};
+pub use metrics::LatencyRecorder;
 pub use optimizer::SharingPolicy;
-pub use parallel::{ParallelEngine, ParallelReport};
+pub use parallel::{ParallelEngine, ParallelReport, DEFAULT_BATCH};
 pub use run::{BurstCtx, GroupRuntime, MemberOutput, Run, RunStats};
 pub use workload::{analyze, AggSkeleton, ShareGroup, WorkloadPlan};

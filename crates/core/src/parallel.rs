@@ -3,41 +3,139 @@
 //! HAMLET partitions the stream by grouping/equivalence attributes (§2.2);
 //! partitions are independent, so the classic scale-out move applies: run
 //! one [`HamletEngine`] per worker, each owning the partitions whose key
-//! hashes to its shard (`EngineConfig::shard`). Every worker scans the
-//! whole stream (routing is cheap) but builds graphs, snapshots and
-//! results only for its own partitions — aggregates stay bit-identical to
-//! single-threaded execution, just computed concurrently.
+//! hashes to its shard (`EngineConfig::shard`).
+//!
+//! # Architecture
+//!
+//! A coordinator routes the stream once: for every event it computes the
+//! set of shards that own one of the event's partition keys
+//! ([`HamletEngine::shard_mask`]) and appends the event to those shards'
+//! batch buffers. Full batches are handed to the worker threads over
+//! bounded channels, so routing and processing overlap and no worker ever
+//! scans events it does not own. Each worker therefore processes ~1/w of
+//! the events against ~1/w of the live partitions — the per-event window
+//! bookkeeping shrinks with the shard, which is why sharding pays off
+//! even beyond the machine's core count.
+//!
+//! # Determinism
+//!
+//! Aggregates are bit-identical to single-threaded execution: every
+//! partition is owned by exactly one shard, and each shard computes it
+//! exactly as the single-threaded engine would. At merge time the report
+//! sorts all window results by `(window_start, query, group_key)`
+//! ([`crate::executor::sort_results`]), so [`ParallelReport::results`] is
+//! byte-comparable across runs, worker counts, and against a
+//! single-threaded run sorted the same way.
 //!
 //! This is an offline/batch harness (`run` consumes a finite stream);
 //! per-event pipelined feeding would need backpressure machinery that the
 //! paper's single-node evaluation does not call for.
 
-use crate::executor::{EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult};
+use crate::executor::{
+    sort_results, EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult,
+};
+use crate::metrics::LatencyRecorder;
 use hamlet_query::Query;
 use hamlet_types::{Event, TypeRegistry};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
-/// Result of a parallel run.
+/// Default number of events per routed batch. Large enough to amortize
+/// channel traffic, small enough to keep all workers busy on short
+/// streams.
+pub const DEFAULT_BATCH: usize = 1024;
+
+/// Bounded depth of each worker's batch channel (backpressure: the router
+/// stalls rather than buffering the whole stream for a slow worker).
+const PIPELINE_DEPTH: usize = 4;
+
+/// What one worker returns: results, stats, latency recorder, peak bytes.
+type WorkerOutput = (Vec<WindowResult>, EngineStats, LatencyRecorder, usize);
+
+/// Result of a parallel run: the merged, deterministically ordered window
+/// results plus a per-worker breakdown and aggregate views of the §6.1
+/// metrics.
 pub struct ParallelReport {
-    /// All window results (order unspecified across workers).
+    /// All window results, sorted by `(window_start, query, group_key)`.
+    /// The order is a guarantee: it does not depend on worker count or
+    /// thread scheduling, so two runs of the same workload — parallel or
+    /// single-threaded (after [`sort_results`]) — compare byte-for-byte.
     pub results: Vec<WindowResult>,
-    /// Per-worker engine statistics.
+    /// Per-worker engine statistics (index = shard index).
     pub stats: Vec<EngineStats>,
     /// Per-worker peak byte-accounted state.
     pub peak_mem: Vec<usize>,
+    /// Per-worker result latency recorders.
+    pub latency: Vec<LatencyRecorder>,
+    /// Events fed to the router.
+    pub events: u64,
+    /// End-to-end wall time of the run (routing + processing + merge).
+    pub wall: Duration,
+}
+
+impl ParallelReport {
+    /// Workload-level statistics: every worker's counters accumulated.
+    pub fn merged_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// All workers' latency samples merged into one recorder.
+    pub fn merged_latency(&self) -> LatencyRecorder {
+        let mut total = LatencyRecorder::new();
+        for l in &self.latency {
+            total.merge(l);
+        }
+        total
+    }
+
+    /// Sum of the per-worker peaks — the aggregate state footprint if
+    /// every shard hit its peak simultaneously (upper bound).
+    pub fn total_peak_mem(&self) -> usize {
+        self.peak_mem.iter().sum()
+    }
+
+    /// Largest single-worker peak — what capacity each shard needs.
+    pub fn max_peak_mem(&self) -> usize {
+        self.peak_mem.iter().copied().max().unwrap_or(0)
+    }
+
+    /// End-to-end events per second (router input over wall time).
+    pub fn throughput_eps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of workers that ran.
+    pub fn workers(&self) -> usize {
+        self.stats.len()
+    }
 }
 
 /// Partition-parallel executor: `workers` shard-owning engines over the
-/// same workload.
+/// same workload, fed by a batching router.
 pub struct ParallelEngine {
     reg: Arc<TypeRegistry>,
     queries: Vec<Query>,
     cfg: EngineConfig,
     workers: u32,
+    batch: usize,
+    /// Routing-only engine (never processes events): owns the compiled
+    /// share groups the router needs to map events to shards with exactly
+    /// the hash the workers' shard filters apply.
+    router: HamletEngine,
 }
 
 impl ParallelEngine {
     /// Validates the workload once and prepares a `workers`-way sharding.
+    /// `workers` must be in `1..=64` (the shard mask is a `u64`).
     pub fn new(
         reg: Arc<TypeRegistry>,
         queries: Vec<Query>,
@@ -45,56 +143,155 @@ impl ParallelEngine {
         workers: u32,
     ) -> Result<Self, EngineError> {
         assert!(workers >= 1, "at least one worker");
+        assert!(workers <= 64, "at most 64 workers (shard mask is a u64)");
         // Compile once up front so construction errors surface here, not
-        // inside worker threads.
-        HamletEngine::new(reg.clone(), queries.clone(), cfg.clone())?;
+        // inside worker threads; the compiled engine doubles as the
+        // router's share-group index.
+        let mut router_cfg = cfg.clone();
+        router_cfg.shard = None;
+        router_cfg.track_latency = false;
+        router_cfg.mem_sample_every = 0;
+        let router = HamletEngine::new(reg.clone(), queries.clone(), router_cfg)?;
         Ok(ParallelEngine {
             reg,
             queries,
             cfg,
             workers,
+            batch: DEFAULT_BATCH,
+            router,
         })
     }
 
-    /// Processes a finite stream with one thread per shard and merges the
-    /// window results.
+    /// Overrides the routing batch size (events per channel send).
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "batch size must be positive");
+        self.batch = batch;
+        self
+    }
+
+    /// Processes a finite stream and merges the window results.
     pub fn run(&self, events: &[Event]) -> ParallelReport {
-        let n = self.workers;
-        let mut slots: Vec<Option<(Vec<WindowResult>, EngineStats, usize)>> =
-            (0..n).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
+        self.run_batches(events.chunks(self.batch))
+    }
+
+    /// Streaming variant of [`run`](Self::run): consumes the input batch
+    /// by batch (e.g. from the `batches` helper in `hamlet-stream`) so
+    /// the caller never needs the whole stream in one slice. Input batch
+    /// boundaries only affect pipelining granularity, not results.
+    pub fn run_batches<'a>(&self, batches: impl Iterator<Item = &'a [Event]>) -> ParallelReport {
+        let t0 = Instant::now();
+        let mut events_total = 0u64;
+        let mut report = if self.workers == 1 {
+            // Degenerate case: no routing, no threads — the baseline the
+            // scaling experiments compare against.
+            let mut eng =
+                HamletEngine::new(self.reg.clone(), self.queries.clone(), self.cfg.clone())
+                    .expect("validated in ParallelEngine::new");
+            let mut out = Vec::new();
+            for batch in batches {
+                events_total += batch.len() as u64;
+                for e in batch {
+                    out.extend(eng.process(e));
+                }
+            }
+            out.extend(eng.flush());
+            self.collect(vec![(
+                out,
+                *eng.stats(),
+                eng.latency().clone(),
+                eng.peak_memory(),
+            )])
+        } else {
+            self.run_sharded(batches, &mut events_total)
+        };
+        sort_results(&mut report.results);
+        report.events = events_total;
+        report.wall = t0.elapsed();
+        report
+    }
+
+    /// Routes batches to `workers` shard-owning engines on worker threads.
+    fn run_sharded<'a>(
+        &self,
+        batches: impl Iterator<Item = &'a [Event]>,
+        events_total: &mut u64,
+    ) -> ParallelReport {
+        let n = self.workers as usize;
+        let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
             for idx in 0..n {
+                let (tx, rx) = mpsc::sync_channel::<Vec<Event>>(PIPELINE_DEPTH);
+                txs.push(tx);
                 let reg = self.reg.clone();
                 let queries = self.queries.clone();
                 let mut cfg = self.cfg.clone();
-                if n > 1 {
-                    cfg.shard = Some((idx, n));
-                }
+                cfg.shard = Some((idx as u32, self.workers));
                 handles.push(scope.spawn(move || {
                     let mut eng = HamletEngine::new(reg, queries, cfg)
                         .expect("validated in ParallelEngine::new");
                     let mut out = Vec::new();
-                    for e in events {
-                        out.extend(eng.process(e));
+                    while let Ok(batch) = rx.recv() {
+                        for e in &batch {
+                            out.extend(eng.process(e));
+                        }
                     }
                     out.extend(eng.flush());
-                    (out, *eng.stats(), eng.peak_memory())
+                    (out, *eng.stats(), eng.latency().clone(), eng.peak_memory())
                 }));
             }
-            for (idx, h) in handles.into_iter().enumerate() {
-                slots[idx] = Some(h.join().expect("worker thread panicked"));
+            let mut buffers: Vec<Vec<Event>> =
+                (0..n).map(|_| Vec::with_capacity(self.batch)).collect();
+            for input in batches {
+                *events_total += input.len() as u64;
+                for e in input {
+                    // One bit per shard that owns one of the event's
+                    // partition keys (usually one; an event local to
+                    // several share groups can carry several keys).
+                    let mut mask = self.router.shard_mask(e, self.workers);
+                    while mask != 0 {
+                        let idx = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        buffers[idx].push(e.clone());
+                        if buffers[idx].len() >= self.batch {
+                            let full = std::mem::replace(
+                                &mut buffers[idx],
+                                Vec::with_capacity(self.batch),
+                            );
+                            // A send only fails if the worker died; the
+                            // join below surfaces its panic.
+                            let _ = txs[idx].send(full);
+                        }
+                    }
+                }
             }
+            for (idx, buf) in buffers.into_iter().enumerate() {
+                if !buf.is_empty() {
+                    let _ = txs[idx].send(buf);
+                }
+            }
+            drop(txs); // end-of-stream: workers drain and flush
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
         });
+        self.collect(outputs)
+    }
+
+    fn collect(&self, outputs: Vec<WorkerOutput>) -> ParallelReport {
         let mut report = ParallelReport {
             results: Vec::new(),
             stats: Vec::new(),
             peak_mem: Vec::new(),
+            latency: Vec::new(),
+            events: 0,
+            wall: Duration::ZERO,
         };
-        for slot in slots.into_iter().flatten() {
-            let (results, stats, peak) = slot;
+        for (results, stats, latency, peak) in outputs {
             report.results.extend(results);
             report.stats.push(stats);
+            report.latency.push(latency);
             report.peak_mem.push(peak);
         }
         report
@@ -139,28 +336,19 @@ mod tests {
         (reg, queries, events)
     }
 
-    fn norm(mut rs: Vec<WindowResult>) -> Vec<String> {
-        rs.retain(|r| !matches!(r.value, crate::AggValue::Count(0) | crate::AggValue::Null));
-        let mut v: Vec<String> = rs
-            .iter()
-            .map(|r| {
-                format!(
-                    "{:?}|{}|{}|{:?}",
-                    r.query, r.group_key, r.window_start, r.value
-                )
-            })
-            .collect();
-        v.sort();
-        v
-    }
-
     #[test]
-    fn parallel_matches_single_threaded() {
+    fn parallel_matches_single_threaded_bit_identically() {
         let (reg, queries, events) = setup();
-        let single = ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 1)
-            .unwrap()
-            .run(&events);
-        for workers in [2u32, 4, 7] {
+        // Reference: the raw engine, results sorted into report order.
+        let mut eng =
+            HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default()).unwrap();
+        let mut reference = Vec::new();
+        for e in &events {
+            reference.extend(eng.process(e));
+        }
+        reference.extend(eng.flush());
+        sort_results(&mut reference);
+        for workers in [1u32, 2, 4, 7] {
             let par = ParallelEngine::new(
                 reg.clone(),
                 queries.clone(),
@@ -169,13 +357,65 @@ mod tests {
             )
             .unwrap()
             .run(&events);
-            assert_eq!(
-                norm(single.results.clone()),
-                norm(par.results.clone()),
-                "{workers} workers"
-            );
+            // No normalization: the full result set — zero rows included —
+            // is identical, in identical order.
+            assert_eq!(reference, par.results, "{workers} workers");
             assert_eq!(par.stats.len(), workers as usize);
+            assert_eq!(par.latency.len(), workers as usize);
+            assert_eq!(par.events, events.len() as u64);
         }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let (reg, queries, events) = setup();
+        let base = ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 4)
+            .unwrap()
+            .run(&events);
+        for batch in [1usize, 7, 1024] {
+            let par = ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 4)
+                .unwrap()
+                .with_batch_size(batch)
+                .run(&events);
+            assert_eq!(base.results, par.results, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_by_window_query_key() {
+        let (reg, queries, events) = setup();
+        let par = ParallelEngine::new(reg.clone(), queries, EngineConfig::default(), 4)
+            .unwrap()
+            .run(&events);
+        for pair in par.results.windows(2) {
+            let ord = (pair[0].window_start, pair[0].query)
+                .cmp(&(pair[1].window_start, pair[1].query))
+                .then_with(|| pair[0].group_key.total_cmp(&pair[1].group_key));
+            assert_ne!(ord, std::cmp::Ordering::Greater, "unsorted: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn report_aggregates_workers() {
+        let (reg, queries, events) = setup();
+        let par = ParallelEngine::new(reg.clone(), queries, EngineConfig::default(), 4)
+            .unwrap()
+            .run(&events);
+        let merged = par.merged_stats();
+        assert_eq!(
+            merged.events_routed,
+            par.stats.iter().map(|s| s.events_routed).sum::<u64>()
+        );
+        assert_eq!(merged.windows_emitted, par.results.len() as u64);
+        assert_eq!(par.total_peak_mem(), par.peak_mem.iter().sum::<usize>());
+        assert!(par.max_peak_mem() <= par.total_peak_mem());
+        assert_eq!(
+            par.merged_latency().count(),
+            par.latency.iter().map(|l| l.count()).sum::<u64>()
+        );
+        assert!(par.wall > Duration::ZERO);
+        assert!(par.throughput_eps() > 0.0);
+        assert_eq!(par.workers(), 4);
     }
 
     #[test]
@@ -194,6 +434,9 @@ mod tests {
         // Work split across more than one worker.
         let active = par.stats.iter().filter(|s| s.events_routed > 0).count();
         assert!(active >= 2, "work spread over workers: {active}");
+        // Routing is exact: no worker saw more events than the stream.
+        let routed: u64 = par.stats.iter().map(|s| s.events_routed).sum();
+        assert!(routed <= events.len() as u64 * 2, "routing not broadcast");
         // Each result belongs to exactly one query per key/window (no
         // duplicates across workers).
         let mut seen = std::collections::BTreeSet::new();
@@ -212,5 +455,12 @@ mod tests {
     fn zero_workers_rejected() {
         let (reg, queries, _) = setup();
         let _ = ParallelEngine::new(reg, queries, EngineConfig::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 workers")]
+    fn too_many_workers_rejected() {
+        let (reg, queries, _) = setup();
+        let _ = ParallelEngine::new(reg, queries, EngineConfig::default(), 65);
     }
 }

@@ -167,6 +167,16 @@ pub fn generate_stream(
     out
 }
 
+/// Iterates a stream in contiguous batches of at most `size` events — the
+/// unit of work the parallel router hands to shard workers. The final
+/// batch holds the remainder. Feeding `ParallelEngine::run_batches` with
+/// these batches pipelines routing and processing without materializing
+/// per-shard copies of the whole stream up front.
+pub fn batches(events: &[Event], size: usize) -> impl Iterator<Item = &[Event]> {
+    assert!(size >= 1, "batch size must be positive");
+    events.chunks(size)
+}
+
 /// Measures the empirical mean same-type run length of a stream (used in
 /// tests to validate the burst model).
 pub fn mean_run_length(events: &[Event]) -> f64 {
@@ -253,5 +263,24 @@ mod tests {
     #[should_panic(expected = "empty type mix")]
     fn empty_mix_rejected() {
         BurstyMix::new(&[], 2.0);
+    }
+
+    #[test]
+    fn batches_cover_stream_in_order() {
+        let (_, ts) = mini_registry();
+        let evs: Vec<Event> = (0..10).map(|t| Event::new(Ts(t), ts[0], vec![])).collect();
+        let got: Vec<&[Event]> = batches(&evs, 4).collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].len(), 4);
+        assert_eq!(got[2].len(), 2); // remainder
+        let flat: Vec<Event> = got.into_iter().flatten().cloned().collect();
+        assert_eq!(flat, evs);
+        assert_eq!(batches(&[], 4).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = batches(&[], 0);
     }
 }

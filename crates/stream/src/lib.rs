@@ -25,4 +25,4 @@ pub mod smart_home;
 pub mod stock;
 pub mod zipf;
 
-pub use common::GenConfig;
+pub use common::{batches, GenConfig};

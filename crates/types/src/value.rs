@@ -126,6 +126,21 @@ impl GroupKey {
     pub fn empty() -> Self {
         GroupKey(Vec::new())
     }
+
+    /// Total order over keys: lexicographic over the attribute values,
+    /// each compared with [`AttrValue::total_cmp`]. `GroupKey` cannot
+    /// implement `Ord` (floats are only partially ordered under `==`),
+    /// but result merging needs a deterministic sort — this is it.
+    pub fn total_cmp(&self, other: &GroupKey) -> std::cmp::Ordering {
+        let common = self.0.len().min(other.0.len());
+        for i in 0..common {
+            match self.0[i].total_cmp(&other.0[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
 }
 
 impl fmt::Display for GroupKey {
@@ -272,6 +287,19 @@ mod tests {
         let b = AttrValue::Float(1.5);
         assert_eq!(hash_of(&a), hash_of(&b));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn group_key_total_order() {
+        use std::cmp::Ordering::*;
+        let k = |vs: &[i64]| GroupKey(vs.iter().map(|&v| AttrValue::Int(v)).collect());
+        assert_eq!(k(&[1, 2]).total_cmp(&k(&[1, 3])), Less);
+        assert_eq!(k(&[2]).total_cmp(&k(&[1, 9])), Greater);
+        assert_eq!(k(&[1]).total_cmp(&k(&[1, 0])), Less); // prefix sorts first
+        assert_eq!(k(&[7]).total_cmp(&k(&[7])), Equal);
+        // Mixed types follow AttrValue::total_cmp (numerics before strings).
+        let mixed = GroupKey(vec![AttrValue::from("a")]);
+        assert_eq!(k(&[9]).total_cmp(&mixed), Less);
     }
 
     #[test]

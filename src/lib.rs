@@ -62,7 +62,10 @@ pub use hamlet_types;
 /// Convenient single-import surface.
 pub mod prelude {
     pub use hamlet_baselines::{GretaEngine, SharonEngine, TwoStepEngine};
-    pub use hamlet_core::{AggValue, EngineConfig, HamletEngine, SharingPolicy, WindowResult};
+    pub use hamlet_core::{
+        sort_results, AggValue, EngineConfig, HamletEngine, ParallelEngine, ParallelReport,
+        SharingPolicy, WindowResult,
+    };
     pub use hamlet_query::{parse_pattern, parse_query, AggFunc, Pattern, Query, QueryId, Window};
     pub use hamlet_stream::GenConfig;
     pub use hamlet_types::{

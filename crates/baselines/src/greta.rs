@@ -222,7 +222,7 @@ impl GretaEngine {
             let (mm_id, _) = mm_identity(&meta.skeleton);
             for (key, runs) in qx.partitions.iter_mut() {
                 while let Some((&start, _)) = runs.first_key_value() {
-                    if start + within > watermark.ticks() {
+                    if hamlet_types::time::window_end(start, within) > watermark.ticks() {
                         break;
                     }
                     let run = runs.remove(&start).expect("first key exists");

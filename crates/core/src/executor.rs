@@ -16,8 +16,10 @@ use crate::optimizer::{decide, DivergenceEstimator, SharingPolicy};
 use crate::run::{GroupRuntime, MemberOutput, Run, RunStats};
 use crate::workload::{self, WorkloadError};
 use hamlet_query::{AggFunc, Query, QueryId, Window};
+use hamlet_types::time::window_end;
 use hamlet_types::{AttrValue, Event, GroupKey, Ts, TypeRegistry};
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -148,6 +150,12 @@ pub struct EngineStats {
     pub windows_emitted: u64,
     /// Events accepted by at least one group.
     pub events_routed: u64,
+    /// Entries pushed into the watermark expiration index (= runs
+    /// created; each live run is indexed exactly once).
+    pub expiry_pushes: u64,
+    /// Index entries popped whose run was already gone (lazy
+    /// invalidation); stays 0 unless a run is drained out of band.
+    pub expiry_tombstones: u64,
 }
 
 impl EngineStats {
@@ -160,6 +168,8 @@ impl EngineStats {
         self.decision_time += o.decision_time;
         self.windows_emitted += o.windows_emitted;
         self.events_routed += o.events_routed;
+        self.expiry_pushes += o.expiry_pushes;
+        self.expiry_tombstones += o.expiry_tombstones;
     }
 }
 
@@ -231,6 +241,47 @@ impl GroupExec {
     }
 }
 
+/// One live run in the watermark expiration index.
+///
+/// The engine keeps a min-heap of these ordered by `(end, start, group,
+/// key)`: `emit_expired(wm)` pops exactly the runs whose window end has
+/// passed `wm` — O(k log n) for k expirations — instead of scanning every
+/// live partition of every group per event. An entry is pushed once per
+/// run creation; if the run is gone by the time its entry surfaces (lazy
+/// invalidation) the pop is a tombstone and is skipped.
+struct ExpiryEntry {
+    /// Window end (`start + within`, saturating — see [`window_end`]).
+    end: u64,
+    /// Window instance start.
+    start: u64,
+    /// Owning share group index.
+    group: usize,
+    /// Partition key within the group.
+    key: GroupKey,
+}
+
+impl PartialEq for ExpiryEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for ExpiryEntry {}
+
+impl PartialOrd for ExpiryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ExpiryEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.end, self.start, self.group)
+            .cmp(&(other.end, other.start, other.group))
+            .then_with(|| self.key.total_cmp(&other.key))
+    }
+}
+
 /// Identifies a decomposed general query's halves.
 struct Combiner {
     orig: QueryId,
@@ -250,6 +301,14 @@ pub struct HamletEngine {
     sub_of: HashMap<QueryId, usize>,
     /// (combiner, key, window) → the half that arrived first.
     pending: HashMap<(usize, GroupKey, u64), (QueryId, u64)>,
+    /// Watermark expiration index: min-heap over the window ends of every
+    /// live run, across all groups (see [`ExpiryEntry`]).
+    expiry: BinaryHeap<Reverse<ExpiryEntry>>,
+    /// Test-only oracle switch: route expiry through the old full
+    /// partition scan instead of the index (kept as the reference the
+    /// property tests compare the heap path against).
+    #[cfg(test)]
+    scan_expiry: bool,
     stats: EngineStats,
     latency: LatencyRecorder,
     gauge: MemoryGauge,
@@ -326,6 +385,9 @@ impl HamletEngine {
             combiners,
             sub_of,
             pending: HashMap::new(),
+            expiry: BinaryHeap::new(),
+            #[cfg(test)]
+            scan_expiry: false,
             stats: EngineStats::default(),
             latency: LatencyRecorder::new(),
             gauge: MemoryGauge::new(),
@@ -400,11 +462,30 @@ impl HamletEngine {
             let starts: Vec<Ts> = window.instances_containing(e.time).collect();
             let mode = self.cfg.divergence;
             let g = &mut self.groups[gi];
-            let runs = g.partitions.entry(key).or_default();
+            let within = g.window.within;
+            // Zero-clone hit path: only a first-seen key pays the clone
+            // into the map (new-run heap pushes below clone either way).
+            if !g.partitions.contains_key(&key) {
+                g.partitions.insert(key.clone(), BTreeMap::new());
+            }
+            let runs = g.partitions.get_mut(&key).expect("inserted above");
             for start in starts {
-                let rs = runs
-                    .entry(start.ticks())
-                    .or_insert_with(|| RunState::new(rt.clone()));
+                let rs = match runs.entry(start.ticks()) {
+                    std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        // New run: index its expiration once. Re-touching
+                        // an existing (key, start) takes the occupied arm,
+                        // so the heap never holds duplicate live entries.
+                        self.expiry.push(Reverse(ExpiryEntry {
+                            end: window_end(start.ticks(), within),
+                            start: start.ticks(),
+                            group: gi,
+                            key: key.clone(),
+                        }));
+                        self.stats.expiry_pushes += 1;
+                        v.insert(RunState::new(rt.clone()))
+                    }
+                };
                 if rs.burst_ty != Some(tl) || rs.burst_pane != pane_idx {
                     flush_burst(rs, policy, mode, &mut g.estimator, &mut self.stats);
                 }
@@ -430,16 +511,58 @@ impl HamletEngine {
     }
 
     /// Emits every window whose end has passed the watermark.
+    ///
+    /// Pops the expiration index instead of scanning live partitions:
+    /// O(k log n) for k expirations, O(1) when nothing expires — the
+    /// common per-event case. Emission follows the defined total order
+    /// `(window_start, group, key)`, so single-threaded output is
+    /// deterministic by construction (the same order
+    /// [`sort_results`] / [`crate::parallel::ParallelReport`] guarantee
+    /// within one window instance).
     fn emit_expired(&mut self, watermark: Ts, out: &mut Vec<WindowResult>) {
+        #[cfg(test)]
+        if self.scan_expiry {
+            self.emit_expired_scan(watermark, out);
+            return;
+        }
+        let wm = watermark.ticks();
+        let mut finished: Vec<(usize, GroupKey, u64, RunState)> = Vec::new();
+        while self.expiry.peek().is_some_and(|Reverse(e)| e.end <= wm) {
+            let Reverse(e) = self.expiry.pop().expect("peeked above");
+            let g = &mut self.groups[e.group];
+            // Lazy invalidation: skip entries whose run is already gone.
+            let Some(runs) = g.partitions.get_mut(&e.key) else {
+                self.stats.expiry_tombstones += 1;
+                continue;
+            };
+            let Some(rs) = runs.remove(&e.start) else {
+                self.stats.expiry_tombstones += 1;
+                continue;
+            };
+            if runs.is_empty() {
+                g.partitions.remove(&e.key);
+            }
+            finished.push((e.group, e.key, e.start, rs));
+        }
+        self.finalize_finished(finished, out);
+    }
+
+    /// Reference implementation of expiry selection: the pre-index full
+    /// scan over every live partition of every group (O(P) per call).
+    /// Kept only as the oracle the property tests compare the indexed
+    /// path against — emission goes through the same
+    /// [`finalize_finished`](Self::finalize_finished), so any divergence
+    /// is in *which* runs expire, the property under test.
+    #[cfg(test)]
+    fn emit_expired_scan(&mut self, watermark: Ts, out: &mut Vec<WindowResult>) {
+        let mut finished: Vec<(usize, GroupKey, u64, RunState)> = Vec::new();
         for gi in 0..self.groups.len() {
             let within = self.groups[gi].window.within;
-            let policy = self.cfg.policy;
-            let mut finished: Vec<(GroupKey, u64, RunState)> = Vec::new();
             for (key, runs) in self.groups[gi].partitions.iter_mut() {
                 while let Some((&start, _)) = runs.first_key_value() {
-                    if start + within <= watermark.ticks() {
+                    if window_end(start, within) <= watermark.ticks() {
                         let rs = runs.remove(&start).expect("first key exists");
-                        finished.push((key.clone(), start, rs));
+                        finished.push((gi, key.clone(), start, rs));
                     } else {
                         break;
                     }
@@ -448,23 +571,46 @@ impl HamletEngine {
             self.groups[gi]
                 .partitions
                 .retain(|_, runs| !runs.is_empty());
-            let mode = self.cfg.divergence;
-            for (key, start, mut rs) in finished {
-                flush_burst(
-                    &mut rs,
-                    policy,
-                    mode,
-                    &mut self.groups[gi].estimator,
-                    &mut self.stats,
-                );
-                let outputs = rs.run.finalize();
-                self.stats.runs.add(rs.run.stats());
-                if let Some(arr) = rs.last_arrival {
-                    self.latency.record(arr.elapsed());
-                }
-                self.emit_run(gi, &key, start, &outputs, out);
-            }
         }
+        self.finalize_finished(finished, out);
+    }
+
+    /// Finalizes a batch of expired runs and emits their results in the
+    /// defined total order `(window_start, group, key)`.
+    fn finalize_finished(
+        &mut self,
+        mut finished: Vec<(usize, GroupKey, u64, RunState)>,
+        out: &mut Vec<WindowResult>,
+    ) {
+        finished.sort_by(|a, b| {
+            (a.2, a.0)
+                .cmp(&(b.2, b.0))
+                .then_with(|| a.1.total_cmp(&b.1))
+        });
+        let policy = self.cfg.policy;
+        let mode = self.cfg.divergence;
+        for (gi, key, start, mut rs) in finished {
+            flush_burst(
+                &mut rs,
+                policy,
+                mode,
+                &mut self.groups[gi].estimator,
+                &mut self.stats,
+            );
+            let outputs = rs.run.finalize();
+            self.stats.runs.add(rs.run.stats());
+            if let Some(arr) = rs.last_arrival {
+                self.latency.record(arr.elapsed());
+            }
+            self.emit_run(gi, &key, start, &outputs, out);
+        }
+    }
+
+    /// Test-only: route expiry through the full-scan oracle instead of
+    /// the index (see [`emit_expired_scan`](Self::emit_expired_scan)).
+    #[cfg(test)]
+    fn set_scan_expiry(&mut self, on: bool) {
+        self.scan_expiry = on;
     }
 
     fn emit_run(
@@ -534,8 +680,16 @@ impl HamletEngine {
         let mut out = Vec::new();
         self.emit_expired(Ts(u64::MAX), &mut out);
         // Any unmatched general-query half emits with the other half = 0
-        // (its branch matched nothing in that window).
-        let pending: Vec<_> = self.pending.drain().collect();
+        // (its branch matched nothing in that window). `pending` is a
+        // HashMap, so impose the canonical (window_start, query, key)
+        // order before emitting — end-of-stream output must not depend
+        // on hash iteration order.
+        let mut pending: Vec<_> = self.pending.drain().collect();
+        pending.sort_by(|((ca, ka, sa), _), ((cb, kb, sb), _)| {
+            (sa, self.combiners[*ca].orig)
+                .cmp(&(sb, self.combiners[*cb].orig))
+                .then_with(|| ka.total_cmp(kb))
+        });
         for ((ci, key, start), (id, count)) in pending {
             let c = &self.combiners[ci];
             let (c1, c2) = if id == c.left { (count, 0) } else { (0, count) };
@@ -622,7 +776,8 @@ impl HamletEngine {
         self.gauge.peak()
     }
 
-    /// Current byte-accounted state across all live runs and buffers.
+    /// Current byte-accounted state across all live runs, buffers, and
+    /// the watermark expiration index.
     pub fn state_bytes(&self) -> usize {
         let mut b = 0;
         for g in &self.groups {
@@ -633,7 +788,17 @@ impl HamletEngine {
                 }
             }
         }
+        for Reverse(e) in &self.expiry {
+            b += std::mem::size_of::<ExpiryEntry>()
+                + e.key.0.capacity() * std::mem::size_of::<AttrValue>();
+        }
         b
+    }
+
+    /// Live entries in the watermark expiration index (= live runs, plus
+    /// any not-yet-popped tombstones).
+    pub fn expiry_index_len(&self) -> usize {
+        self.expiry.len()
     }
 }
 
@@ -964,6 +1129,183 @@ mod tests {
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].query, QueryId(9));
         assert_eq!(results[0].value, AggValue::Count(4));
+    }
+
+    /// A window whose `start + within` exceeds `u64::MAX` must not wrap
+    /// (debug builds: panic; release: expire instantly) — it saturates
+    /// and closes exactly once, at the final flush.
+    #[test]
+    fn window_end_near_u64_max_does_not_overflow() {
+        let (reg, a, b, _) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(10));
+        let mut eng = HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+        // t = u64::MAX - 1 sits in the tumbling instance starting at
+        // MAX - 1 - ((MAX - 1) % 10), whose end overflows u64.
+        let t = u64::MAX - 1;
+        let mut out = eng.process(&ev(&reg, a, t, 0, 0.0));
+        out.extend(eng.process(&ev(&reg, b, t, 0, 0.0)));
+        assert!(out.is_empty(), "nothing expires before the flush: {out:?}");
+        out.extend(eng.flush());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, AggValue::Count(1));
+        assert_eq!(eng.expiry_index_len(), 0, "flush drains the index");
+    }
+
+    /// Two runs over the same stream produce *identical* (not just
+    /// set-equal) output — expiry emission follows the defined total
+    /// order (window_start, group, key), never HashMap iteration order.
+    #[test]
+    fn same_stream_twice_is_byte_identical() {
+        let (reg, a, b, c) = registry();
+        let mk = || {
+            let mut q1 = Query::count_star(1, seq(a, b), Window::new(10, 5));
+            q1.group_by = vec![Arc::from("g")];
+            let mut q2 = Query::count_star(2, seq(c, b), Window::new(10, 5));
+            q2.group_by = vec![Arc::from("g")];
+            HamletEngine::new(reg.clone(), vec![q1, q2], EngineConfig::default()).unwrap()
+        };
+        // Many group-by keys per window so one watermark advance expires
+        // several partitions at once — the case HashMap order scrambled.
+        let mut evs = Vec::new();
+        for t in 0..120u64 {
+            let ty = match t % 5 {
+                0 => a,
+                1 => c,
+                _ => b,
+            };
+            evs.push(ev(&reg, ty, t, (t % 13) as i64, 0.0));
+        }
+        let run = || {
+            let mut eng = mk();
+            let mut out = Vec::new();
+            for e in &evs {
+                out.extend(eng.process(e));
+            }
+            out.extend(eng.flush());
+            out
+        };
+        let first = run();
+        assert!(!first.is_empty());
+        assert_eq!(first, run(), "re-run diverged in order or content");
+    }
+
+    /// The expiration index is maintained exactly: one push per run
+    /// creation, no tombstones in normal operation, drained by flush.
+    #[test]
+    fn expiry_index_bookkeeping() {
+        let (reg, a, b, _) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::new(10, 5));
+        let mut eng = HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+        let evs: Vec<Event> = (0..40)
+            .map(|t| ev(&reg, if t % 4 == 0 { a } else { b }, t, 0, 0.0))
+            .collect();
+        let _ = collect(&mut eng, evs);
+        let stats = eng.stats();
+        assert!(stats.expiry_pushes > 0, "runs were indexed");
+        assert_eq!(stats.expiry_tombstones, 0, "no out-of-band drains");
+        assert_eq!(eng.expiry_index_len(), 0, "flush drained the heap");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(16))]
+
+        /// The heap-indexed expiry is bit-identical — per process() call
+        /// and at flush — to the old full-partition scan (kept behind
+        /// cfg(test) as the oracle).
+        #[test]
+        fn heap_expiry_matches_scan_oracle(
+            seed in 0u64..10_000,
+            within in 4u64..20,
+            slide_div in 1u64..4,
+            keys in 1i64..8,
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let (reg, a, b, c) = registry();
+            let slide = (within / slide_div).max(1);
+            let mk = || {
+                let mut q1 = Query::count_star(1, seq(a, b), Window::new(within, slide));
+                q1.group_by = vec![Arc::from("g")];
+                let mut q2 = Query::count_star(2, seq(c, b), Window::new(within, slide));
+                q2.group_by = vec![Arc::from("g")];
+                HamletEngine::new(reg.clone(), vec![q1, q2], EngineConfig::default()).unwrap()
+            };
+            let mut heap_eng = mk();
+            let mut scan_eng = mk();
+            scan_eng.set_scan_expiry(true);
+            // Deterministic pseudo-random stream from the seed (xorshift).
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+            let mut step = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let mut t = 0u64;
+            for _ in 0..200 {
+                t += step() % 3;
+                let ty = match step() % 5 {
+                    0 => a,
+                    1 => c,
+                    _ => b,
+                };
+                let g = (step() % keys as u64) as i64;
+                let e = ev(&reg, ty, t, g, 0.0);
+                prop_assert_eq!(heap_eng.process(&e), scan_eng.process(&e));
+            }
+            prop_assert_eq!(heap_eng.flush(), scan_eng.flush());
+        }
+    }
+
+    /// Direct evidence for the O(P)→O(log n) claim: at high partition
+    /// cardinality the indexed expiry path beats the old full scan by a
+    /// wide margin, because the scan pays O(live partitions) on every
+    /// event while the heap pays O(1) when nothing expires.
+    #[test]
+    #[ignore = "slow tier: expiry-cost scaling; run with `cargo test --release -- --ignored`"]
+    fn indexed_expiry_beats_full_scan_at_high_cardinality() {
+        let (reg, a, b, _) = registry();
+        let mk = || {
+            let mut q = Query::count_star(1, seq(a, b), Window::tumbling(50));
+            q.group_by = vec![Arc::from("g")];
+            HamletEngine::new(
+                reg.clone(),
+                vec![q],
+                EngineConfig {
+                    track_latency: false,
+                    mem_sample_every: 0,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        // ~5000 live partitions per window, small per-partition state.
+        let evs: Vec<Event> = (0..100_000u64)
+            .map(|i| {
+                let t = i / 1_000; // 100 windows over the stream
+                let ty = if i % 10 == 0 { a } else { b };
+                ev(&reg, ty, t, (i % 5_000) as i64, 0.0)
+            })
+            .collect();
+        let time = |eng: &mut HamletEngine| {
+            let t0 = Instant::now();
+            let mut n = 0usize;
+            for e in &evs {
+                n += eng.process(e).len();
+            }
+            n += eng.flush().len();
+            (t0.elapsed(), n)
+        };
+        let mut heap_eng = mk();
+        let mut scan_eng = mk();
+        scan_eng.set_scan_expiry(true);
+        let (heap_t, heap_n) = time(&mut heap_eng);
+        let (scan_t, scan_n) = time(&mut scan_eng);
+        assert_eq!(heap_n, scan_n, "paths emit the same result count");
+        // The margin is ~10–100× in release; 2× keeps noisy hosts green.
+        assert!(
+            heap_t.as_secs_f64() * 2.0 < scan_t.as_secs_f64(),
+            "indexed expiry ({heap_t:?}) not faster than full scan ({scan_t:?})"
+        );
     }
 
     #[test]

@@ -97,8 +97,8 @@ impl ThroughputMeter {
 }
 
 /// Tracks the peak of a byte-accounted state size (§6.1: snapshot
-/// expressions, stored events, per-query aggregates — not RSS, for
-/// determinism).
+/// expressions, stored events, per-query aggregates, and the executor's
+/// watermark expiration index — not RSS, for determinism).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MemoryGauge {
     peak: usize,

@@ -13,9 +13,11 @@
 //! batch buffers. Full batches are handed to the worker threads over
 //! bounded channels, so routing and processing overlap and no worker ever
 //! scans events it does not own. Each worker therefore processes ~1/w of
-//! the events against ~1/w of the live partitions — the per-event window
-//! bookkeeping shrinks with the shard, which is why sharding pays off
-//! even beyond the machine's core count.
+//! the events against ~1/w of the live partitions and holds ~1/w of the
+//! state. (Since the watermark expiration index landed, window expiry no
+//! longer scans live partitions per event, so sharding's win comes from
+//! core parallelism and per-shard state locality rather than from
+//! dividing an O(P) expiry term.)
 //!
 //! # Determinism
 //!
@@ -25,7 +27,10 @@
 //! sorts all window results by `(window_start, query, group_key)`
 //! ([`crate::executor::sort_results`]), so [`ParallelReport::results`] is
 //! byte-comparable across runs, worker counts, and against a
-//! single-threaded run sorted the same way.
+//! single-threaded run sorted the same way. The single-threaded engine is
+//! itself deterministic by construction: each watermark advance emits its
+//! expired windows in `(window_start, group, key)` order straight off the
+//! expiration index, never in `HashMap` iteration order.
 //!
 //! This is an offline/batch harness (`run` consumes a finite stream);
 //! per-event pipelined feeding would need backpressure machinery that the

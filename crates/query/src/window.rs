@@ -53,9 +53,11 @@ impl Window {
         self.within.div_ceil(self.slide)
     }
 
-    /// End (exclusive) of the window instance starting at `start`.
+    /// End (exclusive) of the window instance starting at `start`,
+    /// saturating at `Ts(u64::MAX)` so starts near the top of the tick
+    /// range cannot wrap (see [`hamlet_types::time::window_end`]).
     pub fn end_of(&self, start: Ts) -> Ts {
-        start + self.within
+        Ts(hamlet_types::time::window_end(start.ticks(), self.within))
     }
 }
 
@@ -91,6 +93,9 @@ mod tests {
         let w = Window::new(15, 5);
         assert_eq!(w.end_of(Ts(5)), Ts(20));
         assert_eq!(w.overlap_factor(), 3);
+        // Near the top of the tick range the end saturates instead of
+        // wrapping around zero.
+        assert_eq!(w.end_of(Ts(u64::MAX - 3)), Ts(u64::MAX));
     }
 
     #[test]

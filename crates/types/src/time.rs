@@ -73,6 +73,18 @@ impl From<u64> for Ts {
     }
 }
 
+/// Overflow-safe window end: `start + within`, saturating at `u64::MAX`.
+///
+/// Windows near the top of the tick range (and end-of-stream flushes that
+/// advance the watermark to `Ts(u64::MAX)`) would otherwise wrap `start +
+/// within` around zero and expire — or panic in debug builds — instead of
+/// closing at the final flush. A saturated end of `u64::MAX` compares
+/// `<=` any `u64::MAX` watermark, so such windows still drain on flush.
+#[inline]
+pub fn window_end(start: u64, within: u64) -> u64 {
+    start.saturating_add(within)
+}
+
 /// Greatest common divisor, used to derive the shared pane size from the
 /// window sizes and slides of a sharable query set (§3.1).
 #[inline]
@@ -114,6 +126,16 @@ mod tests {
         assert!(Ts(1) < Ts(2));
         assert_eq!(format!("{}", Ts(7)), "7");
         assert_eq!(format!("{:?}", Ts(7)), "t7");
+    }
+
+    #[test]
+    fn window_end_saturates_at_the_boundary() {
+        assert_eq!(window_end(0, 10), 10);
+        assert_eq!(window_end(u64::MAX - 5, 5), u64::MAX);
+        assert_eq!(window_end(u64::MAX - 5, 6), u64::MAX);
+        assert_eq!(window_end(u64::MAX, u64::MAX), u64::MAX);
+        // A saturated end still expires under the flush watermark.
+        assert!(window_end(u64::MAX - 1, 100) <= Ts(u64::MAX).ticks());
     }
 
     #[test]

@@ -131,10 +131,25 @@ impl GroupKey {
     /// each compared with [`AttrValue::total_cmp`]. `GroupKey` cannot
     /// implement `Ord` (floats are only partially ordered under `==`),
     /// but result merging needs a deterministic sort — this is it.
+    ///
+    /// Unlike the element-wise predicate order, this is *strictly* total
+    /// over distinct keys: cross-variant numeric ties (`Int(2)` vs
+    /// `Float(2.0)` — distinct partitions under `Eq`/`Hash`) break by
+    /// variant, so `total_cmp` returns `Equal` only for `==` keys and
+    /// every key ordering (expiry emission, result merging) is
+    /// deterministic.
     pub fn total_cmp(&self, other: &GroupKey) -> std::cmp::Ordering {
+        fn variant(v: &AttrValue) -> u8 {
+            match v {
+                AttrValue::Int(_) => 0,
+                AttrValue::Float(_) => 1,
+                AttrValue::Str(_) => 2,
+            }
+        }
         let common = self.0.len().min(other.0.len());
         for i in 0..common {
-            match self.0[i].total_cmp(&other.0[i]) {
+            let (a, b) = (&self.0[i], &other.0[i]);
+            match a.total_cmp(b).then_with(|| variant(a).cmp(&variant(b))) {
                 std::cmp::Ordering::Equal => continue,
                 ord => return ord,
             }
@@ -300,6 +315,15 @@ mod tests {
         // Mixed types follow AttrValue::total_cmp (numerics before strings).
         let mixed = GroupKey(vec![AttrValue::from("a")]);
         assert_eq!(k(&[9]).total_cmp(&mixed), Less);
+        // Strictly total over distinct keys: Int(2) and Float(2.0) are
+        // different partitions (different Eq/Hash), so they must not
+        // compare Equal — cross-variant numeric ties break by variant.
+        let ki = GroupKey(vec![AttrValue::Int(2)]);
+        let kf = GroupKey(vec![AttrValue::Float(2.0)]);
+        assert_ne!(ki, kf);
+        assert_eq!(ki.total_cmp(&kf), Less);
+        assert_eq!(kf.total_cmp(&ki), Greater);
+        assert_eq!(ki.total_cmp(&ki.clone()), Equal);
     }
 
     #[test]

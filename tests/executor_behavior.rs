@@ -166,6 +166,100 @@ fn parallel_generated_workload_agrees() {
     }
 }
 
+/// Regression (PR 3): two runs over the *same* generated stream produce
+/// byte-identical output — same rows in the same order, per-event and at
+/// flush. Before the watermark expiration index, expiry walked the
+/// partition `HashMap`, so windows closed by one watermark advance came
+/// out in hash-iteration order and only looked deterministic by luck.
+#[test]
+fn same_stream_twice_emits_byte_identical_output() {
+    let reg = hamlet_stream::ridesharing::registry();
+    let cfg = hamlet_stream::GenConfig {
+        events_per_min: 2_000,
+        minutes: 1,
+        mean_burst: 15.0,
+        // Many districts per window: one watermark advance expires many
+        // partitions at once — the case hash order used to scramble.
+        num_groups: 64,
+        group_skew: 0.3,
+        seed: 77,
+    };
+    let events = hamlet_stream::ridesharing::generate(&reg, &cfg);
+    let queries = hamlet_stream::ridesharing::workload_shared_kleene(&reg, 6, 20);
+    let run = || {
+        let mut eng =
+            HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default()).unwrap();
+        // Keep per-event boundaries visible: any reordering across
+        // process() calls would shift rows between the inner vectors.
+        let mut out: Vec<Vec<hamlet_core::WindowResult>> = Vec::new();
+        for e in &events {
+            out.push(eng.process(e));
+        }
+        out.push(eng.flush());
+        out
+    };
+    let first = run();
+    assert!(first.iter().any(|v| !v.is_empty()), "stream emits windows");
+    assert_eq!(first, run(), "same stream, different output");
+}
+
+/// Regression (PR 3): a flush-heavy workload — OR-queries whose combiner
+/// halves drain from `pending` at end of stream — is run-to-run
+/// deterministic. Before PR 3 `flush` drained the pending `HashMap` in
+/// iteration order.
+#[test]
+fn flush_heavy_or_workload_is_deterministic() {
+    // Disjoint Kleene types (B+ vs D+) put the OR halves in *different*
+    // share groups: a (key, window) where only one branch's group has a
+    // run leaves that half stranded in `pending` until flush.
+    let mut reg = TypeRegistry::new();
+    for t in ["A", "B", "C", "D"] {
+        reg.register(t, &["g", "v", "driver"]);
+    }
+    let reg = Arc::new(reg);
+    let queries = vec![
+        parse_query(
+            &reg,
+            1,
+            "RETURN COUNT(*) PATTERN SEQ(A, B+) OR SEQ(C, D+) GROUP BY g WITHIN 10",
+        )
+        .unwrap(),
+        parse_query(
+            &reg,
+            2,
+            "RETURN COUNT(*) PATTERN SEQ(C, D+) OR SEQ(A, B+) GROUP BY g WITHIN 10",
+        )
+        .unwrap(),
+    ];
+    // A/B flow for every key; C/D only for even keys, so odd keys strand
+    // one half per window in `pending`, across many keys and windows.
+    let mut events = Vec::new();
+    for t in 0..97u64 {
+        let g = (t % 11) as i64;
+        let name = match (t % 7, g % 2) {
+            (0, _) => "A",
+            (1 | 2, 0) => "C",
+            (1 | 2, _) => "A",
+            (3, 0) => "D",
+            _ => "B",
+        };
+        events.push(ev(&reg, name, t, g, 0));
+    }
+    let run = || {
+        let mut eng =
+            HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default()).unwrap();
+        let mut out = Vec::new();
+        for e in &events {
+            out.extend(eng.process(e));
+        }
+        let flushed = eng.flush();
+        assert!(!flushed.is_empty(), "flush emits pending windows");
+        out.extend(flushed);
+        out
+    };
+    assert_eq!(run(), run(), "flush order depended on hash iteration");
+}
+
 /// Skewed (Zipf) partition keys: the hot partition dominates, and the
 /// parallel engine still agrees with sequential execution under skew.
 #[test]

@@ -71,6 +71,27 @@ fn ridesharing_workers_are_bit_identical() {
     assert_workers_match(&reg, &queries, &events, "ridesharing");
 }
 
+/// High partition cardinality: hundreds of live keys per window drive
+/// the watermark expiration index (PR 3) — every watermark advance pops
+/// a batch of windows across many partitions, and the merged parallel
+/// output must still match the single-threaded run byte for byte at
+/// every worker count.
+#[test]
+fn high_cardinality_workers_are_bit_identical() {
+    let reg = ridesharing::registry();
+    let queries = ridesharing::workload_shared_kleene(&reg, 5, 15);
+    let cfg = GenConfig {
+        events_per_min: 4_000,
+        minutes: 1,
+        mean_burst: 8.0,
+        num_groups: 400,
+        group_skew: 0.2,
+        seed: 91,
+    };
+    let events = ridesharing::generate(&reg, &cfg);
+    assert_workers_match(&reg, &queries, &events, "high_cardinality");
+}
+
 #[test]
 fn smart_home_workers_are_bit_identical() {
     let reg = smart_home::registry();

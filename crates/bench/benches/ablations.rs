@@ -28,6 +28,7 @@ fn bench_snapshot_levels(c: &mut Criterion) {
         num_groups: 32,
         group_skew: 0.0,
         seed: 13,
+        max_lateness: 0,
     };
     let events = stock::generate(&reg, &cfg);
 
@@ -149,6 +150,7 @@ fn bench_window_overlap(c: &mut Criterion) {
         num_groups: 8,
         group_skew: 0.0,
         seed: 7,
+        max_lateness: 0,
     };
     let events = ridesharing::generate(&reg, &cfg);
     let mut g = c.benchmark_group("ablation_window_overlap");
@@ -192,6 +194,7 @@ fn bench_partition_fanout(c: &mut Criterion) {
             num_groups: groups,
             group_skew: 0.0,
             seed: 7,
+            max_lateness: 0,
         };
         let events = ridesharing::generate(&reg, &cfg);
         g.bench_with_input(BenchmarkId::from_parameter(groups), &groups, |b, _| {

@@ -20,6 +20,7 @@ fn bench_nyc(c: &mut Criterion) {
             num_groups: 2,
             group_skew: 0.0,
             seed: 11,
+            max_lateness: 0,
         };
         let events = nyc_taxi::generate(&reg, &cfg);
         g.throughput(Throughput::Elements(events.len() as u64));
@@ -47,6 +48,7 @@ fn bench_smart_home(c: &mut Criterion) {
             num_groups: 40,
             group_skew: 0.0,
             seed: 5,
+            max_lateness: 0,
         };
         let events = smart_home::generate(&reg, &cfg);
         g.throughput(Throughput::Elements(events.len() as u64));

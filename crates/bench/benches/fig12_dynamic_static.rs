@@ -18,6 +18,7 @@ fn bench_policies(c: &mut Criterion) {
         num_groups: 32,
         group_skew: 0.0,
         seed: 13,
+        max_lateness: 0,
     };
     let events = stock::generate(&reg, &cfg);
 
@@ -48,6 +49,7 @@ fn bench_burst_sensitivity(c: &mut Criterion) {
             num_groups: 32,
             group_skew: 0.0,
             seed: 13,
+            max_lateness: 0,
         };
         let events = stock::generate(&reg, &cfg);
         g.bench_with_input(

@@ -17,6 +17,7 @@ fn bench_systems(c: &mut Criterion) {
         num_groups: 8,
         group_skew: 0.0,
         seed: 7,
+        max_lateness: 0,
     };
     let events = ridesharing::generate(&reg, &cfg);
     let queries = ridesharing::workload_shared_kleene(&reg, 10, 30);
@@ -49,6 +50,7 @@ fn bench_query_scaling(c: &mut Criterion) {
         num_groups: 8,
         group_skew: 0.0,
         seed: 7,
+        max_lateness: 0,
     };
     let events = ridesharing::generate(&reg, &cfg);
     let hcfg = HarnessConfig::default();

@@ -17,6 +17,11 @@
 //!   partitions)-per-event expiry scan measures ~0.018 across those two
 //!   decades, the indexed path ~0.06. Pinned to those x values so quick
 //!   and full sweeps are judged against the same ratio.
+//! - `--max-p99-regression <frac>` allowed growth of the `fig_latency`
+//!   p99 latency vs baseline per (x, pipeline system) point (default
+//!   3.0, i.e. up to 4× plus a 500 µs absolute floor — tail latencies on
+//!   shared CI hosts are noisy; 0 disables). Guards the online
+//!   pipeline's sustained-load tail.
 //! - `--system <name>`          system to gate on (default `HAMLET`)
 //!
 //! Exit code 0 = pass, 1 = regression/scaling failure, 2 = usage or
@@ -29,6 +34,8 @@ struct Point {
     figure: String,
     x: String,
     throughput: f64,
+    /// End-to-end p99 latency in seconds (0 for offline harnesses).
+    latency_p99: f64,
 }
 
 fn load(path: &str) -> Result<Json, String> {
@@ -61,6 +68,7 @@ fn points(doc: &Json, system: &str) -> Vec<Point> {
                             figure: figure.to_string(),
                             x: x.to_string(),
                             throughput: tp,
+                            latency_p99: m.get("latency_p99").and_then(Json::as_f64).unwrap_or(0.0),
                         });
                     }
                 }
@@ -76,6 +84,7 @@ fn main() {
     let mut max_regression = 0.25f64;
     let mut min_scaling = 1.0f64;
     let mut min_expiry_flatness = 0.04f64;
+    let mut max_p99_regression = 3.0f64;
     let mut system = "HAMLET".to_string();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -101,6 +110,12 @@ fn main() {
             "--min-expiry-flatness" => {
                 min_expiry_flatness = take("--min-expiry-flatness").parse().unwrap_or_else(|e| {
                     eprintln!("bad --min-expiry-flatness: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--max-p99-regression" => {
+                max_p99_regression = take("--max-p99-regression").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --max-p99-regression: {e}");
                     std::process::exit(2);
                 })
             }
@@ -240,6 +255,52 @@ fn main() {
                      (run the full sweep or pass --min-expiry-flatness 0)"
                 );
                 failures += 1;
+            }
+        }
+    }
+
+    // 4. The online pipeline's sustained-load p99 must not blow up vs
+    //    the baseline. Tail latencies are noisy on shared hosts, so the
+    //    bound is multiplicative with a 500 µs absolute floor.
+    if max_p99_regression > 0.0 {
+        const P99_FLOOR_SECS: f64 = 0.0005;
+        for pipe_system in ["HAMLET-pipe1", "HAMLET-pipe4"] {
+            let base: Vec<Point> = points(&baseline, pipe_system)
+                .into_iter()
+                .filter(|p| p.figure == "fig_latency" && p.latency_p99 > 0.0)
+                .collect();
+            let cur = points(&current, pipe_system);
+            for bp in &base {
+                let Some(cp) = cur
+                    .iter()
+                    .find(|p| p.figure == "fig_latency" && p.x == bp.x)
+                else {
+                    println!(
+                        "MISS fig_latency/{} {pipe_system}: point present in baseline \
+                         but not measured now",
+                        bp.x
+                    );
+                    failures += 1;
+                    continue;
+                };
+                let limit = bp.latency_p99 * (1.0 + max_p99_regression) + P99_FLOOR_SECS;
+                // A current p99 of 0 against a nonzero baseline means the
+                // run measured nothing (empty histogram / poisoned
+                // measurement) — that is a failure, not a pass.
+                let verdict = if cp.latency_p99 > limit || cp.latency_p99 <= 0.0 {
+                    failures += 1;
+                    "FAIL"
+                } else {
+                    "OK  "
+                };
+                println!(
+                    "{verdict} fig_latency/{} {pipe_system}: p99 {:.3}ms vs baseline {:.3}ms \
+                     (limit {:.3}ms)",
+                    bp.x,
+                    cp.latency_p99 * 1e3,
+                    bp.latency_p99 * 1e3,
+                    limit * 1e3,
+                );
             }
         }
     }

@@ -7,6 +7,7 @@
 //! reproduction asserts (see EXPERIMENTS.md).
 
 use crate::{run_system, HarnessConfig, Measurement, System};
+use hamlet_pipeline::{CountingSink, Pipeline, RateLimitedSource, ReplaySource};
 use hamlet_stream::{nyc_taxi, ridesharing, smart_home, stock, GenConfig};
 use std::time::{Duration, Instant};
 
@@ -57,6 +58,7 @@ pub fn fig9_events(quick: bool) -> Figure {
             num_groups: 8,
             group_skew: 0.0,
             seed: 7,
+            max_lateness: 0,
         };
         let events = ridesharing::generate(&reg, &cfg);
         let ms = [
@@ -92,6 +94,7 @@ pub fn fig9_queries(quick: bool) -> Figure {
         num_groups: 8,
         group_skew: 0.0,
         seed: 7,
+        max_lateness: 0,
     };
     let events = ridesharing::generate(&reg, &cfg);
     let sizes: Vec<usize> = if quick {
@@ -142,6 +145,7 @@ pub fn fig11_nyc(quick: bool) -> Figure {
             num_groups: 2,
             group_skew: 0.0,
             seed: 11,
+            max_lateness: 0,
         };
         let events = nyc_taxi::generate(&reg, &cfg);
         let ms = [System::Hamlet, System::Greta]
@@ -177,6 +181,7 @@ pub fn fig11_smart_home(quick: bool) -> Figure {
             num_groups: 40,
             group_skew: 0.0,
             seed: 5,
+            max_lateness: 0,
         };
         let events = smart_home::generate(&reg, &cfg);
         let ms = [System::Hamlet, System::Greta]
@@ -204,6 +209,7 @@ pub fn fig11_queries(quick: bool) -> Figure {
         num_groups: 2,
         group_skew: 0.0,
         seed: 11,
+        max_lateness: 0,
     };
     let events = nyc_taxi::generate(&reg, &cfg);
     let sizes: Vec<usize> = if quick {
@@ -248,6 +254,7 @@ pub fn fig12_events(quick: bool) -> Figure {
             num_groups: 32,
             group_skew: 0.0,
             seed: 13,
+            max_lateness: 0,
         };
         let events = stock::generate(&reg, &cfg);
         let ms = [System::Hamlet, System::HamletStatic, System::HamletNoShare]
@@ -276,6 +283,7 @@ pub fn fig12_queries(quick: bool) -> Figure {
         num_groups: 32,
         group_skew: 0.0,
         seed: 13,
+        max_lateness: 0,
     };
     let events = stock::generate(&reg, &cfg);
     let sizes: Vec<usize> = if quick {
@@ -322,6 +330,7 @@ pub fn fig_scaling(quick: bool) -> Figure {
         num_groups: scale(quick, 1024, 512),
         group_skew: 0.0,
         seed: 7,
+        max_lateness: 0,
     };
     let events = ridesharing::generate(&reg, &cfg);
     let mut rows = Vec::new();
@@ -376,6 +385,7 @@ pub fn fig_expiry(quick: bool) -> Figure {
             num_groups: keys,
             group_skew: 0.0,
             seed: 17,
+            max_lateness: 0,
         };
         let events = ridesharing::generate(&reg, &cfg);
         let m = run_system(System::Hamlet, &reg, &queries, &events, &hcfg);
@@ -387,6 +397,84 @@ pub fn fig_expiry(quick: bool) -> Figure {
             .into(),
         rows,
         x_label: "partition keys",
+    }
+}
+
+/// Sustained-load latency experiment (beyond the paper, PR 4): the
+/// online pipeline under a *paced* source, sweeping the offered rate and
+/// reporting end-to-end (ingest → emit) p50/p99 result latency for 1 and
+/// 4 shard workers.
+///
+/// The offline harnesses can only measure throughput — events are
+/// already in memory, so "latency" excludes every queueing effect. The
+/// pipeline's rate-limited source is an open-loop load model: below
+/// engine capacity the tail stays flat; approaching capacity the bounded
+/// channels fill and p99 measures real backpressure. CI gates the p99 of
+/// this sweep against the committed baseline
+/// (`perf_gate --max-p99-regression`).
+pub fn fig_latency(quick: bool) -> Figure {
+    let reg = ridesharing::registry();
+    let queries = ridesharing::workload_shared_kleene(&reg, 10, 30);
+    let cfg = GenConfig {
+        events_per_min: scale(quick, 60_000, 30_000),
+        minutes: 1,
+        mean_burst: 40.0,
+        num_groups: 64,
+        group_skew: 0.0,
+        seed: 19,
+        max_lateness: 0,
+    };
+    let events = ridesharing::generate(&reg, &cfg);
+    let rates: Vec<u64> = if quick {
+        vec![25_000, 100_000]
+    } else {
+        vec![25_000, 50_000, 100_000, 200_000]
+    };
+    let mut rows = Vec::new();
+    for rate in rates {
+        let mut ms = Vec::new();
+        for workers in [1u32, 4] {
+            let t0 = Instant::now();
+            let handle = Pipeline::builder(reg.clone(), queries.clone())
+                .workers(workers)
+                .spawn(
+                    RateLimitedSource::new(ReplaySource::new(events.clone()), rate as f64),
+                    CountingSink::new(),
+                )
+                .expect("pipeline spawns");
+            let report = handle.drain();
+            let mut m = Measurement {
+                system: System::HamletPipeline(workers),
+                events: report.events,
+                queries: queries.len(),
+                wall: t0.elapsed(),
+                latency_avg: report.latency.avg(),
+                latency_p50: report.latency.p50(),
+                latency_p99: report.latency.p99(),
+                throughput_eps: report.throughput_eps(),
+                peak_mem_bytes: report.peak_mem.iter().sum(),
+                snapshots: 0,
+                shared_bursts: 0,
+                solo_bursts: 0,
+                transitions: 0,
+                results: report.results,
+                truncated: 0,
+            };
+            let s = report.merged_stats();
+            m.snapshots = s.runs.snapshots();
+            m.shared_bursts = s.runs.shared_bursts;
+            m.solo_bursts = s.runs.solo_bursts;
+            m.transitions = s.runs.merges + s.runs.splits;
+            ms.push(m);
+        }
+        rows.push((format!("{rate}"), ms));
+    }
+    Figure {
+        id: "fig_latency",
+        title: "Sustained load: pipeline p50/p99 latency vs offered rate (Ridesharing, 10 queries)"
+            .into(),
+        rows,
+        x_label: "offered events/s",
     }
 }
 
@@ -415,6 +503,7 @@ pub fn overhead(quick: bool) -> OverheadReport {
         num_groups: 32,
         group_skew: 0.0,
         seed: 13,
+        max_lateness: 0,
     };
     let events = stock::generate(&reg, &cfg);
     let t0 = Instant::now();
@@ -529,6 +618,33 @@ mod tests {
             tp("10000"),
             tp("100")
         );
+    }
+
+    #[test]
+    #[ignore = "slow tier: paced sustained-load sweep (wall-clock bound); run with `cargo test -- --ignored`"]
+    fn latency_sweep_reports_tail_quantiles() {
+        let fig = fig_latency(true);
+        assert_eq!(fig.x_label, "offered events/s");
+        assert_eq!(fig.rows.len(), 2);
+        for (x, ms) in &fig.rows {
+            assert_eq!(ms.len(), 2, "{x}: 1-worker and 4-worker runs");
+            for m in ms {
+                assert!(m.results > 0, "{x}/{:?} produced results", m.system);
+                assert!(m.latency_p99 >= m.latency_p50, "{x}: p99 < p50");
+                assert!(
+                    m.latency_p99 > Duration::ZERO,
+                    "{x}: tail quantiles recorded"
+                );
+                // Paced: measured throughput tracks the offered rate
+                // (within 2x — drain overhead dominates tiny sweeps).
+                let offered: f64 = x.parse().unwrap();
+                assert!(
+                    m.throughput_eps < offered * 2.0,
+                    "{x}: throughput {} not paced",
+                    m.throughput_eps
+                );
+            }
+        }
     }
 
     #[test]

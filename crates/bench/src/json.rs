@@ -265,6 +265,19 @@ impl Parser<'_> {
     }
 }
 
+/// Formats a float for embedding in emitted JSON. JSON has no
+/// `inf`/`NaN`, and Rust's `{}` would happily write both — which is how
+/// a zero-duration run used to poison `BENCH.json` for the perf gate.
+/// Non-finite values serialize as `0` (a measurement that measured
+/// nothing), finite ones in full round-trip precision.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".into()
+    }
+}
+
 /// Escapes a string for embedding in emitted JSON.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -324,6 +337,8 @@ mod tests {
             queries: 10,
             wall: std::time::Duration::from_millis(5),
             latency_avg: std::time::Duration::from_micros(7),
+            latency_p50: std::time::Duration::from_micros(5),
+            latency_p99: std::time::Duration::from_micros(40),
             throughput_eps: 20_000.0,
             peak_mem_bytes: 4096,
             snapshots: 3,
@@ -340,6 +355,38 @@ mod tests {
             Some(20_000.0)
         );
         assert_eq!(v.get("events").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(v.get("latency_p99").and_then(Json::as_f64), Some(4e-5));
+    }
+
+    /// A zero-duration run used to serialize `inf` throughput straight
+    /// into BENCH.json, which is not JSON at all — the gate would die on
+    /// a parse error instead of a measurement. `num` maps every
+    /// non-finite value to 0, so the document always parses.
+    #[test]
+    fn non_finite_floats_stay_valid_json() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(f64::INFINITY), "0");
+        assert_eq!(num(f64::NEG_INFINITY), "0");
+        assert_eq!(num(f64::NAN), "0");
+        let m = crate::Measurement {
+            system: crate::System::Hamlet,
+            events: 0,
+            queries: 1,
+            wall: std::time::Duration::ZERO,
+            latency_avg: std::time::Duration::ZERO,
+            latency_p50: std::time::Duration::ZERO,
+            latency_p99: std::time::Duration::ZERO,
+            throughput_eps: f64::INFINITY,
+            peak_mem_bytes: 0,
+            snapshots: 0,
+            shared_bursts: 0,
+            solo_bursts: 0,
+            transitions: 0,
+            results: 0,
+            truncated: 0,
+        };
+        let v = parse(&m.to_json()).expect("inf must not break the report");
+        assert_eq!(v.get("throughput_eps").and_then(Json::as_f64), Some(0.0));
     }
 
     #[test]

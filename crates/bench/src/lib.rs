@@ -12,6 +12,7 @@
 
 use hamlet_baselines::{GretaEngine, SharonEngine, TwoStepEngine};
 use hamlet_core::{EngineConfig, HamletEngine, ParallelEngine, SharingPolicy};
+use hamlet_pipeline::{CountingSink, Pipeline, ReplaySource};
 use hamlet_query::Query;
 use hamlet_types::{Event, TypeRegistry};
 use std::sync::Arc;
@@ -38,6 +39,10 @@ pub enum System {
     /// HAMLET's shared-nothing parallel path: `n` shard-owning engines
     /// behind a batching router (`hamlet_core::ParallelEngine`).
     HamletParallel(u32),
+    /// The online streaming runtime (`hamlet_pipeline`): `n` shard
+    /// workers fed event-by-event through bounded channels. The system
+    /// behind the `fig_latency` sustained-load sweep.
+    HamletPipeline(u32),
 }
 
 impl System {
@@ -51,6 +56,7 @@ impl System {
             System::Sharon => "SHARON".into(),
             System::TwoStep => "MCEP-2step".into(),
             System::HamletParallel(w) => format!("HAMLET-par{w}"),
+            System::HamletPipeline(w) => format!("HAMLET-pipe{w}"),
         }
     }
 }
@@ -68,6 +74,12 @@ pub struct Measurement {
     pub wall: Duration,
     /// Average result latency (result output − last contributing event).
     pub latency_avg: Duration,
+    /// Median end-to-end result latency (pipeline runs only; zero for
+    /// offline harnesses, which cannot measure queueing).
+    pub latency_p50: Duration,
+    /// 99th-percentile end-to-end result latency (pipeline runs only) —
+    /// the tail the `fig_latency` sweep plots and CI gates.
+    pub latency_p99: Duration,
     /// Throughput in events per second.
     pub throughput_eps: f64,
     /// Peak byte-accounted state.
@@ -88,18 +100,24 @@ pub struct Measurement {
 
 impl Measurement {
     /// Serializes this row as a JSON object. Durations are emitted as
-    /// fractional seconds. (Hand-rolled: the offline build has no serde.)
+    /// fractional seconds; every float goes through [`json::num`], so a
+    /// zero-duration run (`inf`/`NaN` throughput) can never poison the
+    /// report with invalid JSON. (Hand-rolled: the offline build has no
+    /// serde.)
     pub fn to_json(&self) -> String {
         format!(
             "{{\"system\":\"{}\",\"events\":{},\"queries\":{},\"wall\":{},\"latency_avg\":{},\
+             \"latency_p50\":{},\"latency_p99\":{},\
              \"throughput_eps\":{},\"peak_mem_bytes\":{},\"snapshots\":{},\"shared_bursts\":{},\
              \"solo_bursts\":{},\"transitions\":{},\"results\":{},\"truncated\":{}}}",
             self.system.name(),
             self.events,
             self.queries,
-            self.wall.as_secs_f64(),
-            self.latency_avg.as_secs_f64(),
-            self.throughput_eps,
+            json::num(self.wall.as_secs_f64()),
+            json::num(self.latency_avg.as_secs_f64()),
+            json::num(self.latency_p50.as_secs_f64()),
+            json::num(self.latency_p99.as_secs_f64()),
+            json::num(self.throughput_eps),
             self.peak_mem_bytes,
             self.snapshots,
             self.shared_bursts,
@@ -143,6 +161,8 @@ pub fn run_system(
         queries: queries.len(),
         wall: Duration::ZERO,
         latency_avg: Duration::ZERO,
+        latency_p50: Duration::ZERO,
+        latency_p99: Duration::ZERO,
         throughput_eps: 0.0,
         peak_mem_bytes: 0,
         snapshots: 0,
@@ -154,6 +174,27 @@ pub fn run_system(
     };
     let t0 = Instant::now();
     match system {
+        System::HamletPipeline(workers) => {
+            // Online runtime, unpaced replay: measures the pipeline's own
+            // ceiling. The paced (offered-rate) driver lives in
+            // `figures::fig_latency`.
+            let handle = Pipeline::builder(reg.clone(), queries.to_vec())
+                .workers(workers)
+                .spawn(ReplaySource::new(events.to_vec()), CountingSink::new())
+                .expect("pipeline spawns");
+            let report = handle.drain();
+            m.results = report.results;
+            m.wall = t0.elapsed();
+            m.latency_avg = report.latency.avg();
+            m.latency_p50 = report.latency.p50();
+            m.latency_p99 = report.latency.p99();
+            m.peak_mem_bytes = report.peak_mem.iter().sum();
+            let s = report.merged_stats();
+            m.snapshots = s.runs.snapshots();
+            m.shared_bursts = s.runs.shared_bursts;
+            m.solo_bursts = s.runs.solo_bursts;
+            m.transitions = s.runs.merges + s.runs.splits;
+        }
         System::HamletParallel(workers) => {
             let eng = ParallelEngine::new(
                 reg.clone(),
@@ -287,16 +328,21 @@ pub fn markdown_table(x_label: &str, rows: &[(String, Vec<Measurement>)]) -> Str
     use std::fmt::Write;
     let _ = writeln!(
         out,
-        "| {x_label} | system | latency avg | throughput (ev/s) | peak mem (KB) | snapshots | shared/solo bursts |"
+        "| {x_label} | system | latency avg | latency p99 | throughput (ev/s) | peak mem (KB) | snapshots | shared/solo bursts |"
     );
-    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
     for (x, ms) in rows {
         for m in ms {
             let _ = writeln!(
                 out,
-                "| {x} | {} | {:?} | {:.0} | {} | {} | {}/{} |",
+                "| {x} | {} | {:?} | {} | {:.0} | {} | {} | {}/{} |",
                 m.system.name(),
                 m.latency_avg,
+                if m.latency_p99 > Duration::ZERO {
+                    format!("{:?}", m.latency_p99)
+                } else {
+                    "—".into()
+                },
                 m.throughput_eps,
                 m.peak_mem_bytes / 1024,
                 m.snapshots,
@@ -323,6 +369,7 @@ mod tests {
             num_groups: 2,
             group_skew: 0.0,
             seed: 5,
+            max_lateness: 0,
         };
         let events = ridesharing::generate(&reg, &cfg);
         let queries = ridesharing::workload_shared_kleene(&reg, 5, 30);
@@ -339,6 +386,7 @@ mod tests {
             System::Sharon,
             System::TwoStep,
             System::HamletParallel(2),
+            System::HamletPipeline(2),
         ] {
             let m = run_system(sys, &reg, &queries, &events, &hcfg);
             assert_eq!(m.events, 600);
@@ -353,6 +401,7 @@ mod tests {
         assert!(table.contains("HAMLET"));
         assert!(table.contains("GRETA"));
         assert!(table.contains("HAMLET-par2"));
+        assert!(table.contains("HAMLET-pipe2"));
 
         // The machine-readable report parses back and carries the §6.1
         // metrics per system.
@@ -374,7 +423,7 @@ mod tests {
             .get("measurements")
             .and_then(json::Json::as_arr)
             .unwrap();
-        assert_eq!(measurements.len(), 7);
+        assert_eq!(measurements.len(), 8);
         for m in measurements {
             assert!(
                 m.get("throughput_eps")

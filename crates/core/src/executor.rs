@@ -156,6 +156,11 @@ pub struct EngineStats {
     /// Index entries popped whose run was already gone (lazy
     /// invalidation); stays 0 unless a run is drained out of band.
     pub expiry_tombstones: u64,
+    /// Window-instance contributions skipped because the event arrived
+    /// after its window instance had already been emitted (the engine's
+    /// out-of-order safety net; stays 0 on in-order streams and behind
+    /// a correctly-slacked pipeline reorder stage).
+    pub late_skips: u64,
 }
 
 impl EngineStats {
@@ -170,6 +175,7 @@ impl EngineStats {
         self.events_routed += o.events_routed;
         self.expiry_pushes += o.expiry_pushes;
         self.expiry_tombstones += o.expiry_tombstones;
+        self.late_skips += o.late_skips;
     }
 }
 
@@ -313,6 +319,12 @@ pub struct HamletEngine {
     latency: LatencyRecorder,
     gauge: MemoryGauge,
     event_counter: u64,
+    /// Monotone event-time watermark: the maximum event timestamp seen.
+    /// Expiry only ever advances with it, so a window instance that was
+    /// emitted stays emitted — late contributions to it are skipped (and
+    /// counted in [`EngineStats::late_skips`]) instead of resurrecting
+    /// the window and double-emitting it at flush.
+    watermark: Option<Ts>,
 }
 
 impl HamletEngine {
@@ -392,6 +404,7 @@ impl HamletEngine {
             latency: LatencyRecorder::new(),
             gauge: MemoryGauge::new(),
             event_counter: 0,
+            watermark: None,
         })
     }
 
@@ -435,10 +448,34 @@ impl HamletEngine {
 
     /// Processes one event; returns results of windows closed by the
     /// watermark advance.
+    ///
+    /// # Incremental feeding contract
+    ///
+    /// `process` may be called any number of times with any interleaving
+    /// of event times; state is carried across calls, so feeding a stream
+    /// event-by-event (online) produces exactly the same results as any
+    /// batched feeding of the same sequence. The watermark is the maximum
+    /// event time seen and only ever advances: an in-order stream closes
+    /// each window exactly once, and an *out-of-order* event whose window
+    /// instance already closed is skipped for that instance (counted in
+    /// [`EngineStats::late_skips`]) rather than resurrecting it — the
+    /// engine never emits the same `(query, key, window)` twice. Ordering
+    /// within still-open windows is the caller's responsibility (the
+    /// `hamlet-pipeline` reorder stage restores it up to a configured
+    /// lateness bound).
     pub fn process(&mut self, e: &Event) -> Vec<WindowResult> {
         let now = self.cfg.track_latency.then(Instant::now);
         let mut out = Vec::new();
-        self.emit_expired(e.time, &mut out);
+        // Monotone watermark: an out-of-order event must not rewind
+        // expiry, only (possibly) fail its own closed windows' guard.
+        let wm = match self.watermark {
+            Some(w) if w >= e.time => w,
+            _ => {
+                self.watermark = Some(e.time);
+                e.time
+            }
+        };
+        self.emit_expired(wm, &mut out);
 
         let mut routed = false;
         let reg = self.reg.clone();
@@ -469,7 +506,19 @@ impl HamletEngine {
                 g.partitions.insert(key.clone(), BTreeMap::new());
             }
             let runs = g.partitions.get_mut(&key).expect("inserted above");
+            let mut late_skipped = false;
             for start in starts {
+                // Late-event guard: this window instance was already
+                // emitted (its end is at or behind the watermark), so the
+                // contribution is dropped — re-creating the run would
+                // double-emit the window at the next flush. Never fires
+                // on in-order streams (a window containing `e` ends after
+                // `e.time` = watermark).
+                if window_end(start.ticks(), within) <= wm.ticks() {
+                    self.stats.late_skips += 1;
+                    late_skipped = true;
+                    continue;
+                }
                 let rs = match runs.entry(start.ticks()) {
                     std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
                     std::collections::btree_map::Entry::Vacant(v) => {
@@ -495,6 +544,13 @@ impl HamletEngine {
                 if let Some(now) = now {
                     rs.last_arrival = Some(now);
                 }
+            }
+            // A first-seen key whose every window instance was late would
+            // leave an empty run map behind — drop it, it holds no state.
+            // Guarded by the late path so in-order streams (the hot case)
+            // never pay the extra map probe.
+            if late_skipped && g.partitions.get(&key).is_some_and(|r| r.is_empty()) {
+                g.partitions.remove(&key);
             }
         }
         if routed {
@@ -668,7 +724,30 @@ impl HamletEngine {
         }
     }
 
+    /// Event-time watermark: the maximum event timestamp processed so
+    /// far (`None` before the first event). Windows whose end is at or
+    /// behind it have been emitted and will never be emitted again.
+    pub fn watermark(&self) -> Option<Ts> {
+        self.watermark
+    }
+
     /// Finalizes all in-flight windows (end of stream).
+    ///
+    /// # Flush contract
+    ///
+    /// `flush` behaves exactly like observing a watermark beyond every
+    /// open window: every in-flight `(query, key, window)` emits once, in
+    /// the canonical `(window_start, group, key)` order, and the engine's
+    /// live state drains to empty. `process`+`flush` over a stream is
+    /// therefore the offline reference the online pipeline's
+    /// drain-on-shutdown is tested to be byte-identical against
+    /// (`tests/pipeline_equivalence.rs`).
+    ///
+    /// The watermark advances to the end of time with the flush, so the
+    /// no-double-emission guarantee survives it: events processed *after*
+    /// a flush find every window instance already closed and are dropped
+    /// as late ([`EngineStats::late_skips`]) instead of resurrecting and
+    /// re-emitting windows the flush already emitted.
     pub fn flush(&mut self) -> Vec<WindowResult> {
         // Capture the end-of-stream state before draining it: short
         // streams (or small shards) may never hit a periodic sample, and
@@ -678,6 +757,7 @@ impl HamletEngine {
             self.gauge.sample(bytes);
         }
         let mut out = Vec::new();
+        self.watermark = Some(Ts(u64::MAX));
         self.emit_expired(Ts(u64::MAX), &mut out);
         // Any unmatched general-query half emits with the other half = 0
         // (its branch matched nothing in that window). `pending` is a
@@ -1189,6 +1269,29 @@ mod tests {
         assert_eq!(first, run(), "re-run diverged in order or content");
     }
 
+    /// flush() is a point of no return: it advances the watermark to the
+    /// end of time, so events processed afterwards are dropped as late
+    /// instead of resurrecting (and re-emitting) windows the flush
+    /// already emitted.
+    #[test]
+    fn process_after_flush_cannot_re_emit() {
+        let (reg, a, b, _) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(10));
+        let mut eng = HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+        let mut out = Vec::new();
+        out.extend(eng.process(&ev(&reg, a, 1, 0, 0.0)));
+        out.extend(eng.process(&ev(&reg, b, 2, 0, 0.0)));
+        out.extend(eng.flush());
+        assert_eq!(out.len(), 1, "flush emitted [0,10) once");
+        assert_eq!(eng.watermark(), Some(Ts(u64::MAX)));
+        // A continuation into the already-flushed window must not
+        // double-emit it.
+        let more = eng.process(&ev(&reg, a, 3, 0, 0.0));
+        assert!(more.is_empty());
+        assert!(eng.stats().late_skips > 0, "post-flush events count late");
+        assert!(eng.flush().is_empty(), "no window re-emitted");
+    }
+
     /// The expiration index is maintained exactly: one push per run
     /// creation, no tombstones in normal operation, drained by flush.
     #[test]
@@ -1306,6 +1409,65 @@ mod tests {
             heap_t.as_secs_f64() * 2.0 < scan_t.as_secs_f64(),
             "indexed expiry ({heap_t:?}) not faster than full scan ({scan_t:?})"
         );
+    }
+
+    /// A late event whose window already closed must not resurrect the
+    /// window: the engine skips the contribution (counting it) instead of
+    /// emitting the same (query, key, window) twice.
+    #[test]
+    fn late_event_cannot_double_emit_a_window() {
+        let (reg, a, b, _) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(10));
+        let mut eng = HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+        assert_eq!(eng.watermark(), None);
+        let mut out = Vec::new();
+        out.extend(eng.process(&ev(&reg, a, 1, 0, 0.0)));
+        out.extend(eng.process(&ev(&reg, b, 2, 0, 0.0)));
+        // Watermark jumps past the window end: [0,10) emits.
+        out.extend(eng.process(&ev(&reg, a, 15, 0, 0.0)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].window_start, Ts(0));
+        assert_eq!(out[0].value, AggValue::Count(1));
+        assert_eq!(eng.watermark(), Some(Ts(15)));
+        // A straggler for the closed window arrives late.
+        let late = eng.process(&ev(&reg, b, 3, 0, 0.0));
+        assert!(late.is_empty(), "late event emitted: {late:?}");
+        assert_eq!(eng.stats().late_skips, 1);
+        assert_eq!(eng.watermark(), Some(Ts(15)), "watermark is monotone");
+        // Flush emits only the still-open [10,20) window — no duplicate
+        // of [0,10).
+        let mut rest = eng.flush();
+        rest.retain(|r| r.window_start == Ts(0));
+        assert!(rest.is_empty(), "window [0,10) re-emitted: {rest:?}");
+    }
+
+    /// An out-of-order event that is late for one (closed) sliding window
+    /// instance still contributes to the instances that remain open.
+    #[test]
+    fn late_event_still_feeds_open_windows() {
+        let (reg, a, b, _) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::new(10, 5));
+        let mut eng = HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+        let mut out = Vec::new();
+        out.extend(eng.process(&ev(&reg, a, 6, 0, 0.0)));
+        // Watermark 12 closes [0,10) but leaves [5,15) and [10,20) open.
+        out.extend(eng.process(&ev(&reg, a, 12, 0, 0.0)));
+        // b@8 is late for [0,10) (skipped) but lands in the open [5,15).
+        out.extend(eng.process(&ev(&reg, b, 8, 0, 0.0)));
+        out.extend(eng.flush());
+        assert_eq!(eng.stats().late_skips, 1);
+        let w5: Vec<_> = out.iter().filter(|r| r.window_start == Ts(5)).collect();
+        assert_eq!(w5.len(), 1);
+        // The late b contributes to the open [5,15) window. (Within an
+        // open window the engine orders by *arrival*, so both a@6 and
+        // a@12 precede the late b — in-window ordering is the reorder
+        // stage's job, the engine only guarantees no double emission.)
+        assert_eq!(w5[0].value, AggValue::Count(2), "late b fed [5,15)");
+        // Each window instance emitted exactly once.
+        let mut starts: Vec<u64> = out.iter().map(|r| r.window_start.ticks()).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        assert_eq!(starts.len(), out.len(), "duplicate window emission");
     }
 
     #[test]

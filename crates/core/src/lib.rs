@@ -56,7 +56,7 @@ pub mod workload;
 pub use executor::{
     sort_results, AggValue, EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult,
 };
-pub use metrics::LatencyRecorder;
+pub use metrics::{LatencyHistogram, LatencyRecorder};
 pub use optimizer::SharingPolicy;
 pub use parallel::{ParallelEngine, ParallelReport, DEFAULT_BATCH};
 pub use run::{BurstCtx, GroupRuntime, MemberOutput, Run, RunStats};

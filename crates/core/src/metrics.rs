@@ -53,6 +53,142 @@ impl LatencyRecorder {
     }
 }
 
+/// Number of log-linear buckets in a [`LatencyHistogram`]: 64 octaves of
+/// nanoseconds × 4 sub-buckets per octave.
+const HIST_BUCKETS: usize = 64 * SUBS as usize;
+/// Sub-buckets per power-of-two octave (25% relative resolution).
+const SUBS: u32 = 4;
+
+/// Fixed-size log-linear latency histogram for tail quantiles (p50/p99)
+/// under sustained load — the latency metric the online pipeline reports
+/// in its live metrics snapshots, where a plain average
+/// ([`LatencyRecorder`]) hides queueing spikes.
+///
+/// Buckets are powers of two of nanoseconds split into 4 linear
+/// sub-buckets each, so any reported quantile is within ~25% of the true
+/// value — tight enough to gate "p99 doubled" regressions, small enough
+/// (2 KiB) to clone into every snapshot.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    total: Duration,
+    max: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            total: Duration::ZERO,
+            max: Duration::ZERO,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a nanosecond value.
+    fn index(ns: u64) -> usize {
+        // Values below 2^SUBS ns index linearly; above, the top SUBS+1
+        // bits select (octave, sub-bucket).
+        if ns < (1 << SUBS) {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros();
+        // The SUBS.ilog2() bits right below the leading one pick the
+        // linear sub-bucket within the octave.
+        let sub = ((ns >> (msb - SUBS.ilog2())) as usize) & (SUBS as usize - 1);
+        let idx = (msb - 1) as usize * SUBS as usize + sub + SUBS as usize;
+        idx.min(HIST_BUCKETS - 1)
+    }
+
+    /// Representative (geometric low edge) value of a bucket, in ns.
+    fn value(idx: usize) -> u64 {
+        if idx < (1 << SUBS) {
+            return idx as u64;
+        }
+        let rel = idx - SUBS as usize;
+        let msb = (rel / SUBS as usize + 1) as u32;
+        let sub = (rel % SUBS as usize) as u64;
+        (1u64 << msb) + (sub << (msb - SUBS.ilog2()))
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[Self::index(ns)] += 1;
+        self.count += 1;
+        self.total += d;
+        self.max = self.max.max(d);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn avg(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.count).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// Quantile `q` in `[0, 1]`: the smallest bucket value below which at
+    /// least `q · count` samples fall (zero when empty, within ~25% of
+    /// the true sample by construction).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if target >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Duration::from_nanos(Self::value(i)).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency — the pipeline's gated tail metric.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram (bucket-wise).
+    pub fn merge(&mut self, o: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {
+            *a += b;
+        }
+        self.count += o.count;
+        self.total += o.total;
+        self.max = self.max.max(o.max);
+    }
+}
+
 /// Wall-clock throughput meter: events per second over a processing span.
 #[derive(Clone, Debug)]
 pub struct ThroughputMeter {
@@ -158,6 +294,66 @@ mod tests {
         assert_eq!(t.events(), 150);
         std::thread::sleep(Duration::from_millis(1));
         assert!(t.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_samples() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.p99(), Duration::ZERO);
+        // 99 samples at 1ms, one spike at 100ms: p50 ~ 1ms, p99 picks up
+        // the body's edge, max is exact.
+        for _ in 0..99 {
+            h.record(Duration::from_millis(1));
+        }
+        h.record(Duration::from_millis(100));
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), Duration::from_millis(100));
+        let p50 = h.p50();
+        assert!(
+            p50 >= Duration::from_micros(750) && p50 <= Duration::from_micros(1250),
+            "p50 within 25% of 1ms: {p50:?}"
+        );
+        // p99 still falls in the 1ms body (99 of 100 samples).
+        assert!(h.p99() < Duration::from_millis(2), "p99 {:?}", h.p99());
+        // p100 reaches the spike.
+        assert_eq!(h.quantile(1.0), Duration::from_millis(100));
+        assert!(h.avg() > Duration::from_millis(1));
+    }
+
+    #[test]
+    fn histogram_bucket_roundtrip_is_within_resolution() {
+        // Every recorded duration must land in a bucket whose
+        // representative value is within 25% below the sample.
+        for ns in [0u64, 1, 7, 15, 16, 17, 100, 999, 12_345, u32::MAX as u64] {
+            let idx = LatencyHistogram::index(ns);
+            let v = LatencyHistogram::value(idx);
+            assert!(v <= ns, "bucket edge {v} above sample {ns}");
+            assert!(
+                ns == 0 || (v as f64) >= ns as f64 * 0.75,
+                "bucket edge {v} more than 25% below {ns}"
+            );
+        }
+        // Indices are monotone in the sample value.
+        let mut last = 0;
+        for ns in 0..100_000u64 {
+            let idx = LatencyHistogram::index(ns);
+            assert!(idx >= last, "index not monotone at {ns}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(500));
+        b.record(Duration::from_micros(20));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Duration::from_micros(500));
+        assert!(a.quantile(1.0) >= Duration::from_micros(375));
     }
 
     #[test]

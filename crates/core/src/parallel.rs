@@ -32,9 +32,13 @@
 //! expired windows in `(window_start, group, key)` order straight off the
 //! expiration index, never in `HashMap` iteration order.
 //!
-//! This is an offline/batch harness (`run` consumes a finite stream);
-//! per-event pipelined feeding would need backpressure machinery that the
-//! paper's single-node evaluation does not call for.
+//! This is an offline/batch harness (`run` consumes a finite stream) —
+//! the right tool for throughput measurement over materialized streams.
+//! For *online* feeding — unbounded sources, per-event backpressure,
+//! out-of-order ingestion, live latency metrics — use the
+//! `hamlet-pipeline` crate, which reuses the same [`HamletEngine::shard_mask`]
+//! routing over bounded per-shard channels and drains to the same
+//! bit-identical merged output.
 
 use crate::executor::{
     sort_results, EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult,

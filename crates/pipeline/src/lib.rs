@@ -1,0 +1,827 @@
+//! # hamlet-pipeline
+//!
+//! The **online streaming runtime** for the HAMLET engine: long-running
+//! pipelines that connect unbounded [`Source`]s through bounded-channel
+//! stages — with real backpressure — to shard-owning engines and a
+//! result [`Sink`], while a [`PipelineHandle`] serves live
+//! [`MetricsSnapshot`]s (throughput, per-stage queue depths, p50/p99
+//! latency) and performs graceful, `flush()`-equivalent drains.
+//!
+//! The paper's setting is *online* event trend aggregation over bursty
+//! streams; the offline harnesses (`HamletEngine::process` over a slice,
+//! `ParallelEngine::run`) measure throughput but cannot measure latency
+//! under sustained load or tolerate out-of-order delivery. This crate
+//! adds that missing runtime layer:
+//!
+//! * **Sources** ([`Source`]) — unbounded pull-based feeds: replay a
+//!   generated stream ([`ReplaySource`]), pace it to an offered rate
+//!   ([`RateLimitedSource`]), or implement the trait over a live feed.
+//! * **Out-of-order ingestion** ([`WatermarkPolicy`], `ReorderBuffer`) —
+//!   a bounded-lateness watermark holds events back just long enough to
+//!   restore timestamp order; events behind the watermark are counted
+//!   and dead-lettered, never fed to the engine.
+//! * **Backpressure** — every stage boundary is a bounded
+//!   `sync_channel`; a slow engine or sink stalls the source instead of
+//!   buffering the stream.
+//! * **Sharded workers** — `workers > 1` reuses the engine's
+//!   `shard_mask` routing *online*: per-shard channels, each worker
+//!   owning the partitions that hash to it, same bit-identical merged
+//!   results as the offline parallel path.
+//! * **Drain ≡ flush** — [`PipelineHandle::drain`] stops the source,
+//!   releases the reorder buffer, flushes every engine and hands back
+//!   the sink: for an in-order stream the drained output is
+//!   byte-identical to offline `process`+`flush`
+//!   (`tests/pipeline_equivalence.rs`).
+//!
+//! ```
+//! use hamlet_pipeline::{Pipeline, ReplaySource, VecSink, BoundedLateness};
+//! use hamlet_core::EngineConfig;
+//! use hamlet_query::parse_query;
+//! use hamlet_types::{EventBuilder, TypeRegistry};
+//! use std::sync::Arc;
+//!
+//! let mut reg = TypeRegistry::new();
+//! let a = reg.register("A", &[]);
+//! let b = reg.register("B", &[]);
+//! let reg = Arc::new(reg);
+//! let q = parse_query(&reg, 1, "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 10").unwrap();
+//! let events = vec![
+//!     EventBuilder::new(&reg, a, 0).build(),
+//!     EventBuilder::new(&reg, b, 1).build(),
+//! ];
+//! let handle = Pipeline::builder(reg, vec![q])
+//!     .watermark(BoundedLateness::new(0))
+//!     .spawn(ReplaySource::new(events), VecSink::new())
+//!     .unwrap();
+//! let report = handle.drain();
+//! assert_eq!(report.sink.results.len(), 1);
+//! assert_eq!(report.events, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sink;
+mod source;
+mod stats;
+mod watermark;
+
+pub use sink::{CountingSink, NullSink, Sink, VecSink};
+pub use source::{RateLimitedSource, ReplaySource, Source};
+pub use stats::{LatencySummary, MetricsSnapshot};
+pub use watermark::{BoundedLateness, ReorderBuffer, WatermarkPolicy};
+
+use hamlet_core::executor::{EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult};
+use hamlet_core::{LatencyHistogram, LatencyRecorder};
+use hamlet_query::Query;
+use hamlet_types::{Event, TypeRegistry};
+use stats::SharedStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default events per routed batch (small: the pipeline is latency-first;
+/// the offline `ParallelEngine` uses 1024 for pure throughput).
+pub const DEFAULT_BATCH: usize = 256;
+/// Default bounded depth of each stage channel, in batches.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 8;
+
+/// A routed unit of work: the event plus its ingest stamp (for
+/// end-to-end latency accounting).
+type Routed = (Event, Instant);
+/// What one worker thread returns at shutdown.
+type WorkerOutput = (EngineStats, LatencyRecorder, usize);
+
+/// Dead-letter hook: invoked (on the ingest thread) with every late
+/// event the pipeline drops.
+pub type LateHook = Box<dyn FnMut(Event) + Send>;
+
+/// Namespace for [`Pipeline::builder`].
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Starts configuring a pipeline over a workload.
+    pub fn builder(reg: Arc<TypeRegistry>, queries: Vec<Query>) -> PipelineBuilder {
+        PipelineBuilder {
+            reg,
+            queries,
+            engine_cfg: EngineConfig::default(),
+            workers: 1,
+            batch: DEFAULT_BATCH,
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            policy: Box::new(BoundedLateness::new(0)),
+            on_late: None,
+        }
+    }
+}
+
+/// Configures and spawns a [`PipelineHandle`].
+pub struct PipelineBuilder {
+    reg: Arc<TypeRegistry>,
+    queries: Vec<Query>,
+    engine_cfg: EngineConfig,
+    workers: u32,
+    batch: usize,
+    channel_capacity: usize,
+    policy: Box<dyn WatermarkPolicy>,
+    on_late: Option<LateHook>,
+}
+
+impl PipelineBuilder {
+    /// Engine configuration for every worker (the `shard` field is
+    /// overwritten per worker).
+    pub fn engine_config(mut self, cfg: EngineConfig) -> Self {
+        self.engine_cfg = cfg;
+        self
+    }
+
+    /// Number of shard-owning workers, `1..=64`. With 1 worker events
+    /// flow to a single engine; with more, the router sends each event
+    /// only to the shards owning one of its partition keys.
+    pub fn workers(mut self, workers: u32) -> Self {
+        assert!(workers >= 1, "at least one worker");
+        assert!(workers <= 64, "at most 64 workers (shard mask is a u64)");
+        self.workers = workers;
+        self
+    }
+
+    /// Maximum events per routed batch (latency/throughput knob).
+    pub fn batch(mut self, events: usize) -> Self {
+        assert!(events >= 1, "batch size must be positive");
+        self.batch = events;
+        self
+    }
+
+    /// Bounded depth of each stage channel, in batches — the knob that
+    /// trades queueing latency for burst absorption.
+    pub fn channel_capacity(mut self, batches: usize) -> Self {
+        assert!(batches >= 1, "channel capacity must be positive");
+        self.channel_capacity = batches;
+        self
+    }
+
+    /// Watermark policy for out-of-order ingestion (default:
+    /// `BoundedLateness::new(0)`, i.e. strictly ascending).
+    pub fn watermark(mut self, policy: impl WatermarkPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Dead-letter hook for late events (called on the ingest thread).
+    pub fn on_late(mut self, hook: impl FnMut(Event) + Send + 'static) -> Self {
+        self.on_late = Some(Box::new(hook));
+        self
+    }
+
+    /// Validates the workload, builds every engine, and spawns the
+    /// pipeline threads: `ingest → [workers] → sink`, every arrow a
+    /// bounded channel. Construction errors surface here, not inside
+    /// threads.
+    pub fn spawn<Src, S>(self, source: Src, sink: S) -> Result<PipelineHandle<S>, EngineError>
+    where
+        Src: Source + 'static,
+        S: Sink + 'static,
+    {
+        let PipelineBuilder {
+            reg,
+            queries,
+            engine_cfg,
+            workers,
+            batch,
+            channel_capacity,
+            policy,
+            on_late,
+        } = self;
+        let n = workers as usize;
+
+        // Build every engine up front so EngineError is synchronous.
+        let mut engines = Vec::with_capacity(n);
+        for idx in 0..n {
+            let mut cfg = engine_cfg.clone();
+            cfg.shard = (workers > 1).then_some((idx as u32, workers));
+            engines.push(HamletEngine::new(reg.clone(), queries.clone(), cfg)?);
+        }
+        // The router only maps events to shards; it never processes.
+        let router = if workers > 1 {
+            let mut cfg = engine_cfg.clone();
+            cfg.shard = None;
+            cfg.track_latency = false;
+            cfg.mem_sample_every = 0;
+            Some(HamletEngine::new(reg.clone(), queries.clone(), cfg)?)
+        } else {
+            None
+        };
+
+        let shared = Arc::new(SharedStats::new(n));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (result_tx, result_rx) = mpsc::sync_channel::<Vec<WindowResult>>(channel_capacity * n);
+        let mut event_txs = Vec::with_capacity(n);
+        let mut worker_handles = Vec::with_capacity(n);
+        for (idx, mut engine) in engines.into_iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel::<Vec<Routed>>(channel_capacity);
+            event_txs.push(tx);
+            let shared = shared.clone();
+            let result_tx = result_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("hamlet-pipe-worker-{idx}"))
+                .spawn(move || worker_loop(idx, &mut engine, &rx, &result_tx, &shared))
+                .expect("spawn worker thread");
+            worker_handles.push(handle);
+        }
+        drop(result_tx); // sink ends when the last worker hangs up
+
+        let sink_shared = shared.clone();
+        let sink_handle = std::thread::Builder::new()
+            .name("hamlet-pipe-sink".into())
+            .spawn(move || sink_loop(sink, &result_rx, &sink_shared))
+            .expect("spawn sink thread");
+
+        let mut ingest = Ingest {
+            source,
+            policy,
+            on_late,
+            router,
+            buffer: ReorderBuffer::new(),
+            out: (0..n).map(|_| Vec::with_capacity(batch)).collect(),
+            txs: event_txs,
+            workers,
+            batch,
+            last_tick: vec![None; n],
+            shared: shared.clone(),
+            stop: stop.clone(),
+        };
+        let ingest_handle = std::thread::Builder::new()
+            .name("hamlet-pipe-ingest".into())
+            .spawn(move || ingest.run())
+            .expect("spawn ingest thread");
+
+        Ok(PipelineHandle {
+            shared,
+            stop,
+            ingest: ingest_handle,
+            workers: worker_handles,
+            sink: sink_handle,
+        })
+    }
+}
+
+/// The ingest stage: pulls the source, generates watermarks, reorders,
+/// counts/dead-letters late events, and routes released events to the
+/// shard workers over bounded channels.
+struct Ingest<Src> {
+    source: Src,
+    policy: Box<dyn WatermarkPolicy>,
+    on_late: Option<LateHook>,
+    router: Option<HamletEngine>,
+    buffer: ReorderBuffer,
+    /// Per-worker batch under construction.
+    out: Vec<Vec<Routed>>,
+    txs: Vec<mpsc::SyncSender<Vec<Routed>>>,
+    workers: u32,
+    batch: usize,
+    /// Per-shard event-time tick of the last pushed event — the batching
+    /// boundary (see [`push_to`](Self::push_to)).
+    last_tick: Vec<Option<u64>>,
+    shared: Arc<SharedStats>,
+    stop: Arc<AtomicBool>,
+}
+
+impl<Src: Source> Ingest<Src> {
+    fn run(&mut self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            let Some(e) = self.source.next_event() else {
+                break;
+            };
+            let arrival = Instant::now();
+            self.shared.ingested.fetch_add(1, Ordering::Relaxed);
+            let wm = self.policy.observe(e.time);
+            self.shared.set_watermark(wm);
+            if e.time < wm {
+                self.shared.late.fetch_add(1, Ordering::Relaxed);
+                if let Some(hook) = &mut self.on_late {
+                    hook(e);
+                }
+                continue;
+            }
+            self.buffer.push(e, arrival);
+            let tranche = self.buffer.release(wm);
+            self.shared
+                .reorder_depth
+                .store(self.buffer.len(), Ordering::Relaxed);
+            if !tranche.is_empty() {
+                self.route_tranche(tranche);
+            }
+        }
+        // End of stream (or drain requested): everything still buffered
+        // is released in order, exactly like a watermark advancing past
+        // the stream's end.
+        let rest = self.buffer.drain();
+        self.shared.reorder_depth.store(0, Ordering::Relaxed);
+        if !rest.is_empty() {
+            self.route_tranche(rest);
+        }
+        self.flush_batches();
+        self.shared.source_done.store(true, Ordering::Relaxed);
+        self.txs.clear(); // hang up: workers drain, flush, and exit
+    }
+
+    /// Routes one released-in-order tranche to the owning shard(s).
+    fn route_tranche(&mut self, tranche: Vec<Routed>) {
+        self.shared
+            .released
+            .fetch_add(tranche.len() as u64, Ordering::Relaxed);
+        for (e, arrival) in tranche {
+            match &self.router {
+                None => self.push_to(0, e, arrival),
+                Some(router) => {
+                    let mut mask = router.shard_mask(&e, self.workers);
+                    while mask != 0 {
+                        let idx = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        if mask == 0 {
+                            self.push_to(idx, e, arrival);
+                            break;
+                        }
+                        self.push_to(idx, e.clone(), arrival);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends to a shard's batch and flushes it when full (`batch`
+    /// events) or when *this shard's* event time advanced a tick — the
+    /// boundary that costs no result latency: a shard's windows only
+    /// close when one of its own events advances its engine's watermark,
+    /// and exactly that tick-advancing event ships inside the batch its
+    /// push flushes, while same-tick followers (which cannot close
+    /// anything) stay buffered and amortize the channel.
+    fn push_to(&mut self, idx: usize, e: Event, arrival: Instant) {
+        let tick = e.time.ticks();
+        let advanced = self.last_tick[idx].is_some_and(|t| t != tick);
+        self.last_tick[idx] = Some(tick);
+        self.out[idx].push((e, arrival));
+        if advanced || self.out[idx].len() >= self.batch {
+            self.send(idx);
+        }
+    }
+
+    fn flush_batches(&mut self) {
+        for idx in 0..self.out.len() {
+            if !self.out[idx].is_empty() {
+                self.send(idx);
+            }
+        }
+    }
+
+    fn send(&mut self, idx: usize) {
+        let full = std::mem::replace(&mut self.out[idx], Vec::with_capacity(self.batch));
+        self.shared.worker_depths[idx].fetch_add(full.len(), Ordering::Relaxed);
+        // Blocking on a full channel IS the backpressure. A send only
+        // fails if the worker died (panicked): stop pulling the source so
+        // an unbounded run cannot silently discard that shard's events
+        // forever — the drain join then surfaces the worker's panic.
+        if self.txs[idx].send(full).is_err() {
+            self.shared.worker_depths[idx].store(0, Ordering::Relaxed);
+            self.stop.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One shard worker: an engine fed released, in-order events; results go
+/// to the sink channel with end-to-end latency recorded per result.
+fn worker_loop(
+    idx: usize,
+    engine: &mut HamletEngine,
+    rx: &mpsc::Receiver<Vec<Routed>>,
+    result_tx: &mpsc::SyncSender<Vec<WindowResult>>,
+    shared: &SharedStats,
+) -> WorkerOutput {
+    let mut local = LatencyHistogram::new();
+    while let Ok(batch) = rx.recv() {
+        let mut emitted: Vec<WindowResult> = Vec::new();
+        let n = batch.len();
+        for (e, arrival) in batch {
+            let results = engine.process(&e);
+            if !results.is_empty() {
+                let latency = arrival.elapsed();
+                for _ in 0..results.len() {
+                    local.record(latency);
+                }
+                emitted.extend(results);
+            }
+        }
+        if local.count() > 0 {
+            // One lock per batch, not per result: N workers recording
+            // per-event would contend on the shared histogram and
+            // inflate the very tail latency being measured.
+            shared.latency.lock().expect("latency lock").merge(&local);
+            local = LatencyHistogram::new();
+        }
+        shared.worker_depths[idx].fetch_sub(n, Ordering::Relaxed);
+        if !emitted.is_empty() {
+            shared
+                .sink_depth
+                .fetch_add(emitted.len(), Ordering::Relaxed);
+            let _ = result_tx.send(emitted);
+        }
+    }
+    // Channel closed: the drain. Flushing here is what makes drain ≡
+    // offline flush — every in-flight window emits exactly once.
+    let finale = engine.flush();
+    if !finale.is_empty() {
+        shared.sink_depth.fetch_add(finale.len(), Ordering::Relaxed);
+        let _ = result_tx.send(finale);
+    }
+    (
+        *engine.stats(),
+        engine.latency().clone(),
+        engine.peak_memory(),
+    )
+}
+
+/// The sink stage: delivers result batches and keeps the counters live.
+fn sink_loop<S: Sink>(
+    mut sink: S,
+    rx: &mpsc::Receiver<Vec<WindowResult>>,
+    shared: &SharedStats,
+) -> S {
+    while let Ok(batch) = rx.recv() {
+        shared.sink_depth.fetch_sub(batch.len(), Ordering::Relaxed);
+        shared
+            .results
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        sink.accept(batch);
+    }
+    sink
+}
+
+/// A live pipeline: observe it with [`metrics`](Self::metrics), end it
+/// with [`drain`](Self::drain).
+pub struct PipelineHandle<S> {
+    shared: Arc<SharedStats>,
+    stop: Arc<AtomicBool>,
+    ingest: JoinHandle<()>,
+    workers: Vec<JoinHandle<WorkerOutput>>,
+    sink: JoinHandle<S>,
+}
+
+impl<S: Sink> PipelineHandle<S> {
+    /// A live snapshot of the pipeline's counters, queue depths, and
+    /// latency tail. Never blocks the data path.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Requests shutdown without waiting: the source stops being pulled
+    /// after its current event; everything already ingested still flows
+    /// through. Idempotent. (A source blocked inside `next_event` is
+    /// interrupted only when it yields.)
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Gracefully drains the pipeline and returns the final report:
+    /// waits for the source to end (call [`stop`](Self::stop) first to
+    /// cut an unbounded source), releases the reorder buffer in order,
+    /// lets every worker process its queue and `flush()`, delivers the
+    /// last results to the sink, and joins all threads.
+    ///
+    /// Equivalent to an offline `process`+`flush` over exactly the
+    /// events the pipeline released (see `tests/pipeline_equivalence.rs`
+    /// for the byte-identity property).
+    pub fn drain(self) -> PipelineReport<S> {
+        self.ingest.join().expect("ingest thread panicked");
+        let mut stats = Vec::with_capacity(self.workers.len());
+        let mut peak_mem = Vec::with_capacity(self.workers.len());
+        let mut engine_latency = LatencyRecorder::new();
+        for handle in self.workers {
+            let (s, lat, peak) = handle.join().expect("worker thread panicked");
+            stats.push(s);
+            peak_mem.push(peak);
+            engine_latency.merge(&lat);
+        }
+        let sink = self.sink.join().expect("sink thread panicked");
+        let latency = self.shared.latency.lock().expect("latency lock").clone();
+        PipelineReport {
+            sink,
+            events: self.shared.ingested.load(Ordering::Relaxed),
+            released: self.shared.released.load(Ordering::Relaxed),
+            late: self.shared.late.load(Ordering::Relaxed),
+            results: self.shared.results.load(Ordering::Relaxed),
+            wall: self.shared.started.elapsed(),
+            stats,
+            peak_mem,
+            engine_latency,
+            latency,
+        }
+    }
+}
+
+/// Everything a finished pipeline run measured, plus the sink itself.
+pub struct PipelineReport<S> {
+    /// The sink, with whatever it accumulated.
+    pub sink: S,
+    /// Events ingested from the source.
+    pub events: u64,
+    /// Events released to workers (ingested − late, once the drain
+    /// completes).
+    pub released: u64,
+    /// Late events dropped (counted, dead-lettered).
+    pub late: u64,
+    /// Window results delivered to the sink.
+    pub results: u64,
+    /// Wall time from spawn to drain completion.
+    pub wall: Duration,
+    /// Per-worker engine statistics (index = shard).
+    pub stats: Vec<EngineStats>,
+    /// Per-worker peak byte-accounted state.
+    pub peak_mem: Vec<usize>,
+    /// Merged engine-internal result latency (result − last contributing
+    /// event arrival, as the offline harness reports it).
+    pub engine_latency: LatencyRecorder,
+    /// End-to-end (ingest → emit) latency histogram (p50/p99).
+    pub latency: LatencyHistogram,
+}
+
+impl<S> PipelineReport<S> {
+    /// Number of workers that ran.
+    pub fn workers(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Ingest throughput over the whole run (0 for zero-duration runs —
+    /// never `inf`/`NaN`).
+    pub fn throughput_eps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 && secs.is_finite() {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Workload-level engine statistics (all workers accumulated).
+    pub fn merged_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_core::executor::sort_results;
+    use hamlet_query::parse_query;
+    use hamlet_types::{AttrValue, EventTypeId, Ts};
+
+    fn setup() -> (Arc<TypeRegistry>, Vec<Query>, Vec<Event>) {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register("A", &["g"]);
+        let b = reg.register("B", &["g"]);
+        let c = reg.register("C", &["g"]);
+        let reg = Arc::new(reg);
+        let queries = vec![
+            parse_query(
+                &reg,
+                1,
+                "RETURN COUNT(*) PATTERN SEQ(A, B+) GROUP BY g WITHIN 20",
+            )
+            .unwrap(),
+            parse_query(
+                &reg,
+                2,
+                "RETURN COUNT(*) PATTERN SEQ(C, B+) GROUP BY g WITHIN 20",
+            )
+            .unwrap(),
+        ];
+        let mut events = Vec::new();
+        for t in 0..300u64 {
+            let ty = match t % 5 {
+                0 => a,
+                1 => c,
+                _ => b,
+            };
+            events.push(Event::new(Ts(t), ty, vec![AttrValue::Int((t % 7) as i64)]));
+        }
+        (reg, queries, events)
+    }
+
+    fn offline(reg: &Arc<TypeRegistry>, queries: &[Query], events: &[Event]) -> Vec<WindowResult> {
+        let mut eng =
+            HamletEngine::new(reg.clone(), queries.to_vec(), EngineConfig::default()).unwrap();
+        let mut out = Vec::new();
+        for e in events {
+            out.extend(eng.process(e));
+        }
+        out.extend(eng.flush());
+        out
+    }
+
+    #[test]
+    fn single_worker_matches_offline_in_emission_order() {
+        let (reg, queries, events) = setup();
+        let expected = offline(&reg, &queries, &events);
+        let handle = Pipeline::builder(reg, queries)
+            .spawn(ReplaySource::new(events.clone()), VecSink::new())
+            .unwrap();
+        let report = handle.drain();
+        // Raw order, not just sorted: one worker's emission order is the
+        // engine's emission order.
+        assert_eq!(report.sink.results, expected);
+        assert_eq!(report.events, events.len() as u64);
+        assert_eq!(report.released, events.len() as u64);
+        assert_eq!(report.late, 0);
+        assert_eq!(report.results, expected.len() as u64);
+        assert_eq!(report.workers(), 1);
+        assert!(report.throughput_eps() > 0.0);
+        assert!(report.latency.count() > 0, "latency samples recorded");
+        assert_eq!(report.merged_stats().late_skips, 0);
+    }
+
+    #[test]
+    fn sharded_workers_match_offline_canonically() {
+        let (reg, queries, events) = setup();
+        let mut expected = offline(&reg, &queries, &events);
+        sort_results(&mut expected);
+        for workers in [2u32, 4] {
+            let handle = Pipeline::builder(reg.clone(), queries.clone())
+                .workers(workers)
+                .batch(16)
+                .spawn(ReplaySource::new(events.clone()), VecSink::new())
+                .unwrap();
+            let report = handle.drain();
+            let mut got = report.sink.results;
+            sort_results(&mut got);
+            assert_eq!(got, expected, "{workers} workers");
+            assert_eq!(report.stats.len(), workers as usize);
+        }
+    }
+
+    #[test]
+    fn out_of_order_within_slack_matches_in_order() {
+        let (reg, queries, events) = setup();
+        let expected = offline(&reg, &queries, &events);
+        // Shuffle with bounded lateness 5, ingest with slack 5.
+        let mut shuffled = events.clone();
+        hamlet_stream::bounded_delay_shuffle(&mut shuffled, 5, 99);
+        assert_ne!(shuffled, events, "shuffle must perturb the order");
+        let handle = Pipeline::builder(reg, queries)
+            .watermark(BoundedLateness::new(5))
+            .spawn(ReplaySource::new(shuffled), VecSink::new())
+            .unwrap();
+        let report = handle.drain();
+        assert_eq!(report.late, 0, "lateness within slack drops nothing");
+        assert_eq!(report.sink.results, expected, "reorder restored order");
+    }
+
+    #[test]
+    fn late_events_are_counted_and_dead_lettered() {
+        let (reg, queries, events) = setup();
+        let mut shuffled = events.clone();
+        hamlet_stream::bounded_delay_shuffle(&mut shuffled, 10, 42);
+        let dead = Arc::new(std::sync::Mutex::new(Vec::<Event>::new()));
+        let dead_in_hook = dead.clone();
+        // Slack 0 with lateness 10: every out-of-order event is late.
+        let handle = Pipeline::builder(reg, queries)
+            .watermark(BoundedLateness::new(0))
+            .on_late(move |e| dead_in_hook.lock().unwrap().push(e))
+            .spawn(ReplaySource::new(shuffled.clone()), VecSink::new())
+            .unwrap();
+        let report = handle.drain();
+        assert!(report.late > 0, "shuffled stream must produce late events");
+        assert_eq!(report.late as usize, dead.lock().unwrap().len());
+        assert_eq!(report.released + report.late, report.events);
+        // The engine never saw the dropped events, so its own late guard
+        // stayed quiet and no window was emitted twice.
+        assert_eq!(report.merged_stats().late_skips, 0);
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &report.sink.results {
+            assert!(
+                seen.insert((r.query, format!("{}", r.group_key), r.window_start)),
+                "duplicate window emission: {r:?}"
+            );
+        }
+    }
+
+    /// An endless source: the pipeline must keep running, serve live
+    /// metrics, and stop cleanly mid-stream.
+    struct Endless {
+        t: u64,
+        a: EventTypeId,
+        b: EventTypeId,
+    }
+
+    impl Source for Endless {
+        fn next_event(&mut self) -> Option<Event> {
+            let ty = if self.t.is_multiple_of(10) {
+                self.a
+            } else {
+                self.b
+            };
+            let e = Event::new(
+                Ts(self.t / 4),
+                ty,
+                vec![AttrValue::Int((self.t % 3) as i64)],
+            );
+            self.t += 1;
+            Some(e)
+        }
+    }
+
+    #[test]
+    fn unbounded_source_stops_on_drain() {
+        let (reg, queries, _) = setup();
+        let a = reg.type_id("A").unwrap();
+        let b = reg.type_id("B").unwrap();
+        let handle = Pipeline::builder(reg, queries)
+            .batch(32)
+            .spawn(Endless { t: 0, a, b }, CountingSink::new())
+            .unwrap();
+        // Let it run until it has demonstrably made progress.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let m = handle.metrics();
+            if m.results > 0 && m.ingested > 1_000 {
+                assert_eq!(m.late, 0);
+                assert!(m.watermark.is_some());
+                assert!(m.ingest_eps() > 0.0);
+                break;
+            }
+            assert!(Instant::now() < deadline, "pipeline made no progress");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.stop();
+        let report = handle.drain();
+        assert!(report.events > 1_000);
+        assert!(report.results > 0);
+        assert_eq!(report.released, report.events);
+        assert_eq!(report.sink.count, report.results);
+    }
+
+    /// A deliberately slow sink with single-slot channels: backpressure
+    /// must stall the source rather than losing or duplicating results.
+    struct SlowVec {
+        results: Vec<WindowResult>,
+        delayed: u32,
+    }
+
+    impl Sink for SlowVec {
+        fn accept(&mut self, batch: Vec<WindowResult>) {
+            if self.delayed < 20 {
+                self.delayed += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            self.results.extend(batch);
+        }
+    }
+
+    #[test]
+    fn backpressure_preserves_every_result() {
+        let (reg, queries, events) = setup();
+        let expected = offline(&reg, &queries, &events);
+        let handle = Pipeline::builder(reg, queries)
+            .batch(4)
+            .channel_capacity(1)
+            .spawn(
+                ReplaySource::new(events.clone()),
+                SlowVec {
+                    results: Vec::new(),
+                    delayed: 0,
+                },
+            )
+            .unwrap();
+        let report = handle.drain();
+        assert_eq!(report.sink.results, expected, "backpressure lost results");
+        assert_eq!(report.events, events.len() as u64);
+    }
+
+    #[test]
+    fn spawn_surfaces_workload_errors() {
+        let mut reg = TypeRegistry::new();
+        reg.register("A", &["v"]);
+        let reg = Arc::new(reg);
+        // MIN with negation is unsupported — the builder must say so
+        // instead of panicking a worker thread.
+        let q = parse_query(&reg, 1, "RETURN MIN(A.v) PATTERN SEQ(NOT A, A+) WITHIN 10");
+        let Ok(q) = q else {
+            return; // parser already rejects it: equally fine
+        };
+        let err = Pipeline::builder(reg, vec![q])
+            .spawn(ReplaySource::new(vec![]), NullSink)
+            .err();
+        assert!(err.is_some(), "engine error must surface at spawn");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 workers")]
+    fn too_many_workers_rejected() {
+        let (reg, queries, _) = setup();
+        let _ = Pipeline::builder(reg, queries).workers(65);
+    }
+}

@@ -1,0 +1,191 @@
+//! Live pipeline observability: lock-light shared counters and the
+//! [`MetricsSnapshot`] a [`PipelineHandle`](crate::PipelineHandle) serves
+//! at any moment of a run.
+
+use hamlet_core::LatencyHistogram;
+use hamlet_types::Ts;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Counters all pipeline stages update as they run. Plain atomics +
+/// one mutex-guarded histogram: snapshots never stall the hot path for
+/// longer than a bucket increment.
+pub(crate) struct SharedStats {
+    pub(crate) started: Instant,
+    /// Events pulled from the source.
+    pub(crate) ingested: AtomicU64,
+    /// Events dropped as late (behind the watermark at arrival).
+    pub(crate) late: AtomicU64,
+    /// Events released by the reorder stage into the worker channels.
+    pub(crate) released: AtomicU64,
+    /// Window results delivered to the sink.
+    pub(crate) results: AtomicU64,
+    /// Watermark ticks (valid iff `watermark_set`).
+    pub(crate) watermark: AtomicU64,
+    pub(crate) watermark_set: AtomicBool,
+    /// Source exhausted (or drain requested) and the reorder buffer has
+    /// been flushed downstream.
+    pub(crate) source_done: AtomicBool,
+    /// Events currently held by the reorder stage.
+    pub(crate) reorder_depth: AtomicUsize,
+    /// Events currently queued to each worker (routed, not yet processed).
+    pub(crate) worker_depths: Vec<AtomicUsize>,
+    /// Results currently queued to the sink.
+    pub(crate) sink_depth: AtomicUsize,
+    /// End-to-end (ingest → emit) result latency histogram.
+    pub(crate) latency: Mutex<LatencyHistogram>,
+}
+
+impl SharedStats {
+    pub(crate) fn new(workers: usize) -> Self {
+        SharedStats {
+            started: Instant::now(),
+            ingested: AtomicU64::new(0),
+            late: AtomicU64::new(0),
+            released: AtomicU64::new(0),
+            results: AtomicU64::new(0),
+            watermark: AtomicU64::new(0),
+            watermark_set: AtomicBool::new(false),
+            source_done: AtomicBool::new(false),
+            reorder_depth: AtomicUsize::new(0),
+            worker_depths: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            sink_depth: AtomicUsize::new(0),
+            latency: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+
+    pub(crate) fn set_watermark(&self, wm: Ts) {
+        self.watermark.store(wm.ticks(), Ordering::Relaxed);
+        self.watermark_set.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let latency = {
+            let h = self.latency.lock().expect("latency lock");
+            LatencySummary {
+                count: h.count(),
+                avg: h.avg(),
+                p50: h.p50(),
+                p99: h.p99(),
+                max: h.max(),
+            }
+        };
+        MetricsSnapshot {
+            elapsed: self.started.elapsed(),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            late: self.late.load(Ordering::Relaxed),
+            released: self.released.load(Ordering::Relaxed),
+            results: self.results.load(Ordering::Relaxed),
+            watermark: self
+                .watermark_set
+                .load(Ordering::Acquire)
+                .then(|| Ts(self.watermark.load(Ordering::Relaxed))),
+            source_done: self.source_done.load(Ordering::Relaxed),
+            reorder_depth: self.reorder_depth.load(Ordering::Relaxed),
+            worker_depths: self
+                .worker_depths
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+            sink_depth: self.sink_depth.load(Ordering::Relaxed),
+            latency,
+        }
+    }
+}
+
+/// Tail summary of the end-to-end result latency histogram.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencySummary {
+    /// Latency samples recorded (one per emitted result).
+    pub count: u64,
+    /// Mean latency.
+    pub avg: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Maximum latency.
+    pub max: Duration,
+}
+
+/// One consistent-enough view of a live pipeline: what came in, what
+/// went out, where events are queued, and how the latency tail looks —
+/// readable at any time without pausing the run.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Wall time since the pipeline was spawned.
+    pub elapsed: Duration,
+    /// Events pulled from the source.
+    pub ingested: u64,
+    /// Late events dropped (behind the watermark at arrival).
+    pub late: u64,
+    /// Events released downstream by the reorder stage.
+    pub released: u64,
+    /// Window results delivered to the sink.
+    pub results: u64,
+    /// Current event-time watermark.
+    pub watermark: Option<Ts>,
+    /// The source is exhausted (or a drain was requested) and the
+    /// reorder buffer has been flushed.
+    pub source_done: bool,
+    /// Events held by the reorder stage.
+    pub reorder_depth: usize,
+    /// Per-worker queued events (routed, not yet processed).
+    pub worker_depths: Vec<usize>,
+    /// Results queued to the sink.
+    pub sink_depth: usize,
+    /// End-to-end (ingest → emit) result latency.
+    pub latency: LatencySummary,
+}
+
+impl MetricsSnapshot {
+    /// Ingest throughput in events/second over the run so far.
+    pub fn ingest_eps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 && secs.is_finite() {
+            self.ingested as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total events currently queued anywhere in the pipeline.
+    pub fn queued(&self) -> usize {
+        self.reorder_depth + self.worker_depths.iter().sum::<usize>() + self.sink_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = SharedStats::new(3);
+        s.ingested.store(100, Ordering::Relaxed);
+        s.late.store(2, Ordering::Relaxed);
+        s.released.store(98, Ordering::Relaxed);
+        s.worker_depths[1].store(7, Ordering::Relaxed);
+        s.reorder_depth.store(4, Ordering::Relaxed);
+        s.sink_depth.store(1, Ordering::Relaxed);
+        s.set_watermark(Ts(55));
+        s.latency.lock().unwrap().record(Duration::from_micros(10));
+        let snap = s.snapshot();
+        assert_eq!(snap.ingested, 100);
+        assert_eq!(snap.late, 2);
+        assert_eq!(snap.released, 98);
+        assert_eq!(snap.watermark, Some(Ts(55)));
+        assert_eq!(snap.worker_depths, vec![0, 7, 0]);
+        assert_eq!(snap.queued(), 4 + 7 + 1);
+        assert_eq!(snap.latency.count, 1);
+        assert!(snap.ingest_eps() > 0.0);
+        assert!(!snap.source_done);
+    }
+
+    #[test]
+    fn watermark_none_before_first_event() {
+        let s = SharedStats::new(1);
+        assert_eq!(s.snapshot().watermark, None);
+    }
+}

@@ -1,0 +1,213 @@
+//! Out-of-order ingestion: watermark generation and the reorder stage.
+//!
+//! The pipeline accepts streams where an event may trail the running
+//! timestamp maximum by a bounded amount (the bounded-delay network
+//! model — `hamlet_stream::bounded_delay_shuffle` produces exactly such
+//! streams). A [`WatermarkPolicy`] turns arrivals into a monotone
+//! event-time watermark; the [`ReorderBuffer`] holds events back until
+//! the watermark passes them and releases them in timestamp order. If
+//! the stream's true lateness is within the policy's slack, the engine
+//! downstream sees a perfectly in-order stream — which is what makes the
+//! online pipeline's output provably identical to an offline run
+//! (`tests/pipeline_equivalence.rs`).
+//!
+//! Events that arrive *behind* the watermark are late: they are counted,
+//! handed to the dead-letter hook, and never fed to the engine (whose own
+//! [`late_skips`](hamlet_core::EngineStats::late_skips) guard is the
+//! second line of defense).
+
+use hamlet_types::{Event, Ts};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Generates the pipeline's event-time watermark from arrivals.
+///
+/// The contract: the watermark is monotone, and after observing an
+/// arrival every buffered event with `time <= watermark` may be released
+/// in timestamp order — the policy promises no future on-time arrival
+/// will carry a smaller timestamp.
+pub trait WatermarkPolicy: Send {
+    /// Observes an arriving event time; returns the watermark after it.
+    fn observe(&mut self, t: Ts) -> Ts;
+
+    /// Current watermark (`None` before the first observation).
+    fn current(&self) -> Option<Ts>;
+}
+
+/// Bounded-lateness watermark: `max observed time − slack` ticks.
+///
+/// `slack = 0` degenerates to a strictly-ascending policy (every event
+/// is released immediately; any out-of-order event is late) — the right
+/// setting for in-order streams, adding zero reorder latency.
+#[derive(Clone, Debug)]
+pub struct BoundedLateness {
+    slack: u64,
+    max_seen: Option<Ts>,
+}
+
+impl BoundedLateness {
+    /// Tolerates events up to `slack` ticks behind the stream maximum.
+    pub fn new(slack: u64) -> Self {
+        BoundedLateness {
+            slack,
+            max_seen: None,
+        }
+    }
+
+    /// The configured slack, in ticks.
+    pub fn slack(&self) -> u64 {
+        self.slack
+    }
+}
+
+impl WatermarkPolicy for BoundedLateness {
+    fn observe(&mut self, t: Ts) -> Ts {
+        let max = match self.max_seen {
+            Some(m) if m >= t => m,
+            _ => {
+                self.max_seen = Some(t);
+                t
+            }
+        };
+        Ts(max.ticks().saturating_sub(self.slack))
+    }
+
+    fn current(&self) -> Option<Ts> {
+        self.max_seen
+            .map(|m| Ts(m.ticks().saturating_sub(self.slack)))
+    }
+}
+
+/// Buffers out-of-order events until the watermark passes them, then
+/// releases them in `(timestamp, arrival)` order.
+///
+/// Arrival order breaks timestamp ties, so a stream whose ties were
+/// never reordered in flight (the bounded-delay model) is reconstructed
+/// *exactly* — byte-identical inputs to the engine, not merely
+/// time-sorted ones.
+#[derive(Default)]
+pub struct ReorderBuffer {
+    /// `(event time, arrival sequence) → (event, ingest stamp)`.
+    held: BTreeMap<(u64, u64), (Event, Instant)>,
+    seq: u64,
+}
+
+impl ReorderBuffer {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers one event with its ingest stamp (for end-to-end latency).
+    pub fn push(&mut self, e: Event, arrival: Instant) {
+        let key = (e.time.ticks(), self.seq);
+        self.seq += 1;
+        self.held.insert(key, (e, arrival));
+    }
+
+    /// Releases every buffered event with `time <= watermark`, in
+    /// `(time, arrival)` order.
+    pub fn release(&mut self, watermark: Ts) -> Vec<(Event, Instant)> {
+        let wm = watermark.ticks();
+        if wm == u64::MAX {
+            return self.drain();
+        }
+        // Everything strictly after the watermark stays buffered.
+        let rest = self.held.split_off(&(wm + 1, 0));
+        let released = std::mem::replace(&mut self.held, rest);
+        released.into_values().collect()
+    }
+
+    /// Releases everything (end of stream / drain), in order.
+    pub fn drain(&mut self) -> Vec<(Event, Instant)> {
+        std::mem::take(&mut self.held).into_values().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// True iff nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_types::EventTypeId;
+
+    fn ev(t: u64) -> Event {
+        Event::new(Ts(t), EventTypeId(0), vec![])
+    }
+
+    #[test]
+    fn bounded_lateness_tracks_max_minus_slack() {
+        let mut p = BoundedLateness::new(5);
+        assert_eq!(p.current(), None);
+        assert_eq!(p.observe(Ts(3)), Ts(0)); // saturates below zero
+        assert_eq!(p.observe(Ts(20)), Ts(15));
+        // Out-of-order arrival does not rewind the watermark.
+        assert_eq!(p.observe(Ts(10)), Ts(15));
+        assert_eq!(p.current(), Some(Ts(15)));
+        assert_eq!(p.slack(), 5);
+    }
+
+    #[test]
+    fn zero_slack_is_ascending() {
+        let mut p = BoundedLateness::new(0);
+        assert_eq!(p.observe(Ts(7)), Ts(7));
+        assert_eq!(p.observe(Ts(4)), Ts(7));
+    }
+
+    #[test]
+    fn reorder_releases_in_time_order() {
+        let mut b = ReorderBuffer::new();
+        let now = Instant::now();
+        for t in [5u64, 3, 8, 3, 1] {
+            b.push(ev(t), now);
+        }
+        assert_eq!(b.len(), 5);
+        let out = b.release(Ts(4));
+        let times: Vec<u64> = out.iter().map(|(e, _)| e.time.ticks()).collect();
+        assert_eq!(times, vec![1, 3, 3], "sorted, ties in arrival order");
+        assert_eq!(b.len(), 2);
+        let rest = b.drain();
+        assert_eq!(
+            rest.iter().map(|(e, _)| e.time.ticks()).collect::<Vec<_>>(),
+            vec![5, 8]
+        );
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn ties_preserve_arrival_order() {
+        let mut b = ReorderBuffer::new();
+        let now = Instant::now();
+        let mut tagged = Vec::new();
+        for i in 0..10u64 {
+            let mut e = ev(4);
+            e.attrs = vec![hamlet_types::AttrValue::Int(i as i64)];
+            tagged.push(e.clone());
+            b.push(e, now);
+        }
+        let out = b.release(Ts(4));
+        assert_eq!(
+            out.into_iter().map(|(e, _)| e).collect::<Vec<_>>(),
+            tagged,
+            "equal timestamps must come back in push order"
+        );
+    }
+
+    #[test]
+    fn max_watermark_drains_everything() {
+        let mut b = ReorderBuffer::new();
+        b.push(ev(u64::MAX), Instant::now());
+        b.push(ev(2), Instant::now());
+        let out = b.release(Ts(u64::MAX));
+        assert_eq!(out.len(), 2);
+        assert!(b.is_empty());
+    }
+}

@@ -24,6 +24,12 @@ pub struct GenConfig {
     pub group_skew: f64,
     /// RNG seed for reproducibility.
     pub seed: u64,
+    /// Maximum out-of-order lateness, in stream ticks. 0 (the default)
+    /// emits the stream in timestamp order; > 0 applies a seeded
+    /// [`bounded_delay_shuffle`] so every generator can exercise the
+    /// pipeline's out-of-order ingestion: an event can trail the running
+    /// timestamp maximum by at most this many ticks.
+    pub max_lateness: u64,
 }
 
 impl Default for GenConfig {
@@ -35,6 +41,7 @@ impl Default for GenConfig {
             num_groups: 4,
             group_skew: 0.0,
             seed: 7,
+            max_lateness: 0,
         }
     }
 }
@@ -54,6 +61,13 @@ impl GenConfig {
     /// Convenience: override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Convenience: emit the stream out of order, with every event at
+    /// most `max_lateness` ticks behind the running timestamp maximum.
+    pub fn with_max_lateness(mut self, max_lateness: u64) -> Self {
+        self.max_lateness = max_lateness;
         self
     }
 }
@@ -164,7 +178,89 @@ pub fn generate_stream(
         };
         out.push(make(&mut rng, t, ty, group));
     }
+    if cfg.max_lateness > 0 {
+        bounded_delay_shuffle(&mut out, cfg.max_lateness, cfg.seed);
+    }
     out
+}
+
+/// Reorders an in-order stream into a *bounded-lateness* out-of-order
+/// stream: every timestamp tick draws a seeded delivery delay in
+/// `[0, max_lateness]` ticks, and events are re-emitted in delivery
+/// order. The result satisfies the bounded-delay network model —
+/// no event trails the running timestamp maximum by more than
+/// `max_lateness` ticks ([`max_observed_lateness`]) — so a reorder
+/// stage with watermark slack ≥ `max_lateness` (see `hamlet-pipeline`)
+/// reconstructs the original order exactly.
+///
+/// The delay is drawn *per tick*, not per event: a delayed tick delays
+/// all its events together, preserving their relative order. (Intra-tick
+/// order carries semantic weight — the engine treats arrival order as
+/// the tie-break for equal timestamps — so shuffling within a tick would
+/// change aggregates, not just delivery.)
+pub fn bounded_delay_shuffle(events: &mut [Event], max_lateness: u64, seed: u64) {
+    if max_lateness == 0 || events.len() < 2 {
+        return;
+    }
+    // Distinct seed domain so the shuffle does not replay the generator's
+    // attribute draws.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1A7E_5EED_0DDE_11A5);
+    // The input is in timestamp order, so each tick's delay is drawn once
+    // when the tick starts.
+    let mut cur: Option<(u64, u64)> = None;
+    let mut keys: Vec<(u64, usize)> = Vec::with_capacity(events.len());
+    for (i, e) in events.iter().enumerate() {
+        let t = e.time.ticks();
+        let d = match cur {
+            Some((tick, d)) if tick == t => d,
+            _ => {
+                let d = rng.gen_range(0..=max_lateness);
+                cur = Some((t, d));
+                d
+            }
+        };
+        keys.push((t.saturating_add(d), i));
+    }
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| keys[i]);
+    apply_permutation(events, &order);
+}
+
+/// Reorders `events` so position `p` holds the element that was at
+/// `order[p]` (cycle-chasing, O(n) swaps, no clones).
+fn apply_permutation(events: &mut [Event], order: &[usize]) {
+    let mut visited = vec![false; order.len()];
+    for start in 0..order.len() {
+        if visited[start] || order[start] == start {
+            visited[start] = true;
+            continue;
+        }
+        let mut pos = start;
+        loop {
+            visited[pos] = true;
+            let src = order[pos];
+            if src == start {
+                break;
+            }
+            events.swap(pos, src);
+            pos = src;
+        }
+    }
+}
+
+/// Maximum lateness of a stream: the largest amount (in ticks) by which
+/// any event trails the running timestamp maximum of its prefix. 0 for
+/// in-order streams; for [`bounded_delay_shuffle`] output it is at most
+/// the configured bound.
+pub fn max_observed_lateness(events: &[Event]) -> u64 {
+    let mut max_seen = 0u64;
+    let mut late = 0u64;
+    for e in events {
+        let t = e.time.ticks();
+        max_seen = max_seen.max(t);
+        late = late.max(max_seen - t);
+    }
+    late
 }
 
 /// Iterates a stream in contiguous batches of at most `size` events — the
@@ -215,6 +311,7 @@ mod tests {
             num_groups: 3,
             group_skew: 0.0,
             seed: 1,
+            max_lateness: 0,
         };
         let mix = BurstyMix::new(&[(ts[0], 1.0), (ts[1], 1.0)], cfg.mean_burst);
         let evs = generate_stream(&cfg, mix, |_, t, ty, g| {
@@ -236,6 +333,7 @@ mod tests {
                 num_groups: 1,
                 group_skew: 0.0,
                 seed: 42,
+                max_lateness: 0,
             };
             let mix = BurstyMix::new(&[(ts[0], 1.0), (ts[1], 1.0), (ts[2], 1.0)], cfg.mean_burst);
             let evs = generate_stream(&cfg, mix, |_, t, ty, _| Event::new(t, ty, vec![]));
@@ -282,5 +380,100 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_rejected() {
         let _ = batches(&[], 0);
+    }
+
+    #[test]
+    fn bounded_delay_shuffle_respects_the_bound() {
+        let (_, ts) = mini_registry();
+        let cfg = GenConfig {
+            events_per_min: 6_000,
+            minutes: 2,
+            mean_burst: 5.0,
+            num_groups: 3,
+            group_skew: 0.0,
+            seed: 11,
+            max_lateness: 0,
+        };
+        let mix = BurstyMix::new(&[(ts[0], 1.0), (ts[1], 1.0)], cfg.mean_burst);
+        let make = |_: &mut StdRng, t: Ts, ty: EventTypeId, g: u64| {
+            Event::new(t, ty, vec![hamlet_types::AttrValue::Int(g as i64)])
+        };
+        let ordered = generate_stream(&cfg, mix, make);
+        assert_eq!(max_observed_lateness(&ordered), 0);
+        for bound in [1u64, 5, 30] {
+            let mut shuffled = ordered.clone();
+            bounded_delay_shuffle(&mut shuffled, bound, 77);
+            let late = max_observed_lateness(&shuffled);
+            assert!(late <= bound, "lateness {late} exceeds bound {bound}");
+            // The shuffle is a permutation: sorting by (time, original
+            // intra-tick order) restores the stream exactly.
+            let mut restored = shuffled.clone();
+            restored.sort_by_key(|e| e.time);
+            assert_eq!(restored, ordered, "bound {bound} lost or mutated events");
+        }
+        // A meaningful bound actually perturbs the order.
+        let mut shuffled = ordered.clone();
+        bounded_delay_shuffle(&mut shuffled, 30, 77);
+        assert_ne!(shuffled, ordered, "shuffle was a no-op");
+        assert!(max_observed_lateness(&shuffled) > 0);
+    }
+
+    #[test]
+    fn shuffle_preserves_intra_tick_order() {
+        let (_, ts) = mini_registry();
+        // 50 ticks × 4 events per tick, payload identifies the slot.
+        let ordered: Vec<Event> = (0..200u64)
+            .map(|i| {
+                Event::new(
+                    Ts(i / 4),
+                    ts[(i % 2) as usize],
+                    vec![hamlet_types::AttrValue::Int(i as i64)],
+                )
+            })
+            .collect();
+        let mut shuffled = ordered.clone();
+        bounded_delay_shuffle(&mut shuffled, 7, 3);
+        // Within each tick the payloads stay ascending: ties are never
+        // reordered (they carry semantic weight for the engine).
+        for w in shuffled.windows(2) {
+            if w[0].time == w[1].time {
+                assert!(
+                    w[0].attrs[0].as_f64() < w[1].attrs[0].as_f64(),
+                    "intra-tick order broken: {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_seed_sensitive() {
+        let (_, ts) = mini_registry();
+        let ordered: Vec<Event> = (0..300u64)
+            .map(|t| Event::new(Ts(t), ts[0], vec![]))
+            .collect();
+        let mut a = ordered.clone();
+        let mut b = ordered.clone();
+        let mut c = ordered.clone();
+        bounded_delay_shuffle(&mut a, 10, 5);
+        bounded_delay_shuffle(&mut b, 10, 5);
+        bounded_delay_shuffle(&mut c, 10, 6);
+        assert_eq!(a, b, "same seed must reproduce the same order");
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn gen_config_applies_max_lateness() {
+        let (_, ts) = mini_registry();
+        let make = |_: &mut StdRng, t: Ts, ty: EventTypeId, _: u64| Event::new(t, ty, vec![]);
+        let cfg = GenConfig::default().with_rate(2_000);
+        let mix = || BurstyMix::new(&[(ts[0], 1.0), (ts[1], 1.0)], cfg.mean_burst);
+        let ordered = generate_stream(&cfg, mix(), make);
+        let late_cfg = cfg.clone().with_max_lateness(10);
+        let shuffled = generate_stream(&late_cfg, mix(), make);
+        assert!(max_observed_lateness(&shuffled) > 0, "lateness injected");
+        assert!(max_observed_lateness(&shuffled) <= 10);
+        let mut restored = shuffled.clone();
+        restored.sort_by_key(|e| e.time);
+        assert_eq!(restored, ordered, "same content, different delivery");
     }
 }

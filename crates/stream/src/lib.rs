@@ -25,4 +25,4 @@ pub mod smart_home;
 pub mod stock;
 pub mod zipf;
 
-pub use common::{batches, GenConfig};
+pub use common::{batches, bounded_delay_shuffle, max_observed_lateness, GenConfig};

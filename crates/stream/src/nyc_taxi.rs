@@ -101,6 +101,7 @@ mod tests {
             num_groups: 8,
             group_skew: 0.0,
             seed: 11,
+            max_lateness: 0,
         };
         let evs = generate(&reg, &cfg);
         assert_eq!(evs.len(), 1000);

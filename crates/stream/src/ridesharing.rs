@@ -150,6 +150,7 @@ mod tests {
             num_groups: 4,
             group_skew: 0.0,
             seed: 3,
+            max_lateness: 0,
         };
         let evs = generate(&reg, &cfg);
         assert_eq!(evs.len(), 10_000);

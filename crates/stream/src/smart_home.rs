@@ -91,6 +91,7 @@ mod tests {
             num_groups: 40,
             group_skew: 0.0,
             seed: 5,
+            max_lateness: 0,
         };
         let evs = generate(&reg, &cfg);
         assert_eq!(evs.len(), 20_000);

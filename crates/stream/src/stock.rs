@@ -148,6 +148,7 @@ mod tests {
             num_groups: 220,
             group_skew: 0.0,
             seed: 17,
+            max_lateness: 0,
         };
         let evs = generate(&reg, &cfg);
         assert_eq!(evs.len(), 9000);

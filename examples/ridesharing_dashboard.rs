@@ -18,6 +18,7 @@ fn main() {
         num_groups: 4,
         group_skew: 0.0,
         seed: 7,
+        max_lateness: 0,
     };
     let events = ridesharing::generate(&reg, &cfg);
     let queries = ridesharing::workload_shared_kleene(&reg, 10, 60);

@@ -17,6 +17,7 @@ fn main() {
         num_groups: 8, // houses
         group_skew: 0.0,
         seed: 21,
+        max_lateness: 0,
     };
     let events = smart_home::generate(&reg, &cfg);
 

@@ -51,6 +51,7 @@ fn main() {
         num_groups: 32,
         group_skew: 0.0,
         seed: 13,
+        max_lateness: 0,
     };
     let events = stock::generate(&reg, &cfg);
     let queries = stock::workload_diverse(&reg, 30, 99);

@@ -2,21 +2,35 @@
 //! report aggregates, sharing statistics, and the compiled plan.
 //!
 //! ```text
+//! # Offline run (default mode):
 //! cargo run --release --bin hamlet-cli -- \
 //!     --dataset ridesharing --rate 10000 --minutes 2 --queries 10 \
 //!     --policy dynamic --window 60 --explain
+//!
+//! # Live pipeline: paced source, out-of-order injection, live metrics:
+//! cargo run --release --bin hamlet-cli -- pipeline \
+//!     --dataset ridesharing --rate 60000 --queries 10 --window 30 \
+//!     --workers 4 --eps 50000 --max-lateness 5 --slack 5 --metrics-ms 250
 //! ```
 //!
 //! Datasets: ridesharing | nyc | smarthome | stock (stock uses the
 //! diverse predicate-heavy workload of Figs. 12–13; the others use the
 //! shared-Kleene workload of Fig. 9).
+//!
+//! Pipeline-mode flags: `--workers N` (shard workers), `--eps F` (offered
+//! wall-clock rate, 0 = unpaced), `--max-lateness T` (shuffle the
+//! generated stream so events trail the stream maximum by up to `T`
+//! ticks), `--slack T` (reorder-stage watermark slack; events later than
+//! this are dead-lettered), `--metrics-ms M` (live metrics print
+//! interval, 0 = quiet).
 
 use hamlet::prelude::*;
 use hamlet_stream::{nyc_taxi, ridesharing, smart_home, stock};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
+    pipeline: bool,
     dataset: String,
     rate: u64,
     minutes: u64,
@@ -29,10 +43,17 @@ struct Args {
     seed: u64,
     explain: bool,
     show_results: usize,
+    // Pipeline mode.
+    workers: u32,
+    eps: f64,
+    slack: u64,
+    max_lateness: u64,
+    metrics_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        pipeline: false,
         dataset: "ridesharing".into(),
         rate: 10_000,
         minutes: 1,
@@ -45,8 +66,17 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         explain: false,
         show_results: 5,
+        workers: 1,
+        eps: 0.0,
+        slack: 0,
+        max_lateness: 0,
+        metrics_ms: 250,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("pipeline") {
+        args.pipeline = true;
+        it.next();
+    }
     while let Some(a) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match a.as_str() {
@@ -60,6 +90,15 @@ fn parse_args() -> Result<Args, String> {
             "--skew" => args.skew = val("--skew")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--show" => args.show_results = val("--show")?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => args.workers = val("--workers")?.parse().map_err(|e| format!("{e}"))?,
+            "--eps" => args.eps = val("--eps")?.parse().map_err(|e| format!("{e}"))?,
+            "--slack" => args.slack = val("--slack")?.parse().map_err(|e| format!("{e}"))?,
+            "--max-lateness" => {
+                args.max_lateness = val("--max-lateness")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--metrics-ms" => {
+                args.metrics_ms = val("--metrics-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--policy" => {
                 args.policy = match val("--policy")?.as_str() {
                     "dynamic" => SharingPolicy::Dynamic,
@@ -71,10 +110,12 @@ fn parse_args() -> Result<Args, String> {
             "--explain" => args.explain = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: hamlet-cli [--dataset ridesharing|nyc|smarthome|stock] \
+                    "usage: hamlet-cli [pipeline] [--dataset ridesharing|nyc|smarthome|stock] \
                      [--rate N] [--minutes N] [--queries K] [--window SECS] \
                      [--policy dynamic|static|noshare] [--burst B] [--groups G] \
-                     [--skew Z] [--seed S] [--show N] [--explain]"
+                     [--skew Z] [--seed S] [--show N] [--explain]\n\
+                     pipeline mode: [--workers W] [--eps OFFERED_RATE] [--slack TICKS] \
+                     [--max-lateness TICKS] [--metrics-ms MS]"
                 );
                 std::process::exit(0);
             }
@@ -99,6 +140,7 @@ fn main() {
         num_groups: args.groups,
         group_skew: args.skew,
         seed: args.seed,
+        max_lateness: if args.pipeline { args.max_lateness } else { 0 },
     };
     let (reg, events, queries): (Arc<TypeRegistry>, Vec<Event>, Vec<Query>) =
         match args.dataset.as_str() {
@@ -132,6 +174,122 @@ fn main() {
             }
         };
 
+    if args.pipeline {
+        run_pipeline(&args, reg, events, queries);
+    } else {
+        run_offline(&args, reg, events, queries);
+    }
+}
+
+/// Live mode: feed the stream through the online pipeline, printing
+/// metrics snapshots while it runs, then drain and summarize.
+fn run_pipeline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries: Vec<Query>) {
+    println!(
+        "pipeline: dataset={} events={} queries={} workers={} offered_eps={} \
+         max_lateness={} slack={}",
+        args.dataset,
+        events.len(),
+        queries.len(),
+        args.workers,
+        if args.eps > 0.0 {
+            format!("{:.0}", args.eps)
+        } else {
+            "unpaced".into()
+        },
+        args.max_lateness,
+        args.slack,
+    );
+    // Capped dead-letter log: a slack/lateness mismatch can make a large
+    // fraction of the stream late, and per-event stderr writes on the
+    // ingest thread would throttle the very pipeline being measured. The
+    // full count is in every metrics line and the drain summary.
+    let mut dead_logged = 0u32;
+    let builder = Pipeline::builder(reg, queries)
+        .engine_config(EngineConfig {
+            policy: args.policy,
+            ..EngineConfig::default()
+        })
+        .workers(args.workers)
+        .watermark(BoundedLateness::new(args.slack))
+        .on_late(move |e| {
+            if dead_logged < 3 {
+                dead_logged += 1;
+                eprintln!(
+                    "dead-letter: late event at t={} (further drops counted silently)",
+                    e.time
+                );
+            }
+        });
+    let replay = ReplaySource::new(events);
+    let spawn = if args.eps > 0.0 {
+        builder.spawn(RateLimitedSource::new(replay, args.eps), VecSink::new())
+    } else {
+        builder.spawn(replay, VecSink::new())
+    };
+    let handle = match spawn {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("engine error: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Live view until the source is exhausted and the queues are empty.
+    loop {
+        let m = handle.metrics();
+        if args.metrics_ms > 0 {
+            println!(
+                "[{:>7.2}s] in={} out={} late={} wm={} queues: reorder={} workers={:?} sink={} \
+                 | latency p50={:?} p99={:?}",
+                m.elapsed.as_secs_f64(),
+                m.ingested,
+                m.results,
+                m.late,
+                m.watermark.map(|w| w.ticks()).unwrap_or(0),
+                m.reorder_depth,
+                m.worker_depths,
+                m.sink_depth,
+                m.latency.p50,
+                m.latency.p99,
+            );
+        }
+        if m.source_done && m.queued() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(args.metrics_ms.clamp(20, 2_000)));
+    }
+    let report = handle.drain();
+    println!(
+        "\ndrained in {:?}: {} events ({:.0} ev/s), {} late, {} results",
+        report.wall,
+        report.events,
+        report.throughput_eps(),
+        report.late,
+        report.results,
+    );
+    println!(
+        "end-to-end latency avg {:?} p50 {:?} p99 {:?} max {:?} · engine latency avg {:?} · \
+         peak state {} KB · late skips {}",
+        report.latency.avg(),
+        report.latency.p50(),
+        report.latency.p99(),
+        report.latency.max(),
+        report.engine_latency.avg(),
+        report.peak_mem.iter().sum::<usize>() / 1024,
+        report.merged_stats().late_skips,
+    );
+    if args.show_results > 0 {
+        println!("\nsample results:");
+        for r in report.sink.results.iter().take(args.show_results) {
+            println!(
+                "  {} key={} window@{}: {:?}",
+                r.query, r.group_key, r.window_start, r.value
+            );
+        }
+    }
+}
+
+/// Offline mode: the original slice-at-a-time run.
+fn run_offline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries: Vec<Query>) {
     println!(
         "dataset={} events={} queries={} policy={:?}",
         args.dataset,

@@ -48,6 +48,8 @@
 //! * [`hamlet_core`] — the HAMLET engine: templates, graphlets, snapshots,
 //!   dynamic sharing optimizer, executor.
 //! * [`hamlet_stream`] — bursty generators for the paper's four data sets.
+//! * [`hamlet_pipeline`] — the online streaming runtime: sources,
+//!   backpressure, out-of-order ingestion, live metrics, graceful drains.
 //! * [`hamlet_baselines`] — GRETA, SHARON-style, and two-step baselines.
 
 #![forbid(unsafe_code)]
@@ -55,6 +57,7 @@
 
 pub use hamlet_baselines;
 pub use hamlet_core;
+pub use hamlet_pipeline;
 pub use hamlet_query;
 pub use hamlet_stream;
 pub use hamlet_types;
@@ -65,6 +68,10 @@ pub mod prelude {
     pub use hamlet_core::{
         sort_results, AggValue, EngineConfig, HamletEngine, ParallelEngine, ParallelReport,
         SharingPolicy, WindowResult,
+    };
+    pub use hamlet_pipeline::{
+        BoundedLateness, CountingSink, MetricsSnapshot, NullSink, Pipeline, PipelineHandle,
+        PipelineReport, RateLimitedSource, ReplaySource, Sink, Source, VecSink, WatermarkPolicy,
     };
     pub use hamlet_query::{parse_pattern, parse_query, AggFunc, Pattern, Query, QueryId, Window};
     pub use hamlet_stream::GenConfig;

@@ -8,12 +8,13 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "quickstart",
     "smart_home",
     "stock_trends",
     "ridesharing_dashboard",
     "fraud_alerts",
+    "live_pipeline",
 ];
 
 #[test]

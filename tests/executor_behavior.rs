@@ -129,6 +129,7 @@ fn parallel_generated_workload_agrees() {
         num_groups: 12,
         group_skew: 0.0,
         seed: 31,
+        max_lateness: 0,
     };
     let events = hamlet_stream::ridesharing::generate(&reg, &cfg);
     let queries = hamlet_stream::ridesharing::workload_shared_kleene(&reg, 8, 30);
@@ -183,6 +184,7 @@ fn same_stream_twice_emits_byte_identical_output() {
         num_groups: 64,
         group_skew: 0.3,
         seed: 77,
+        max_lateness: 0,
     };
     let events = hamlet_stream::ridesharing::generate(&reg, &cfg);
     let queries = hamlet_stream::ridesharing::workload_shared_kleene(&reg, 6, 20);
@@ -272,6 +274,7 @@ fn skewed_partitions_agree_in_parallel() {
         num_groups: 16,
         group_skew: 1.0,
         seed: 55,
+        max_lateness: 0,
     };
     let events = hamlet_stream::ridesharing::generate(&reg, &cfg);
     // Hot-key skew materialized: district 0 holds a large share.

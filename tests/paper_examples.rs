@@ -211,6 +211,7 @@ fn dynamic_shares_uniform_bursts_and_prunes_divergent_ones() {
         num_groups: 16,
         group_skew: 0.0,
         seed: 3,
+        max_lateness: 0,
     };
     let events = hamlet_stream::stock::generate(&reg, &cfg);
 
@@ -330,6 +331,7 @@ fn ema_divergence_mode_preserves_results() {
         num_groups: 8,
         group_skew: 0.0,
         seed: 77,
+        max_lateness: 0,
     };
     let events = hamlet_stream::stock::generate(&reg, &cfg);
     let queries = hamlet_stream::stock::workload_diverse(&reg, 16, 42);

@@ -66,6 +66,7 @@ fn ridesharing_workers_are_bit_identical() {
         num_groups: 16,
         group_skew: 0.0,
         seed: 21,
+        max_lateness: 0,
     };
     let events = ridesharing::generate(&reg, &cfg);
     assert_workers_match(&reg, &queries, &events, "ridesharing");
@@ -87,6 +88,7 @@ fn high_cardinality_workers_are_bit_identical() {
         num_groups: 400,
         group_skew: 0.2,
         seed: 91,
+        max_lateness: 0,
     };
     let events = ridesharing::generate(&reg, &cfg);
     assert_workers_match(&reg, &queries, &events, "high_cardinality");
@@ -103,6 +105,7 @@ fn smart_home_workers_are_bit_identical() {
         num_groups: 12,
         group_skew: 0.0,
         seed: 33,
+        max_lateness: 0,
     };
     let events = smart_home::generate(&reg, &cfg);
     assert_workers_match(&reg, &queries, &events, "smart_home");
@@ -128,6 +131,7 @@ proptest! {
             num_groups: groups,
             group_skew: skew,
             seed,
+            max_lateness: 0,
         };
         let reg = ridesharing::registry();
         let queries = ridesharing::workload_shared_kleene(&reg, 4, 20);

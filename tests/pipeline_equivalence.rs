@@ -1,0 +1,227 @@
+//! Online/offline equivalence: feeding a stream through the live
+//! pipeline (`hamlet-pipeline`) and draining must be **byte-identical**
+//! to the offline reference `HamletEngine::process` + `flush` over the
+//! same events — for 1 and 4 workers, and for out-of-order delivery
+//! whenever the stream's lateness stays within the reorder stage's
+//! watermark slack.
+//!
+//! This is the acceptance property of the online runtime: the pipeline
+//! adds sources, backpressure, reordering, and graceful shutdown, and
+//! none of it may change a single result row.
+
+use hamlet::prelude::*;
+use hamlet_stream::{bounded_delay_shuffle, max_observed_lateness, ridesharing, smart_home};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Offline reference: one engine, events in slice order, then flush.
+/// Raw emission order — no normalization.
+fn offline(reg: &Arc<TypeRegistry>, queries: &[Query], events: &[Event]) -> Vec<WindowResult> {
+    let mut eng = HamletEngine::new(
+        reg.clone(),
+        queries.to_vec(),
+        hamlet_core::EngineConfig::default(),
+    )
+    .unwrap();
+    let mut out = Vec::new();
+    for e in events {
+        out.extend(eng.process(e));
+    }
+    out.extend(eng.flush());
+    out
+}
+
+/// Runs `events` through a live pipeline and drains it.
+fn online(
+    reg: &Arc<TypeRegistry>,
+    queries: &[Query],
+    events: &[Event],
+    workers: u32,
+    slack: u64,
+) -> hamlet_pipeline::PipelineReport<VecSink> {
+    Pipeline::builder(reg.clone(), queries.to_vec())
+        .workers(workers)
+        .watermark(BoundedLateness::new(slack))
+        .spawn(ReplaySource::new(events.to_vec()), VecSink::new())
+        .unwrap()
+        .drain()
+}
+
+/// In-order equivalence at 1 and 4 workers. One worker must match the
+/// offline run in *raw emission order*; four workers interleave shard
+/// outputs, so both sides are compared in the canonical
+/// `(window_start, query, key)` order — zero rows included.
+fn assert_online_matches_offline(
+    reg: &Arc<TypeRegistry>,
+    queries: &[Query],
+    events: &[Event],
+    label: &str,
+) {
+    let expected_raw = offline(reg, queries, events);
+    assert!(!expected_raw.is_empty(), "{label}: workload yields results");
+
+    let report = online(reg, queries, events, 1, 0);
+    assert_eq!(
+        report.sink.results, expected_raw,
+        "{label}: 1 worker diverged from offline process+flush"
+    );
+    assert_eq!(report.late, 0, "{label}: in-order stream dropped events");
+
+    let mut expected = expected_raw;
+    sort_results(&mut expected);
+    let report = online(reg, queries, events, 4, 0);
+    let mut got = report.sink.results;
+    sort_results(&mut got);
+    assert_eq!(
+        got, expected,
+        "{label}: 4 workers diverged from offline process+flush"
+    );
+    assert_eq!(report.late, 0);
+}
+
+#[test]
+fn ridesharing_online_is_offline() {
+    let reg = ridesharing::registry();
+    let queries = ridesharing::workload_shared_kleene(&reg, 6, 30);
+    let cfg = GenConfig {
+        events_per_min: 2_000,
+        minutes: 1,
+        mean_burst: 20.0,
+        num_groups: 16,
+        group_skew: 0.0,
+        seed: 21,
+        max_lateness: 0,
+    };
+    let events = ridesharing::generate(&reg, &cfg);
+    assert_online_matches_offline(&reg, &queries, &events, "ridesharing");
+}
+
+#[test]
+fn smart_home_online_is_offline() {
+    let reg = smart_home::registry();
+    let queries = smart_home::workload(&reg, 6, 60);
+    let cfg = GenConfig {
+        events_per_min: 1_500,
+        minutes: 1,
+        mean_burst: 30.0,
+        num_groups: 12,
+        group_skew: 0.0,
+        seed: 33,
+        max_lateness: 0,
+    };
+    let events = smart_home::generate(&reg, &cfg);
+    assert_online_matches_offline(&reg, &queries, &events, "smart_home");
+}
+
+/// Out-of-order delivery within the watermark slack is invisible: the
+/// reorder stage reconstructs the in-order stream exactly, so the
+/// drained output matches the in-order run byte for byte and nothing is
+/// dead-lettered.
+#[test]
+fn bounded_lateness_within_slack_is_invisible() {
+    let reg = ridesharing::registry();
+    let queries = ridesharing::workload_shared_kleene(&reg, 6, 30);
+    let cfg = GenConfig {
+        events_per_min: 2_000,
+        minutes: 1,
+        mean_burst: 15.0,
+        num_groups: 8,
+        group_skew: 0.2,
+        seed: 77,
+        max_lateness: 0,
+    };
+    let in_order = ridesharing::generate(&reg, &cfg);
+    let expected = offline(&reg, &queries, &in_order);
+    for lateness in [1u64, 3, 7] {
+        let mut shuffled = in_order.clone();
+        bounded_delay_shuffle(&mut shuffled, lateness, 123);
+        assert!(max_observed_lateness(&shuffled) <= lateness);
+        for workers in [1u32, 4] {
+            // slack == the stream's lateness bound: exact reconstruction.
+            let report = online(&reg, &queries, &shuffled, workers, lateness);
+            assert_eq!(report.late, 0, "lateness {lateness}: nothing is late");
+            let mut got = report.sink.results;
+            sort_results(&mut got);
+            let mut want = expected.clone();
+            sort_results(&mut want);
+            assert_eq!(
+                got, want,
+                "lateness {lateness}, {workers} workers: OOO run diverged from in-order run"
+            );
+        }
+        // Extra slack beyond the bound changes nothing either.
+        let report = online(&reg, &queries, &shuffled, 1, lateness + 10);
+        assert_eq!(report.sink.results, expected, "slack > bound still exact");
+    }
+}
+
+/// With slack *below* the stream's lateness, the pipeline degrades
+/// gracefully: late events are counted and dropped, every window still
+/// emits exactly once, and the engine's own late guard never fires
+/// (the reorder stage already filtered).
+#[test]
+fn lateness_beyond_slack_drops_but_never_duplicates() {
+    let reg = ridesharing::registry();
+    let queries = ridesharing::workload_shared_kleene(&reg, 5, 30);
+    let cfg = GenConfig {
+        events_per_min: 3_000,
+        minutes: 1,
+        mean_burst: 10.0,
+        num_groups: 8,
+        group_skew: 0.0,
+        seed: 5,
+        max_lateness: 10,
+    };
+    let events = ridesharing::generate(&reg, &cfg); // shuffled by config
+    assert!(max_observed_lateness(&events) > 2);
+    let report = online(&reg, &queries, &events, 2, 2);
+    assert!(report.late > 0, "under-slacked run must drop late events");
+    assert_eq!(report.released + report.late, report.events);
+    assert_eq!(report.merged_stats().late_skips, 0);
+    let mut seen = std::collections::BTreeSet::new();
+    for r in &report.sink.results {
+        assert!(
+            seen.insert((r.query, format!("{}", r.group_key), r.window_start)),
+            "duplicate window emission: {r:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized stream shapes and lateness bounds: the online drained
+    /// output must equal the offline run of the in-order stream whenever
+    /// slack ≥ lateness, at 1 and 4 workers.
+    #[test]
+    fn random_streams_online_equals_offline(
+        seed in 0u64..1_000,
+        mean_burst in 1.0f64..40.0,
+        groups in 1u64..16,
+        lateness in 0u64..6,
+    ) {
+        let cfg = GenConfig {
+            events_per_min: 600,
+            minutes: 1,
+            mean_burst,
+            num_groups: groups,
+            group_skew: 0.0,
+            seed,
+            max_lateness: 0,
+        };
+        let reg = ridesharing::registry();
+        let queries = ridesharing::workload_shared_kleene(&reg, 4, 20);
+        let in_order = ridesharing::generate(&reg, &cfg);
+        let mut expected = offline(&reg, &queries, &in_order);
+        sort_results(&mut expected);
+        let mut delivered = in_order.clone();
+        bounded_delay_shuffle(&mut delivered, lateness, seed ^ 0xF00D);
+        for workers in [1u32, 4] {
+            let report = online(&reg, &queries, &delivered, workers, lateness);
+            prop_assert_eq!(report.late, 0);
+            let mut got = report.sink.results;
+            sort_results(&mut got);
+            prop_assert_eq!(&got, &expected, "seed {} workers {}", seed, workers);
+        }
+    }
+}

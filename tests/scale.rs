@@ -61,6 +61,7 @@ fn ridesharing_10k_events_all_policies_and_greta_agree() {
         num_groups: 4,
         group_skew: 0.0,
         seed: 71,
+        max_lateness: 0,
     };
     let events = ridesharing::generate(&reg, &cfg);
     assert_eq!(events.len(), 10_000);
@@ -114,6 +115,7 @@ fn stock_diverse_workload_with_ema_agrees_with_exact() {
         num_groups: 16,
         group_skew: 0.0,
         seed: 5,
+        max_lateness: 0,
     };
     let events = stock::generate(&reg, &cfg);
     let queries = stock::workload_diverse(&reg, 40, 2024);
@@ -159,6 +161,7 @@ fn smart_home_sliding_windows_roll_over_long_stream() {
         num_groups: 10,
         group_skew: 0.0,
         seed: 9,
+        max_lateness: 0,
     };
     let events = smart_home::generate(&reg, &cfg);
     let queries = smart_home::workload(&reg, 8, 60);

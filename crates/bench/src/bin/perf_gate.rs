@@ -22,6 +22,12 @@
 //!   3.0, i.e. up to 4× plus a 500 µs absolute floor — tail latencies on
 //!   shared CI hosts are noisy; 0 disables). Guards the online
 //!   pipeline's sustained-load tail.
+//! - `--max-checkpoint-pause <frac>` allowed growth of the
+//!   `fig_checkpoint` pause time vs baseline per (x, system) point
+//!   (default 3.0, i.e. up to 4× plus a 10 ms absolute floor; 0
+//!   disables). Guards the checkpoint subsystem's drain-barrier stall:
+//!   a serialization regression shows up here before anyone loses a
+//!   production window to a slow checkpoint.
 //! - `--system <name>`          system to gate on (default `HAMLET`)
 //!
 //! Exit code 0 = pass, 1 = regression/scaling failure, 2 = usage or
@@ -36,6 +42,9 @@ struct Point {
     throughput: f64,
     /// End-to-end p99 latency in seconds (0 for offline harnesses).
     latency_p99: f64,
+    /// Checkpoint pause in seconds (0 for runs without a checkpoint;
+    /// absent in pre-checkpoint baselines, which parse as 0).
+    checkpoint_pause: f64,
 }
 
 fn load(path: &str) -> Result<Json, String> {
@@ -69,6 +78,10 @@ fn points(doc: &Json, system: &str) -> Vec<Point> {
                             x: x.to_string(),
                             throughput: tp,
                             latency_p99: m.get("latency_p99").and_then(Json::as_f64).unwrap_or(0.0),
+                            checkpoint_pause: m
+                                .get("checkpoint_pause")
+                                .and_then(Json::as_f64)
+                                .unwrap_or(0.0),
                         });
                     }
                 }
@@ -85,6 +98,7 @@ fn main() {
     let mut min_scaling = 1.0f64;
     let mut min_expiry_flatness = 0.04f64;
     let mut max_p99_regression = 3.0f64;
+    let mut max_checkpoint_pause = 3.0f64;
     let mut system = "HAMLET".to_string();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -119,6 +133,12 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--max-checkpoint-pause" => {
+                max_checkpoint_pause = take("--max-checkpoint-pause").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --max-checkpoint-pause: {e}");
+                    std::process::exit(2);
+                })
+            }
             "--system" => system = take("--system"),
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
@@ -148,6 +168,17 @@ fn main() {
     let cur_points = points(&current, &system);
     if base_points.is_empty() {
         eprintln!("warning: baseline has no {system} measurements; nothing gated");
+    }
+    // A system present in the baseline but entirely absent from the
+    // current report is one clear failure — a dropped sweep or a renamed
+    // system — not a wall of per-point MISS noise (and never a panic).
+    if !base_points.is_empty() && cur_points.is_empty() {
+        eprintln!(
+            "error: {current_path} has no \"{system}\" measurements, but the baseline \
+             {baseline_path} has {} — was the sweep dropped or the system renamed?",
+            base_points.len()
+        );
+        std::process::exit(1);
     }
     for bp in &base_points {
         let Some(cp) = cur_points
@@ -299,6 +330,51 @@ fn main() {
                     bp.x,
                     cp.latency_p99 * 1e3,
                     bp.latency_p99 * 1e3,
+                    limit * 1e3,
+                );
+            }
+        }
+    }
+
+    // 5. The checkpoint drain-barrier pause must not blow up vs the
+    //    baseline. Pauses are short and noisy on shared hosts, so the
+    //    bound is multiplicative with a 10 ms absolute floor. A missing
+    //    sweep or a zero pause against a nonzero baseline is a failure —
+    //    it means the checkpoint was not measured at all.
+    if max_checkpoint_pause > 0.0 {
+        const PAUSE_FLOOR_SECS: f64 = 0.010;
+        for ck_system in ["HAMLET", "HAMLET-par4"] {
+            let base: Vec<Point> = points(&baseline, ck_system)
+                .into_iter()
+                .filter(|p| p.figure == "fig_checkpoint" && p.checkpoint_pause > 0.0)
+                .collect();
+            let cur = points(&current, ck_system);
+            for bp in &base {
+                let Some(cp) = cur
+                    .iter()
+                    .find(|p| p.figure == "fig_checkpoint" && p.x == bp.x)
+                else {
+                    println!(
+                        "MISS fig_checkpoint/{} {ck_system}: point present in baseline \
+                         but not measured now",
+                        bp.x
+                    );
+                    failures += 1;
+                    continue;
+                };
+                let limit = bp.checkpoint_pause * (1.0 + max_checkpoint_pause) + PAUSE_FLOOR_SECS;
+                let verdict = if cp.checkpoint_pause > limit || cp.checkpoint_pause <= 0.0 {
+                    failures += 1;
+                    "FAIL"
+                } else {
+                    "OK  "
+                };
+                println!(
+                    "{verdict} fig_checkpoint/{} {ck_system}: pause {:.3}ms vs baseline \
+                     {:.3}ms (limit {:.3}ms)",
+                    bp.x,
+                    cp.checkpoint_pause * 1e3,
+                    bp.checkpoint_pause * 1e3,
                     limit * 1e3,
                 );
             }

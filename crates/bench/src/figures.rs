@@ -443,23 +443,18 @@ pub fn fig_latency(quick: bool) -> Figure {
                 )
                 .expect("pipeline spawns");
             let report = handle.drain();
-            let mut m = Measurement {
-                system: System::HamletPipeline(workers),
-                events: report.events,
-                queries: queries.len(),
-                wall: t0.elapsed(),
-                latency_avg: report.latency.avg(),
-                latency_p50: report.latency.p50(),
-                latency_p99: report.latency.p99(),
-                throughput_eps: report.throughput_eps(),
-                peak_mem_bytes: report.peak_mem.iter().sum(),
-                snapshots: 0,
-                shared_bursts: 0,
-                solo_bursts: 0,
-                transitions: 0,
-                results: report.results,
-                truncated: 0,
-            };
+            let mut m = Measurement::zero(
+                System::HamletPipeline(workers),
+                report.events,
+                queries.len(),
+            );
+            m.wall = t0.elapsed();
+            m.latency_avg = report.latency.avg();
+            m.latency_p50 = report.latency.p50();
+            m.latency_p99 = report.latency.p99();
+            m.throughput_eps = report.throughput_eps();
+            m.peak_mem_bytes = report.peak_mem.iter().sum();
+            m.results = report.results;
             let s = report.merged_stats();
             m.snapshots = s.runs.snapshots();
             m.shared_bursts = s.runs.shared_bursts;
@@ -475,6 +470,104 @@ pub fn fig_latency(quick: bool) -> Figure {
             .into(),
         rows,
         x_label: "offered events/s",
+    }
+}
+
+/// Checkpoint experiment (beyond the paper, PR 5): checkpoint **size**
+/// and **pause time** versus partition-key cardinality, for the single
+/// engine and the 4-worker coordinated parallel checkpoint.
+///
+/// Each run processes half the stream, checkpoints (the measured pause),
+/// restores into a fresh engine, and finishes the stream — so every
+/// point also exercises the recovery path end to end. State grows with
+/// the number of simultaneously live partitions, so key cardinality is
+/// the axis that stresses both blob size and serialization pause. CI
+/// gates the pause against the committed baseline
+/// (`perf_gate --max-checkpoint-pause`).
+pub fn fig_checkpoint(quick: bool) -> Figure {
+    use hamlet_core::{EngineConfig, HamletEngine, ParallelEngine};
+    let reg = ridesharing::registry();
+    let queries = ridesharing::workload_shared_kleene(&reg, 5, 30);
+    let cardinalities: Vec<u64> = if quick {
+        vec![100, 1_000, 10_000]
+    } else {
+        vec![100, 1_000, 10_000, 100_000]
+    };
+    let mut rows = Vec::new();
+    for keys in cardinalities {
+        let cfg = GenConfig {
+            events_per_min: scale(quick, 60_000, 30_000),
+            minutes: 1,
+            mean_burst: 10.0,
+            num_groups: keys,
+            group_skew: 0.0,
+            seed: 29,
+            max_lateness: 0,
+        };
+        let events = ridesharing::generate(&reg, &cfg);
+        let cut = events.len() / 2;
+        let mut ms = Vec::new();
+
+        // Single engine: checkpoint at the midpoint, restore, finish.
+        {
+            let t0 = Instant::now();
+            let mut eng = HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default())
+                .expect("engine builds");
+            let mut results = 0u64;
+            for e in &events[..cut] {
+                results += eng.process(e).len() as u64;
+            }
+            let p0 = Instant::now();
+            let blob = eng.checkpoint();
+            let pause = p0.elapsed();
+            let mut resumed =
+                HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default())
+                    .expect("engine builds");
+            resumed.restore(&blob).expect("own checkpoint restores");
+            for e in &events[cut..] {
+                results += resumed.process(e).len() as u64;
+            }
+            results += resumed.flush().len() as u64;
+            let mut m = Measurement::zero(System::Hamlet, events.len() as u64, queries.len());
+            m.wall = t0.elapsed();
+            m.results = results;
+            m.throughput_eps = events.len() as f64 / m.wall.as_secs_f64().max(1e-9);
+            m.peak_mem_bytes = resumed.peak_memory().max(resumed.state_bytes());
+            m.checkpoint_bytes = blob.len() as u64;
+            m.checkpoint_pause = pause;
+            ms.push(m);
+        }
+
+        // 4-worker coordinated checkpoint: barrier + per-shard blobs.
+        {
+            let t0 = Instant::now();
+            let par = ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 4)
+                .expect("parallel engine builds");
+            let pre = par.run_to_checkpoint(&events[..cut]);
+            let post = par
+                .resume(&pre.checkpoint, &events[cut..])
+                .expect("own checkpoint restores");
+            let mut m = Measurement::zero(
+                System::HamletParallel(4),
+                events.len() as u64,
+                queries.len(),
+            );
+            m.wall = t0.elapsed();
+            m.results = (pre.report.results.len() + post.results.len()) as u64;
+            m.throughput_eps = events.len() as f64 / m.wall.as_secs_f64().max(1e-9);
+            m.peak_mem_bytes = post.peak_mem.iter().sum();
+            m.checkpoint_bytes = pre.checkpoint.total_bytes() as u64;
+            m.checkpoint_pause = pre.pause;
+            ms.push(m);
+        }
+        rows.push((format!("{keys}"), ms));
+    }
+    Figure {
+        id: "fig_checkpoint",
+        title: "Checkpoint: size and pause vs partition cardinality (Ridesharing, 5 queries)"
+            .into(),
+        rows,
+        x_label: "partition keys",
     }
 }
 
@@ -645,6 +738,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    #[ignore = "slow tier: checkpoint size/pause sweep; run with `cargo test -- --ignored`"]
+    fn checkpoint_sweep_measures_size_and_pause() {
+        let fig = fig_checkpoint(true);
+        assert_eq!(fig.x_label, "partition keys");
+        assert_eq!(fig.rows.len(), 3);
+        for (x, ms) in &fig.rows {
+            assert_eq!(ms.len(), 2, "{x}: single-engine and 4-worker runs");
+            for m in ms {
+                assert!(m.checkpoint_bytes > 0, "{x}/{:?}: blob measured", m.system);
+                assert!(
+                    m.checkpoint_pause > Duration::ZERO,
+                    "{x}/{:?}: pause measured",
+                    m.system
+                );
+                assert!(m.results > 0, "{x}/{:?}: recovery path completed", m.system);
+            }
+        }
+        // Checkpoint size tracks live state: 100x the partitions must
+        // grow the blob substantially.
+        let bytes_at =
+            |x: &str| fig.rows.iter().find(|(k, _)| k == x).expect("row").1[0].checkpoint_bytes;
+        assert!(
+            bytes_at("10000") > bytes_at("100") * 4,
+            "blob size did not grow with cardinality: {} vs {}",
+            bytes_at("10000"),
+            bytes_at("100")
+        );
     }
 
     #[test]

@@ -331,23 +331,19 @@ mod tests {
 
     #[test]
     fn roundtrips_harness_measurements() {
-        let m = crate::Measurement {
-            system: crate::System::HamletParallel(4),
-            events: 100,
-            queries: 10,
-            wall: std::time::Duration::from_millis(5),
-            latency_avg: std::time::Duration::from_micros(7),
-            latency_p50: std::time::Duration::from_micros(5),
-            latency_p99: std::time::Duration::from_micros(40),
-            throughput_eps: 20_000.0,
-            peak_mem_bytes: 4096,
-            snapshots: 3,
-            shared_bursts: 2,
-            solo_bursts: 1,
-            transitions: 0,
-            results: 9,
-            truncated: 0,
-        };
+        let mut m = crate::Measurement::zero(crate::System::HamletParallel(4), 100, 10);
+        m.wall = std::time::Duration::from_millis(5);
+        m.latency_avg = std::time::Duration::from_micros(7);
+        m.latency_p50 = std::time::Duration::from_micros(5);
+        m.latency_p99 = std::time::Duration::from_micros(40);
+        m.throughput_eps = 20_000.0;
+        m.peak_mem_bytes = 4096;
+        m.snapshots = 3;
+        m.shared_bursts = 2;
+        m.solo_bursts = 1;
+        m.results = 9;
+        m.checkpoint_bytes = 2048;
+        m.checkpoint_pause = std::time::Duration::from_micros(250);
         let v = parse(&m.to_json()).unwrap();
         assert_eq!(v.get("system").and_then(Json::as_str), Some("HAMLET-par4"));
         assert_eq!(
@@ -356,6 +352,14 @@ mod tests {
         );
         assert_eq!(v.get("events").and_then(Json::as_f64), Some(100.0));
         assert_eq!(v.get("latency_p99").and_then(Json::as_f64), Some(4e-5));
+        assert_eq!(
+            v.get("checkpoint_bytes").and_then(Json::as_f64),
+            Some(2048.0)
+        );
+        assert_eq!(
+            v.get("checkpoint_pause").and_then(Json::as_f64),
+            Some(2.5e-4)
+        );
     }
 
     /// A zero-duration run used to serialize `inf` throughput straight
@@ -368,23 +372,8 @@ mod tests {
         assert_eq!(num(f64::INFINITY), "0");
         assert_eq!(num(f64::NEG_INFINITY), "0");
         assert_eq!(num(f64::NAN), "0");
-        let m = crate::Measurement {
-            system: crate::System::Hamlet,
-            events: 0,
-            queries: 1,
-            wall: std::time::Duration::ZERO,
-            latency_avg: std::time::Duration::ZERO,
-            latency_p50: std::time::Duration::ZERO,
-            latency_p99: std::time::Duration::ZERO,
-            throughput_eps: f64::INFINITY,
-            peak_mem_bytes: 0,
-            snapshots: 0,
-            shared_bursts: 0,
-            solo_bursts: 0,
-            transitions: 0,
-            results: 0,
-            truncated: 0,
-        };
+        let mut m = crate::Measurement::zero(crate::System::Hamlet, 0, 1);
+        m.throughput_eps = f64::INFINITY;
         let v = parse(&m.to_json()).expect("inf must not break the report");
         assert_eq!(v.get("throughput_eps").and_then(Json::as_f64), Some(0.0));
     }

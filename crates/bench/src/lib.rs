@@ -96,6 +96,13 @@ pub struct Measurement {
     pub results: u64,
     /// Two-step enumerations truncated by the work budget.
     pub truncated: u64,
+    /// Serialized checkpoint size in bytes (`fig_checkpoint` runs only;
+    /// 0 when the run took no checkpoint).
+    pub checkpoint_bytes: u64,
+    /// Checkpoint pause: how long the drain barrier + state
+    /// serialization stalled processing (`fig_checkpoint` runs only) —
+    /// the tail CI gates via `perf_gate --max-checkpoint-pause`.
+    pub checkpoint_pause: Duration,
 }
 
 impl Measurement {
@@ -109,7 +116,8 @@ impl Measurement {
             "{{\"system\":\"{}\",\"events\":{},\"queries\":{},\"wall\":{},\"latency_avg\":{},\
              \"latency_p50\":{},\"latency_p99\":{},\
              \"throughput_eps\":{},\"peak_mem_bytes\":{},\"snapshots\":{},\"shared_bursts\":{},\
-             \"solo_bursts\":{},\"transitions\":{},\"results\":{},\"truncated\":{}}}",
+             \"solo_bursts\":{},\"transitions\":{},\"results\":{},\"truncated\":{},\
+             \"checkpoint_bytes\":{},\"checkpoint_pause\":{}}}",
             self.system.name(),
             self.events,
             self.queries,
@@ -125,7 +133,35 @@ impl Measurement {
             self.transitions,
             self.results,
             self.truncated,
+            self.checkpoint_bytes,
+            json::num(self.checkpoint_pause.as_secs_f64()),
         )
+    }
+}
+
+impl Measurement {
+    /// A zeroed row for `system` over `events` events and `queries`
+    /// queries — the starting point every harness fills in.
+    pub fn zero(system: System, events: u64, queries: usize) -> Measurement {
+        Measurement {
+            system,
+            events,
+            queries,
+            wall: Duration::ZERO,
+            latency_avg: Duration::ZERO,
+            latency_p50: Duration::ZERO,
+            latency_p99: Duration::ZERO,
+            throughput_eps: 0.0,
+            peak_mem_bytes: 0,
+            snapshots: 0,
+            shared_bursts: 0,
+            solo_bursts: 0,
+            transitions: 0,
+            results: 0,
+            truncated: 0,
+            checkpoint_bytes: 0,
+            checkpoint_pause: Duration::ZERO,
+        }
     }
 }
 
@@ -155,23 +191,7 @@ pub fn run_system(
     events: &[Event],
     cfg: &HarnessConfig,
 ) -> Measurement {
-    let mut m = Measurement {
-        system,
-        events: events.len() as u64,
-        queries: queries.len(),
-        wall: Duration::ZERO,
-        latency_avg: Duration::ZERO,
-        latency_p50: Duration::ZERO,
-        latency_p99: Duration::ZERO,
-        throughput_eps: 0.0,
-        peak_mem_bytes: 0,
-        snapshots: 0,
-        shared_bursts: 0,
-        solo_bursts: 0,
-        transitions: 0,
-        results: 0,
-        truncated: 0,
-    };
+    let mut m = Measurement::zero(system, events.len() as u64, queries.len());
     let t0 = Instant::now();
     match system {
         System::HamletPipeline(workers) => {

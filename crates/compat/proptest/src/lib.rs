@@ -22,6 +22,9 @@
 //! * The per-test base seed is a hash of the test name — deterministic
 //!   across runs. Set `HAMLET_PROPTEST_SEED` to explore a different part
 //!   of the space, e.g. `HAMLET_PROPTEST_SEED=$RANDOM cargo test`.
+//! * `HAMLET_PROPTEST_MULTIPLIER=<n>` scales every property's case count
+//!   by `n` without touching test code — how the scheduled nightly CI
+//!   run turns the quick per-push tier into a deep sweep.
 
 #![forbid(unsafe_code)]
 
@@ -88,7 +91,8 @@ macro_rules! proptest {
                 let n_pinned = pinned.len();
                 let base = $crate::test_runner::base_seed(stringify!($name));
                 let mut seeds = pinned;
-                for case in 0..config.cases as u64 {
+                let cases = $crate::test_runner::effective_cases(config.cases);
+                for case in 0..cases as u64 {
                     seeds.push(base.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
                 }
                 for (i, seed) in seeds.iter().enumerate() {

@@ -25,6 +25,21 @@ impl Default for ProptestConfig {
     }
 }
 
+/// Effective case count for a property: the configured count scaled by
+/// the `HAMLET_PROPTEST_MULTIPLIER` environment variable (≥ 1; unset,
+/// 0, or unparsable means no scaling). The nightly CI workflow raises
+/// the multiplier to explore far more of the space than the per-push
+/// tier can afford, without touching any test's local configuration.
+pub fn effective_cases(configured: u32) -> u32 {
+    match std::env::var("HAMLET_PROPTEST_MULTIPLIER")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+    {
+        Some(m) if m >= 1 => configured.saturating_mul(m),
+        _ => configured,
+    }
+}
+
 /// The deterministic RNG driving strategy generation for one case.
 #[derive(Clone, Debug)]
 pub struct TestRng(StdRng);
@@ -101,6 +116,24 @@ mod tests {
     fn base_seed_is_deterministic_per_name() {
         assert_eq!(base_seed("a"), base_seed("a"));
         assert_ne!(base_seed("a"), base_seed("b"));
+    }
+
+    /// The multiplier env var scales case counts; anything unset or
+    /// invalid leaves them alone. (Serialized via a single test so the
+    /// env mutation cannot race a sibling.)
+    #[test]
+    fn case_multiplier_scales_or_is_ignored() {
+        std::env::remove_var("HAMLET_PROPTEST_MULTIPLIER");
+        assert_eq!(effective_cases(16), 16);
+        std::env::set_var("HAMLET_PROPTEST_MULTIPLIER", "8");
+        assert_eq!(effective_cases(16), 128);
+        std::env::set_var("HAMLET_PROPTEST_MULTIPLIER", "0");
+        assert_eq!(effective_cases(16), 16);
+        std::env::set_var("HAMLET_PROPTEST_MULTIPLIER", "lots");
+        assert_eq!(effective_cases(16), 16);
+        std::env::set_var("HAMLET_PROPTEST_MULTIPLIER", "4294967295");
+        assert_eq!(effective_cases(u32::MAX), u32::MAX, "saturates");
+        std::env::remove_var("HAMLET_PROPTEST_MULTIPLIER");
     }
 
     #[test]

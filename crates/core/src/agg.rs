@@ -108,6 +108,24 @@ impl NodeVal {
         };
         NodeVal { count, sum, cnt }
     }
+
+    /// Serializes the three ring components (checkpoint codec).
+    pub(crate) fn encode(&self, e: &mut crate::checkpoint::Enc) {
+        e.u64(self.count.0);
+        e.u64(self.sum.0);
+        e.u64(self.cnt.0);
+    }
+
+    /// Mirror of [`encode`](Self::encode).
+    pub(crate) fn decode(
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<NodeVal, crate::checkpoint::CheckpointError> {
+        Ok(NodeVal {
+            count: TrendVal(d.u64()?),
+            sum: TrendVal(d.u64()?),
+            cnt: TrendVal(d.u64()?),
+        })
+    }
 }
 
 /// Min/max lattice state for `MIN`/`MAX` queries (non-shared path).

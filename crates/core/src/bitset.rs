@@ -104,6 +104,28 @@ impl QSet {
             .zip(other.words.iter())
             .any(|(a, b)| a & b != 0)
     }
+
+    /// Serializes the word array verbatim (checkpoint codec). Words are
+    /// not trimmed: `QSet` equality compares the raw vectors, so a
+    /// restored set must reproduce them bit-for-bit.
+    pub(crate) fn encode(&self, e: &mut crate::checkpoint::Enc) {
+        e.usize(self.words.len());
+        for &w in &self.words {
+            e.u64(w);
+        }
+    }
+
+    /// Mirror of [`encode`](Self::encode).
+    pub(crate) fn decode(
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<QSet, crate::checkpoint::CheckpointError> {
+        let n = d.seq_len()?;
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(d.u64()?);
+        }
+        Ok(QSet { words })
+    }
 }
 
 impl fmt::Debug for QSet {

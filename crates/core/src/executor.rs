@@ -177,6 +177,34 @@ impl EngineStats {
         self.expiry_tombstones += o.expiry_tombstones;
         self.late_skips += o.late_skips;
     }
+
+    /// Serializes the counters (checkpoint codec).
+    pub(crate) fn encode(&self, e: &mut crate::checkpoint::Enc) {
+        self.runs.encode(e);
+        e.u64(self.decisions);
+        e.duration(self.decision_time);
+        e.u64(self.windows_emitted);
+        e.u64(self.events_routed);
+        e.u64(self.expiry_pushes);
+        e.u64(self.expiry_tombstones);
+        e.u64(self.late_skips);
+    }
+
+    /// Mirror of [`encode`](Self::encode).
+    pub(crate) fn decode(
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<EngineStats, crate::checkpoint::CheckpointError> {
+        Ok(EngineStats {
+            runs: RunStats::decode(d)?,
+            decisions: d.u64()?,
+            decision_time: d.duration()?,
+            windows_emitted: d.u64()?,
+            events_routed: d.u64()?,
+            expiry_pushes: d.u64()?,
+            expiry_tombstones: d.u64()?,
+            late_skips: d.u64()?,
+        })
+    }
 }
 
 /// Maps a partition key to its owning shard under `total`-way sharding —
@@ -880,6 +908,266 @@ impl HamletEngine {
     pub fn expiry_index_len(&self) -> usize {
         self.expiry.len()
     }
+
+    /// Workload fingerprint embedded in every checkpoint: the compiled
+    /// shape a blob must match to be restorable — shard assignment, share
+    /// groups (members, windows, panes, partition attributes) and
+    /// general-query combiners. Two engines compiled from the same
+    /// workload under the same sharding always agree on it.
+    fn fingerprint(&self) -> Vec<u8> {
+        let mut e = crate::checkpoint::Enc::new();
+        match self.cfg.shard {
+            None => e.some(false),
+            Some((idx, total)) => {
+                e.some(true);
+                e.u32(idx);
+                e.u32(total);
+            }
+        }
+        e.usize(self.groups.len());
+        for g in &self.groups {
+            e.usize(g.rt.k());
+            e.usize(g.rt.template.num_types());
+            e.u64(g.window.within);
+            e.u64(g.window.slide);
+            e.u64(g.pane);
+            e.usize(g.partition_attrs.len());
+            for a in &g.partition_attrs {
+                e.str(a);
+            }
+            for q in &g.rt.queries {
+                e.u32(q.id.0);
+            }
+        }
+        e.usize(self.combiners.len());
+        for c in &self.combiners {
+            e.u32(c.orig.0);
+            e.u32(c.left.0);
+            e.u32(c.right.0);
+        }
+        e.finish()
+    }
+
+    /// Serializes the engine's complete mutable state into a versioned,
+    /// self-describing blob: every live run (with its snapshot table and
+    /// active graphlets), buffered bursts, pending general-query halves,
+    /// learned divergence statistics, counters, metrics, and the
+    /// watermark. The expiration index is *not* serialized — it is
+    /// derivable (one entry per live run) and
+    /// [`restore`](Self::restore) rebuilds it.
+    ///
+    /// The encoding is deterministic: hash maps are written in their
+    /// canonical total order, so checkpointing the same state twice — or
+    /// checkpointing a just-restored engine — produces identical bytes.
+    ///
+    /// Restoring the blob into a freshly built engine over the same
+    /// workload and continuing the stream yields byte-identical output to
+    /// never having checkpointed (`tests/checkpoint_equivalence.rs`).
+    /// The only state that does not travel is wall-clock arrival stamps
+    /// of in-flight runs (an `Instant` cannot be serialized): latency
+    /// *metrics* for windows open across the checkpoint lose those
+    /// samples, results do not.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut e = crate::checkpoint::Enc::new();
+        e.raw(&crate::checkpoint::ENGINE_MAGIC);
+        e.u16(crate::checkpoint::ENGINE_VERSION);
+        e.bytes(&self.fingerprint());
+        e.usize(self.groups.len());
+        for g in &self.groups {
+            // Canonical key order: the partition map is a HashMap.
+            let mut parts: Vec<(&GroupKey, &BTreeMap<u64, RunState>)> =
+                g.partitions.iter().collect();
+            parts.sort_by(|(a, _), (b, _)| a.total_cmp(b));
+            e.usize(parts.len());
+            for (key, runs) in parts {
+                e.group_key(key);
+                e.usize(runs.len());
+                for (&start, rs) in runs {
+                    e.u64(start);
+                    rs.run.encode(&mut e);
+                    match rs.burst_ty {
+                        None => e.some(false),
+                        Some(tl) => {
+                            e.some(true);
+                            e.usize(tl);
+                        }
+                    }
+                    e.usize(rs.burst.len());
+                    for ev in &rs.burst {
+                        e.event(ev);
+                    }
+                    e.u64(rs.burst_pane);
+                }
+            }
+            g.estimator.encode(&mut e);
+        }
+        let mut pending: Vec<_> = self.pending.iter().collect();
+        pending.sort_by(|((ca, ka, sa), _), ((cb, kb, sb), _)| {
+            (ca, sa).cmp(&(cb, sb)).then_with(|| ka.total_cmp(kb))
+        });
+        e.usize(pending.len());
+        for ((ci, key, start), (id, count)) in pending {
+            e.usize(*ci);
+            e.group_key(key);
+            e.u64(*start);
+            e.u32(id.0);
+            e.u64(*count);
+        }
+        self.stats.encode(&mut e);
+        self.latency.encode(&mut e);
+        self.gauge.encode(&mut e);
+        e.u64(self.event_counter);
+        match self.watermark {
+            None => e.some(false),
+            Some(wm) => {
+                e.some(true);
+                e.u64(wm.ticks());
+            }
+        }
+        e.finish()
+    }
+
+    /// Restores the engine's state from a [`checkpoint`](Self::checkpoint)
+    /// blob, replacing whatever state it currently holds.
+    ///
+    /// The engine must have been built ([`HamletEngine::new`]) over the
+    /// same workload and shard configuration the checkpoint was taken
+    /// under — validated via an embedded fingerprint, mismatches return
+    /// [`CheckpointError::WorkloadMismatch`]
+    /// (`CheckpointError` = [`crate::checkpoint::CheckpointError`]).
+    /// The watermark expiration index is rebuilt from the restored runs
+    /// (one entry per live run), so expiry behavior continues exactly as
+    /// if the engine had never stopped.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::{CheckpointError, Dec};
+        let mut d = Dec::new(bytes);
+        d.magic(&crate::checkpoint::ENGINE_MAGIC)?;
+        let version = d.u16()?;
+        if version != crate::checkpoint::ENGINE_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let fp = d.bytes()?;
+        if fp != self.fingerprint() {
+            return Err(CheckpointError::WorkloadMismatch(
+                "compiled workload, sharding, or combiners differ from the checkpoint".into(),
+            ));
+        }
+        let n_groups = d.seq_len()?;
+        if n_groups != self.groups.len() {
+            return Err(CheckpointError::WorkloadMismatch(format!(
+                "{n_groups} groups in checkpoint, {} compiled",
+                self.groups.len()
+            )));
+        }
+        // Decode into fresh state first so a corrupt blob cannot leave
+        // the engine half-restored.
+        let mut new_partitions: Vec<HashMap<GroupKey, BTreeMap<u64, RunState>>> = Vec::new();
+        let mut new_estimators = Vec::new();
+        for g in &self.groups {
+            let n_parts = d.seq_len()?;
+            let mut parts: HashMap<GroupKey, BTreeMap<u64, RunState>> =
+                HashMap::with_capacity(n_parts);
+            for _ in 0..n_parts {
+                let key = d.group_key()?;
+                let n_runs = d.seq_len()?;
+                let mut runs = BTreeMap::new();
+                for _ in 0..n_runs {
+                    let start = d.u64()?;
+                    let run = Run::decode(&mut d, g.rt.clone())?;
+                    let burst_ty = if d.some()? {
+                        let tl = d.usize()?;
+                        if tl >= g.rt.template.num_types() {
+                            return Err(CheckpointError::Corrupt(format!(
+                                "burst type {tl} of {}",
+                                g.rt.template.num_types()
+                            )));
+                        }
+                        Some(tl)
+                    } else {
+                        None
+                    };
+                    let n_burst = d.seq_len()?;
+                    let mut burst = Vec::with_capacity(n_burst);
+                    for _ in 0..n_burst {
+                        burst.push(d.event()?);
+                    }
+                    let burst_pane = d.u64()?;
+                    runs.insert(
+                        start,
+                        RunState {
+                            run,
+                            burst_ty,
+                            burst,
+                            burst_pane,
+                            // Wall-clock stamps do not survive a restore;
+                            // the next arrival re-stamps the run.
+                            last_arrival: None,
+                        },
+                    );
+                }
+                parts.insert(key, runs);
+            }
+            new_partitions.push(parts);
+            new_estimators.push(DivergenceEstimator::decode(
+                &mut d,
+                g.rt.template.num_types(),
+                g.rt.k(),
+            )?);
+        }
+        let n_pending = d.seq_len()?;
+        let mut pending = HashMap::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            let ci = d.usize()?;
+            if ci >= self.combiners.len() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "pending combiner index {ci} out of range"
+                )));
+            }
+            let key = d.group_key()?;
+            let start = d.u64()?;
+            let id = QueryId(d.u32()?);
+            let count = d.u64()?;
+            pending.insert((ci, key, start), (id, count));
+        }
+        let stats = EngineStats::decode(&mut d)?;
+        let latency = LatencyRecorder::decode(&mut d)?;
+        let gauge = MemoryGauge::decode(&mut d)?;
+        let event_counter = d.u64()?;
+        let watermark = if d.some()? { Some(Ts(d.u64()?)) } else { None };
+        d.expect_end()?;
+
+        // Commit: swap the decoded state in and rebuild the expiration
+        // index — exactly one entry per live run, as process() maintains.
+        for (g, (parts, est)) in self
+            .groups
+            .iter_mut()
+            .zip(new_partitions.into_iter().zip(new_estimators))
+        {
+            g.partitions = parts;
+            g.estimator = est;
+        }
+        self.expiry.clear();
+        for (gi, g) in self.groups.iter().enumerate() {
+            let within = g.window.within;
+            for (key, runs) in &g.partitions {
+                for &start in runs.keys() {
+                    self.expiry.push(Reverse(ExpiryEntry {
+                        end: window_end(start, within),
+                        start,
+                        group: gi,
+                        key: key.clone(),
+                    }));
+                }
+            }
+        }
+        self.pending = pending;
+        self.stats = stats;
+        self.latency = latency;
+        self.gauge = gauge;
+        self.event_counter = event_counter;
+        self.watermark = watermark;
+        Ok(())
+    }
 }
 
 fn flush_burst(
@@ -1468,6 +1756,130 @@ mod tests {
         starts.sort_unstable();
         starts.dedup();
         assert_eq!(starts.len(), out.len(), "duplicate window emission");
+    }
+
+    /// Checkpoint mid-stream, restore into a fresh engine, continue:
+    /// suffix output and final flush are byte-identical to the
+    /// uninterrupted run, and a checkpoint of the restored engine is
+    /// byte-identical to the original blob (round-trip identity).
+    #[test]
+    fn checkpoint_restore_continue_is_identical() {
+        let (reg, a, b, c) = registry();
+        let mk = || {
+            let mut q1 = Query::count_star(1, seq(a, b), Window::new(10, 5));
+            q1.group_by = vec![Arc::from("g")];
+            let mut q2 = Query::count_star(2, seq(c, b), Window::new(10, 5));
+            q2.group_by = vec![Arc::from("g")];
+            HamletEngine::new(reg.clone(), vec![q1, q2], EngineConfig::default()).unwrap()
+        };
+        let evs: Vec<Event> = (0..90u64)
+            .map(|t| {
+                let ty = match t % 5 {
+                    0 => a,
+                    1 => c,
+                    _ => b,
+                };
+                ev(&reg, ty, t, (t % 7) as i64, t as f64)
+            })
+            .collect();
+        for cut in [0usize, 1, 37, 89, 90] {
+            let mut uninterrupted = mk();
+            let mut gold = Vec::new();
+            for e in &evs {
+                gold.push(uninterrupted.process(e));
+            }
+            let gold_flush = uninterrupted.flush();
+
+            let mut first = mk();
+            for e in &evs[..cut] {
+                let _ = first.process(e);
+            }
+            let blob = first.checkpoint();
+            drop(first); // the "kill"
+            let mut resumed = mk();
+            resumed.restore(&blob).unwrap();
+            assert_eq!(resumed.checkpoint(), blob, "round-trip identity at {cut}");
+            for (i, e) in evs[cut..].iter().enumerate() {
+                assert_eq!(
+                    resumed.process(e),
+                    gold[cut + i],
+                    "event {} cut {cut}",
+                    cut + i
+                );
+            }
+            assert_eq!(resumed.flush(), gold_flush, "flush at cut {cut}");
+            assert_eq!(
+                resumed.stats().windows_emitted,
+                uninterrupted.stats().windows_emitted,
+                "counters continue across restore (cut {cut})"
+            );
+        }
+    }
+
+    /// A checkpoint refuses to restore into a different workload or
+    /// sharding, and corrupt blobs fail cleanly.
+    #[test]
+    fn restore_validates_fingerprint_and_blob() {
+        use crate::checkpoint::CheckpointError;
+        let (reg, a, b, c) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(10));
+        let mut eng =
+            HamletEngine::new(reg.clone(), vec![q1.clone()], EngineConfig::default()).unwrap();
+        let _ = eng.process(&ev(&reg, a, 1, 0, 0.0));
+        let blob = eng.checkpoint();
+
+        // Different workload.
+        let q2 = Query::count_star(2, seq(c, b), Window::tumbling(10));
+        let mut other = HamletEngine::new(reg.clone(), vec![q2], EngineConfig::default()).unwrap();
+        assert!(matches!(
+            other.restore(&blob),
+            Err(CheckpointError::WorkloadMismatch(_))
+        ));
+
+        // Different sharding.
+        let mut sharded = HamletEngine::new(
+            reg.clone(),
+            vec![q1.clone()],
+            EngineConfig {
+                shard: Some((0, 4)),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            sharded.restore(&blob),
+            Err(CheckpointError::WorkloadMismatch(_))
+        ));
+
+        // Garbage and truncation.
+        let mut fresh = HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+        assert_eq!(fresh.restore(b"nope"), Err(CheckpointError::BadMagic));
+        assert!(fresh.restore(&blob[..blob.len() - 3]).is_err());
+        // The failed restores did not corrupt the fresh engine.
+        fresh.restore(&blob).unwrap();
+        assert_eq!(fresh.checkpoint(), blob);
+    }
+
+    /// The expiration index is rebuilt on restore: exactly one live entry
+    /// per restored run, and expiry continues to drain them.
+    #[test]
+    fn restore_rebuilds_expiry_index() {
+        let (reg, a, b, _) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::new(10, 5));
+        let mut eng =
+            HamletEngine::new(reg.clone(), vec![q1.clone()], EngineConfig::default()).unwrap();
+        for t in 0..20u64 {
+            let _ = eng.process(&ev(&reg, if t % 4 == 0 { a } else { b }, t, 0, 0.0));
+        }
+        let live = eng.expiry_index_len();
+        assert!(live > 0);
+        let blob = eng.checkpoint();
+        let mut resumed =
+            HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+        resumed.restore(&blob).unwrap();
+        assert_eq!(resumed.expiry_index_len(), live);
+        let _ = resumed.flush();
+        assert_eq!(resumed.expiry_index_len(), 0, "flush drains rebuilt index");
     }
 
     #[test]

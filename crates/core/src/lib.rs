@@ -42,6 +42,7 @@
 
 pub mod agg;
 pub mod bitset;
+pub mod checkpoint;
 pub mod executor;
 pub mod expr;
 pub mod general;
@@ -53,11 +54,14 @@ pub mod snapshot;
 pub mod template;
 pub mod workload;
 
+pub use checkpoint::CheckpointError;
 pub use executor::{
     sort_results, AggValue, EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult,
 };
 pub use metrics::{LatencyHistogram, LatencyRecorder};
 pub use optimizer::SharingPolicy;
-pub use parallel::{ParallelEngine, ParallelReport, DEFAULT_BATCH};
+pub use parallel::{
+    ParallelCheckpoint, ParallelCheckpointReport, ParallelEngine, ParallelReport, DEFAULT_BATCH,
+};
 pub use run::{BurstCtx, GroupRuntime, MemberOutput, Run, RunStats};
 pub use workload::{analyze, AggSkeleton, ShareGroup, WorkloadPlan};

@@ -51,6 +51,24 @@ impl LatencyRecorder {
         self.max = self.max.max(o.max);
         self.count += o.count;
     }
+
+    /// Serializes the recorder (checkpoint codec).
+    pub(crate) fn encode(&self, e: &mut crate::checkpoint::Enc) {
+        e.duration(self.total);
+        e.duration(self.max);
+        e.u64(self.count);
+    }
+
+    /// Mirror of [`encode`](Self::encode).
+    pub(crate) fn decode(
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<LatencyRecorder, crate::checkpoint::CheckpointError> {
+        Ok(LatencyRecorder {
+            total: d.duration()?,
+            max: d.duration()?,
+            count: d.u64()?,
+        })
+    }
 }
 
 /// Number of log-linear buckets in a [`LatencyHistogram`]: 64 octaves of
@@ -119,12 +137,15 @@ impl LatencyHistogram {
         (1u64 << msb) + (sub << (msb - SUBS.ilog2()))
     }
 
-    /// Records one latency sample.
+    /// Records one latency sample. Samples beyond the top octave clamp
+    /// into the last bucket, and the running total saturates instead of
+    /// overflowing, so even `Duration::MAX` outliers cannot panic the
+    /// hot path.
     pub fn record(&mut self, d: Duration) {
         let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
         self.buckets[Self::index(ns)] += 1;
         self.count += 1;
-        self.total += d;
+        self.total = self.total.saturating_add(d);
         self.max = self.max.max(d);
     }
 
@@ -184,7 +205,7 @@ impl LatencyHistogram {
             *a += b;
         }
         self.count += o.count;
-        self.total += o.total;
+        self.total = self.total.saturating_add(o.total);
         self.max = self.max.max(o.max);
     }
 }
@@ -263,6 +284,22 @@ impl MemoryGauge {
     /// Last sample.
     pub fn last(&self) -> usize {
         self.last
+    }
+
+    /// Serializes the gauge (checkpoint codec).
+    pub(crate) fn encode(&self, e: &mut crate::checkpoint::Enc) {
+        e.usize(self.peak);
+        e.usize(self.last);
+    }
+
+    /// Mirror of [`encode`](Self::encode).
+    pub(crate) fn decode(
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<MemoryGauge, crate::checkpoint::CheckpointError> {
+        Ok(MemoryGauge {
+            peak: d.usize()?,
+            last: d.usize()?,
+        })
     }
 }
 
@@ -354,6 +391,81 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), Duration::from_micros(500));
         assert!(a.quantile(1.0) >= Duration::from_micros(375));
+    }
+
+    /// Zero samples: every quantile and summary statistic must be an
+    /// exact zero, never a division by zero or a bucket-edge artifact.
+    #[test]
+    fn histogram_empty_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.avg(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Duration::ZERO, "q={q}");
+        }
+    }
+
+    /// A single sample: every quantile is that sample (max short-circuit),
+    /// and the mean is exact.
+    #[test]
+    fn histogram_single_sample_quantiles() {
+        let mut h = LatencyHistogram::new();
+        let d = Duration::from_micros(123);
+        h.record(d);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.avg(), d);
+        assert_eq!(h.max(), d);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), d, "q={q}");
+        }
+    }
+
+    /// Samples beyond the top octave (and beyond u64 nanoseconds
+    /// entirely) must clamp into the last bucket, not wrap or panic, and
+    /// the exact max must still be reported.
+    #[test]
+    fn histogram_clamps_beyond_top_octave() {
+        let mut h = LatencyHistogram::new();
+        // Duration::MAX has ~2^94 ns; record() saturates it to u64::MAX.
+        h.record(Duration::MAX);
+        h.record(Duration::from_nanos(u64::MAX));
+        h.record(Duration::from_millis(1));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), Duration::MAX);
+        // Both huge samples land in the final bucket.
+        assert_eq!(LatencyHistogram::index(u64::MAX), HIST_BUCKETS - 1);
+        // The top quantile reports the exact max, and everything stays
+        // capped by it (quantile() clamps bucket edges to the max).
+        assert_eq!(h.quantile(1.0), Duration::MAX);
+        assert!(h.quantile(0.9) <= h.max());
+        // Out-of-range q values clamp instead of indexing out of bounds.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    /// Quantiles are monotone in q for an arbitrary spread of samples —
+    /// the property every gate comparing p50 against p99 relies on.
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        // Deterministic pseudo-random spread over 6 orders of magnitude.
+        let mut s = 0x9E37_79B9u64;
+        for _ in 0..500 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            h.record(Duration::from_nanos(s % 1_000_000_000));
+        }
+        let mut last = Duration::ZERO;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v:?} < {last:?}");
+            last = v;
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+        assert!(h.p50() <= h.p99());
     }
 
     #[test]

@@ -74,6 +74,67 @@ impl DivergenceEstimator {
     pub fn rate(&self, ty: usize, q: usize) -> f64 {
         self.rates[ty][q]
     }
+
+    /// Serializes the learned statistics (checkpoint codec). The
+    /// estimator only steers sharing *decisions*, never result values,
+    /// but restoring it keeps a resumed run's decision sequence — and so
+    /// its performance counters — identical to an uninterrupted one.
+    pub(crate) fn encode(&self, e: &mut crate::checkpoint::Enc) {
+        e.f64(self.alpha);
+        e.usize(self.rates.len());
+        e.usize(self.rates.first().map_or(0, Vec::len));
+        for row in &self.rates {
+            for &r in row {
+                e.f64(r);
+            }
+        }
+        for row in &self.seen {
+            for &s in row {
+                e.bool(s);
+            }
+        }
+    }
+
+    /// Mirror of [`encode`](Self::encode). `expect_nt`/`expect_k` are
+    /// the compiled runtime's dimensions: a blob whose embedded shape
+    /// disagrees is corrupt, and must fail here rather than decode into
+    /// a table the executor will later index out of bounds.
+    pub(crate) fn decode(
+        d: &mut crate::checkpoint::Dec<'_>,
+        expect_nt: usize,
+        expect_k: usize,
+    ) -> Result<DivergenceEstimator, crate::checkpoint::CheckpointError> {
+        let alpha = d.f64()?;
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(crate::checkpoint::CheckpointError::Corrupt(format!(
+                "estimator alpha {alpha}"
+            )));
+        }
+        let nt = d.seq_len()?;
+        let k = d.usize()?;
+        if nt != expect_nt || (nt > 0 && k != expect_k) {
+            return Err(crate::checkpoint::CheckpointError::Corrupt(format!(
+                "estimator shape {nt}×{k}, compiled runtime is {expect_nt}×{expect_k}"
+            )));
+        }
+        let mut rates = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            let mut row = Vec::with_capacity(k);
+            for _ in 0..k {
+                row.push(d.f64()?);
+            }
+            rates.push(row);
+        }
+        let mut seen = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            let mut row = Vec::with_capacity(k);
+            for _ in 0..k {
+                row.push(d.bool()?);
+            }
+            seen.push(row);
+        }
+        Ok(DivergenceEstimator { alpha, rates, seen })
+    }
 }
 
 #[cfg(test)]

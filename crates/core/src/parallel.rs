@@ -40,6 +40,7 @@
 //! routing over bounded per-shard channels and drains to the same
 //! bit-identical merged output.
 
+use crate::checkpoint::{self, CheckpointError, Dec};
 use crate::executor::{
     sort_results, EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult,
 };
@@ -58,8 +59,100 @@ pub const DEFAULT_BATCH: usize = 1024;
 /// stalls rather than buffering the whole stream for a slow worker).
 const PIPELINE_DEPTH: usize = 4;
 
-/// What one worker returns: results, stats, latency recorder, peak bytes.
-type WorkerOutput = (Vec<WindowResult>, EngineStats, LatencyRecorder, usize);
+/// What one worker returns: results, stats, latency recorder, peak
+/// bytes, and — when the run ends at a checkpoint barrier instead of a
+/// flush — the shard's serialized engine state.
+type WorkerOutput = (
+    Vec<WindowResult>,
+    EngineStats,
+    LatencyRecorder,
+    usize,
+    Option<Vec<u8>>,
+);
+
+/// How a parallel run ends: drain every window (`flush`) or freeze the
+/// per-shard engine state at a coordinated barrier (`checkpoint`).
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum EndMode {
+    Flush,
+    Checkpoint,
+}
+
+/// Magic tag opening a serialized [`ParallelCheckpoint`] container.
+pub const PARALLEL_MAGIC: [u8; 4] = *b"HMPC";
+/// Container format version.
+pub const PARALLEL_VERSION: u16 = 1;
+
+/// A coordinated checkpoint of a parallel run: one engine checkpoint per
+/// shard, all taken at the same stream barrier (no shard has seen an
+/// event another shard has not been offered).
+///
+/// Produced by [`ParallelEngine::run_to_checkpoint`], consumed by
+/// [`ParallelEngine::resume`]. Because every partition is owned by
+/// exactly one shard, the union of shard states *is* the engine state:
+/// resuming and finishing the stream emits byte-identically to an
+/// uninterrupted run (`tests/checkpoint_equivalence.rs`).
+pub struct ParallelCheckpoint {
+    workers: u32,
+    /// Per-shard engine blobs (index = shard).
+    shards: Vec<Vec<u8>>,
+}
+
+impl ParallelCheckpoint {
+    /// Worker count the checkpoint was taken under (a checkpoint only
+    /// restores into the same sharding — partition ownership depends on
+    /// it).
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+
+    /// Serialized size across all shards, in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Per-shard blob sizes, in bytes.
+    pub fn shard_bytes(&self) -> Vec<usize> {
+        self.shards.iter().map(Vec::len).collect()
+    }
+
+    /// Serializes the container (magic, version, per-shard blobs) for
+    /// file persistence.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        checkpoint::container_header(
+            &PARALLEL_MAGIC,
+            PARALLEL_VERSION,
+            self.workers,
+            &self.shards,
+        )
+        .finish()
+    }
+
+    /// Mirror of [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<ParallelCheckpoint, CheckpointError> {
+        let mut d = Dec::new(bytes);
+        let (workers, shards) =
+            checkpoint::read_container(&mut d, &PARALLEL_MAGIC, PARALLEL_VERSION)?;
+        d.expect_end()?;
+        Ok(ParallelCheckpoint { workers, shards })
+    }
+}
+
+/// What [`ParallelEngine::run_to_checkpoint`] hands back: the results
+/// emitted *before* the barrier, the coordinated checkpoint, and how
+/// long the barrier pause took.
+pub struct ParallelCheckpointReport {
+    /// Results emitted before the checkpoint barrier, in the same
+    /// canonical order [`ParallelReport::results`] guarantees. Windows
+    /// still open at the barrier are inside the checkpoint, not here.
+    pub report: ParallelReport,
+    /// The coordinated per-shard checkpoint.
+    pub checkpoint: ParallelCheckpoint,
+    /// Drain-barrier pause: from the moment routing stopped until every
+    /// shard had drained its queue and serialized its state — the time a
+    /// live system would be unavailable for new events.
+    pub pause: Duration,
+}
 
 /// Result of a parallel run: the merged, deterministically ordered window
 /// results plus a per-worker breakdown and aggregate views of the §6.1
@@ -188,14 +281,96 @@ impl ParallelEngine {
     /// the caller never needs the whole stream in one slice. Input batch
     /// boundaries only affect pipelining granularity, not results.
     pub fn run_batches<'a>(&self, batches: impl Iterator<Item = &'a [Event]>) -> ParallelReport {
+        self.execute(batches, None, EndMode::Flush)
+            .expect("no checkpoint to restore, engines validated in new")
+            .report
+    }
+
+    /// Processes a stream *prefix*, then takes a **coordinated
+    /// checkpoint** at the barrier instead of flushing: routing stops,
+    /// every shard drains its queue and serializes its engine. The
+    /// returned report carries the results emitted before the barrier
+    /// (canonically sorted); windows still open travel inside the
+    /// checkpoint and emit after [`resume`](Self::resume).
+    pub fn run_to_checkpoint(&self, events: &[Event]) -> ParallelCheckpointReport {
+        self.execute(events.chunks(self.batch), None, EndMode::Checkpoint)
+            .expect("no checkpoint to restore, engines validated in new")
+    }
+
+    /// Restores every shard from a coordinated checkpoint and finishes
+    /// the stream: feed the events *after* the checkpoint barrier, drain
+    /// with a full flush. `checkpoint.workers()` must equal this engine's
+    /// worker count and the workload must match (validated per shard via
+    /// the engine fingerprint).
+    ///
+    /// Appending these results to the pre-barrier results and sorting
+    /// canonically is byte-identical to one uninterrupted
+    /// [`run`](Self::run) over the whole stream.
+    pub fn resume(
+        &self,
+        checkpoint: &ParallelCheckpoint,
+        events: &[Event],
+    ) -> Result<ParallelReport, CheckpointError> {
+        self.execute(events.chunks(self.batch), Some(checkpoint), EndMode::Flush)
+            .map(|x| x.report)
+    }
+
+    /// Shard engine configuration for worker `idx`.
+    fn shard_cfg(&self, idx: usize) -> EngineConfig {
+        let mut cfg = self.cfg.clone();
+        if self.workers > 1 {
+            cfg.shard = Some((idx as u32, self.workers));
+        }
+        cfg
+    }
+
+    /// Routes the stream to `workers` shard engines and ends in the
+    /// requested mode. On a resume, every engine is built **and
+    /// restored** up front on the caller's thread, so checkpoint errors
+    /// surface synchronously; on a fresh run, engines are built inside
+    /// their worker threads (workload compilation overlaps with
+    /// routing, as it always did — `new()` already validated it).
+    fn execute<'a>(
+        &self,
+        batches: impl Iterator<Item = &'a [Event]>,
+        restore: Option<&ParallelCheckpoint>,
+        mode: EndMode,
+    ) -> Result<ParallelCheckpointReport, CheckpointError> {
         let t0 = Instant::now();
+        let n = self.workers as usize;
+        if let Some(c) = restore {
+            if c.workers != self.workers {
+                return Err(CheckpointError::WorkloadMismatch(format!(
+                    "checkpoint taken under {} workers, resuming under {}",
+                    c.workers, self.workers
+                )));
+            }
+        }
+        let mut engines: Vec<Option<HamletEngine>> = Vec::with_capacity(n);
+        for idx in 0..n {
+            engines.push(match restore {
+                None => None, // built inside the worker thread
+                Some(c) => {
+                    let mut eng = HamletEngine::new(
+                        self.reg.clone(),
+                        self.queries.clone(),
+                        self.shard_cfg(idx),
+                    )
+                    .expect("validated in ParallelEngine::new");
+                    eng.restore(&c.shards[idx])?;
+                    Some(eng)
+                }
+            });
+        }
+
         let mut events_total = 0u64;
-        let mut report = if self.workers == 1 {
+        let (outputs, pause) = if n == 1 {
             // Degenerate case: no routing, no threads — the baseline the
             // scaling experiments compare against.
-            let mut eng =
-                HamletEngine::new(self.reg.clone(), self.queries.clone(), self.cfg.clone())
-                    .expect("validated in ParallelEngine::new");
+            let mut eng = engines.pop().expect("one slot").unwrap_or_else(|| {
+                HamletEngine::new(self.reg.clone(), self.queries.clone(), self.shard_cfg(0))
+                    .expect("validated in ParallelEngine::new")
+            });
             let mut out = Vec::new();
             for batch in batches {
                 events_total += batch.len() as u64;
@@ -203,50 +378,105 @@ impl ParallelEngine {
                     out.extend(eng.process(e));
                 }
             }
-            out.extend(eng.flush());
-            self.collect(vec![(
-                out,
-                *eng.stats(),
-                eng.latency().clone(),
-                eng.peak_memory(),
-            )])
+            let barrier = Instant::now();
+            let ckpt = match mode {
+                EndMode::Flush => {
+                    out.extend(eng.flush());
+                    None
+                }
+                EndMode::Checkpoint => Some(eng.checkpoint()),
+            };
+            let pause = barrier.elapsed();
+            (
+                vec![(
+                    out,
+                    *eng.stats(),
+                    eng.latency().clone(),
+                    eng.peak_memory(),
+                    ckpt,
+                )],
+                pause,
+            )
         } else {
-            self.run_sharded(batches, &mut events_total)
+            self.run_sharded(engines, batches, &mut events_total, mode)
         };
+
+        let mut report = ParallelReport {
+            results: Vec::new(),
+            stats: Vec::new(),
+            peak_mem: Vec::new(),
+            latency: Vec::new(),
+            events: events_total,
+            wall: Duration::ZERO,
+        };
+        let mut shards = Vec::with_capacity(n);
+        for (results, stats, latency, peak, ckpt) in outputs {
+            report.results.extend(results);
+            report.stats.push(stats);
+            report.latency.push(latency);
+            report.peak_mem.push(peak);
+            if let Some(c) = ckpt {
+                shards.push(c);
+            }
+        }
         sort_results(&mut report.results);
-        report.events = events_total;
         report.wall = t0.elapsed();
-        report
+        Ok(ParallelCheckpointReport {
+            report,
+            checkpoint: ParallelCheckpoint {
+                workers: self.workers,
+                shards,
+            },
+            pause,
+        })
     }
 
-    /// Routes batches to `workers` shard-owning engines on worker threads.
+    /// Routes batches to `workers` shard-owning engines on worker
+    /// threads. A `None` slot means "build your engine yourself" —
+    /// compilation then overlaps with routing on the worker thread.
     fn run_sharded<'a>(
         &self,
+        engines: Vec<Option<HamletEngine>>,
         batches: impl Iterator<Item = &'a [Event]>,
         events_total: &mut u64,
-    ) -> ParallelReport {
+        mode: EndMode,
+    ) -> (Vec<WorkerOutput>, Duration) {
         let n = self.workers as usize;
-        let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut txs = Vec::with_capacity(n);
             let mut handles = Vec::with_capacity(n);
-            for idx in 0..n {
+            for (idx, pre_built) in engines.into_iter().enumerate() {
                 let (tx, rx) = mpsc::sync_channel::<Vec<Event>>(PIPELINE_DEPTH);
                 txs.push(tx);
-                let reg = self.reg.clone();
-                let queries = self.queries.clone();
-                let mut cfg = self.cfg.clone();
-                cfg.shard = Some((idx as u32, self.workers));
+                let (reg, queries, cfg) =
+                    (self.reg.clone(), self.queries.clone(), self.shard_cfg(idx));
                 handles.push(scope.spawn(move || {
-                    let mut eng = HamletEngine::new(reg, queries, cfg)
-                        .expect("validated in ParallelEngine::new");
+                    let mut eng = pre_built.unwrap_or_else(|| {
+                        HamletEngine::new(reg, queries, cfg)
+                            .expect("validated in ParallelEngine::new")
+                    });
                     let mut out = Vec::new();
                     while let Ok(batch) = rx.recv() {
                         for e in &batch {
                             out.extend(eng.process(e));
                         }
                     }
-                    out.extend(eng.flush());
-                    (out, *eng.stats(), eng.latency().clone(), eng.peak_memory())
+                    // Channel closed: the barrier. Flush drains every
+                    // window; checkpoint freezes them instead.
+                    let ckpt = match mode {
+                        EndMode::Flush => {
+                            out.extend(eng.flush());
+                            None
+                        }
+                        EndMode::Checkpoint => Some(eng.checkpoint()),
+                    };
+                    (
+                        out,
+                        *eng.stats(),
+                        eng.latency().clone(),
+                        eng.peak_memory(),
+                        ckpt,
+                    )
                 }));
             }
             let mut buffers: Vec<Vec<Event>> =
@@ -279,31 +509,14 @@ impl ParallelEngine {
                     let _ = txs[idx].send(buf);
                 }
             }
-            drop(txs); // end-of-stream: workers drain and flush
-            handles
+            drop(txs); // end-of-stream barrier: workers drain, then flush or checkpoint
+            let barrier = Instant::now();
+            let outputs = handles
                 .into_iter()
                 .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
-        self.collect(outputs)
-    }
-
-    fn collect(&self, outputs: Vec<WorkerOutput>) -> ParallelReport {
-        let mut report = ParallelReport {
-            results: Vec::new(),
-            stats: Vec::new(),
-            peak_mem: Vec::new(),
-            latency: Vec::new(),
-            events: 0,
-            wall: Duration::ZERO,
-        };
-        for (results, stats, latency, peak) in outputs {
-            report.results.extend(results);
-            report.stats.push(stats);
-            report.latency.push(latency);
-            report.peak_mem.push(peak);
-        }
-        report
+                .collect();
+            (outputs, barrier.elapsed())
+        })
     }
 }
 
@@ -457,6 +670,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Checkpoint at an arbitrary barrier, resume, finish: the union of
+    /// pre-barrier and post-resume results is byte-identical to one
+    /// uninterrupted run, at 1 and several workers.
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        let (reg, queries, events) = setup();
+        for workers in [1u32, 4] {
+            let eng = ParallelEngine::new(
+                reg.clone(),
+                queries.clone(),
+                EngineConfig::default(),
+                workers,
+            )
+            .unwrap();
+            let gold = eng.run(&events);
+            for cut in [0usize, 63, events.len()] {
+                let pre = eng.run_to_checkpoint(&events[..cut]);
+                assert_eq!(pre.checkpoint.workers(), workers);
+                assert_eq!(pre.checkpoint.shard_bytes().len(), workers as usize);
+                assert!(pre.checkpoint.total_bytes() > 0);
+                // Serialize/deserialize the container as a file would.
+                let blob = pre.checkpoint.to_bytes();
+                let restored = ParallelCheckpoint::from_bytes(&blob).unwrap();
+                let post = eng.resume(&restored, &events[cut..]).unwrap();
+                let mut all = pre.report.results.clone();
+                all.extend(post.results);
+                sort_results(&mut all);
+                assert_eq!(all, gold.results, "{workers} workers, cut {cut}");
+            }
+        }
+    }
+
+    /// Worker-count and container mismatches are clean errors.
+    #[test]
+    fn resume_validates_worker_count_and_container() {
+        let (reg, queries, events) = setup();
+        let four =
+            ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 4).unwrap();
+        let pre = four.run_to_checkpoint(&events[..50]);
+        let two =
+            ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 2).unwrap();
+        assert!(matches!(
+            two.resume(&pre.checkpoint, &events[50..]),
+            Err(CheckpointError::WorkloadMismatch(_))
+        ));
+        assert!(matches!(
+            ParallelCheckpoint::from_bytes(b"garbage!"),
+            Err(CheckpointError::BadMagic)
+        ));
+        let blob = pre.checkpoint.to_bytes();
+        assert!(ParallelCheckpoint::from_bytes(&blob[..blob.len() - 2]).is_err());
     }
 
     #[test]

@@ -250,6 +250,38 @@ impl RunStats {
     pub fn snapshots(&self) -> u64 {
         self.graphlet_snapshots + self.event_snapshots
     }
+
+    /// Serializes the counters (checkpoint codec).
+    pub(crate) fn encode(&self, e: &mut crate::checkpoint::Enc) {
+        for v in [
+            self.graphlet_snapshots,
+            self.event_snapshots,
+            self.graphlets,
+            self.merges,
+            self.splits,
+            self.shared_bursts,
+            self.solo_bursts,
+            self.events,
+        ] {
+            e.u64(v);
+        }
+    }
+
+    /// Mirror of [`encode`](Self::encode).
+    pub(crate) fn decode(
+        d: &mut crate::checkpoint::Dec<'_>,
+    ) -> Result<RunStats, crate::checkpoint::CheckpointError> {
+        Ok(RunStats {
+            graphlet_snapshots: d.u64()?,
+            event_snapshots: d.u64()?,
+            graphlets: d.u64()?,
+            merges: d.u64()?,
+            splits: d.u64()?,
+            shared_bursts: d.u64()?,
+            solo_bursts: d.u64()?,
+            events: d.u64()?,
+        })
+    }
 }
 
 /// Final per-member aggregate of a finished window.
@@ -895,6 +927,229 @@ impl Run {
                 }
             })
             .collect()
+    }
+
+    /// Serializes the run's complete evaluation state (checkpoint codec):
+    /// per-type/member cumulative totals, negation blocks, the snapshot
+    /// table, active shared/solo graphlets (symbolic expressions
+    /// included), stored events for edge-predicate scans, and counters.
+    /// The immutable [`GroupRuntime`] is *not* serialized — the decoder
+    /// receives it from the freshly compiled engine and only the mutable
+    /// state travels.
+    pub(crate) fn encode(&self, e: &mut crate::checkpoint::Enc) {
+        let nt = self.rt.template.num_types();
+        e.usize(self.k);
+        e.usize(nt);
+        e.u64(self.n_events);
+        for per_ty in &self.cum {
+            for v in per_ty {
+                v.encode(e);
+            }
+        }
+        for per_ty in &self.mm_cum {
+            for v in per_ty {
+                e.f64(v.0);
+            }
+        }
+        for per_ty in &self.alive_cum {
+            for &v in per_ty {
+                e.bool(v);
+            }
+        }
+        for &b in &self.start_blocked {
+            e.bool(b);
+        }
+        // HashMap: impose the canonical key order so the encoding is
+        // deterministic (checkpoint → restore → checkpoint is
+        // byte-identical).
+        let mut gaps: Vec<(&(usize, usize, usize), &NodeVal)> = self.gap_blocked.iter().collect();
+        gaps.sort_by_key(|(k, _)| **k);
+        e.usize(gaps.len());
+        for ((q, p, s), v) in gaps {
+            e.usize(*q);
+            e.usize(*p);
+            e.usize(*s);
+            v.encode(e);
+        }
+        for v in &self.result_blocked {
+            v.encode(e);
+        }
+        self.snaps.encode(e);
+        for a in &self.active {
+            match &a.shared {
+                None => e.some(false),
+                Some(sh) => {
+                    e.some(true);
+                    sh.members.encode(e);
+                    e.u32(sh.x);
+                    match sh.unit {
+                        None => e.some(false),
+                        Some(u) => {
+                            e.some(true);
+                            e.u32(u);
+                        }
+                    }
+                    sh.sum_exprs.encode(e);
+                    e.u64(sh.size);
+                }
+            }
+            for solo in &a.solo {
+                match solo {
+                    None => e.some(false),
+                    Some(s) => {
+                        e.some(true);
+                        s.sum.encode(e);
+                        e.f64(s.mm.0);
+                        e.bool(s.alive);
+                        e.u64(s.size);
+                    }
+                }
+            }
+        }
+        for per_ty in &self.stored {
+            e.usize(per_ty.len());
+            for se in per_ty {
+                e.event(&se.event);
+                match &se.shared {
+                    None => e.some(false),
+                    Some((members, expr)) => {
+                        e.some(true);
+                        members.encode(e);
+                        expr.encode(e);
+                    }
+                }
+                e.usize(se.solo.len());
+                for (q, v) in &se.solo {
+                    e.u16(*q);
+                    v.encode(e);
+                }
+                e.usize(se.mm.len());
+                for (q, v) in &se.mm {
+                    e.u16(*q);
+                    e.f64(v.0);
+                }
+            }
+        }
+        self.stats.encode(e);
+    }
+
+    /// Mirror of [`encode`](Self::encode): rebuilds a run over the given
+    /// (freshly compiled) runtime.
+    pub(crate) fn decode(
+        d: &mut crate::checkpoint::Dec<'_>,
+        rt: Arc<GroupRuntime>,
+    ) -> Result<Run, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let mut run = Run::new(rt);
+        let nt = run.rt.template.num_types();
+        let (k_enc, nt_enc) = (d.usize()?, d.usize()?);
+        if k_enc != run.k || nt_enc != nt {
+            return Err(CheckpointError::WorkloadMismatch(format!(
+                "run shape ({k_enc} members × {nt_enc} types) vs compiled ({} × {nt})",
+                run.k
+            )));
+        }
+        run.n_events = d.u64()?;
+        for per_ty in &mut run.cum {
+            for v in per_ty.iter_mut() {
+                *v = NodeVal::decode(d)?;
+            }
+        }
+        for per_ty in &mut run.mm_cum {
+            for v in per_ty.iter_mut() {
+                *v = MmVal(d.f64()?);
+            }
+        }
+        for per_ty in &mut run.alive_cum {
+            for v in per_ty.iter_mut() {
+                *v = d.bool()?;
+            }
+        }
+        for b in &mut run.start_blocked {
+            *b = d.bool()?;
+        }
+        let n_gaps = d.seq_len()?;
+        for _ in 0..n_gaps {
+            let key = (d.usize()?, d.usize()?, d.usize()?);
+            run.gap_blocked.insert(key, NodeVal::decode(d)?);
+        }
+        for v in &mut run.result_blocked {
+            *v = NodeVal::decode(d)?;
+        }
+        run.snaps = SnapTable::decode(d, run.k)?;
+        for a in &mut run.active {
+            a.shared = if d.some()? {
+                let members = QSet::decode(d)?;
+                let num_snaps = run.snaps.len();
+                let snap_id = |id: SnapId| {
+                    if (id as usize) < num_snaps {
+                        Ok(id)
+                    } else {
+                        Err(crate::checkpoint::CheckpointError::Corrupt(format!(
+                            "graphlet references snapshot {id} of {num_snaps}"
+                        )))
+                    }
+                };
+                let x = snap_id(d.u32()?)?;
+                let unit = if d.some()? {
+                    Some(snap_id(d.u32()?)?)
+                } else {
+                    None
+                };
+                let sum_exprs = LinearExpr::decode(d, num_snaps)?;
+                let size = d.u64()?;
+                Some(SharedGraphlet {
+                    members,
+                    x,
+                    unit,
+                    sum_exprs,
+                    size,
+                })
+            } else {
+                None
+            };
+            for solo in a.solo.iter_mut() {
+                *solo = if d.some()? {
+                    Some(SoloGraphlet {
+                        sum: NodeVal::decode(d)?,
+                        mm: MmVal(d.f64()?),
+                        alive: d.bool()?,
+                        size: d.u64()?,
+                    })
+                } else {
+                    None
+                };
+            }
+        }
+        for per_ty in &mut run.stored {
+            let n = d.seq_len()?;
+            for _ in 0..n {
+                let event = d.event()?;
+                let shared = if d.some()? {
+                    Some((QSet::decode(d)?, LinearExpr::decode(d, run.snaps.len())?))
+                } else {
+                    None
+                };
+                let n_solo = d.seq_len()?;
+                let mut solo = Vec::with_capacity(n_solo);
+                for _ in 0..n_solo {
+                    solo.push((d.u16()?, NodeVal::decode(d)?));
+                }
+                let n_mm = d.seq_len()?;
+                let mut mm = Vec::with_capacity(n_mm);
+                for _ in 0..n_mm {
+                    mm.push((d.u16()?, MmVal(d.f64()?)));
+                }
+                per_ty.push(StoredEvent {
+                    event,
+                    shared,
+                    solo,
+                    mm,
+                });
+            }
+        }
+        run.stats = RunStats::decode(d)?;
+        Ok(run)
     }
 
     /// Approximate state footprint in bytes (§6.1 memory metric: stored

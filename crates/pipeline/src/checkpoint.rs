@@ -1,0 +1,176 @@
+//! Pipeline-level checkpoints: everything a live pipeline must persist
+//! to resume after a crash or planned restart.
+//!
+//! A pipeline's durable state spans three layers:
+//!
+//! 1. **Engines** — one serialized
+//!    [`HamletEngine`](hamlet_core::HamletEngine) checkpoint per shard
+//!    worker (open windows, snapshot tables, watermark, counters);
+//! 2. **Reorder buffer** — events the ingest stage pulled but had not
+//!    yet released past the watermark;
+//! 3. **Source cursor** — how many events were pulled from the source,
+//!    so a replayable source can be repositioned, plus the maximum event
+//!    time observed (the watermark seed for the resumed policy).
+//!
+//! [`PipelineHandle::checkpoint`](crate::PipelineHandle::checkpoint)
+//! produces one, [`PipelineBuilder::resume`](crate::PipelineBuilder::resume)
+//! consumes it. The container serializes through the same hand-rolled
+//! versioned codec as the engine blobs
+//! ([`hamlet_core::checkpoint`]), so a checkpoint written to disk by one
+//! process restores cleanly in another.
+
+use hamlet_core::checkpoint::{CheckpointError, Dec};
+use hamlet_types::{Event, Ts};
+
+/// Magic tag opening a serialized pipeline checkpoint.
+pub const PIPELINE_MAGIC: [u8; 4] = *b"HMPL";
+/// Pipeline checkpoint format version.
+pub const PIPELINE_VERSION: u16 = 1;
+
+/// Durable state of a quiesced pipeline (see the module docs for the
+/// three layers). Obtain one via
+/// [`PipelineHandle::checkpoint`](crate::PipelineHandle::checkpoint).
+pub struct PipelineCheckpoint {
+    pub(crate) workers: u32,
+    /// Per-shard engine blobs (index = shard).
+    pub(crate) engines: Vec<Vec<u8>>,
+    /// Reorder-buffer events not yet released, in `(time, arrival)`
+    /// order.
+    pub(crate) buffered: Vec<Event>,
+    /// Events pulled from the source before the barrier (the cursor a
+    /// replayable source must skip to on resume — late drops included).
+    pub(crate) events_pulled: u64,
+    /// Maximum event time observed — seeds the resumed watermark policy.
+    pub(crate) max_seen: Option<Ts>,
+    /// Counter continuity: ingested / late / released / results at the
+    /// barrier, carried into the resumed pipeline's metrics.
+    pub(crate) counters: [u64; 4],
+}
+
+impl PipelineCheckpoint {
+    /// Worker count the checkpoint was taken under. A checkpoint only
+    /// resumes under the same sharding (partition ownership depends on
+    /// it); this is validated on resume.
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+
+    /// Events pulled from the source before the barrier. On resume,
+    /// hand [`PipelineBuilder::resume`](crate::PipelineBuilder::resume)
+    /// a source positioned *after* these events (e.g. a
+    /// [`ReplaySource`](crate::ReplaySource) over `events[cursor..]`);
+    /// the events the barrier caught in the reorder buffer travel inside
+    /// the checkpoint and are re-injected automatically.
+    pub fn events_pulled(&self) -> u64 {
+        self.events_pulled
+    }
+
+    /// Events frozen inside the reorder buffer.
+    pub fn buffered_len(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Serialized size of the per-shard engine state, in bytes.
+    pub fn engine_bytes(&self) -> usize {
+        self.engines.iter().map(Vec::len).sum()
+    }
+
+    /// Serializes the container for file persistence.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = hamlet_core::checkpoint::container_header(
+            &PIPELINE_MAGIC,
+            PIPELINE_VERSION,
+            self.workers,
+            &self.engines,
+        );
+        e.usize(self.buffered.len());
+        for ev in &self.buffered {
+            e.event(ev);
+        }
+        e.u64(self.events_pulled);
+        match self.max_seen {
+            None => e.some(false),
+            Some(t) => {
+                e.some(true);
+                e.u64(t.ticks());
+            }
+        }
+        for c in self.counters {
+            e.u64(c);
+        }
+        e.finish()
+    }
+
+    /// Mirror of [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<PipelineCheckpoint, CheckpointError> {
+        let mut d = Dec::new(bytes);
+        let (workers, engines) =
+            hamlet_core::checkpoint::read_container(&mut d, &PIPELINE_MAGIC, PIPELINE_VERSION)?;
+        let n_buf = d.seq_len()?;
+        let mut buffered = Vec::with_capacity(n_buf);
+        for _ in 0..n_buf {
+            buffered.push(d.event()?);
+        }
+        let events_pulled = d.u64()?;
+        let max_seen = if d.some()? { Some(Ts(d.u64()?)) } else { None };
+        let mut counters = [0u64; 4];
+        for c in &mut counters {
+            *c = d.u64()?;
+        }
+        d.expect_end()?;
+        Ok(PipelineCheckpoint {
+            workers,
+            engines,
+            buffered,
+            events_pulled,
+            max_seen,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_types::EventTypeId;
+
+    #[test]
+    fn container_round_trips() {
+        let ck = PipelineCheckpoint {
+            workers: 2,
+            engines: vec![vec![1, 2, 3], vec![4]],
+            buffered: vec![Event::new(Ts(9), EventTypeId(1), vec![])],
+            events_pulled: 42,
+            max_seen: Some(Ts(11)),
+            counters: [42, 1, 40, 7],
+        };
+        let blob = ck.to_bytes();
+        let back = PipelineCheckpoint::from_bytes(&blob).unwrap();
+        assert_eq!(back.workers(), 2);
+        assert_eq!(back.engines, ck.engines);
+        assert_eq!(back.buffered, ck.buffered);
+        assert_eq!(back.events_pulled(), 42);
+        assert_eq!(back.buffered_len(), 1);
+        assert_eq!(back.engine_bytes(), 4);
+        assert_eq!(back.max_seen, Some(Ts(11)));
+        assert_eq!(back.counters, ck.counters);
+    }
+
+    #[test]
+    fn garbage_and_truncation_fail_cleanly() {
+        assert!(matches!(
+            PipelineCheckpoint::from_bytes(b"????"),
+            Err(CheckpointError::BadMagic)
+        ));
+        let ck = PipelineCheckpoint {
+            workers: 1,
+            engines: vec![vec![]],
+            buffered: vec![],
+            events_pulled: 0,
+            max_seen: None,
+            counters: [0; 4],
+        };
+        let blob = ck.to_bytes();
+        assert!(PipelineCheckpoint::from_bytes(&blob[..blob.len() - 1]).is_err());
+    }
+}

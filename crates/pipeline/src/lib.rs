@@ -61,21 +61,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod sink;
 mod source;
 mod stats;
 mod watermark;
 
+pub use checkpoint::{PipelineCheckpoint, PIPELINE_MAGIC, PIPELINE_VERSION};
 pub use sink::{CountingSink, NullSink, Sink, VecSink};
 pub use source::{RateLimitedSource, ReplaySource, Source};
 pub use stats::{LatencySummary, MetricsSnapshot};
 pub use watermark::{BoundedLateness, ReorderBuffer, WatermarkPolicy};
 
+use hamlet_core::checkpoint::CheckpointError;
 use hamlet_core::executor::{EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult};
 use hamlet_core::{LatencyHistogram, LatencyRecorder};
 use hamlet_query::Query;
-use hamlet_types::{Event, TypeRegistry};
+use hamlet_types::{Event, Ts, TypeRegistry};
 use stats::SharedStats;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -90,8 +94,50 @@ pub const DEFAULT_CHANNEL_CAPACITY: usize = 8;
 /// A routed unit of work: the event plus its ingest stamp (for
 /// end-to-end latency accounting).
 type Routed = (Event, Instant);
-/// What one worker thread returns at shutdown.
-type WorkerOutput = (EngineStats, LatencyRecorder, usize);
+/// What one worker thread returns at shutdown; the final slot carries
+/// the shard's serialized engine state when the run ended at a
+/// checkpoint barrier instead of a flush.
+type WorkerOutput = (EngineStats, LatencyRecorder, usize, Option<Vec<u8>>);
+
+/// How a worker ends once its event channel closes: drain every open
+/// window into the sink, or freeze the engine state into a checkpoint.
+/// Sent over a per-worker control channel by
+/// [`PipelineHandle::drain`] / [`PipelineHandle::checkpoint`], so the
+/// choice is explicit and can never race with a source ending early.
+#[derive(Copy, Clone)]
+enum WorkerEnd {
+    Flush,
+    Checkpoint,
+}
+
+/// What the ingest thread hands back when it stops: the reorder-buffer
+/// remainder (only kept on a checkpoint — a drain releases it
+/// downstream instead) and the maximum event time observed.
+struct IngestExit {
+    buffered: Vec<Event>,
+    max_seen: Option<Ts>,
+}
+
+/// Why a [`PipelineBuilder::resume`] failed.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The workload failed to compile (same errors as a fresh spawn).
+    Engine(EngineError),
+    /// The checkpoint is invalid or does not match this pipeline's
+    /// workload / worker count.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Engine(e) => write!(f, "engine: {e}"),
+            ResumeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
 
 /// Dead-letter hook: invoked (on the ingest thread) with every late
 /// event the pipeline drops.
@@ -183,6 +229,65 @@ impl PipelineBuilder {
         Src: Source + 'static,
         S: Sink + 'static,
     {
+        self.spawn_inner(source, sink, None).map_err(|e| match e {
+            ResumeError::Engine(err) => err,
+            ResumeError::Checkpoint(_) => unreachable!("no checkpoint on a fresh spawn"),
+        })
+    }
+
+    /// Restores a pipeline from a [`PipelineCheckpoint`] and continues
+    /// it: every shard engine is rebuilt and restored, the frozen
+    /// reorder-buffer events are re-injected ahead of the source, the
+    /// watermark policy is re-seeded with the checkpointed stream
+    /// maximum, and the metrics counters continue from where they
+    /// stopped.
+    ///
+    /// The builder must be configured like the original pipeline (same
+    /// workload, worker count, watermark slack); `source` must be
+    /// positioned *after* the first
+    /// [`events_pulled`](PipelineCheckpoint::events_pulled) events of
+    /// the original stream. Continuing to the end of the stream and
+    /// draining yields byte-identical output to a run that never
+    /// stopped (`tests/checkpoint_equivalence.rs`).
+    pub fn resume<Src, S>(
+        self,
+        checkpoint: &PipelineCheckpoint,
+        source: Src,
+        sink: S,
+    ) -> Result<PipelineHandle<S>, ResumeError>
+    where
+        Src: Source + 'static,
+        S: Sink + 'static,
+    {
+        if checkpoint.workers != self.workers {
+            return Err(ResumeError::Checkpoint(CheckpointError::WorkloadMismatch(
+                format!(
+                    "checkpoint taken under {} workers, resuming under {}",
+                    checkpoint.workers, self.workers
+                ),
+            )));
+        }
+        self.spawn_inner(source, sink, Some(checkpoint))
+    }
+
+    fn spawn_inner<Src, S>(
+        mut self,
+        source: Src,
+        sink: S,
+        restore: Option<&PipelineCheckpoint>,
+    ) -> Result<PipelineHandle<S>, ResumeError>
+    where
+        Src: Source + 'static,
+        S: Sink + 'static,
+    {
+        // Re-seed the watermark policy before destructuring: the resumed
+        // policy must never emit a watermark behind the one the
+        // checkpointed pipeline already released events under.
+        if let Some(ck) = restore {
+            if let Some(max_seen) = ck.max_seen {
+                let _ = self.policy.observe(max_seen);
+            }
+        }
         let PipelineBuilder {
             reg,
             queries,
@@ -195,12 +300,19 @@ impl PipelineBuilder {
         } = self;
         let n = workers as usize;
 
-        // Build every engine up front so EngineError is synchronous.
+        // Build (and restore) every engine up front so errors are
+        // synchronous.
         let mut engines = Vec::with_capacity(n);
         for idx in 0..n {
             let mut cfg = engine_cfg.clone();
             cfg.shard = (workers > 1).then_some((idx as u32, workers));
-            engines.push(HamletEngine::new(reg.clone(), queries.clone(), cfg)?);
+            let mut eng = HamletEngine::new(reg.clone(), queries.clone(), cfg)
+                .map_err(ResumeError::Engine)?;
+            if let Some(ck) = restore {
+                eng.restore(&ck.engines[idx])
+                    .map_err(ResumeError::Checkpoint)?;
+            }
+            engines.push(eng);
         }
         // The router only maps events to shards; it never processes.
         let router = if workers > 1 {
@@ -208,7 +320,10 @@ impl PipelineBuilder {
             cfg.shard = None;
             cfg.track_latency = false;
             cfg.mem_sample_every = 0;
-            Some(HamletEngine::new(reg.clone(), queries.clone(), cfg)?)
+            Some(
+                HamletEngine::new(reg.clone(), queries.clone(), cfg)
+                    .map_err(ResumeError::Engine)?,
+            )
         } else {
             None
         };
@@ -216,17 +331,47 @@ impl PipelineBuilder {
         let shared = Arc::new(SharedStats::new(n));
         let stop = Arc::new(AtomicBool::new(false));
 
+        // Metrics continuity across a restore: the counters pick up where
+        // the checkpointed pipeline stopped.
+        let mut buffer = ReorderBuffer::new();
+        let mut max_seen = None;
+        if let Some(ck) = restore {
+            let [ingested, late, released, results] = ck.counters;
+            shared.ingested.store(ingested, Ordering::Relaxed);
+            shared.late.store(late, Ordering::Relaxed);
+            shared.released.store(released, Ordering::Relaxed);
+            shared.results.store(results, Ordering::Relaxed);
+            if let Some(t) = ck.max_seen {
+                if let Some(wm) = policy.current() {
+                    shared.set_watermark(wm);
+                }
+                max_seen = Some(t);
+            }
+            // Re-inject the frozen reorder buffer. The events are stored
+            // in release order, so re-pushing preserves equal-timestamp
+            // arrival ties; arrival stamps restart now (they only feed
+            // latency metrics).
+            let now = Instant::now();
+            for ev in &ck.buffered {
+                buffer.push(ev.clone(), now);
+            }
+            shared.reorder_depth.store(buffer.len(), Ordering::Relaxed);
+        }
+
         let (result_tx, result_rx) = mpsc::sync_channel::<Vec<WindowResult>>(channel_capacity * n);
         let mut event_txs = Vec::with_capacity(n);
+        let mut ctrl_txs = Vec::with_capacity(n);
         let mut worker_handles = Vec::with_capacity(n);
         for (idx, mut engine) in engines.into_iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel::<Vec<Routed>>(channel_capacity);
             event_txs.push(tx);
+            let (ctrl_tx, ctrl_rx) = mpsc::channel::<WorkerEnd>();
+            ctrl_txs.push(ctrl_tx);
             let shared = shared.clone();
             let result_tx = result_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("hamlet-pipe-worker-{idx}"))
-                .spawn(move || worker_loop(idx, &mut engine, &rx, &result_tx, &shared))
+                .spawn(move || worker_loop(idx, &mut engine, &rx, &ctrl_rx, &result_tx, &shared))
                 .expect("spawn worker thread");
             worker_handles.push(handle);
         }
@@ -243,7 +388,8 @@ impl PipelineBuilder {
             policy,
             on_late,
             router,
-            buffer: ReorderBuffer::new(),
+            buffer,
+            max_seen,
             out: (0..n).map(|_| Vec::with_capacity(batch)).collect(),
             txs: event_txs,
             workers,
@@ -262,7 +408,9 @@ impl PipelineBuilder {
             stop,
             ingest: ingest_handle,
             workers: worker_handles,
+            ctrl: ctrl_txs,
             sink: sink_handle,
+            n_workers: workers,
         })
     }
 }
@@ -276,6 +424,9 @@ struct Ingest<Src> {
     on_late: Option<LateHook>,
     router: Option<HamletEngine>,
     buffer: ReorderBuffer,
+    /// Maximum event time pulled from the source — recorded into
+    /// checkpoints as the resumed watermark policy's seed.
+    max_seen: Option<Ts>,
     /// Per-worker batch under construction.
     out: Vec<Vec<Routed>>,
     txs: Vec<mpsc::SyncSender<Vec<Routed>>>,
@@ -289,13 +440,20 @@ struct Ingest<Src> {
 }
 
 impl<Src: Source> Ingest<Src> {
-    fn run(&mut self) {
-        while !self.stop.load(Ordering::Relaxed) {
+    fn run(&mut self) -> IngestExit {
+        // Acquire pairs with checkpoint()'s Release store of `stop`: if
+        // the loop exits because a checkpoint set the flag, everything
+        // stored before it — the checkpoint_mode flag in particular —
+        // is visible below.
+        while !self.stop.load(Ordering::Acquire) {
             let Some(e) = self.source.next_event() else {
                 break;
             };
             let arrival = Instant::now();
             self.shared.ingested.fetch_add(1, Ordering::Relaxed);
+            if self.max_seen.is_none_or(|m| e.time > m) {
+                self.max_seen = Some(e.time);
+            }
             let wm = self.policy.observe(e.time);
             self.shared.set_watermark(wm);
             if e.time < wm {
@@ -314,17 +472,28 @@ impl<Src: Source> Ingest<Src> {
                 self.route_tranche(tranche);
             }
         }
-        // End of stream (or drain requested): everything still buffered
-        // is released in order, exactly like a watermark advancing past
-        // the stream's end.
-        let rest = self.buffer.drain();
+        // End of stream, drain, or checkpoint. A drain releases the
+        // buffered remainder downstream in order — exactly like a
+        // watermark advancing past the stream's end. A checkpoint must
+        // NOT: those events were never released, so they are frozen into
+        // the checkpoint and re-injected on resume.
+        let buffered: Vec<Event> = if self.shared.checkpoint_mode.load(Ordering::Relaxed) {
+            self.buffer.drain().into_iter().map(|(e, _)| e).collect()
+        } else {
+            let rest = self.buffer.drain();
+            if !rest.is_empty() {
+                self.route_tranche(rest);
+            }
+            Vec::new()
+        };
         self.shared.reorder_depth.store(0, Ordering::Relaxed);
-        if !rest.is_empty() {
-            self.route_tranche(rest);
-        }
         self.flush_batches();
         self.shared.source_done.store(true, Ordering::Relaxed);
-        self.txs.clear(); // hang up: workers drain, flush, and exit
+        self.txs.clear(); // hang up: workers drain and await their end command
+        IngestExit {
+            buffered,
+            max_seen: self.max_seen,
+        }
     }
 
     /// Routes one released-in-order tranche to the owning shard(s).
@@ -396,6 +565,7 @@ fn worker_loop(
     idx: usize,
     engine: &mut HamletEngine,
     rx: &mpsc::Receiver<Vec<Routed>>,
+    ctrl_rx: &mpsc::Receiver<WorkerEnd>,
     result_tx: &mpsc::SyncSender<Vec<WindowResult>>,
     shared: &SharedStats,
 ) -> WorkerOutput {
@@ -428,17 +598,28 @@ fn worker_loop(
             let _ = result_tx.send(emitted);
         }
     }
-    // Channel closed: the drain. Flushing here is what makes drain ≡
-    // offline flush — every in-flight window emits exactly once.
-    let finale = engine.flush();
-    if !finale.is_empty() {
-        shared.sink_depth.fetch_add(finale.len(), Ordering::Relaxed);
-        let _ = result_tx.send(finale);
-    }
+    // Channel closed: the queue is drained — the barrier. The handle
+    // says how to end: drain() flushes every in-flight window into the
+    // sink (drain ≡ offline flush, every window emits exactly once);
+    // checkpoint() freezes the engine state instead, so those windows
+    // emit after a resume. A disconnected control channel means the
+    // handle was abandoned: flush, preserving drain semantics.
+    let checkpoint = match ctrl_rx.recv() {
+        Ok(WorkerEnd::Checkpoint) => Some(engine.checkpoint()),
+        Ok(WorkerEnd::Flush) | Err(_) => {
+            let finale = engine.flush();
+            if !finale.is_empty() {
+                shared.sink_depth.fetch_add(finale.len(), Ordering::Relaxed);
+                let _ = result_tx.send(finale);
+            }
+            None
+        }
+    };
     (
         *engine.stats(),
         engine.latency().clone(),
         engine.peak_memory(),
+        checkpoint,
     )
 }
 
@@ -459,13 +640,17 @@ fn sink_loop<S: Sink>(
 }
 
 /// A live pipeline: observe it with [`metrics`](Self::metrics), end it
-/// with [`drain`](Self::drain).
+/// with [`drain`](Self::drain) — or freeze it with
+/// [`checkpoint`](Self::checkpoint) to resume later.
 pub struct PipelineHandle<S> {
     shared: Arc<SharedStats>,
     stop: Arc<AtomicBool>,
-    ingest: JoinHandle<()>,
+    ingest: JoinHandle<IngestExit>,
     workers: Vec<JoinHandle<WorkerOutput>>,
+    /// Per-worker end-of-run command channel (flush vs checkpoint).
+    ctrl: Vec<mpsc::Sender<WorkerEnd>>,
     sink: JoinHandle<S>,
+    n_workers: u32,
 }
 
 impl<S: Sink> PipelineHandle<S> {
@@ -494,11 +679,14 @@ impl<S: Sink> PipelineHandle<S> {
     /// for the byte-identity property).
     pub fn drain(self) -> PipelineReport<S> {
         self.ingest.join().expect("ingest thread panicked");
+        for tx in &self.ctrl {
+            let _ = tx.send(WorkerEnd::Flush);
+        }
         let mut stats = Vec::with_capacity(self.workers.len());
         let mut peak_mem = Vec::with_capacity(self.workers.len());
         let mut engine_latency = LatencyRecorder::new();
         for handle in self.workers {
-            let (s, lat, peak) = handle.join().expect("worker thread panicked");
+            let (s, lat, peak, _) = handle.join().expect("worker thread panicked");
             stats.push(s);
             peak_mem.push(peak);
             engine_latency.merge(&lat);
@@ -518,6 +706,89 @@ impl<S: Sink> PipelineHandle<S> {
             latency,
         }
     }
+
+    /// Quiesces the pipeline at a **drain barrier** and freezes its
+    /// state instead of flushing it: the source stops being pulled, the
+    /// reorder stage keeps (rather than releases) its buffered events,
+    /// every worker drains its queue and serializes its engine, and the
+    /// sink receives everything that was already in flight — then all
+    /// threads join.
+    ///
+    /// The returned [`PipelineCheckpointReport`] carries the
+    /// [`PipelineCheckpoint`] (persist it with
+    /// [`to_bytes`](PipelineCheckpoint::to_bytes)), the sink with every
+    /// result emitted *before* the barrier, and the barrier pause time.
+    /// Windows still open at the barrier emit after
+    /// [`PipelineBuilder::resume`] — exactly once, never twice:
+    /// resuming and draining is byte-identical to a run that never
+    /// stopped.
+    ///
+    /// An unbounded source is cut mid-stream (like
+    /// [`stop`](Self::stop)); a finite source that already ended simply
+    /// yields a checkpoint whose reorder buffer is empty.
+    pub fn checkpoint(self) -> PipelineCheckpointReport<S> {
+        // Order matters: the mode flag must be visible to the ingest
+        // stage whenever the stop flag is — otherwise ingest could stop
+        // for the checkpoint yet release (instead of freeze) its reorder
+        // buffer. The mode store is sequenced before the Release store
+        // of `stop`, and ingest's loop reads `stop` with Acquire, so
+        // stop-observed ⇒ mode-visible.
+        self.shared.checkpoint_mode.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
+        let barrier = Instant::now();
+        let exit = self.ingest.join().expect("ingest thread panicked");
+        for tx in &self.ctrl {
+            let _ = tx.send(WorkerEnd::Checkpoint);
+        }
+        let mut stats = Vec::with_capacity(self.workers.len());
+        let mut engines = Vec::with_capacity(self.workers.len());
+        for handle in self.workers {
+            let (s, _, _, blob) = handle.join().expect("worker thread panicked");
+            stats.push(s);
+            engines.push(blob.expect("worker was told to checkpoint"));
+        }
+        let sink = self.sink.join().expect("sink thread panicked");
+        let pause = barrier.elapsed();
+        let counters = [
+            self.shared.ingested.load(Ordering::Relaxed),
+            self.shared.late.load(Ordering::Relaxed),
+            self.shared.released.load(Ordering::Relaxed),
+            self.shared.results.load(Ordering::Relaxed),
+        ];
+        PipelineCheckpointReport {
+            checkpoint: PipelineCheckpoint {
+                workers: self.n_workers,
+                engines,
+                buffered: exit.buffered,
+                events_pulled: counters[0],
+                max_seen: exit.max_seen,
+                counters,
+            },
+            sink,
+            pause,
+            wall: self.shared.started.elapsed(),
+            stats,
+        }
+    }
+}
+
+/// What [`PipelineHandle::checkpoint`] hands back: the frozen state,
+/// the sink with every pre-barrier result, and the barrier timing.
+pub struct PipelineCheckpointReport<S> {
+    /// The durable pipeline state — persist with
+    /// [`PipelineCheckpoint::to_bytes`], resume with
+    /// [`PipelineBuilder::resume`].
+    pub checkpoint: PipelineCheckpoint,
+    /// The sink, holding every result emitted before the barrier.
+    pub sink: S,
+    /// Drain-barrier pause: from the checkpoint request until every
+    /// stage had quiesced and serialized — the unavailability window a
+    /// live deployment would see.
+    pub pause: Duration,
+    /// Wall time from spawn to checkpoint completion.
+    pub wall: Duration,
+    /// Per-worker engine statistics at the barrier.
+    pub stats: Vec<EngineStats>,
 }
 
 /// Everything a finished pipeline run measured, plus the sink itself.
@@ -799,6 +1070,67 @@ mod tests {
         let report = handle.drain();
         assert_eq!(report.sink.results, expected, "backpressure lost results");
         assert_eq!(report.events, events.len() as u64);
+    }
+
+    /// Checkpoint after a prefix, resume with the rest of the stream:
+    /// the sink ends up with exactly the uninterrupted run's results (1
+    /// worker: raw emission order), and the metrics counters continue.
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        let (reg, queries, events) = setup();
+        let expected = offline(&reg, &queries, &events);
+        let cut = events.len() / 2;
+        let handle = Pipeline::builder(reg.clone(), queries.clone())
+            .spawn(ReplaySource::new(events[..cut].to_vec()), VecSink::new())
+            .unwrap();
+        // Let the prefix drain fully so the cut is exact and the barrier
+        // deterministic.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !(handle.metrics().source_done && handle.metrics().queued() == 0) {
+            assert!(Instant::now() < deadline, "prefix never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let frozen = handle.checkpoint();
+        assert_eq!(frozen.checkpoint.events_pulled(), cut as u64);
+        assert_eq!(frozen.checkpoint.workers(), 1);
+        assert!(frozen.checkpoint.engine_bytes() > 0);
+        // Persist + reload, as a crash-recovery path would.
+        let blob = frozen.checkpoint.to_bytes();
+        let restored = PipelineCheckpoint::from_bytes(&blob).unwrap();
+        let cursor = restored.events_pulled() as usize;
+        let resumed = Pipeline::builder(reg, queries)
+            .resume(
+                &restored,
+                ReplaySource::new(events[cursor..].to_vec()),
+                frozen.sink,
+            )
+            .unwrap();
+        let report = resumed.drain();
+        assert_eq!(
+            report.sink.results, expected,
+            "kill-restore-continue diverged"
+        );
+        assert_eq!(report.events, events.len() as u64, "counters continue");
+        assert_eq!(report.released, events.len() as u64);
+    }
+
+    /// Resume validates the worker count before touching any state.
+    #[test]
+    fn resume_rejects_wrong_worker_count() {
+        let (reg, queries, events) = setup();
+        let handle = Pipeline::builder(reg.clone(), queries.clone())
+            .workers(2)
+            .spawn(ReplaySource::new(events.clone()), VecSink::new())
+            .unwrap();
+        let frozen = handle.checkpoint();
+        let err = Pipeline::builder(reg, queries)
+            .workers(4)
+            .resume(&frozen.checkpoint, ReplaySource::new(vec![]), NullSink)
+            .err();
+        assert!(
+            matches!(err, Some(ResumeError::Checkpoint(_))),
+            "wrong worker count must be a checkpoint error: {err:?}"
+        );
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub(crate) struct SharedStats {
     /// Source exhausted (or drain requested) and the reorder buffer has
     /// been flushed downstream.
     pub(crate) source_done: AtomicBool,
+    /// The pipeline is ending at a checkpoint barrier: the ingest stage
+    /// must freeze (not release) its reorder buffer.
+    pub(crate) checkpoint_mode: AtomicBool,
     /// Events currently held by the reorder stage.
     pub(crate) reorder_depth: AtomicUsize,
     /// Events currently queued to each worker (routed, not yet processed).
@@ -48,6 +51,7 @@ impl SharedStats {
             watermark: AtomicU64::new(0),
             watermark_set: AtomicBool::new(false),
             source_done: AtomicBool::new(false),
+            checkpoint_mode: AtomicBool::new(false),
             reorder_depth: AtomicUsize::new(0),
             worker_depths: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
             sink_depth: AtomicUsize::new(0),

@@ -11,6 +11,13 @@
 //! cargo run --release --bin hamlet-cli -- pipeline \
 //!     --dataset ridesharing --rate 60000 --queries 10 --window 30 \
 //!     --workers 4 --eps 50000 --max-lateness 5 --slack 5 --metrics-ms 250
+//!
+//! # Checkpoint a live pipeline after ~50k events, then resume it:
+//! cargo run --release --bin hamlet-cli -- pipeline \
+//!     --dataset ridesharing --rate 60000 --checkpoint-after 50000 \
+//!     --state /tmp/hamlet.ck
+//! cargo run --release --bin hamlet-cli -- pipeline \
+//!     --dataset ridesharing --rate 60000 --resume --state /tmp/hamlet.ck
 //! ```
 //!
 //! Datasets: ridesharing | nyc | smarthome | stock (stock uses the
@@ -22,7 +29,13 @@
 //! generated stream so events trail the stream maximum by up to `T`
 //! ticks), `--slack T` (reorder-stage watermark slack; events later than
 //! this are dead-lettered), `--metrics-ms M` (live metrics print
-//! interval, 0 = quiet).
+//! interval, 0 = quiet), `--metrics-json` (emit each metrics snapshot as
+//! one JSON line for tooling), `--checkpoint-after N` (quiesce and
+//! checkpoint once N events have been ingested; requires `--state`),
+//! `--state FILE` (checkpoint file), `--resume` (restore from `--state`
+//! and continue the same generated stream to completion — the stream is
+//! regenerated deterministically from the seed, so the checkpoint's
+//! source cursor repositions it exactly).
 
 use hamlet::prelude::*;
 use hamlet_stream::{nyc_taxi, ridesharing, smart_home, stock};
@@ -49,6 +62,10 @@ struct Args {
     slack: u64,
     max_lateness: u64,
     metrics_ms: u64,
+    metrics_json: bool,
+    checkpoint_after: u64,
+    state: Option<String>,
+    resume: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +88,10 @@ fn parse_args() -> Result<Args, String> {
         slack: 0,
         max_lateness: 0,
         metrics_ms: 250,
+        metrics_json: false,
+        checkpoint_after: 0,
+        state: None,
+        resume: false,
     };
     let mut it = std::env::args().skip(1).peekable();
     if it.peek().map(String::as_str) == Some("pipeline") {
@@ -99,6 +120,14 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-ms" => {
                 args.metrics_ms = val("--metrics-ms")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--metrics-json" => args.metrics_json = true,
+            "--checkpoint-after" => {
+                args.checkpoint_after = val("--checkpoint-after")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--state" => args.state = Some(val("--state")?),
+            "--resume" => args.resume = true,
             "--policy" => {
                 args.policy = match val("--policy")?.as_str() {
                     "dynamic" => SharingPolicy::Dynamic,
@@ -115,7 +144,8 @@ fn parse_args() -> Result<Args, String> {
                      [--policy dynamic|static|noshare] [--burst B] [--groups G] \
                      [--skew Z] [--seed S] [--show N] [--explain]\n\
                      pipeline mode: [--workers W] [--eps OFFERED_RATE] [--slack TICKS] \
-                     [--max-lateness TICKS] [--metrics-ms MS]"
+                     [--max-lateness TICKS] [--metrics-ms MS] [--metrics-json] \
+                     [--checkpoint-after N --state FILE] [--resume --state FILE]"
                 );
                 std::process::exit(0);
             }
@@ -181,12 +211,88 @@ fn main() {
     }
 }
 
+/// One [`MetricsSnapshot`] as a single JSON line for tooling — the same
+/// hand-rolled, non-finite-guarded formatting as `BENCH.json`
+/// (`hamlet_bench::json::num`), so a stalled pipeline (0-duration rates)
+/// can never emit invalid JSON.
+fn metrics_json_line(m: &MetricsSnapshot) -> String {
+    use hamlet_bench::json::num;
+    let depths: Vec<String> = m.worker_depths.iter().map(|d| d.to_string()).collect();
+    format!(
+        "{{\"elapsed\":{},\"ingested\":{},\"late\":{},\"released\":{},\"results\":{},\
+         \"watermark\":{},\"source_done\":{},\"reorder_depth\":{},\"worker_depths\":[{}],\
+         \"sink_depth\":{},\"ingest_eps\":{},\"latency\":{{\"count\":{},\"avg\":{},\
+         \"p50\":{},\"p99\":{},\"max\":{}}}}}",
+        num(m.elapsed.as_secs_f64()),
+        m.ingested,
+        m.late,
+        m.released,
+        m.results,
+        m.watermark
+            .map(|w| w.ticks().to_string())
+            .unwrap_or_else(|| "null".into()),
+        m.source_done,
+        m.reorder_depth,
+        depths.join(","),
+        m.sink_depth,
+        num(m.ingest_eps()),
+        m.latency.count,
+        num(m.latency.avg.as_secs_f64()),
+        num(m.latency.p50.as_secs_f64()),
+        num(m.latency.p99.as_secs_f64()),
+        num(m.latency.max.as_secs_f64()),
+    )
+}
+
 /// Live mode: feed the stream through the online pipeline, printing
-/// metrics snapshots while it runs, then drain and summarize.
+/// metrics snapshots while it runs, then drain (or checkpoint) and
+/// summarize.
 fn run_pipeline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries: Vec<Query>) {
+    if (args.checkpoint_after > 0 || args.resume) && args.state.is_none() {
+        eprintln!("error: --checkpoint-after/--resume need --state FILE");
+        std::process::exit(2);
+    }
+    if args.checkpoint_after > 0 && args.resume {
+        eprintln!("error: --checkpoint-after and --resume are mutually exclusive");
+        std::process::exit(2);
+    }
+
+    // Resume: reload the checkpoint and reposition the (deterministic,
+    // regenerated) stream at its source cursor; the events the barrier
+    // froze in the reorder buffer travel inside the checkpoint itself.
+    let restored: Option<PipelineCheckpoint> = if args.resume {
+        let path = args.state.as_deref().expect("validated above");
+        let bytes = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("error: read {path}: {e}");
+            std::process::exit(2);
+        });
+        match PipelineCheckpoint::from_bytes(&bytes) {
+            Ok(ck) => Some(ck),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
+    };
+    let cursor = restored
+        .as_ref()
+        .map(|c| c.events_pulled() as usize)
+        .unwrap_or(0);
+    if cursor > events.len() {
+        eprintln!(
+            "error: checkpoint cursor {cursor} beyond the generated stream \
+             ({} events) — different --rate/--minutes/--seed than the original run?",
+            events.len()
+        );
+        std::process::exit(2);
+    }
+    let feed = events[cursor..].to_vec();
+
     println!(
         "pipeline: dataset={} events={} queries={} workers={} offered_eps={} \
-         max_lateness={} slack={}",
+         max_lateness={} slack={}{}",
         args.dataset,
         events.len(),
         queries.len(),
@@ -198,6 +304,11 @@ fn run_pipeline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries
         },
         args.max_lateness,
         args.slack,
+        if args.resume {
+            format!(" (resumed at event {cursor})")
+        } else {
+            String::new()
+        },
     );
     // Capped dead-letter log: a slack/lateness mismatch can make a large
     // fraction of the stream late, and per-event stderr writes on the
@@ -220,11 +331,20 @@ fn run_pipeline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries
                 );
             }
         });
-    let replay = ReplaySource::new(events);
-    let spawn = if args.eps > 0.0 {
-        builder.spawn(RateLimitedSource::new(replay, args.eps), VecSink::new())
-    } else {
-        builder.spawn(replay, VecSink::new())
+    let replay = ReplaySource::new(feed);
+    let spawn = match (&restored, args.eps > 0.0) {
+        (Some(ck), true) => builder
+            .resume(ck, RateLimitedSource::new(replay, args.eps), VecSink::new())
+            .map_err(|e| format!("{e}")),
+        (Some(ck), false) => builder
+            .resume(ck, replay, VecSink::new())
+            .map_err(|e| format!("{e}")),
+        (None, true) => builder
+            .spawn(RateLimitedSource::new(replay, args.eps), VecSink::new())
+            .map_err(|e| format!("{e}")),
+        (None, false) => builder
+            .spawn(replay, VecSink::new())
+            .map_err(|e| format!("{e}")),
     };
     let handle = match spawn {
         Ok(h) => h,
@@ -233,10 +353,13 @@ fn run_pipeline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries
             std::process::exit(1);
         }
     };
-    // Live view until the source is exhausted and the queues are empty.
+    // Live view until the source is exhausted and the queues are empty —
+    // or the checkpoint threshold is crossed.
     loop {
         let m = handle.metrics();
-        if args.metrics_ms > 0 {
+        if args.metrics_json {
+            println!("{}", metrics_json_line(&m));
+        } else if args.metrics_ms > 0 {
             println!(
                 "[{:>7.2}s] in={} out={} late={} wm={} queues: reorder={} workers={:?} sink={} \
                  | latency p50={:?} p99={:?}",
@@ -252,7 +375,39 @@ fn run_pipeline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries
                 m.latency.p99,
             );
         }
-        if m.source_done && m.queued() == 0 {
+        // Take the checkpoint at the threshold — or at end-of-stream if
+        // the stream ran out first: the user asked for a checkpoint, so
+        // never exit "successfully" without writing one.
+        let stream_over = m.source_done && m.queued() == 0;
+        if args.checkpoint_after > 0 && (m.ingested >= args.checkpoint_after || stream_over) {
+            if m.ingested < args.checkpoint_after {
+                eprintln!(
+                    "warning: stream ended after {} events, before --checkpoint-after {}; \
+                     checkpointing the end-of-stream state instead",
+                    m.ingested, args.checkpoint_after
+                );
+            }
+            let path = args.state.as_deref().expect("validated above");
+            let frozen = handle.checkpoint();
+            let blob = frozen.checkpoint.to_bytes();
+            if let Err(e) = std::fs::write(path, &blob) {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "\ncheckpointed to {path} after {} events: {} bytes ({} engine state, \
+                 {} buffered events), barrier pause {:?}, {} results already emitted",
+                frozen.checkpoint.events_pulled(),
+                blob.len(),
+                frozen.checkpoint.engine_bytes(),
+                frozen.checkpoint.buffered_len(),
+                frozen.pause,
+                frozen.sink.results.len(),
+            );
+            println!("resume with: hamlet-cli pipeline ... --resume --state {path}");
+            return;
+        }
+        if stream_over {
             break;
         }
         std::thread::sleep(Duration::from_millis(args.metrics_ms.clamp(20, 2_000)));

@@ -43,6 +43,14 @@ pub enum System {
     /// workers fed event-by-event through bounded channels. The system
     /// behind the `fig_latency` sustained-load sweep.
     HamletPipeline(u32),
+    /// The dynamic engine driven through the preserved per-event
+    /// reference path (`HamletEngine::process_reference`) — the
+    /// denominator of the `fig_batch` speedup sweep.
+    HamletEvent,
+    /// The dynamic engine fed `n`-event batches through
+    /// `HamletEngine::process_batch` — the numerator of `fig_batch` and
+    /// the path every production caller now uses.
+    HamletBatch(usize),
 }
 
 impl System {
@@ -57,6 +65,8 @@ impl System {
             System::TwoStep => "MCEP-2step".into(),
             System::HamletParallel(w) => format!("HAMLET-par{w}"),
             System::HamletPipeline(w) => format!("HAMLET-pipe{w}"),
+            System::HamletEvent => "HAMLET-event".into(),
+            System::HamletBatch(_) => "HAMLET-batch".into(),
         }
     }
 }
@@ -229,6 +239,34 @@ pub fn run_system(
             m.latency_avg = report.merged_latency().avg();
             m.peak_mem_bytes = report.total_peak_mem();
             let s = report.merged_stats();
+            m.snapshots = s.runs.snapshots();
+            m.shared_bursts = s.runs.shared_bursts;
+            m.solo_bursts = s.runs.solo_bursts;
+            m.transitions = s.runs.merges + s.runs.splits;
+        }
+        System::HamletEvent | System::HamletBatch(_) => {
+            // The single-thread batching A/B pair (`fig_batch`): identical
+            // engine and workload, only the feeding strategy differs —
+            // and the outputs are byte-identical (equivalence suite).
+            let mut eng = HamletEngine::new(reg.clone(), queries.to_vec(), EngineConfig::default())
+                .expect("engine builds");
+            match system {
+                System::HamletBatch(size) => {
+                    for batch in events.chunks(size.max(1)) {
+                        m.results += eng.process_batch(batch).len() as u64;
+                    }
+                }
+                _ => {
+                    for e in events {
+                        m.results += eng.process_reference(e).len() as u64;
+                    }
+                }
+            }
+            m.results += eng.flush().len() as u64;
+            m.wall = t0.elapsed();
+            m.latency_avg = eng.latency().avg();
+            m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+            let s = eng.stats();
             m.snapshots = s.runs.snapshots();
             m.shared_bursts = s.runs.shared_bursts;
             m.solo_bursts = s.runs.solo_bursts;

@@ -84,6 +84,22 @@ impl NodeVal {
         self.count.is_zero() && self.sum.is_zero() && self.cnt.is_zero()
     }
 
+    /// Multiplies every component by the ring scalar `m`.
+    #[inline]
+    pub fn scale(&mut self, m: TrendVal) {
+        self.count = m * self.count;
+        self.sum = m * self.sum;
+        self.cnt = m * self.cnt;
+    }
+
+    /// Adds `m · o` component-wise.
+    #[inline]
+    pub fn add_scaled(&mut self, o: NodeVal, m: TrendVal) {
+        self.count += m * o.count;
+        self.sum += m * o.sum;
+        self.cnt += m * o.cnt;
+    }
+
     /// The per-event update (Eq. 1–2 extended to sums): given the summed
     /// predecessor state `pred` and whether the event starts a trend, the
     /// event's state is

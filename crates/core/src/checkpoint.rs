@@ -39,8 +39,9 @@ use std::time::Duration;
 
 /// Magic tag opening every engine checkpoint blob.
 pub const ENGINE_MAGIC: [u8; 4] = *b"HMEN";
-/// Engine checkpoint format version.
-pub const ENGINE_VERSION: u16 = 1;
+/// Engine checkpoint format version. v2 added the count-only burst tail
+/// (`burst_extra`) to each run's pending-burst record.
+pub const ENGINE_VERSION: u16 = 2;
 
 /// Errors surfaced while decoding or validating a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]

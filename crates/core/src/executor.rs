@@ -233,6 +233,12 @@ struct RunState {
     run: Run,
     burst_ty: Option<usize>,
     burst: Vec<Event>,
+    /// Count-only tail of the pending burst: events buffered by the
+    /// batched path for *uniform* groups ([`GroupRuntime::uniform_bursts`])
+    /// carry no information beyond their number, so they are never
+    /// materialized — the flush replays them with the closed-form burst
+    /// advance. Both halves flush together as one burst (one decision).
+    burst_extra: u64,
     burst_pane: u64,
     last_arrival: Option<Instant>,
 }
@@ -243,6 +249,7 @@ impl RunState {
             run: Run::new(rt),
             burst_ty: None,
             burst: Vec::new(),
+            burst_extra: 0,
             burst_pane: 0,
             last_arrival: None,
         }
@@ -251,9 +258,16 @@ impl RunState {
 
 struct GroupExec {
     rt: Arc<GroupRuntime>,
+    /// [`GroupRuntime::uniform_bursts`], checked once at build time: the
+    /// batched path buffers this group's bursts as a bare count.
+    uniform: bool,
     window: Window,
     pane: u64,
     partition_attrs: Vec<Arc<str>>,
+    /// `partition_slots[type][attr_pos]` — the schema slot of each
+    /// partition attribute, resolved once at build time so the hot path
+    /// never does per-event attribute-name lookups (string compares).
+    partition_slots: Vec<Vec<Option<usize>>>,
     partitions: HashMap<GroupKey, BTreeMap<u64, RunState>>,
     /// Stream statistics for O(k) dynamic decisions (shared across the
     /// group's partitions — divergence is a property of the stream).
@@ -261,6 +275,10 @@ struct GroupExec {
 }
 
 impl GroupExec {
+    /// Name-resolving reference form of the key computation; the batched
+    /// path uses the slot-resolved [`partition_key_into`] instead.
+    ///
+    /// [`partition_key_into`]: Self::partition_key_into
     fn partition_key(&self, reg: &TypeRegistry, e: &Event) -> GroupKey {
         GroupKey(
             self.partition_attrs
@@ -272,6 +290,21 @@ impl GroupExec {
                 })
                 .collect(),
         )
+    }
+
+    /// Writes `e`'s partition key into `key` (cleared first) through the
+    /// pre-resolved slots — equal to [`partition_key`](Self::partition_key)
+    /// on every event, with no name lookups and no allocation beyond what
+    /// `key` already owns.
+    #[inline]
+    fn partition_key_into(&self, e: &Event, key: &mut GroupKey) {
+        key.0.clear();
+        for slot in &self.partition_slots[e.ty.idx()] {
+            key.0.push(match slot.and_then(|i| e.attr(i)) {
+                Some(v) => v.clone(),
+                None => AttrValue::Int(0),
+            });
+        }
     }
 }
 
@@ -316,6 +349,133 @@ impl Ord for ExpiryEntry {
     }
 }
 
+/// Recycled `Event` attribute buffers for burst appends — the batch
+/// scratch arena. Flushed bursts hand their events' attribute vectors
+/// back here and subsequent appends reuse them, so steady-state burst
+/// buffering allocates nothing per event. Bounded so a burst storm cannot
+/// pin memory forever; never serialized (a restored engine starts empty
+/// and refills from its first flushes).
+struct EventArena {
+    pool: Vec<Vec<AttrValue>>,
+}
+
+impl EventArena {
+    /// Retention cap; beyond it, freed buffers fall through to the
+    /// allocator as before.
+    const MAX_POOLED: usize = 1 << 16;
+
+    fn new() -> EventArena {
+        EventArena { pool: Vec::new() }
+    }
+
+    /// Clones `e` for burst storage, reusing a pooled attribute buffer
+    /// when one is available.
+    #[inline]
+    fn alloc_event(&mut self, e: &Event) -> Event {
+        match self.pool.pop() {
+            Some(mut attrs) => {
+                attrs.clear();
+                attrs.extend_from_slice(&e.attrs);
+                Event {
+                    time: e.time,
+                    ty: e.ty,
+                    attrs,
+                }
+            }
+            None => e.clone(),
+        }
+    }
+
+    /// Takes a flushed burst event's attribute buffer back into the pool.
+    #[inline]
+    fn recycle(&mut self, ev: Event) {
+        if self.pool.len() < Self::MAX_POOLED && ev.attrs.capacity() > 0 {
+            let mut attrs = ev.attrs;
+            attrs.clear();
+            self.pool.push(attrs);
+        }
+    }
+
+    /// Byte footprint of the pooled buffers, reported by
+    /// [`HamletEngine::state_bytes`].
+    fn bytes(&self) -> usize {
+        self.pool.capacity() * std::mem::size_of::<Vec<AttrValue>>()
+            + self
+                .pool
+                .iter()
+                .map(|v| v.capacity() * std::mem::size_of::<AttrValue>())
+                .sum::<usize>()
+    }
+}
+
+/// One key-grouped bucket of a batch segment: the events (by index into
+/// the segment, with their local type) that one `(group, key)` partition
+/// receives, in stream order.
+struct Bucket {
+    group: u32,
+    key: GroupKey,
+    /// `(segment index, local type)` per event.
+    events: Vec<(u32, u32)>,
+}
+
+/// Reusable buffers of [`HamletEngine::process_batch`], kept on the
+/// engine so steady-state batch processing performs no per-event
+/// allocation. Pure scratch: cleared between segments, never serialized,
+/// and holds no semantic state.
+struct BatchScratch {
+    /// Per key class (see [`HamletEngine::route`]): the key built for the
+    /// current event, whether it has been built yet, and whether it
+    /// passes the shard filter. Groups with identical partition-slot
+    /// tables share one key computation (and one shard hash) per event
+    /// instead of one per group.
+    class_keys: Vec<GroupKey>,
+    class_built: Vec<bool>,
+    class_shard_ok: Vec<bool>,
+    /// Per window class: whether this event already folded its earliest
+    /// window end into the segment boundary.
+    wnd_done: Vec<bool>,
+    /// Per key class: map from partition key to *slot* — a row of
+    /// per-group bucket indices in `slots` (stride = number of groups).
+    /// One hash probe resolves the buckets of every group in the class.
+    slot_of: Vec<HashMap<GroupKey, u32>>,
+    /// Flat `slot × group → bucket index` table (`u32::MAX` = none yet).
+    slots: Vec<u32>,
+    /// Per key class: the previous event's key and its slot — bursty
+    /// streams mostly repeat the key, skipping even the one hash probe.
+    prev_keys: Vec<GroupKey>,
+    prev_slot: Vec<u32>,
+    /// Buckets of the current segment, in first-appearance order — a
+    /// deterministic processing order, unlike hash iteration.
+    buckets: Vec<Bucket>,
+    /// Spare bucket-event vectors recycled between segments.
+    spare: Vec<Vec<(u32, u32)>>,
+    /// Window starts of the most recently looked-up event time.
+    starts: Vec<Ts>,
+    /// Per segment event: the watermark the fold would have seen at that
+    /// event — the late-guard boundary (grouping reorders processing, so
+    /// the guard must use each event's own fold-order watermark).
+    wms: Vec<u64>,
+}
+
+impl BatchScratch {
+    fn new(num_classes: usize, num_wnd_classes: usize) -> BatchScratch {
+        BatchScratch {
+            class_keys: (0..num_classes).map(|_| GroupKey(Vec::new())).collect(),
+            class_built: vec![false; num_classes],
+            class_shard_ok: vec![false; num_classes],
+            wnd_done: vec![false; num_wnd_classes],
+            slot_of: (0..num_classes).map(|_| HashMap::new()).collect(),
+            slots: Vec::new(),
+            prev_keys: (0..num_classes).map(|_| GroupKey(Vec::new())).collect(),
+            prev_slot: vec![u32::MAX; num_classes],
+            buckets: Vec::new(),
+            spare: Vec::new(),
+            starts: Vec::new(),
+            wms: Vec::new(),
+        }
+    }
+}
+
 /// Identifies a decomposed general query's halves.
 struct Combiner {
     orig: QueryId,
@@ -346,6 +506,17 @@ pub struct HamletEngine {
     stats: EngineStats,
     latency: LatencyRecorder,
     gauge: MemoryGauge,
+    /// Reusable batch-path buffers (see [`BatchScratch`]).
+    scratch: BatchScratch,
+    /// `route[type]` — the `(group, local type, key class, window class)`
+    /// rows of every group the type is local to, so the batched scan only
+    /// touches matching groups. Key classes number groups with identical
+    /// partition-slot tables (one class = one key build per event);
+    /// window classes additionally fold in the window, deduplicating the
+    /// segment-boundary computation.
+    route: Vec<Vec<(u32, u32, u32, u32)>>,
+    /// Recycled burst-event attribute buffers (see [`EventArena`]).
+    arena: EventArena,
     event_counter: u64,
     /// Monotone event-time watermark: the maximum event timestamp seen.
     /// Expiry only ever advances with it, so a window instance that was
@@ -408,16 +579,80 @@ impl HamletEngine {
                     DivergenceMode::Ema { alpha } => alpha,
                     DivergenceMode::Exact => 0.5,
                 };
+                let partition_slots = (0..reg.len())
+                    .map(|t| {
+                        let id = hamlet_types::EventTypeId(t as u16);
+                        g.partition_attrs
+                            .iter()
+                            .map(|name| reg.attr_index(id, name))
+                            .collect()
+                    })
+                    .collect();
                 GroupExec {
                     estimator: DivergenceEstimator::new(rt.template.num_types(), rt.k(), alpha),
+                    uniform: rt.uniform_bursts(),
                     rt,
                     window: g.window,
                     pane: pane.max(1),
                     partition_attrs: g.partition_attrs.clone(),
+                    partition_slots,
                     partitions: HashMap::new(),
                 }
             })
             .collect();
+        let groups: Vec<GroupExec> = groups;
+        // Key classes: one per distinct partition-slot table.
+        let mut class_reps: Vec<usize> = Vec::new();
+        let class_of: Vec<u32> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| {
+                match class_reps
+                    .iter()
+                    .position(|&r| groups[r].partition_slots == g.partition_slots)
+                {
+                    Some(i) => i as u32,
+                    None => {
+                        class_reps.push(gi);
+                        (class_reps.len() - 1) as u32
+                    }
+                }
+            })
+            .collect();
+        // Window classes: one per distinct (window, key class) pair — the
+        // segment-boundary fold is identical within a class, so the scan
+        // computes it once per event.
+        let mut wnd_reps: Vec<(u64, u64, u32)> = Vec::new();
+        let wnd_of: Vec<u32> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| {
+                let sig = (g.window.within, g.window.slide, class_of[gi]);
+                match wnd_reps.iter().position(|&r| r == sig) {
+                    Some(i) => i as u32,
+                    None => {
+                        wnd_reps.push(sig);
+                        (wnd_reps.len() - 1) as u32
+                    }
+                }
+            })
+            .collect();
+        let route: Vec<Vec<(u32, u32, u32, u32)>> = (0..reg.len())
+            .map(|t| {
+                let id = hamlet_types::EventTypeId(t as u16);
+                groups
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(gi, g)| {
+                        g.rt.template
+                            .local(id)
+                            .map(|tl| (gi as u32, tl as u32, class_of[gi], wnd_of[gi]))
+                    })
+                    .collect()
+            })
+            .collect();
+        let num_classes = class_reps.len().max(1);
+        let num_wnd_classes = wnd_reps.len().max(1);
         Ok(HamletEngine {
             reg,
             cfg,
@@ -431,6 +666,9 @@ impl HamletEngine {
             stats: EngineStats::default(),
             latency: LatencyRecorder::new(),
             gauge: MemoryGauge::new(),
+            scratch: BatchScratch::new(num_classes, num_wnd_classes),
+            route,
+            arena: EventArena::new(),
             event_counter: 0,
             watermark: None,
         })
@@ -492,6 +730,337 @@ impl HamletEngine {
     /// `hamlet-pipeline` reorder stage restores it up to a configured
     /// lateness bound).
     pub fn process(&mut self, e: &Event) -> Vec<WindowResult> {
+        self.process_batch(std::slice::from_ref(e))
+    }
+
+    /// Processes a batch of events; returns the results of all windows
+    /// the batch's watermark advances close, in the same order the
+    /// per-event fold would emit them.
+    ///
+    /// Output and state evolution are **equal to folding
+    /// [`process`](Self::process) over the batch** — batching is purely an
+    /// execution strategy (this is asserted by the equivalence suite).
+    /// The batch is cut into *expiry-quiet segments*: maximal stretches
+    /// during which the running watermark stays below every pending
+    /// window end, so no window can close mid-segment and the fold's
+    /// per-event expiry drains are all no-ops. Within a segment events
+    /// are grouped by `(share group, partition key)` and appended
+    /// bucket-at-a-time, so each partition probe and run touch happens
+    /// once per (segment, key) instead of once per event, with burst
+    /// storage drawn from a reusable arena instead of per-event clones.
+    /// The two observable deviations from the fold are timing-only: the
+    /// memory gauge samples at segment (not event) granularity, and
+    /// per-burst arrival stamps are taken once per segment.
+    pub fn process_batch(&mut self, events: &[Event]) -> Vec<WindowResult> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < events.len() {
+            // Segment head: advance the watermark and drain expiry
+            // exactly as the fold does before routing an event. Monotone
+            // watermark: an out-of-order event must not rewind expiry,
+            // only (possibly) fail its own closed windows' guard.
+            let head_wm = match self.watermark {
+                Some(w) if w >= events[i].time => w,
+                _ => events[i].time,
+            };
+            self.watermark = Some(head_wm);
+            self.emit_expired(head_wm, &mut out);
+            i = self.process_segment(events, i, head_wm);
+        }
+        out
+    }
+
+    /// Consumes one expiry-quiet segment starting at `first` and returns
+    /// the index of the first unconsumed event (see
+    /// [`process_batch`](Self::process_batch) for the invariant).
+    fn process_segment(&mut self, events: &[Event], first: usize, head_wm: Ts) -> usize {
+        let now = self.cfg.track_latency.then(Instant::now);
+        let policy = self.cfg.policy;
+        let mode = self.cfg.divergence;
+        let shard = self.cfg.shard;
+        let BatchScratch {
+            class_keys,
+            class_built,
+            class_shard_ok,
+            wnd_done,
+            slot_of,
+            slots,
+            prev_keys,
+            prev_slot,
+            buckets,
+            spare,
+            starts,
+            wms,
+        } = &mut self.scratch;
+
+        // ---- Scan + bucket phase (fold order) --------------------------
+        // The segment extends while the running watermark stays strictly
+        // below every pending window end: the expiry heap's minimum plus
+        // the earliest end any admitted event could create a run with.
+        // Each event also records the watermark the fold would have seen
+        // at it (`wms`) — grouping reorders processing, so the late guard
+        // below must use each event's own fold-order watermark.
+        debug_assert!(buckets.is_empty());
+        wms.clear();
+        let stride = self.groups.len();
+        let mut min_end = match self.expiry.peek() {
+            Some(Reverse(e)) => e.end,
+            None => u64::MAX,
+        };
+        let mut wm = head_wm.ticks();
+        let mut n_routed = 0u64;
+        let mut j = first;
+        while j < events.len() {
+            let e = &events[j];
+            let new_wm = wm.max(e.time.ticks());
+            if j > first && new_wm >= min_end {
+                break; // a window would close here — next segment
+            }
+            wm = new_wm;
+            let mut routed = false;
+            let entries = self.route.get(e.ty.idx()).map_or(&[][..], Vec::as_slice);
+            if !entries.is_empty() {
+                for b in class_built.iter_mut() {
+                    *b = false;
+                }
+                for w in wnd_done.iter_mut() {
+                    *w = false;
+                }
+            }
+            for &(gi, tl, class, wnd) in entries {
+                let (gi, ci, wi) = (gi as usize, class as usize, wnd as usize);
+                let g = &self.groups[gi];
+                if !class_built[ci] {
+                    g.partition_key_into(e, &mut class_keys[ci]);
+                    class_built[ci] = true;
+                    let key = &class_keys[ci];
+                    class_shard_ok[ci] = match shard {
+                        Some((idx, total)) => shard_index(key, total) == idx,
+                        None => true,
+                    };
+                    // Resolve the key's slot: previous event's key first
+                    // (bursty streams repeat it), then one hash probe for
+                    // every group in the class.
+                    if class_shard_ok[ci] {
+                        let sl = if prev_slot[ci] != u32::MAX && prev_keys[ci] == *key {
+                            prev_slot[ci]
+                        } else {
+                            let sl = match slot_of[ci].get(key) {
+                                Some(&sl) => sl,
+                                None => {
+                                    let sl = (slots.len() / stride) as u32;
+                                    slot_of[ci].insert(key.clone(), sl);
+                                    slots.resize(slots.len() + stride, u32::MAX);
+                                    sl
+                                }
+                            };
+                            prev_keys[ci].clone_from(key);
+                            sl
+                        };
+                        prev_slot[ci] = sl;
+                    }
+                }
+                if !class_shard_ok[ci] {
+                    continue;
+                }
+                routed = true;
+                // Any run this event creates ends no earlier than its
+                // earliest containing instance (instances yield starts
+                // ascending, so the first has the smallest end) — folded
+                // into the segment boundary once per window class.
+                if !wnd_done[wi] {
+                    wnd_done[wi] = true;
+                    if let Some(s) = g.window.instances_containing(e.time).next() {
+                        min_end = min_end.min(window_end(s.ticks(), g.window.within));
+                    }
+                }
+                let cell = prev_slot[ci] as usize * stride + gi;
+                let mut bi = slots[cell];
+                if bi == u32::MAX {
+                    bi = buckets.len() as u32;
+                    slots[cell] = bi;
+                    buckets.push(Bucket {
+                        group: gi as u32,
+                        key: class_keys[ci].clone(),
+                        events: spare.pop().unwrap_or_default(),
+                    });
+                }
+                buckets[bi as usize].events.push(((j - first) as u32, tl));
+            }
+            if routed {
+                n_routed += 1;
+            }
+            wms.push(wm);
+            j += 1;
+        }
+        self.watermark = Some(Ts(wm));
+        let seg = &events[first..j];
+
+        // ---- Processing phase (first-appearance bucket order) ----------
+        for mut b in buckets.drain(..) {
+            let gi = b.group as usize;
+            let g = &mut self.groups[gi];
+            let window = g.window;
+            let within = window.within;
+            let pane = g.pane;
+            let uniform = g.uniform;
+            // One partition probe per (segment, key); only a first-seen
+            // key pays the clone into the map.
+            if !g.partitions.contains_key(&b.key) {
+                g.partitions.insert(b.key.clone(), BTreeMap::new());
+            }
+            let runs = g.partitions.get_mut(&b.key).expect("inserted above");
+            let mut late_skipped = false;
+            let mut last_time: Option<u64> = None;
+            // Watermark at the segment tail — if a window's end beats it,
+            // no event in the segment is late for that window.
+            let seg_wm = wms.last().copied().unwrap_or(0);
+            // Consecutive events that agree on type-local, pane, and
+            // window-instance set form a *range*: one run-map probe, one
+            // flush check, and one expiry push cover the whole range, so
+            // the per-event work shrinks to the burst append itself.
+            let nb = b.events.len();
+            let mut idx = 0;
+            while idx < nb {
+                let (si0, tl) = b.events[idx];
+                let e0 = &seg[si0 as usize];
+                let tl = tl as usize;
+                let t0 = e0.time.ticks();
+                let pane_idx = t0 / pane;
+                if last_time != Some(t0) {
+                    starts.clear();
+                    starts.extend(window.instances_containing(e0.time));
+                    last_time = Some(t0);
+                }
+                let mut end_idx = idx + 1;
+                while end_idx < nb {
+                    let (sj, tlj) = b.events[end_idx];
+                    if tlj as usize != tl {
+                        break;
+                    }
+                    let tj = seg[sj as usize].time.ticks();
+                    if tj != t0 {
+                        if tj / pane != pane_idx {
+                            break;
+                        }
+                        // Same pane but a different tick: join only if the
+                        // instance set is unchanged.
+                        let mut k = 0;
+                        let mut same = true;
+                        for s in window.instances_containing(Ts(tj)) {
+                            if k >= starts.len() || starts[k] != s {
+                                same = false;
+                                break;
+                            }
+                            k += 1;
+                        }
+                        if !same || k != starts.len() {
+                            break;
+                        }
+                    }
+                    end_idx += 1;
+                }
+                let range = &b.events[idx..end_idx];
+                for &start in starts.iter() {
+                    let end = window_end(start.ticks(), within);
+                    // The fold's late-event guard against each event's own
+                    // watermark (see `process_reference`). `wms` is
+                    // monotone over the segment, so the range splits into
+                    // an on-time prefix and a late suffix.
+                    let split = if end > seg_wm {
+                        range.len()
+                    } else {
+                        range.partition_point(|&(sj, _)| end > wms[sj as usize])
+                    };
+                    if split < range.len() {
+                        self.stats.late_skips += (range.len() - split) as u64;
+                        late_skipped = true;
+                    }
+                    if split == 0 {
+                        continue;
+                    }
+                    let rs = match runs.entry(start.ticks()) {
+                        std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            // New run: index its expiration once (see
+                            // `process_reference`).
+                            self.expiry.push(Reverse(ExpiryEntry {
+                                end,
+                                start: start.ticks(),
+                                group: gi,
+                                key: b.key.clone(),
+                            }));
+                            self.stats.expiry_pushes += 1;
+                            v.insert(RunState::new(g.rt.clone()))
+                        }
+                    };
+                    if rs.burst_ty != Some(tl) || rs.burst_pane != pane_idx {
+                        flush_burst(
+                            rs,
+                            policy,
+                            mode,
+                            &mut g.estimator,
+                            &mut self.stats,
+                            &mut self.arena,
+                        );
+                    }
+                    rs.burst_ty = Some(tl);
+                    rs.burst_pane = pane_idx;
+                    if uniform {
+                        // Uniform group: the burst is its length — no
+                        // event clones, no per-event pushes.
+                        rs.burst_extra += split as u64;
+                    } else {
+                        for &(sj, _) in &range[..split] {
+                            rs.burst.push(self.arena.alloc_event(&seg[sj as usize]));
+                        }
+                    }
+                    if let Some(now) = now {
+                        rs.last_arrival = Some(now);
+                    }
+                }
+                idx = end_idx;
+            }
+            // A first-seen key whose every window instance was late would
+            // leave an empty run map behind — drop it, it holds no state.
+            if late_skipped && runs.is_empty() {
+                g.partitions.remove(&b.key);
+            }
+            b.events.clear();
+            spare.push(b.events);
+        }
+        for m in slot_of.iter_mut() {
+            m.clear();
+        }
+        slots.clear();
+        for p in prev_slot.iter_mut() {
+            *p = u32::MAX;
+        }
+
+        self.stats.events_routed += n_routed;
+        let m = self.cfg.mem_sample_every;
+        let before = self.event_counter;
+        self.event_counter += seg.len() as u64;
+        // One gauge sample per crossed sampling interval, segment-batched.
+        let crossed = matches!(
+            (self.event_counter.checked_div(m), before.checked_div(m)),
+            (Some(a), Some(b)) if a > b
+        );
+        if crossed {
+            let bytes = self.live_state_bytes();
+            self.gauge.sample(bytes);
+        }
+        j
+    }
+
+    /// The pre-batching per-event implementation, kept verbatim as the
+    /// reference: the equivalence suite asserts
+    /// [`process_batch`](Self::process_batch) matches a fold of this, and
+    /// the `fig_batch` sweep measures the batched path's speedup against
+    /// it (the `perf_gate --min-batch-speedup` denominator). Shares all
+    /// engine state with the batched path, so the two may be interleaved
+    /// freely.
+    pub fn process_reference(&mut self, e: &Event) -> Vec<WindowResult> {
         let now = self.cfg.track_latency.then(Instant::now);
         let mut out = Vec::new();
         // Monotone watermark: an out-of-order event must not rewind
@@ -564,7 +1133,14 @@ impl HamletEngine {
                     }
                 };
                 if rs.burst_ty != Some(tl) || rs.burst_pane != pane_idx {
-                    flush_burst(rs, policy, mode, &mut g.estimator, &mut self.stats);
+                    flush_burst(
+                        rs,
+                        policy,
+                        mode,
+                        &mut g.estimator,
+                        &mut self.stats,
+                        &mut self.arena,
+                    );
                 }
                 rs.burst_ty = Some(tl);
                 rs.burst_pane = pane_idx;
@@ -588,7 +1164,7 @@ impl HamletEngine {
         if self.cfg.mem_sample_every > 0
             && self.event_counter.is_multiple_of(self.cfg.mem_sample_every)
         {
-            let bytes = self.state_bytes();
+            let bytes = self.live_state_bytes();
             self.gauge.sample(bytes);
         }
         out
@@ -680,6 +1256,7 @@ impl HamletEngine {
                 mode,
                 &mut self.groups[gi].estimator,
                 &mut self.stats,
+                &mut self.arena,
             );
             let outputs = rs.run.finalize();
             self.stats.runs.add(rs.run.stats());
@@ -781,7 +1358,7 @@ impl HamletEngine {
         // streams (or small shards) may never hit a periodic sample, and
         // peak_memory() would otherwise read 0.
         if self.cfg.mem_sample_every > 0 {
-            let bytes = self.state_bytes();
+            let bytes = self.live_state_bytes();
             self.gauge.sample(bytes);
         }
         let mut out = Vec::new();
@@ -884,9 +1461,23 @@ impl HamletEngine {
         self.gauge.peak()
     }
 
-    /// Current byte-accounted state across all live runs, buffers, and
-    /// the watermark expiration index.
+    /// Current byte-accounted state across all live runs, buffers, the
+    /// watermark expiration index, and the batch scratch arena's pooled
+    /// buffers.
+    ///
+    /// The memory gauge (peak-memory metric, §6.1) samples
+    /// [`live_state_bytes`](Self::live_state_bytes) instead: the arena is
+    /// path-dependent (it remembers how bursts happened to flush) and is
+    /// not checkpointed, so including it would make gauge readings — and
+    /// with them checkpoint bytes — differ between an uninterrupted run
+    /// and a restored one.
     pub fn state_bytes(&self) -> usize {
+        self.live_state_bytes() + self.arena.bytes()
+    }
+
+    /// Byte-accounted *serializable* state: live runs, burst buffers, and
+    /// the watermark expiration index — everything a checkpoint carries.
+    fn live_state_bytes(&self) -> usize {
         let mut b = 0;
         for g in &self.groups {
             for runs in g.partitions.values() {
@@ -996,6 +1587,7 @@ impl HamletEngine {
                     for ev in &rs.burst {
                         e.event(ev);
                     }
+                    e.u64(rs.burst_extra);
                     e.u64(rs.burst_pane);
                 }
             }
@@ -1091,6 +1683,7 @@ impl HamletEngine {
                     for _ in 0..n_burst {
                         burst.push(d.event()?);
                     }
+                    let burst_extra = d.u64()?;
                     let burst_pane = d.u64()?;
                     runs.insert(
                         start,
@@ -1098,6 +1691,7 @@ impl HamletEngine {
                             run,
                             burst_ty,
                             burst,
+                            burst_extra,
                             burst_pane,
                             // Wall-clock stamps do not survive a restore;
                             // the next arrival re-stamps the run.
@@ -1166,6 +1760,9 @@ impl HamletEngine {
         self.gauge = gauge;
         self.event_counter = event_counter;
         self.watermark = watermark;
+        // The arena is not checkpointed; start the restored engine with
+        // an empty pool so `state_bytes` matches a fresh engine's.
+        self.arena = EventArena::new();
         Ok(())
     }
 }
@@ -1176,16 +1773,20 @@ fn flush_burst(
     mode: DivergenceMode,
     estimator: &mut DivergenceEstimator,
     stats: &mut EngineStats,
+    arena: &mut EventArena,
 ) {
     let Some(tl) = rs.burst_ty else { return };
-    if rs.burst.is_empty() {
+    let b = rs.burst.len() as u64 + rs.burst_extra;
+    if b == 0 {
         return;
     }
-    let b = rs.burst.len() as u64;
     let t0 = Instant::now();
     let mut ctx = rs.run.burst_shape(tl);
     let exact = match mode {
         DivergenceMode::Exact => {
+            // `burst_extra` events exist only for uniform groups, which
+            // have no selection predicates — their divergence is zero,
+            // exactly what scanning them would have produced.
             ctx.diverging = rs.run.exact_divergence(tl, &rs.burst, &ctx.candidates);
             true
         }
@@ -1202,7 +1803,8 @@ fn flush_burst(
     stats.decision_time += t0.elapsed();
     stats.decisions += 1;
     let snaps_before = rs.run.stats().event_snapshots;
-    rs.run.process_burst(tl, &rs.burst, &dec.share);
+    rs.run
+        .process_burst_ext(tl, &rs.burst, rs.burst_extra, &dec.share);
     // Feed the statistics back: exact mode learns the true per-member
     // divergence; EMA mode attributes the event-level snapshots the burst
     // actually created across the sharing members.
@@ -1223,7 +1825,12 @@ fn flush_burst(
             estimator.observe_aggregate(tl, &members, created, b);
         }
     }
-    rs.burst.clear();
+    // Hand the burst's attribute buffers back to the arena for the next
+    // `alloc_event` (keeps the burst Vec's own capacity).
+    for ev in rs.burst.drain(..) {
+        arena.recycle(ev);
+    }
+    rs.burst_extra = 0;
     rs.burst_ty = None;
 }
 
@@ -1645,6 +2252,208 @@ mod tests {
             }
             prop_assert_eq!(heap_eng.flush(), scan_eng.flush());
         }
+    }
+
+    /// The counters every execution path must agree on: the batched path
+    /// may not drift from the fold on any observable statistic.
+    fn counters(eng: &HamletEngine) -> (u64, u64, u64, u64, u64, u64) {
+        let s = eng.stats();
+        (
+            s.decisions,
+            s.windows_emitted,
+            s.events_routed,
+            s.expiry_pushes,
+            s.expiry_tombstones,
+            s.late_skips,
+        )
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+
+        /// `process_batch` output and counters are identical to folding
+        /// `process` (the one-element wrapper) and `process_reference`
+        /// (the preserved pre-batching body) over the same stream —
+        /// including duplicate timestamps, bounded lateness, grouped
+        /// partitions, and both divergence modes.
+        #[test]
+        fn process_batch_matches_fold(
+            seed in 0u64..10_000,
+            within in 4u64..20,
+            slide_div in 1u64..4,
+            keys in 1i64..6,
+            batch_size in 1usize..50,
+            lateness in 0u64..4,
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let (reg, a, b, c) = registry();
+            let slide = (within / slide_div).max(1);
+            let mode = if seed % 2 == 0 {
+                DivergenceMode::Exact
+            } else {
+                DivergenceMode::Ema { alpha: 0.3 }
+            };
+            let mk = || {
+                let mut q1 = Query::count_star(1, seq(a, b), Window::new(within, slide));
+                q1.group_by = vec![Arc::from("g")];
+                let mut q2 = Query::count_star(2, seq(c, b), Window::new(within, slide));
+                q2.group_by = vec![Arc::from("g")];
+                HamletEngine::new(
+                    reg.clone(),
+                    vec![q1, q2],
+                    EngineConfig {
+                        divergence: mode,
+                        ..EngineConfig::default()
+                    },
+                )
+                .unwrap()
+            };
+            // Deterministic pseudo-random stream (xorshift) with repeated
+            // ticks and bounded out-of-order arrivals.
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+            let mut step = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let mut t = 0u64;
+            let mut events = Vec::new();
+            for _ in 0..200 {
+                t += step() % 3;
+                let ty = match step() % 5 {
+                    0 => a,
+                    1 => c,
+                    _ => b,
+                };
+                let g = (step() % keys as u64) as i64;
+                let delay = if lateness == 0 { 0 } else { step() % (lateness + 1) };
+                events.push(ev(&reg, ty, t.saturating_sub(delay), g, 0.0));
+            }
+
+            let mut ref_eng = mk();
+            let mut ref_out = Vec::new();
+            for e in &events {
+                ref_out.extend(ref_eng.process_reference(e));
+            }
+            let mut fold_eng = mk();
+            let mut fold_out = Vec::new();
+            for e in &events {
+                fold_out.extend(fold_eng.process(e));
+            }
+            let mut batch_eng = mk();
+            let mut batch_out = Vec::new();
+            for chunk in events.chunks(batch_size) {
+                batch_out.extend(batch_eng.process_batch(chunk));
+            }
+
+            prop_assert_eq!(&fold_out, &ref_out);
+            prop_assert_eq!(&batch_out, &ref_out);
+            let ref_flush = ref_eng.flush();
+            prop_assert_eq!(batch_eng.flush(), ref_flush.clone());
+            prop_assert_eq!(fold_eng.flush(), ref_flush);
+            prop_assert_eq!(counters(&batch_eng), counters(&ref_eng));
+            prop_assert_eq!(counters(&fold_eng), counters(&ref_eng));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (reg, a, b, _) = registry();
+        let mk = || {
+            let q = Query::count_star(1, seq(a, b), Window::tumbling(10));
+            HamletEngine::new(reg.clone(), vec![q], EngineConfig::default()).unwrap()
+        };
+        // Fresh engine: a zero-length batch must not set a watermark or
+        // emit — the checkpoint pins every bit of engine state.
+        let mut eng = mk();
+        assert!(eng.process_batch(&[]).is_empty());
+        assert_eq!(eng.checkpoint(), mk().checkpoint());
+        // Mid-stream, with open runs pending: still byte-for-byte inert.
+        eng.process(&ev(&reg, a, 1, 0, 0.0));
+        eng.process(&ev(&reg, b, 2, 0, 0.0));
+        let before = eng.checkpoint();
+        assert!(eng.process_batch(&[]).is_empty());
+        assert_eq!(eng.checkpoint(), before);
+        assert_eq!(eng.flush().len(), 1);
+    }
+
+    /// Satellite invariant: the public byte accounting covers the batch
+    /// scratch arena, while checkpoints (which don't carry the arena)
+    /// restore to a fresh-engine accounting.
+    #[test]
+    fn state_bytes_accounts_for_batch_arena() {
+        use hamlet_query::{CmpOp, SelectionPredicate};
+        let (reg, a, b, _) = registry();
+        let mk = || {
+            // The always-true selection keeps the group non-uniform, so
+            // the batched path materializes bursts through the arena
+            // (uniform groups buffer a bare count and never touch it).
+            let mut q = Query::count_star(1, seq(a, b), Window::tumbling(10));
+            q.selections.push(SelectionPredicate {
+                ty: b,
+                attr: 1,
+                op: CmpOp::Lt,
+                value: hamlet_types::AttrValue::Float(1e9),
+            });
+            HamletEngine::new(reg.clone(), vec![q], EngineConfig::default()).unwrap()
+        };
+        let mut eng = mk();
+        assert_eq!(eng.state_bytes(), 0);
+        let events: Vec<Event> = (0..64)
+            .map(|i| ev(&reg, if i % 8 == 0 { a } else { b }, i, 0, 0.0))
+            .collect();
+        eng.process_batch(&events);
+        eng.flush();
+        // Everything live has drained, but the arena keeps the bursts'
+        // attribute buffers pooled for reuse — the public accounting
+        // must still see those bytes.
+        assert_eq!(eng.live_state_bytes(), 0);
+        assert!(eng.state_bytes() > 0);
+        // restore() drops the pool: a restored engine accounts like a
+        // fresh one.
+        let blob = eng.checkpoint();
+        let mut resumed = mk();
+        resumed.process_batch(&events);
+        resumed.flush();
+        assert!(resumed.state_bytes() > 0);
+        resumed.restore(&blob).unwrap();
+        assert_eq!(resumed.state_bytes(), 0);
+    }
+
+    /// Interleaving the batched and reference paths on one engine mixes a
+    /// count-only burst tail (`burst_extra`) with materialized events in a
+    /// single pending burst; the flush must replay both halves as one
+    /// burst — same outputs, same decision and event counters as a pure
+    /// event-at-a-time run.
+    #[test]
+    fn mixed_compact_and_event_burst_flushes_once() {
+        let (reg, a, b, _) = registry();
+        let mk = || {
+            let q = Query::count_star(1, seq(a, b), Window::tumbling(100));
+            HamletEngine::new(reg.clone(), vec![q], EngineConfig::default()).unwrap()
+        };
+        let evs: Vec<Event> = (0..40)
+            .map(|i| ev(&reg, if i == 0 { a } else { b }, i, 0, 0.0))
+            .collect();
+        let mut mixed = mk();
+        let mut ref_eng = mk();
+        let mut mixed_out = Vec::new();
+        let mut ref_out = Vec::new();
+        for (i, e) in evs.iter().enumerate() {
+            // Alternate paths within one pane: when the flush fires, the
+            // pending burst holds cloned events *and* a count-only tail.
+            if i % 2 == 0 {
+                mixed_out.extend(mixed.process(e));
+            } else {
+                mixed_out.extend(mixed.process_reference(e));
+            }
+            ref_out.extend(ref_eng.process_reference(e));
+        }
+        mixed_out.extend(mixed.flush());
+        ref_out.extend(ref_eng.flush());
+        assert_eq!(mixed_out, ref_out);
+        assert_eq!(counters(&mixed), counters(&ref_eng));
     }
 
     /// Direct evidence for the O(P)→O(log n) claim: at high partition

@@ -34,6 +34,22 @@ pub struct Term {
     pub b_cnt: TrendVal,
 }
 
+/// True iff every snapshot id in `sub` also appears in `sup` (both sorted).
+fn is_id_subset(sub: &[Term], sup: &[Term]) -> bool {
+    let mut i = 0;
+    'outer: for t in sub {
+        while i < sup.len() {
+            match sup[i].snap.cmp(&t.snap) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
 /// A linear form `const + Σ term` over snapshot variables.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct LinearExpr {
@@ -75,6 +91,57 @@ impl LinearExpr {
         self.terms.len()
     }
 
+    /// Adds the term `1 · x` in place — equivalent to
+    /// `add_assign(&LinearExpr::snapshot(x))` but without materialising
+    /// the one-term expression. The hot uniform-burst path calls this
+    /// once per event.
+    pub fn add_snapshot(&mut self, x: SnapId) {
+        self.add_snapshot_scaled(x, TrendVal::ONE);
+    }
+
+    /// Adds the term `coef · x` in place.
+    pub fn add_snapshot_scaled(&mut self, x: SnapId, coef: TrendVal) {
+        if coef.is_zero() {
+            return;
+        }
+        match self.terms.binary_search_by(|t| t.snap.cmp(&x)) {
+            Ok(i) => {
+                let t = &mut self.terms[i];
+                t.a += coef;
+                if t.a.is_zero() && t.b_sum.is_zero() && t.b_cnt.is_zero() {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => self.terms.insert(
+                i,
+                Term {
+                    snap: x,
+                    a: coef,
+                    b_sum: TrendVal::ZERO,
+                    b_cnt: TrendVal::ZERO,
+                },
+            ),
+        }
+    }
+
+    /// Multiplies the whole expression by the ring scalar `m`. Terms whose
+    /// coefficients all wrap to zero are dropped (the sorted-no-zero
+    /// invariant).
+    pub fn scale(&mut self, m: TrendVal) {
+        self.c.scale(m);
+        if m.is_zero() {
+            self.terms.clear();
+            return;
+        }
+        for t in &mut self.terms {
+            t.a = m * t.a;
+            t.b_sum = m * t.b_sum;
+            t.b_cnt = m * t.b_cnt;
+        }
+        self.terms
+            .retain(|t| !(t.a.is_zero() && t.b_sum.is_zero() && t.b_cnt.is_zero()));
+    }
+
     /// True iff the expression is identically zero.
     pub fn is_zero(&self) -> bool {
         self.c.is_zero() && self.terms.is_empty()
@@ -88,6 +155,30 @@ impl LinearExpr {
         }
         if self.terms.is_empty() {
             self.terms = other.terms.clone();
+            return;
+        }
+        // In-place fast path: every incoming snapshot id is already
+        // present. This is the steady state of a graphlet's running sum
+        // (each event's expression references the same graphlet and unit
+        // snapshots), where the general merge below would allocate a new
+        // term vector per event.
+        if is_id_subset(&other.terms, &self.terms) {
+            let mut i = 0;
+            let mut any_zero = false;
+            for r in &other.terms {
+                while self.terms[i].snap != r.snap {
+                    i += 1;
+                }
+                let t = &mut self.terms[i];
+                t.a += r.a;
+                t.b_sum += r.b_sum;
+                t.b_cnt += r.b_cnt;
+                any_zero |= t.a.is_zero() && t.b_sum.is_zero() && t.b_cnt.is_zero();
+            }
+            if any_zero {
+                self.terms
+                    .retain(|t| !(t.a.is_zero() && t.b_sum.is_zero() && t.b_cnt.is_zero()));
+            }
             return;
         }
         let mut merged = Vec::with_capacity(self.terms.len() + other.terms.len());
@@ -140,6 +231,12 @@ impl LinearExpr {
     /// cnt   = P.cnt + [target] · P.count
     /// ```
     pub fn propagate(mut self, w: TrendVal, is_target: bool) -> LinearExpr {
+        self.propagate_mut(w, is_target);
+        self
+    }
+
+    /// In-place [`propagate`](Self::propagate) for reusable buffers.
+    pub fn propagate_mut(&mut self, w: TrendVal, is_target: bool) {
         self.c.sum += w * self.c.count;
         if is_target {
             self.c.cnt += self.c.count;
@@ -150,7 +247,6 @@ impl LinearExpr {
                 t.b_cnt += t.a;
             }
         }
-        self
     }
 
     /// Evaluates the expression for one member query given its snapshot

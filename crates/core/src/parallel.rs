@@ -374,9 +374,7 @@ impl ParallelEngine {
             let mut out = Vec::new();
             for batch in batches {
                 events_total += batch.len() as u64;
-                for e in batch {
-                    out.extend(eng.process(e));
-                }
+                out.extend(eng.process_batch(batch));
             }
             let barrier = Instant::now();
             let ckpt = match mode {
@@ -457,9 +455,7 @@ impl ParallelEngine {
                     });
                     let mut out = Vec::new();
                     while let Ok(batch) = rx.recv() {
-                        for e in &batch {
-                            out.extend(eng.process(e));
-                        }
+                        out.extend(eng.process_batch(&batch));
                     }
                     // Channel closed: the barrier. Flush drains every
                     // window; checkpoint freezes them instead.
@@ -585,6 +581,40 @@ mod tests {
             assert_eq!(par.stats.len(), workers as usize);
             assert_eq!(par.latency.len(), workers as usize);
             assert_eq!(par.events, events.len() as u64);
+        }
+    }
+
+    /// Zero-length and ragged input batches are inert: a hand-off
+    /// sequence with empty head/middle/tail batches and a trailing
+    /// partial produces bit-identical results to the whole-slice run —
+    /// an empty batch must be a no-op, not a watermark side-effect.
+    #[test]
+    fn empty_and_partial_input_batches_are_inert() {
+        let (reg, queries, events) = setup();
+        for workers in [1u32, 4] {
+            let mk = || {
+                ParallelEngine::new(
+                    reg.clone(),
+                    queries.clone(),
+                    EngineConfig::default(),
+                    workers,
+                )
+                .unwrap()
+            };
+            let base = mk().run(&events);
+            let seq: Vec<&[Event]> = vec![
+                &[],
+                &events[0..1],
+                &[],
+                &events[1..64],
+                &events[64..64],
+                &events[64..199],
+                &events[199..200],
+                &[],
+            ];
+            let got = mk().run_batches(seq.into_iter());
+            assert_eq!(base.results, got.results, "{workers} workers");
+            assert_eq!(base.events, got.events);
         }
     }
 

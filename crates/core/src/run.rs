@@ -26,7 +26,7 @@ use crate::expr::{LinearExpr, SnapId};
 use crate::snapshot::SnapTable;
 use crate::template::{MergedTemplate, NegKind};
 use crate::workload::{AggSkeleton, ShareGroup};
-use hamlet_query::{EdgePredicate, Query, SelectionPredicate};
+use hamlet_query::{CompiledSelection, EdgePredicate, Query};
 use hamlet_types::{Event, TrendVal};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -40,8 +40,10 @@ pub struct GroupRuntime {
     pub queries: Vec<Arc<Query>>,
     /// Aggregation skeleton.
     pub skeleton: AggSkeleton,
-    /// `sel[type][member]` — selection predicates on that type.
-    pub sel: Vec<Vec<Vec<SelectionPredicate>>>,
+    /// `sel[type][member]` — selection predicates on that type, compiled
+    /// to the Int/Float fast form so the per-event hot loop avoids enum
+    /// dispatch ([`CompiledSelection`]).
+    pub sel: Vec<Vec<Vec<CompiledSelection>>>,
     /// `edge[type][member]` — edge predicates whose head is that type.
     pub edge: Vec<Vec<Vec<EdgePredicate>>>,
     /// Per type: true iff any member has an edge predicate on it (forces
@@ -80,7 +82,7 @@ impl GroupRuntime {
         for (qi, q) in group.queries.iter().enumerate() {
             for s in &q.selections {
                 if let Some(tl) = tpl.local(s.ty) {
-                    sel[tl][qi].push(s.clone());
+                    sel[tl][qi].push(CompiledSelection::new(s));
                 }
             }
             for e in &q.edges {
@@ -120,6 +122,22 @@ impl GroupRuntime {
     #[inline]
     pub fn k(&self) -> usize {
         self.template.k
+    }
+
+    /// True iff every burst of this group is *uniform*: each event applies
+    /// the same linear map regardless of its content, so a pending burst is
+    /// fully described by its length and [`Run::process_burst_ext`] replays
+    /// it with the closed form of
+    /// [`burst_fast_path`](Run::burst_fast_path). Requires the weight-free
+    /// `CountOnly` skeleton, no edge predicates, no selection predicates,
+    /// and no negation constraints anywhere in the template. The engine
+    /// checks this once at build time and buffers such groups' bursts as a
+    /// bare count instead of cloned events.
+    pub fn uniform_bursts(&self) -> bool {
+        matches!(self.skeleton, AggSkeleton::CountOnly)
+            && !self.type_any_edge.iter().any(|&b| b)
+            && self.sel.iter().all(|per_q| per_q.iter().all(Vec::is_empty))
+            && self.negs.iter().all(Vec::is_empty)
     }
 
     /// Skeleton weight of an event: the ring embedding of the target
@@ -334,6 +352,12 @@ pub struct Run {
     stats: RunStats,
     mm_identity: MmVal,
     is_min: bool,
+    /// Reused per-event match buffer of the shared path — scratch only,
+    /// never serialized.
+    matched_scratch: Vec<(usize, bool)>,
+    /// Reused expression buffer of the uniform shared path — scratch
+    /// only, never serialized.
+    pred_scratch: LinearExpr,
 }
 
 impl Run {
@@ -373,6 +397,8 @@ impl Run {
             rt,
             mm_identity,
             is_min,
+            matched_scratch: Vec::new(),
+            pred_scratch: LinearExpr::zero(),
         }
     }
 
@@ -434,13 +460,23 @@ impl Run {
     /// least one other candidate — the Def. 9 snapshot trigger. O(k·b);
     /// the EMA estimator ([`crate::optimizer::stats`]) avoids this scan.
     pub fn exact_divergence(&self, tl: usize, events: &[Event], candidates: &[usize]) -> Vec<u64> {
-        let mut diverging = vec![0u64; candidates.len()];
+        let k = candidates.len();
+        let mut diverging = vec![0u64; k];
+        if k == 0 {
+            return diverging;
+        }
+        // One match-bit buffer for the whole burst, not one per event.
+        let mut m = vec![false; k];
         for e in events {
-            let m: Vec<bool> = candidates
-                .iter()
-                .map(|&q| self.rt.selects(tl, q, e))
-                .collect();
-            if m.iter().any(|&x| x) && m.iter().any(|&x| !x) {
+            let mut any_acc = false;
+            let mut any_rej = false;
+            for (i, &q) in candidates.iter().enumerate() {
+                let s = self.rt.selects(tl, q, e);
+                m[i] = s;
+                any_acc |= s;
+                any_rej |= !s;
+            }
+            if any_acc && any_rej {
                 for (i, &acc) in m.iter().enumerate() {
                     if !acc {
                         diverging[i] += 1;
@@ -466,10 +502,50 @@ impl Run {
     /// `involved[tl]` processes the burst solo. Passing an empty set yields
     /// pure GRETA-style non-shared execution.
     pub fn process_burst(&mut self, tl: usize, events: &[Event], shared_members: &QSet) {
+        self.process_burst_impl(tl, events, 0, shared_members, true)
+    }
+
+    /// [`process_burst`](Self::process_burst) of `events` plus `extra`
+    /// count-only buffered events of the same burst (one flush, one
+    /// sharing decision). `extra > 0` requires
+    /// [`GroupRuntime::uniform_bursts`]: those events carried no
+    /// information beyond their count, so the closed-form fast path
+    /// replays them exactly.
+    pub fn process_burst_ext(
+        &mut self,
+        tl: usize,
+        events: &[Event],
+        extra: u64,
+        shared_members: &QSet,
+    ) {
+        self.process_burst_impl(tl, events, extra, shared_members, true)
+    }
+
+    /// [`process_burst`](Self::process_burst) with the closed-form burst
+    /// fast path disabled — the oracle its unit tests compare against.
+    #[cfg(test)]
+    pub(crate) fn process_burst_slow(
+        &mut self,
+        tl: usize,
+        events: &[Event],
+        shared_members: &QSet,
+    ) {
+        self.process_burst_impl(tl, events, 0, shared_members, false)
+    }
+
+    fn process_burst_impl(
+        &mut self,
+        tl: usize,
+        events: &[Event],
+        extra: u64,
+        shared_members: &QSet,
+        use_fast: bool,
+    ) {
         debug_assert!(events
             .iter()
             .all(|e| { self.rt.template.local(e.ty) == Some(tl) }));
-        if events.is_empty() {
+        debug_assert!(extra == 0 || self.rt.uniform_bursts());
+        if events.is_empty() && extra == 0 {
             return;
         }
         let tpl = self.rt.template.clone();
@@ -522,18 +598,102 @@ impl Run {
             share = QSet::new();
         }
 
-        self.transition_graphlets(tl, &share, events[0].time);
+        let t0 = events
+            .first()
+            .map(|e| e.time)
+            .unwrap_or_else(|| 0u64.into());
+        self.transition_graphlets(tl, &share, t0);
         if share.is_empty() {
             self.stats.solo_bursts += 1;
         } else {
             self.stats.shared_bursts += 1;
         }
 
+        // One runtime handle per burst — the per-event path used to clone
+        // the Arc (and bump its refcount) once per event.
+        let rt = self.rt.clone();
+        let b = events.len() as u64 + extra;
+        if use_fast && self.burst_fast_path(&rt, tl, b, &share) {
+            return;
+        }
+        // Count-only buffered events exist only for uniform groups, whose
+        // bursts always take the closed form above.
+        assert!(extra == 0, "count-only burst events require the fast path");
         for e in events {
-            self.process_event(tl, e, &share);
+            self.process_event(&rt, tl, e, &share);
             self.n_events += 1;
             self.stats.events += 1;
         }
+    }
+
+    /// Closed-form burst advance for predicate-free COUNT(*) groups.
+    ///
+    /// When the skeleton carries no weight (`CountOnly` makes
+    /// [`GroupRuntime::weight`] return `(0, false)` for every event), the
+    /// template has no edge predicates anywhere (so nothing is
+    /// event-stored or pairwise-scanned), and every involved member's
+    /// selection on `tl` is empty, each event of the burst applies the
+    /// same linear map:
+    ///
+    /// - shared graphlet: `S ← 2·S + P` with `P = x (+ unit)`, so after
+    ///   `b` events `S = 2ᵇ·S₀ + (2ᵇ−1)·P`;
+    /// - self-loop solo member: `sum ← 2·sum + step` with
+    ///   `step = external_pred (+1 on count if a start type)`, same form;
+    /// - non-self-loop solo member: `sum ← sum + b·step`.
+    ///
+    /// All arithmetic is in the wrapping `u64` ring, where the `2ᵇ`
+    /// scalars are exact (`b ≥ 64 ⇒ 2ᵇ ≡ 0`), so the result is
+    /// bit-identical to the per-event loop — asserted against
+    /// [`process_burst_slow`](Self::process_burst_slow) in tests. Returns
+    /// false (caller falls back to the loop) whenever a precondition
+    /// fails.
+    fn burst_fast_path(&mut self, rt: &Arc<GroupRuntime>, tl: usize, b: u64, share: &QSet) -> bool {
+        let tpl = &rt.template;
+        if !matches!(rt.skeleton, AggSkeleton::CountOnly) || rt.type_any_edge.iter().any(|&b| b) {
+            return false;
+        }
+        for q in 0..self.k {
+            if tpl.involved[tl].contains(q) && !rt.sel[tl][q].is_empty() {
+                return false;
+            }
+        }
+        // 2ᵇ and 2ᵇ−1 in the wrapping ring.
+        let m = TrendVal(if b >= 64 { 0 } else { 1u64 << b });
+        let g = m - TrendVal::ONE;
+        if !share.is_empty() {
+            let sh = self.active[tl].shared.as_mut().expect("shared graphlet");
+            let (x, unit) = (sh.x, sh.unit);
+            sh.sum_exprs.scale(m);
+            sh.sum_exprs.add_snapshot_scaled(x, g);
+            if let Some(u) = unit {
+                sh.sum_exprs.add_snapshot_scaled(u, g);
+            }
+            sh.size += b;
+        }
+        for q in 0..self.k {
+            if !tpl.involved[tl].contains(q) || share.contains(q) {
+                continue;
+            }
+            if self.active[tl].solo[q].is_none() {
+                self.active[tl].solo[q] = Some(SoloGraphlet::new(self.mm_identity));
+                self.stats.graphlets += 1;
+            }
+            let mut step = self.external_pred(tl, q);
+            if tpl.start[tl].contains(q) && !self.start_blocked[q] {
+                step.count += TrendVal::ONE;
+            }
+            let solo = self.active[tl].solo[q].as_mut().expect("solo graphlet");
+            if tpl.self_loop[tl].contains(q) {
+                solo.sum.scale(m);
+                solo.sum.add_scaled(step, g);
+            } else {
+                solo.sum.add_scaled(step, TrendVal(b));
+            }
+            solo.size += b;
+        }
+        self.n_events += b;
+        self.stats.events += b;
+        true
     }
 
     /// Applies Leading/Gap/Trailing negation effects of a burst of negated
@@ -780,8 +940,9 @@ impl Run {
     }
 
     /// Processes a single event within its (already transitioned) burst.
-    fn process_event(&mut self, tl: usize, e: &Event, share: &QSet) {
-        let rt = self.rt.clone();
+    /// `rt` is the run's own runtime, passed in so the burst loop clones
+    /// the `Arc` once instead of once per event.
+    fn process_event(&mut self, rt: &Arc<GroupRuntime>, tl: usize, e: &Event, share: &QSet) {
         let tpl = &rt.template;
         let (w, is_target) = rt.weight(e);
         let store_needed = rt.type_any_edge[tl];
@@ -791,20 +952,25 @@ impl Run {
 
         // ---- Shared path -------------------------------------------------
         if !share.is_empty() {
-            let matched: Vec<(usize, bool)> =
-                share.iter().map(|q| (q, rt.selects(tl, q, e))).collect();
+            let mut matched = std::mem::take(&mut self.matched_scratch);
+            matched.clear();
+            matched.extend(share.iter().map(|q| (q, rt.selects(tl, q, e))));
             let any_edge = share.iter().any(|q| !rt.edge[tl][q].is_empty());
             let uniform = !any_edge && matched.iter().all(|&(_, m)| m);
             let sh = self.active[tl].shared.as_ref().expect("shared graphlet");
             let expr = if uniform {
                 // Eq. 2 symbolically: preds = x (+ unit) + in-graphlet
-                // prefix; then the per-event propagation map.
-                let mut pred = LinearExpr::snapshot(sh.x);
+                // prefix; then the per-event propagation map. Built in a
+                // reused buffer: `clone_from` keeps the term vector's
+                // capacity, so the steady state allocates nothing.
+                let mut pred = std::mem::take(&mut self.pred_scratch);
+                pred.clone_from(&sh.sum_exprs);
+                pred.add_snapshot(sh.x);
                 if let Some(u) = sh.unit {
-                    pred.add_assign(&LinearExpr::snapshot(u));
+                    pred.add_snapshot(u);
                 }
-                pred.add_assign(&sh.sum_exprs);
-                pred.propagate(w, is_target)
+                pred.propagate_mut(w, is_target);
+                pred
             } else {
                 // Event-level snapshot (Def. 9): per-member numeric values.
                 let mut vals = vec![NodeVal::ZERO; self.k];
@@ -830,7 +996,11 @@ impl Run {
             sh.size += 1;
             if store_needed {
                 stored_shared = Some((sh.members.clone(), expr));
+            } else {
+                // Hand the buffer back for the next event.
+                self.pred_scratch = expr;
             }
+            self.matched_scratch = matched;
         }
 
         // ---- Solo path ----------------------------------------------------
@@ -1222,6 +1392,44 @@ mod tests {
         // One B event: count(b,q1) = a1+a2 = 2; count(b,q2) = c1 = 1.
         assert_eq!(out[0].raw.count, TrendVal(2));
         assert_eq!(out[1].raw.count, TrendVal(1));
+    }
+
+    /// The closed-form COUNT(*) burst advance must leave the run in a
+    /// bit-identical state to the per-event loop — checked on the full
+    /// serialized state, across share/solo bursts and a ≥ 64-event burst
+    /// that exercises the `2ᵇ ≡ 0` wrapping edge of the ring scalars.
+    #[test]
+    fn burst_fast_path_matches_event_loop() {
+        let rt = rt_two_queries();
+        let tl = |t| rt.template.local(t).unwrap();
+        let bs = |ty: EventTypeId, t0: u64, n: u64| -> Vec<Event> {
+            (0..n).map(|i| ev(ty, t0 + i)).collect()
+        };
+        let stream: Vec<(usize, Vec<Event>, QSet)> = vec![
+            (tl(A), bs(A, 1, 2), QSet::all(2)),
+            (tl(C), bs(C, 3, 1), QSet::all(2)),
+            (tl(B), bs(B, 4, 1), QSet::all(2)),
+            (tl(B), bs(B, 5, 70), QSet::all(2)),
+            (tl(A), bs(A, 80, 3), QSet::new()),
+            (tl(B), bs(B, 90, 5), QSet::new()),
+            (tl(B), bs(B, 100, 64), QSet::all(2)),
+        ];
+        let mut fast = Run::new(rt.clone());
+        let mut slow = Run::new(rt.clone());
+        for (ty, burst, share) in &stream {
+            fast.process_burst(*ty, burst, share);
+            slow.process_burst_slow(*ty, burst, share);
+        }
+        assert_eq!(fast.n_events(), slow.n_events());
+        assert_eq!(fast.stats().events, slow.stats().events);
+        assert_eq!(fast.stats().graphlets, slow.stats().graphlets);
+        let bytes = |r: &Run| {
+            let mut e = crate::checkpoint::Enc::new();
+            r.encode(&mut e);
+            e.finish()
+        };
+        assert_eq!(bytes(&fast), bytes(&slow));
+        assert_eq!(fast.finalize(), slow.finalize());
     }
 
     #[test]

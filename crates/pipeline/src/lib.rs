@@ -570,28 +570,42 @@ fn worker_loop(
     shared: &SharedStats,
 ) -> WorkerOutput {
     let mut local = LatencyHistogram::new();
+    // Reused split buffer: the engine takes `&[Event]`, the arrivals only
+    // matter for the batch's last element (see below).
+    let mut events: Vec<Event> = Vec::new();
     while let Ok(batch) = rx.recv() {
-        let mut emitted: Vec<WindowResult> = Vec::new();
         let n = batch.len();
-        for (e, arrival) in batch {
-            let results = engine.process(&e);
-            if !results.is_empty() {
-                let latency = arrival.elapsed();
-                for _ in 0..results.len() {
-                    local.record(latency);
-                }
-                emitted.extend(results);
-            }
+        if n == 0 {
+            // A zero-length batch is a no-op — no watermark side-effect,
+            // no latency sample. The router never sends one, but a
+            // checkpoint/resume or future source must not be able to
+            // perturb the engine with an empty hand-off.
+            continue;
         }
-        if local.count() > 0 {
+        events.clear();
+        let mut last_arrival = None;
+        for (e, arrival) in batch {
+            events.push(e);
+            last_arrival = Some(arrival);
+        }
+        let emitted = engine.process_batch(&events);
+        shared.worker_depths[idx].fetch_sub(n, Ordering::Relaxed);
+        if !emitted.is_empty() {
+            // Every result is attributed to the batch's last event: the
+            // router flushes a shard's batch *on* the tick-advancing
+            // event (see `Ingest::push_to`), so that final event is the
+            // only one in the batch that can advance this engine's
+            // watermark and close windows — identical attribution to the
+            // old per-event loop.
+            let latency = last_arrival.expect("non-empty batch").elapsed();
+            for _ in 0..emitted.len() {
+                local.record(latency);
+            }
             // One lock per batch, not per result: N workers recording
             // per-event would contend on the shared histogram and
             // inflate the very tail latency being measured.
             shared.latency.lock().expect("latency lock").merge(&local);
             local = LatencyHistogram::new();
-        }
-        shared.worker_depths[idx].fetch_sub(n, Ordering::Relaxed);
-        if !emitted.is_empty() {
             shared
                 .sink_depth
                 .fetch_add(emitted.len(), Ordering::Relaxed);

@@ -36,7 +36,7 @@ pub mod window;
 pub use aggregate::AggFunc;
 pub use parser::{parse_pattern, parse_query, ParseError};
 pub use pattern::{Pattern, PatternError};
-pub use predicate::{CmpOp, EdgePredicate, SelectionPredicate};
+pub use predicate::{CmpOp, CompiledSelection, EdgePredicate, SelectionPredicate};
 pub use query::{Query, QueryId};
 pub use render::to_sase;
 pub use window::Window;

@@ -91,6 +91,73 @@ impl SelectionPredicate {
     }
 }
 
+/// A [`SelectionPredicate`] pre-resolved for tight per-event loops.
+///
+/// [`AttrValue::total_cmp`] dispatches on both operands' variants for every
+/// event. The constant side is fixed at query-compile time, so this form
+/// lifts its variant out once: the common Int-vs-Int and Float-vs-Float
+/// comparisons become a primitive compare with no enum dispatch, and only
+/// mixed-variant or string comparisons fall back to `total_cmp`. The
+/// outcome is identical to [`SelectionPredicate::matches`] by construction
+/// (both fast arms are exactly the matching `total_cmp` arms).
+#[derive(Clone, Debug)]
+pub struct CompiledSelection {
+    ty: EventTypeId,
+    attr: usize,
+    op: CmpOp,
+    fast: FastConst,
+    value: AttrValue,
+}
+
+/// The constant operand with its variant pre-matched.
+#[derive(Clone, Debug)]
+enum FastConst {
+    Int(i64),
+    Float(f64),
+    Other,
+}
+
+impl CompiledSelection {
+    /// Compiles a selection predicate.
+    pub fn new(p: &SelectionPredicate) -> CompiledSelection {
+        let fast = match p.value {
+            AttrValue::Int(k) => FastConst::Int(k),
+            AttrValue::Float(k) => FastConst::Float(k),
+            _ => FastConst::Other,
+        };
+        CompiledSelection {
+            ty: p.ty,
+            attr: p.attr,
+            op: p.op,
+            fast,
+            value: p.value.clone(),
+        }
+    }
+
+    /// True iff `e` satisfies the predicate; equal to
+    /// [`SelectionPredicate::matches`] on every input.
+    #[inline]
+    pub fn matches(&self, e: &Event) -> bool {
+        if e.ty != self.ty {
+            return true;
+        }
+        let Some(v) = e.attr(self.attr) else {
+            return false;
+        };
+        match (&self.fast, v) {
+            (FastConst::Int(k), AttrValue::Int(x)) => self.op.eval(x.cmp(k)),
+            (FastConst::Float(k), AttrValue::Float(x)) => self.op.eval(x.total_cmp(k)),
+            _ => self.op.eval(v.total_cmp(&self.value)),
+        }
+    }
+}
+
+impl From<&SelectionPredicate> for CompiledSelection {
+    fn from(p: &SelectionPredicate) -> CompiledSelection {
+        CompiledSelection::new(p)
+    }
+}
+
 /// `TYPE.attr OP PREV.attr` — constrains adjacent events in a trend where
 /// the *current* event has type [`EdgePredicate::ty`].
 ///
@@ -171,6 +238,61 @@ mod tests {
             value: AttrValue::Int(1),
         };
         assert!(!p.matches(&ev(T, 1.0)));
+    }
+
+    #[test]
+    fn compiled_selection_matches_reference() {
+        // Every (op, constant-variant, event-variant) combination must
+        // agree with the uncompiled predicate, including the fast Int/Int
+        // and Float/Float arms and the mixed / string fallbacks.
+        let consts = [
+            AttrValue::Int(3),
+            AttrValue::Float(3.0),
+            AttrValue::Float(f64::NAN),
+            AttrValue::from("m"),
+        ];
+        let vals = [
+            AttrValue::Int(2),
+            AttrValue::Int(3),
+            AttrValue::Int(4),
+            AttrValue::Float(2.5),
+            AttrValue::Float(3.0),
+            AttrValue::Float(f64::NAN),
+            AttrValue::from("a"),
+            AttrValue::from("z"),
+        ];
+        let ops = [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ];
+        for c in &consts {
+            for op in ops {
+                let p = SelectionPredicate {
+                    ty: T,
+                    attr: 0,
+                    op,
+                    value: c.clone(),
+                };
+                let f = CompiledSelection::new(&p);
+                for v in &vals {
+                    let e = Event::new(Ts(0), T, vec![v.clone()]);
+                    assert_eq!(
+                        p.matches(&e),
+                        f.matches(&e),
+                        "op {op:?} const {c:?} val {v:?}"
+                    );
+                }
+                // Other type: vacuous for both. Missing attr: false for both.
+                let other = Event::new(Ts(0), U, vec![]);
+                assert_eq!(p.matches(&other), f.matches(&other));
+                let missing = Event::new(Ts(0), T, vec![]);
+                assert_eq!(p.matches(&missing), f.matches(&missing));
+            }
+        }
     }
 
     #[test]

@@ -376,6 +376,24 @@ mod tests {
         assert_eq!(batches(&[], 4).count(), 0);
     }
 
+    /// A stream whose length is an exact multiple of the batch size must
+    /// not yield a trailing zero-length batch: downstream consumers feed
+    /// each batch to the engine, and an empty hand-off must never exist
+    /// to begin with (the engine additionally treats one as a no-op).
+    #[test]
+    fn exact_multiple_has_no_empty_tail() {
+        let (_, ts) = mini_registry();
+        let evs: Vec<Event> = (0..12).map(|t| Event::new(Ts(t), ts[0], vec![])).collect();
+        let got: Vec<&[Event]> = batches(&evs, 4).collect();
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|b| b.len() == 4));
+        // Oversized batch: one chunk carrying the whole stream, again no
+        // empty tail.
+        let whole: Vec<&[Event]> = batches(&evs, 100).collect();
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].len(), 12);
+    }
+
     #[test]
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_rejected() {

@@ -460,3 +460,122 @@ proptest! {
         assert_all_agree(&reg, &queries, &events);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Batched execution (PR 6): `process_batch` must be byte-identical to the
+// per-event fold — not merely equivalent after normalization. Same results,
+// same order, same checkpoints, on in-order and bounded-late streams, alone
+// and behind the sharded parallel engine.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Folding `process` and calling `process_batch` over any chunking of
+    /// the same stream produce identical output vectors (zero rows and
+    /// emission order included), identical flushes, and identical
+    /// checkpoints — with repeated ticks and bounded-late arrivals.
+    #[test]
+    fn batch_is_byte_identical_to_fold(
+        types in proptest::collection::vec(0..3usize, 1..60),
+        steps in proptest::collection::vec(0..2u64, 60),
+        delays in proptest::collection::vec(0..3u64, 60),
+        groups in proptest::collection::vec(0i64..3, 60),
+        lateness in 0..3u64,
+        batch_size in 1usize..20,
+        window in prop_oneof![Just(8u64), Just(16u64)],
+    ) {
+        let reg = registry();
+        let names = ["A", "B", "C"];
+        let mut t = 0u64;
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &ti)| {
+                t += steps[i % steps.len()];
+                let delay = if lateness == 0 { 0 } else { delays[i % delays.len()] % (lateness + 1) };
+                ev(&reg, names[ti], t.saturating_sub(delay), groups[i % groups.len()], (i % 7) as f64)
+            })
+            .collect();
+        let queries = vec![
+            parse_query(&reg, 1, &format!(
+                "RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE B.v < 4 GROUP BY g WITHIN {window}"
+            )).unwrap(),
+            parse_query(&reg, 2, &format!(
+                "RETURN COUNT(*) PATTERN SEQ(C, B+) GROUP BY g WITHIN {window}"
+            )).unwrap(),
+        ];
+        let mk = || HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default()).unwrap();
+
+        let mut fold_eng = mk();
+        let mut fold_out = Vec::new();
+        for e in &events {
+            fold_out.extend(fold_eng.process(e));
+        }
+
+        let mut batch_eng = mk();
+        let mut batch_out = Vec::new();
+        for chunk in events.chunks(batch_size) {
+            batch_out.extend(batch_eng.process_batch(chunk));
+        }
+
+        prop_assert_eq!(&batch_out, &fold_out);
+        let batch_flush = batch_eng.flush();
+        prop_assert_eq!(&batch_flush, &fold_eng.flush());
+
+        // Checkpoint mid-batch-stream: freeze after an arbitrary prefix
+        // of chunks, restore into a fresh engine, continue — the restored
+        // engine re-serializes to the same bytes and the continued run is
+        // byte-identical to the uninterrupted one.
+        let cut = (batch_size * 2).min(events.len());
+        let mut pre = mk();
+        let mut resumed_out = Vec::new();
+        for chunk in events[..cut].chunks(batch_size) {
+            resumed_out.extend(pre.process_batch(chunk));
+        }
+        let blob = pre.checkpoint();
+        let mut resumed = mk();
+        resumed.restore(&blob).unwrap();
+        prop_assert_eq!(resumed.checkpoint(), blob);
+        for chunk in events[cut..].chunks(batch_size) {
+            resumed_out.extend(resumed.process_batch(chunk));
+        }
+        resumed_out.extend(resumed.flush());
+        let mut gold = batch_out;
+        gold.extend(batch_flush);
+        prop_assert_eq!(resumed_out, gold);
+    }
+
+    /// The sharded parallel engine (which feeds workers whole batches)
+    /// returns identical reports for 1 and 4 workers across batch sizes.
+    #[test]
+    fn parallel_batching_is_inert(
+        types in proptest::collection::vec(0..3usize, 1..40),
+        groups in proptest::collection::vec(0i64..4, 40),
+        batch_size in 1usize..30,
+    ) {
+        let reg = registry();
+        let names = ["A", "B", "C"];
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &ti)| ev(&reg, names[ti], i as u64, groups[i % groups.len()], (i % 5) as f64))
+            .collect();
+        let queries = vec![
+            parse_query(&reg, 1, "RETURN COUNT(*) PATTERN SEQ(A, B+) GROUP BY g WITHIN 16").unwrap(),
+            parse_query(&reg, 2, "RETURN COUNT(*) PATTERN SEQ(C, B+) GROUP BY g WITHIN 16").unwrap(),
+        ];
+        use hamlet_core::ParallelEngine;
+        let run = |workers: u32, batch: usize| {
+            ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), workers)
+                .unwrap()
+                .with_batch_size(batch)
+                .run(&events)
+                .results
+        };
+        let base = run(1, 1);
+        prop_assert_eq!(&run(1, batch_size), &base);
+        prop_assert_eq!(&run(4, 1), &base);
+        prop_assert_eq!(&run(4, batch_size), &base);
+    }
+}

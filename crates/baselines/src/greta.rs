@@ -1,4 +1,4 @@
-//! GRETA-style non-shared online event trend aggregation (§3.2, [33]).
+//! GRETA-style non-shared online event trend aggregation (§3.2, \[33\]).
 //!
 //! Every query is evaluated independently: each maintains, per group-by
 //! partition and window instance, the cumulative intermediate aggregate per

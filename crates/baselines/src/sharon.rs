@@ -1,4 +1,4 @@
-//! SHARON-style shared online event *sequence* aggregation (§6.1, [35]).
+//! SHARON-style shared online event *sequence* aggregation (§6.1, \[35\]).
 //!
 //! SHARON computes sequence aggregates online but does not support Kleene
 //! closure. Following the paper's methodology, each Kleene sub-pattern `E+`

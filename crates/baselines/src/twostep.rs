@@ -1,4 +1,4 @@
-//! Two-step (MCEP-style) trend aggregation (§6.1, [22]): construct event
+//! Two-step (MCEP-style) trend aggregation (§6.1, \[22\]): construct event
 //! trends first — with construction state shared across queries — then
 //! aggregate them.
 //!

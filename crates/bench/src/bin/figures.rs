@@ -10,7 +10,7 @@
 //!
 //! Available ids: fig9_events fig_batch fig9_queries fig11_nyc fig11_sh
 //! fig11_queries fig12_events fig12_queries fig_scaling fig_expiry
-//! fig_latency fig_checkpoint overhead all
+//! fig_latency fig_checkpoint fig_churn overhead all
 //!
 //! Flags:
 //! - `--quick`            small sweeps (CI-sized)
@@ -21,7 +21,7 @@
 use hamlet_bench::figures::{self, Figure};
 use hamlet_bench::{bench_json, markdown_table};
 
-const ALL_FIGURES: [&str; 12] = [
+const ALL_FIGURES: [&str; 13] = [
     "fig9_events",
     "fig_batch",
     "fig9_queries",
@@ -34,6 +34,7 @@ const ALL_FIGURES: [&str; 12] = [
     "fig_expiry",
     "fig_latency",
     "fig_checkpoint",
+    "fig_churn",
 ];
 
 fn print_figure(fig: &Figure, json_dir: Option<&str>) {
@@ -115,6 +116,7 @@ fn main() {
             "fig_expiry" => figures::fig_expiry(quick),
             "fig_latency" => figures::fig_latency(quick),
             "fig_checkpoint" => figures::fig_checkpoint(quick),
+            "fig_churn" => figures::fig_churn(quick),
             "overhead" => {
                 let r = figures::overhead(quick);
                 println!("\n## overhead — §6.2 optimizer overhead\n");

@@ -15,11 +15,12 @@
 //!   mostly routing overhead now that workers run the batched engine
 //!   core, so ~0.85-1.1x is a healthy single-core reading.
 //! - `--min-expiry-flatness <frac>` required throughput ratio between the
-//!   10⁴-key and 10²-key points of `fig_expiry` (default 0.04; 0
+//!   10⁴-key and 10²-key points of `fig_expiry` (default 0.03; 0
 //!   disables). Guards the watermark expiration index: the old O(live
 //!   partitions)-per-event expiry scan measures ~0.018 across those two
-//!   decades, the indexed path ~0.06. Pinned to those x values so quick
-//!   and full sweeps are judged against the same ratio.
+//!   decades, the indexed path ~0.038–0.06 depending on the host. Pinned
+//!   to those x values so quick and full sweeps are judged against the
+//!   same ratio.
 //! - `--max-p99-regression <frac>` allowed growth of the `fig_latency`
 //!   p99 latency vs baseline per (x, pipeline system) point (default
 //!   3.0, i.e. up to 4× plus a 500 µs absolute floor — tail latencies on
@@ -37,6 +38,14 @@
 //!   the ratio is machine-independent. Judged per swept rate on the
 //!   geometric mean across rates — one overall claim, robust to a
 //!   single noisy point. A missing `fig_batch` sweep is a failure.
+//! - `--min-churn-advantage <factor>` required `HAMLET-churn` over
+//!   `HAMLET-restart` throughput ratio in `fig_churn` (default 1.5; 0
+//!   disables). Both systems come from the same `BENCH.json` run, so
+//!   the ratio is machine-independent. Gated on the geometric mean
+//!   across the swept churn-op counts. Guards the online re-planning
+//!   path: if churn quietly degenerated into a full rebuild, the
+//!   advantage over restart-per-change would evaporate. A missing
+//!   `fig_churn` sweep is a failure.
 //! - `--system <name>`          system to gate on (default `HAMLET`)
 //!
 //! Exit code 0 = pass, 1 = regression/scaling failure, 2 = usage or
@@ -105,10 +114,11 @@ fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut max_regression = 0.25f64;
     let mut min_scaling = 0.7f64;
-    let mut min_expiry_flatness = 0.04f64;
+    let mut min_expiry_flatness = 0.03f64;
     let mut max_p99_regression = 3.0f64;
     let mut max_checkpoint_pause = 3.0f64;
     let mut min_batch_speedup = 2.0f64;
+    let mut min_churn_advantage = 1.5f64;
     let mut system = "HAMLET".to_string();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -152,6 +162,12 @@ fn main() {
             "--min-batch-speedup" => {
                 min_batch_speedup = take("--min-batch-speedup").parse().unwrap_or_else(|e| {
                     eprintln!("bad --min-batch-speedup: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--min-churn-advantage" => {
+                min_churn_advantage = take("--min-churn-advantage").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --min-churn-advantage: {e}");
                     std::process::exit(2);
                 })
             }
@@ -443,6 +459,58 @@ fn main() {
                 println!(
                     "FAIL fig_batch: batched path = {geomean:.2}x of event-at-a-time \
                      (geomean of {n} rates, needs >= {min_batch_speedup:.2}x)"
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    // 7. Online churn must beat the restart-per-change baseline on the
+    //    `fig_churn` sweep. Both systems run back-to-back in the same
+    //    report, so the ratio cancels host speed out; gated on the
+    //    geometric mean across the swept churn-op counts, fig_batch
+    //    style. If online re-planning quietly degenerated into a full
+    //    engine rebuild per op, this ratio collapses toward 1.
+    if min_churn_advantage > 0.0 {
+        let online: Vec<Point> = points(&current, "HAMLET-churn")
+            .into_iter()
+            .filter(|p| p.figure == "fig_churn")
+            .collect();
+        let restart: Vec<Point> = points(&current, "HAMLET-restart")
+            .into_iter()
+            .filter(|p| p.figure == "fig_churn")
+            .collect();
+        let mut log_sum = 0.0f64;
+        let mut n = 0u32;
+        for op in &online {
+            let Some(rp) = restart.iter().find(|p| p.x == op.x) else {
+                continue;
+            };
+            let ratio = op.throughput / rp.throughput.max(f64::MIN_POSITIVE);
+            println!(
+                "     fig_churn/{} ops: online {:.0} ev/s = {ratio:.2}x of restart {:.0} ev/s",
+                op.x, op.throughput, rp.throughput
+            );
+            log_sum += ratio.max(f64::MIN_POSITIVE).ln();
+            n += 1;
+        }
+        if n == 0 {
+            println!(
+                "FAIL fig_churn: churn sweep missing from {current_path} \
+                 (run the sweep or pass --min-churn-advantage 0)"
+            );
+            failures += 1;
+        } else {
+            let geomean = (log_sum / n as f64).exp();
+            if geomean >= min_churn_advantage {
+                println!(
+                    "OK   fig_churn: online churn = {geomean:.2}x of restart-per-change \
+                     (geomean of {n} op counts, needs >= {min_churn_advantage:.2}x)"
+                );
+            } else {
+                println!(
+                    "FAIL fig_churn: online churn = {geomean:.2}x of restart-per-change \
+                     (geomean of {n} op counts, needs >= {min_churn_advantage:.2}x)"
                 );
                 failures += 1;
             }

@@ -7,8 +7,12 @@
 //! reproduction asserts (see EXPERIMENTS.md).
 
 use crate::{run_system, HarnessConfig, Measurement, System};
+use hamlet_core::{ChurnOp, EngineConfig, HamletEngine};
 use hamlet_pipeline::{CountingSink, Pipeline, RateLimitedSource, ReplaySource};
+use hamlet_query::Query;
 use hamlet_stream::{nyc_taxi, ridesharing, smart_home, stock, GenConfig};
+use hamlet_types::{Event, TypeRegistry};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One experiment: a title and the measured series.
@@ -539,7 +543,7 @@ pub fn fig_latency(quick: bool) -> Figure {
 /// gates the pause against the committed baseline
 /// (`perf_gate --max-checkpoint-pause`).
 pub fn fig_checkpoint(quick: bool) -> Figure {
-    use hamlet_core::{EngineConfig, HamletEngine, ParallelEngine};
+    use hamlet_core::ParallelEngine;
     let reg = ridesharing::registry();
     let queries = ridesharing::workload_shared_kleene(&reg, 5, 30);
     let cardinalities: Vec<u64> = if quick {
@@ -623,6 +627,176 @@ pub fn fig_checkpoint(quick: bool) -> Figure {
         rows,
         x_label: "partition keys",
     }
+}
+
+/// Runtime-churn experiment (beyond the paper, PR 7): online
+/// re-planning via [`HamletEngine::add_query`] / `remove_query` versus
+/// restart-per-change, on the Fig. 12 diverse stock workload, sweeping
+/// the number of churn operations applied over a fixed stream.
+///
+/// The schedule alternates removing and re-adding workload queries at
+/// evenly spaced stream positions, so both systems see the same events
+/// under the same evolving query set. The online system rebuilds only
+/// the share groups a change touches, carries every untouched group's
+/// state over, and drains affected windows at the churn barrier. The
+/// restart baseline does what an operator without churn support must
+/// do: tear the engine down, re-run workload analysis, and replay every
+/// event still inside an open window — and the Fig. 12 windows span
+/// 5–20 minutes over a 4-minute stream, so nearly the whole prefix is
+/// live state at every change. Each point is the best of three
+/// repetitions (the ratio is CI-gated, fig_batch-style); CI enforces
+/// the advantage via `perf_gate --min-churn-advantage`, a ratio of two
+/// runs from the same `BENCH.json` and therefore machine-independent.
+pub fn fig_churn(quick: bool) -> Figure {
+    let reg = stock::registry();
+    let queries = stock::workload_diverse(&reg, if quick { 20 } else { 50 }, 99);
+    let cfg = GenConfig {
+        events_per_min: scale(quick, 3_000, 1_000),
+        minutes: 4,
+        mean_burst: 120.0,
+        num_groups: 32,
+        group_skew: 0.0,
+        seed: 13,
+        max_lateness: 0,
+    };
+    let events = stock::generate(&reg, &cfg);
+    let counts: Vec<usize> = if quick {
+        vec![4, 16]
+    } else {
+        vec![2, 4, 8, 16, 32]
+    };
+    let mut rows = Vec::new();
+    for ops in counts {
+        // Alternate remove / re-add cycling through the workload's
+        // queries: the live query set stays within one query of the
+        // original size, and consecutive ops touch different share
+        // groups.
+        let schedule: Vec<(usize, ChurnOp)> = (0..ops)
+            .map(|j| {
+                let q = &queries[(j / 2) % queries.len()];
+                let at = (j + 1) * events.len() / (ops + 1);
+                let op = if j % 2 == 0 {
+                    ChurnOp::Remove(q.id)
+                } else {
+                    ChurnOp::Add(q.clone())
+                };
+                (at, op)
+            })
+            .collect();
+        let ms = vec![
+            best_of_three(|| churn_online(&reg, &queries, &events, &schedule)),
+            best_of_three(|| churn_restart(&reg, &queries, &events, &schedule)),
+        ];
+        rows.push((format!("{ops}"), ms));
+    }
+    Figure {
+        id: "fig_churn",
+        title: "Runtime churn: online re-planning vs restart-per-change (Stock-like, diverse)"
+            .into(),
+        rows,
+        x_label: "churn ops",
+    }
+}
+
+/// Best throughput of three repetitions — the fig_batch convention for
+/// CI-gated ratios: the fastest repetition approximates the noise-free
+/// cost of a path.
+fn best_of_three(mut run: impl FnMut() -> Measurement) -> Measurement {
+    (0..3)
+        .map(|_| run())
+        .max_by(|a, b| a.throughput_eps.total_cmp(&b.throughput_eps))
+        .expect("three reps")
+}
+
+/// `fig_churn`'s online system: one engine processes the whole stream,
+/// applying each scheduled op in place at its stream position.
+fn churn_online(
+    reg: &Arc<TypeRegistry>,
+    queries: &[Query],
+    events: &[Event],
+    schedule: &[(usize, ChurnOp)],
+) -> Measurement {
+    let t0 = Instant::now();
+    let mut eng = HamletEngine::new(reg.clone(), queries.to_vec(), EngineConfig::default())
+        .expect("engine builds");
+    let mut results = 0u64;
+    let mut next = 0usize;
+    for (idx, e) in events.iter().enumerate() {
+        while next < schedule.len() && schedule[next].0 <= idx {
+            let report = match schedule[next].1.clone() {
+                ChurnOp::Add(q) => eng.add_query(q),
+                ChurnOp::Remove(id) => eng.remove_query(id),
+            }
+            .expect("churn schedule is valid");
+            results += report.drained.len() as u64;
+            next += 1;
+        }
+        results += eng.process(e).len() as u64;
+    }
+    results += eng.flush().len() as u64;
+    let mut m = Measurement::zero(System::HamletChurn, events.len() as u64, queries.len());
+    m.wall = t0.elapsed();
+    m.results = results;
+    m.throughput_eps = events.len() as f64 / m.wall.as_secs_f64().max(1e-9);
+    m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+    let s = eng.stats();
+    m.snapshots = s.runs.snapshots();
+    m.shared_bursts = s.runs.shared_bursts;
+    m.solo_bursts = s.runs.solo_bursts;
+    m.transitions = s.runs.merges + s.runs.splits;
+    m
+}
+
+/// `fig_churn`'s restart baseline: at every scheduled op the engine is
+/// rebuilt for the new query set and every event still inside an open
+/// window (bounded by the largest surviving `WITHIN`) is replayed to
+/// recover state. Replay emissions are recomputations of state, not new
+/// results, so only post-restart processing counts toward `results`.
+fn churn_restart(
+    reg: &Arc<TypeRegistry>,
+    queries: &[Query],
+    events: &[Event],
+    schedule: &[(usize, ChurnOp)],
+) -> Measurement {
+    let t0 = Instant::now();
+    let mut live: Vec<Query> = queries.to_vec();
+    let mut eng = HamletEngine::new(reg.clone(), live.clone(), EngineConfig::default())
+        .expect("engine builds");
+    let mut results = 0u64;
+    let mut next = 0usize;
+    for (idx, e) in events.iter().enumerate() {
+        while next < schedule.len() && schedule[next].0 <= idx {
+            match schedule[next].1.clone() {
+                ChurnOp::Add(q) => live.push(q),
+                ChurnOp::Remove(id) => live.retain(|q| q.id != id),
+            }
+            // The stream is in timestamp order, so the replay tail is a
+            // suffix of the processed prefix: every event whose window
+            // horizon still reaches past the last processed timestamp.
+            let wm = events[idx.saturating_sub(1)].time.ticks();
+            let within = live.iter().map(|q| q.window.within).max().unwrap_or(0);
+            let tail = events[..idx].partition_point(|e| e.time.ticks() + within <= wm);
+            eng = HamletEngine::new(reg.clone(), live.clone(), EngineConfig::default())
+                .expect("engine builds");
+            for old in &events[tail..idx] {
+                eng.process(old);
+            }
+            next += 1;
+        }
+        results += eng.process(e).len() as u64;
+    }
+    results += eng.flush().len() as u64;
+    let mut m = Measurement::zero(System::HamletRestart, events.len() as u64, queries.len());
+    m.wall = t0.elapsed();
+    m.results = results;
+    m.throughput_eps = events.len() as f64 / m.wall.as_secs_f64().max(1e-9);
+    m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+    let s = eng.stats();
+    m.snapshots = s.runs.snapshots();
+    m.shared_bursts = s.runs.shared_bursts;
+    m.solo_bursts = s.runs.solo_bursts;
+    m.transitions = s.runs.merges + s.runs.splits;
+    m
 }
 
 /// §6.2 overhead experiment: one-time workload analysis latency and the
@@ -853,6 +1027,46 @@ mod tests {
             "blob size did not grow with cardinality: {} vs {}",
             bytes_at("10000"),
             bytes_at("100")
+        );
+    }
+
+    #[test]
+    #[ignore = "slow tier: churn A/B sweep; run with `cargo test -- --ignored`"]
+    fn churn_sweep_shows_online_advantage() {
+        let fig = fig_churn(true);
+        assert_eq!(fig.x_label, "churn ops");
+        assert_eq!(fig.rows.len(), 2);
+        for (ops, ms) in &fig.rows {
+            let online = ms
+                .iter()
+                .find(|m| m.system == System::HamletChurn)
+                .expect("online row")
+                .throughput_eps;
+            let restart = ms
+                .iter()
+                .find(|m| m.system == System::HamletRestart)
+                .expect("restart row")
+                .throughput_eps;
+            // Online re-planning must beat restart-per-change, and the
+            // gap must widen with churn frequency (the restart baseline
+            // replays the open-window prefix at every op). The per-point
+            // bound here is looser than the CI gate's geomean floor
+            // (--min-churn-advantage) to keep slow-tier runs robust on
+            // noisy hosts.
+            assert!(
+                online > restart,
+                "online churn slower than restart at {ops} ops: {online} vs {restart}"
+            );
+        }
+        let ratio_at = |x: &str| {
+            let ms = &fig.rows.iter().find(|(k, _)| k == x).expect("row").1;
+            ms[0].throughput_eps / ms[1].throughput_eps.max(f64::MIN_POSITIVE)
+        };
+        assert!(
+            ratio_at("16") > ratio_at("4") * 0.8,
+            "advantage collapsed as churn frequency grew: {} vs {}",
+            ratio_at("16"),
+            ratio_at("4")
         );
     }
 

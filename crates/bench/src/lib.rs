@@ -51,6 +51,19 @@ pub enum System {
     /// `HamletEngine::process_batch` — the numerator of `fig_batch` and
     /// the path every production caller now uses.
     HamletBatch(usize),
+    /// The live engine evolving its workload online via
+    /// `HamletEngine::add_query` / `remove_query`: only the share groups
+    /// a change touches are rebuilt, untouched state carries over, and
+    /// affected windows drain at the churn barrier. Driven by
+    /// [`figures::fig_churn`], which owns the churn schedule
+    /// (`run_system`'s signature cannot express one).
+    HamletChurn,
+    /// The restart-per-change baseline (`fig_churn`'s denominator): what
+    /// an operator without churn support must do at every workload
+    /// change — rebuild the engine from scratch and replay every event
+    /// still inside an open window. Also driven by
+    /// [`figures::fig_churn`].
+    HamletRestart,
 }
 
 impl System {
@@ -67,6 +80,8 @@ impl System {
             System::HamletPipeline(w) => format!("HAMLET-pipe{w}"),
             System::HamletEvent => "HAMLET-event".into(),
             System::HamletBatch(_) => "HAMLET-batch".into(),
+            System::HamletChurn => "HAMLET-churn".into(),
+            System::HamletRestart => "HAMLET-restart".into(),
         }
     }
 }
@@ -320,6 +335,16 @@ pub fn run_system(
             m.wall = t0.elapsed();
             m.latency_avg = eng.latency().avg();
             m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+        }
+        System::HamletChurn | System::HamletRestart => {
+            // Both systems are defined by a churn schedule, which this
+            // signature cannot carry — `figures::fig_churn` drives them
+            // directly. Falling back to a churn-free run here would let a
+            // mis-routed sweep silently pass the churn gate.
+            panic!(
+                "{} needs a churn schedule; drive it through figures::fig_churn",
+                system.name()
+            );
         }
         System::TwoStep => {
             let mut eng = TwoStepEngine::new(reg.clone(), queries.to_vec(), cfg.twostep_budget)

@@ -46,7 +46,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy for `Vec`s with element strategy `S` (see [`vec`]).
+/// Strategy for `Vec`s with element strategy `S` (see [`vec()`]).
 #[derive(Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -40,8 +40,16 @@ use std::time::Duration;
 /// Magic tag opening every engine checkpoint blob.
 pub const ENGINE_MAGIC: [u8; 4] = *b"HMEN";
 /// Engine checkpoint format version. v2 added the count-only burst tail
-/// (`burst_extra`) to each run's pending-burst record.
-pub const ENGINE_VERSION: u16 = 2;
+/// (`burst_extra`) to each run's pending-burst record; v3 added the
+/// workload *epoch* (runtime query churn generation) to the header.
+/// v2 blobs still restore — into engines at epoch 0, the only epoch v2
+/// could describe (see `docs/checkpoint-format.md`).
+pub const ENGINE_VERSION: u16 = 3;
+
+/// The previous engine format version, still accepted by
+/// [`crate::HamletEngine::restore`] for blobs written before the
+/// workload epoch existed.
+pub const ENGINE_VERSION_V2: u16 = 2;
 
 /// Errors surfaced while decoding or validating a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -123,6 +123,10 @@ pub enum EngineError {
     General(QueryId, general::GeneralError),
     /// Unsupported clause combination.
     Unsupported(String),
+    /// A churn schedule (timestamped add/remove ops validated up front,
+    /// e.g. a pipeline churn script) is invalid against the workload it
+    /// evolves.
+    Churn(String),
 }
 
 impl fmt::Display for EngineError {
@@ -131,6 +135,7 @@ impl fmt::Display for EngineError {
             EngineError::Workload(e) => write!(f, "workload analysis: {e}"),
             EngineError::General(q, e) => write!(f, "query {q:?}: {e}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Churn(m) => write!(f, "churn schedule: {m}"),
         }
     }
 }
@@ -485,6 +490,108 @@ struct Combiner {
     right: QueryId,
 }
 
+/// Everything [`HamletEngine::compile`] derives from a query list: the
+/// share groups with their runtimes, the general-query combiners, and
+/// the batched path's routing/class tables. Built identically by
+/// [`HamletEngine::new`] and by runtime query churn, so a churned engine
+/// and a fresh engine over the same final query set agree on every
+/// compiled structure (and therefore on the workload fingerprint).
+struct CompiledWorkload {
+    groups: Vec<GroupExec>,
+    combiners: Vec<Combiner>,
+    sub_of: HashMap<QueryId, usize>,
+    route: Vec<Vec<(u32, u32, u32, u32)>>,
+    num_classes: usize,
+    num_wnd_classes: usize,
+}
+
+/// One workload-churn operation: register or retire a query on a live
+/// engine (see [`HamletEngine::add_query`] /
+/// [`HamletEngine::remove_query`]).
+#[derive(Clone, Debug)]
+pub enum ChurnOp {
+    /// Register a new query. Its id must be unused.
+    Add(Query),
+    /// Retire the query with this id.
+    Remove(QueryId),
+}
+
+/// Errors from runtime query churn. The engine is never left
+/// half-churned: on any error the previous workload keeps running
+/// untouched.
+#[derive(Debug)]
+pub enum ChurnError {
+    /// `remove_query` named an id that is not registered (including a
+    /// double remove).
+    Unknown(QueryId),
+    /// `add_query` re-used an id that is still registered.
+    Duplicate(QueryId),
+    /// The post-churn workload failed to compile (same errors as
+    /// [`HamletEngine::new`]).
+    Engine(EngineError),
+}
+
+impl fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChurnError::Unknown(q) => write!(f, "no query with id {q:?} is registered"),
+            ChurnError::Duplicate(q) => write!(f, "query id {q:?} is already registered"),
+            ChurnError::Engine(e) => write!(f, "post-churn workload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
+/// Post-churn placement of one share group, with the Def. 12 benefit
+/// model re-run against the group's current stream statistics (§4.1) —
+/// the *a-priori* shared-vs-solo call for the new workload. Runtime
+/// per-burst decisions still re-price continuously; this records what
+/// the optimizer thinks at the churn barrier.
+#[derive(Clone, Debug)]
+pub struct GroupPlacement {
+    /// Member (original) query ids.
+    pub members: Vec<QueryId>,
+    /// Whether the group carried live state over from before the churn
+    /// (an untouched group) or started fresh (touched/rebuilt).
+    pub carried_over: bool,
+    /// Def. 12 benefit estimate for sharing this group's sharable burst
+    /// processing (`NonShared − Shared`; positive favors sharing).
+    /// Singleton groups have nothing to share and report 0.
+    pub benefit: f64,
+    /// The placement decision implied by `benefit` and the group size:
+    /// `true` = execute shared (HAMLET graphlets), `false` = solo
+    /// (GRETA-style per-query processing).
+    pub shared: bool,
+}
+
+/// What a successful [`HamletEngine::add_query`] /
+/// [`HamletEngine::remove_query`] hands back.
+#[derive(Debug)]
+pub struct ChurnReport {
+    /// Results of in-flight windows that belonged to *touched* share
+    /// groups, drained at the churn barrier in the canonical
+    /// `(window_start, group, key)` order. Untouched groups keep their
+    /// in-flight state and are not represented here.
+    pub drained: Vec<WindowResult>,
+    /// Share groups whose member set was unchanged: their live runs,
+    /// partitions, and learned divergence statistics carried over.
+    pub groups_carried: usize,
+    /// Share groups that were created or restructured by the churn and
+    /// start empty (their prior in-flight windows are in `drained`).
+    pub groups_rebuilt: usize,
+    /// Per-group placement after re-running the benefit model.
+    pub placements: Vec<GroupPlacement>,
+    /// The engine's workload epoch after the churn (monotone; stamped
+    /// into every subsequent checkpoint).
+    pub epoch: u64,
+}
+
+/// One buffered general-query half, as keyed in `HamletEngine::pending`:
+/// the `(combiner index, group, window start)` slot plus the sub-query that
+/// arrived first and its trend count.
+type PendingHalf = ((usize, GroupKey, u64), (QueryId, u64));
+
 /// The multi-query trend aggregation engine (§2.2).
 pub struct HamletEngine {
     reg: Arc<TypeRegistry>,
@@ -524,6 +631,13 @@ pub struct HamletEngine {
     /// counted in [`EngineStats::late_skips`]) instead of resurrecting
     /// the window and double-emitting it at flush.
     watermark: Option<Ts>,
+    /// The original (pre-decomposition) query set, kept so runtime churn
+    /// can recompile the workload from scratch.
+    queries: Vec<Query>,
+    /// Workload epoch: 0 at construction, +1 per successful churn.
+    /// Stamped into checkpoints so restore can reject state taken under
+    /// a different query set generation.
+    epoch: u64,
 }
 
 impl HamletEngine {
@@ -533,11 +647,44 @@ impl HamletEngine {
         queries: Vec<Query>,
         cfg: EngineConfig,
     ) -> Result<HamletEngine, EngineError> {
+        let compiled = Self::compile(&reg, &queries, &cfg)?;
+        Ok(HamletEngine {
+            reg,
+            cfg,
+            groups: compiled.groups,
+            combiners: compiled.combiners,
+            sub_of: compiled.sub_of,
+            pending: HashMap::new(),
+            expiry: BinaryHeap::new(),
+            #[cfg(test)]
+            scan_expiry: false,
+            stats: EngineStats::default(),
+            latency: LatencyRecorder::new(),
+            gauge: MemoryGauge::new(),
+            scratch: BatchScratch::new(compiled.num_classes, compiled.num_wnd_classes),
+            route: compiled.route,
+            arena: EventArena::new(),
+            event_counter: 0,
+            watermark: None,
+            queries,
+            epoch: 0,
+        })
+    }
+
+    /// Compiles a query list into executable share groups: decomposes
+    /// general patterns, clusters by sharability, builds the per-group
+    /// runtimes and the batched path's routing tables. Deterministic in
+    /// the query list, so churn and `new` agree structure-for-structure.
+    fn compile(
+        reg: &Arc<TypeRegistry>,
+        queries: &[Query],
+        cfg: &EngineConfig,
+    ) -> Result<CompiledWorkload, EngineError> {
         let mut next_id = queries.iter().map(|q| q.id.0 + 1).max().unwrap_or(0);
         let mut simple: Vec<Arc<Query>> = Vec::new();
         let mut combiners = Vec::new();
         let mut sub_of = HashMap::new();
-        for q in &queries {
+        for q in queries {
             if !q.pattern.negated_types().is_empty()
                 && matches!(q.agg, AggFunc::Min(..) | AggFunc::Max(..))
             {
@@ -653,24 +800,13 @@ impl HamletEngine {
             .collect();
         let num_classes = class_reps.len().max(1);
         let num_wnd_classes = wnd_reps.len().max(1);
-        Ok(HamletEngine {
-            reg,
-            cfg,
+        Ok(CompiledWorkload {
             groups,
             combiners,
             sub_of,
-            pending: HashMap::new(),
-            expiry: BinaryHeap::new(),
-            #[cfg(test)]
-            scan_expiry: false,
-            stats: EngineStats::default(),
-            latency: LatencyRecorder::new(),
-            gauge: MemoryGauge::new(),
-            scratch: BatchScratch::new(num_classes, num_wnd_classes),
             route,
-            arena: EventArena::new(),
-            event_counter: 0,
-            watermark: None,
+            num_classes,
+            num_wnd_classes,
         })
     }
 
@@ -751,6 +887,31 @@ impl HamletEngine {
     /// The two observable deviations from the fold are timing-only: the
     /// memory gauge samples at segment (not event) granularity, and
     /// per-burst arrival stamps are taken once per segment.
+    ///
+    /// ```
+    /// use hamlet_core::{EngineConfig, HamletEngine};
+    /// use hamlet_query::parse_query;
+    /// use hamlet_types::{EventBuilder, TypeRegistry};
+    /// use std::sync::Arc;
+    ///
+    /// let mut reg = TypeRegistry::new();
+    /// let a = reg.register("A", &[]);
+    /// let b = reg.register("B", &[]);
+    /// let reg = Arc::new(reg);
+    /// let q = parse_query(&reg, 1, "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 10").unwrap();
+    /// let mk =
+    ///     || HamletEngine::new(reg.clone(), vec![q.clone()], EngineConfig::default()).unwrap();
+    /// let batch: Vec<_> = (0..40)
+    ///     .map(|t| EventBuilder::new(&reg, if t % 4 == 0 { a } else { b }, t).build())
+    ///     .collect();
+    ///
+    /// let (mut batched, mut folded) = (mk(), mk());
+    /// let mut fast = batched.process_batch(&batch);
+    /// fast.extend(batched.flush());
+    /// let mut slow: Vec<_> = batch.iter().flat_map(|e| folded.process(e)).collect();
+    /// slow.extend(folded.flush());
+    /// assert_eq!(fast, slow); // batching never changes results
+    /// ```
     pub fn process_batch(&mut self, events: &[Event]) -> Vec<WindowResult> {
         let mut out = Vec::new();
         let mut i = 0;
@@ -1465,8 +1626,8 @@ impl HamletEngine {
     /// watermark expiration index, and the batch scratch arena's pooled
     /// buffers.
     ///
-    /// The memory gauge (peak-memory metric, §6.1) samples
-    /// [`live_state_bytes`](Self::live_state_bytes) instead: the arena is
+    /// The memory gauge (peak-memory metric, §6.1) samples the internal
+    /// `live_state_bytes` (everything but the arena) instead: the arena is
     /// path-dependent (it remembers how bursts happened to flush) and is
     /// not checkpointed, so including it would make gauge readings — and
     /// with them checkpoint bytes — differ between an uninterrupted run
@@ -1558,10 +1719,40 @@ impl HamletEngine {
     /// of in-flight runs (an `Instant` cannot be serialized): latency
     /// *metrics* for windows open across the checkpoint lose those
     /// samples, results do not.
+    ///
+    /// See `docs/checkpoint-format.md` for the byte layout.
+    ///
+    /// ```
+    /// use hamlet_core::{EngineConfig, HamletEngine};
+    /// use hamlet_query::parse_query;
+    /// use hamlet_types::{EventBuilder, TypeRegistry};
+    /// use std::sync::Arc;
+    ///
+    /// let mut reg = TypeRegistry::new();
+    /// let a = reg.register("A", &[]);
+    /// let b = reg.register("B", &[]);
+    /// let reg = Arc::new(reg);
+    /// let q = parse_query(&reg, 1, "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 10").unwrap();
+    /// let mk =
+    ///     || HamletEngine::new(reg.clone(), vec![q.clone()], EngineConfig::default()).unwrap();
+    ///
+    /// let mut eng = mk();
+    /// eng.process(&EventBuilder::new(&reg, a, 0).build());
+    /// let blob = eng.checkpoint(); // mid-window: a run is in flight
+    ///
+    /// let mut restored = mk();
+    /// restored.restore(&blob).unwrap();
+    /// assert_eq!(restored.checkpoint(), blob); // round trip is the identity
+    /// // ...and both finish the stream identically.
+    /// let e = EventBuilder::new(&reg, b, 1).build();
+    /// assert_eq!(restored.process(&e), eng.process(&e));
+    /// assert_eq!(restored.flush(), eng.flush());
+    /// ```
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut e = crate::checkpoint::Enc::new();
         e.raw(&crate::checkpoint::ENGINE_MAGIC);
         e.u16(crate::checkpoint::ENGINE_VERSION);
+        e.u64(self.epoch);
         e.bytes(&self.fingerprint());
         e.usize(self.groups.len());
         for g in &self.groups {
@@ -1625,8 +1816,7 @@ impl HamletEngine {
     /// The engine must have been built ([`HamletEngine::new`]) over the
     /// same workload and shard configuration the checkpoint was taken
     /// under — validated via an embedded fingerprint, mismatches return
-    /// [`CheckpointError::WorkloadMismatch`]
-    /// (`CheckpointError` = [`crate::checkpoint::CheckpointError`]).
+    /// [`WorkloadMismatch`](crate::checkpoint::CheckpointError::WorkloadMismatch).
     /// The watermark expiration index is rebuilt from the restored runs
     /// (one entry per live run), so expiry behavior continues exactly as
     /// if the engine had never stopped.
@@ -1635,8 +1825,21 @@ impl HamletEngine {
         let mut d = Dec::new(bytes);
         d.magic(&crate::checkpoint::ENGINE_MAGIC)?;
         let version = d.u16()?;
-        if version != crate::checkpoint::ENGINE_VERSION {
-            return Err(CheckpointError::BadVersion(version));
+        // v2 blobs predate the workload epoch; they can only describe an
+        // engine that never churned, i.e. epoch 0. v3 carries the epoch
+        // explicitly. Anything else is unknown.
+        let blob_epoch = match version {
+            crate::checkpoint::ENGINE_VERSION => d.u64()?,
+            crate::checkpoint::ENGINE_VERSION_V2 => 0,
+            other => return Err(CheckpointError::BadVersion(other)),
+        };
+        if blob_epoch != self.epoch {
+            return Err(CheckpointError::WorkloadMismatch(format!(
+                "checkpoint was taken at workload epoch {blob_epoch} but the engine is at \
+                 epoch {} — the query set has churned since this checkpoint; restore it \
+                 into an engine whose churn history matches (see set_epoch)",
+                self.epoch
+            )));
         }
         let fp = d.bytes()?;
         if fp != self.fingerprint() {
@@ -1764,6 +1967,360 @@ impl HamletEngine {
         // an empty pool so `state_bytes` matches a fresh engine's.
         self.arena = EventArena::new();
         Ok(())
+    }
+
+    /// The engine's workload epoch: 0 at construction, +1 per successful
+    /// [`add_query`](Self::add_query) / [`remove_query`](Self::remove_query).
+    /// Every checkpoint is stamped with it, and [`restore`](Self::restore)
+    /// rejects blobs from a different epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Declares the engine's workload epoch without churning, for
+    /// restoring a checkpoint taken *after* churn into a freshly built
+    /// engine: build with the final query set
+    /// ([`HamletEngine::new`] starts at epoch 0), set the epoch the blob
+    /// reports ([`checkpoint_epoch`]), then [`restore`](Self::restore).
+    /// Only meaningful on an engine with no live state.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The registered (original, pre-decomposition) query set.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Registers a query on the live engine (see the churn contract on
+    /// [`remove_query`](Self::remove_query)).
+    ///
+    /// Only the share groups the new query restructures are rebuilt;
+    /// every other group keeps its in-flight runs and learned statistics.
+    /// The Def. 12 benefit model is re-run for the post-churn workload
+    /// ([`ChurnReport::placements`]). Fails with
+    /// [`ChurnError::Duplicate`] if the id is already registered, or
+    /// [`ChurnError::Engine`] if the resulting workload does not compile;
+    /// on any error the engine is untouched.
+    ///
+    /// ```
+    /// use hamlet_core::{EngineConfig, HamletEngine};
+    /// use hamlet_query::{parse_query, QueryId};
+    /// use hamlet_types::{EventBuilder, TypeRegistry};
+    /// use std::sync::Arc;
+    ///
+    /// let mut reg = TypeRegistry::new();
+    /// let a = reg.register("A", &[]);
+    /// let b = reg.register("B", &[]);
+    /// let reg = Arc::new(reg);
+    /// let q1 = parse_query(&reg, 1, "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 10").unwrap();
+    /// let q2 = parse_query(&reg, 2, "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 20").unwrap();
+    /// let mut eng = HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+    ///
+    /// eng.process(&EventBuilder::new(&reg, a, 0).build());
+    /// let report = eng.add_query(q2).unwrap(); // churn barrier
+    /// assert_eq!(report.epoch, 1);
+    /// assert_eq!(eng.queries().len(), 2);
+    /// let report = eng.remove_query(QueryId(2)).unwrap();
+    /// assert_eq!(report.epoch, 2);
+    /// ```
+    pub fn add_query(&mut self, q: Query) -> Result<ChurnReport, ChurnError> {
+        if self.queries.iter().any(|p| p.id == q.id) {
+            return Err(ChurnError::Duplicate(q.id));
+        }
+        let mut wanted = self.queries.clone();
+        wanted.push(q);
+        self.apply_churn(wanted)
+    }
+
+    /// Retires a query from the live engine.
+    ///
+    /// # Churn contract
+    ///
+    /// Churn applies at a *watermark barrier*: the stream between two
+    /// `process` calls. Share groups whose member set is unchanged carry
+    /// all in-flight state over — their output is byte-identical to never
+    /// having churned. Groups the churn touches (created, dissolved, or
+    /// re-clustered) drain at the barrier: their in-flight windows emit
+    /// immediately with the data seen so far ([`ChurnReport::drained`],
+    /// canonical `(window_start, group, key)` order), and — for queries
+    /// that remain registered — the window re-opens for post-barrier
+    /// events, so nothing is silently dropped. A removed query's windows
+    /// thus appear exactly once (the drain); a surviving re-grouped
+    /// query's mid-flight windows appear as a drained prefix plus a
+    /// regular suffix emission.
+    ///
+    /// Fails with [`ChurnError::Unknown`] on an unregistered id (double
+    /// removes included); the engine is untouched on error.
+    pub fn remove_query(&mut self, id: QueryId) -> Result<ChurnReport, ChurnError> {
+        if !self.queries.iter().any(|p| p.id == id) {
+            return Err(ChurnError::Unknown(id));
+        }
+        let wanted: Vec<Query> = self
+            .queries
+            .iter()
+            .filter(|p| p.id != id)
+            .cloned()
+            .collect();
+        self.apply_churn(wanted)
+    }
+
+    /// Per-group member signature used to match groups across a churn:
+    /// `(original query id, half tag)` per member, in member order. Half
+    /// ids of decomposed general queries are renumbered whenever the
+    /// query set changes (`compile` numbers them from `max(id)+1`), so
+    /// identity must go through the original id plus which half it is
+    /// (0 = the query itself, 1 = left half, 2 = right half).
+    fn group_sigs(
+        groups: &[GroupExec],
+        sub_of: &HashMap<QueryId, usize>,
+        combiners: &[Combiner],
+    ) -> Vec<Vec<(u32, u8)>> {
+        groups
+            .iter()
+            .map(|g| {
+                g.rt.queries
+                    .iter()
+                    .map(|q| match sub_of.get(&q.id) {
+                        None => (q.id.0, 0u8),
+                        Some(&ci) => {
+                            let c = &combiners[ci];
+                            if q.id == c.left {
+                                (c.orig.0, 1)
+                            } else {
+                                (c.orig.0, 2)
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Rebuilds the engine around `final_queries`, carrying over every
+    /// share group whose membership is unchanged and draining the rest.
+    /// Strong exception safety: the workload is compiled before any
+    /// engine state is touched.
+    fn apply_churn(&mut self, final_queries: Vec<Query>) -> Result<ChurnReport, ChurnError> {
+        let mut compiled =
+            Self::compile(&self.reg, &final_queries, &self.cfg).map_err(ChurnError::Engine)?;
+
+        // Match old groups to new ones by member signature. Each
+        // (query, half) lives in exactly one group on each side, so the
+        // match is a partial bijection; member *order* must also agree
+        // because run state is indexed by member position.
+        let old_sigs = Self::group_sigs(&self.groups, &self.sub_of, &self.combiners);
+        let new_sigs = Self::group_sigs(&compiled.groups, &compiled.sub_of, &compiled.combiners);
+        let mut old_of_new: Vec<Option<usize>> = vec![None; compiled.groups.len()];
+        let mut carried_old: Vec<bool> = vec![false; self.groups.len()];
+        for (oi, os) in old_sigs.iter().enumerate() {
+            if let Some(ni) = new_sigs.iter().position(|ns| ns == os) {
+                old_of_new[ni] = Some(oi);
+                carried_old[oi] = true;
+            }
+        }
+
+        // Drain the in-flight windows of every group that does not carry
+        // over, through the normal finalization path (the old groups,
+        // estimators, and combiners are still installed, so general-query
+        // halves pair correctly).
+        let mut finished: Vec<(usize, GroupKey, u64, RunState)> = Vec::new();
+        for (oi, carried) in carried_old.iter().enumerate() {
+            if *carried {
+                continue;
+            }
+            for (key, runs) in std::mem::take(&mut self.groups[oi].partitions) {
+                for (start, rs) in runs {
+                    finished.push((oi, key.clone(), start, rs));
+                }
+            }
+        }
+        let mut drained = Vec::new();
+        self.finalize_finished(finished, &mut drained);
+
+        // Settle pending general-query halves. A pending entry's partner
+        // run can no longer exist (both halves of a window expire at the
+        // same watermark), so entries whose original query survives are
+        // re-keyed to the new combiner table, and entries of removed
+        // queries emit now with the missing half = 0, exactly as `flush`
+        // would have.
+        let new_ci_of_orig: HashMap<u32, usize> = compiled
+            .combiners
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.orig.0, i))
+            .collect();
+        let mut surviving_pending = HashMap::new();
+        let mut orphaned: Vec<PendingHalf> = Vec::new();
+        for ((ci, key, start), (id, count)) in self.pending.drain() {
+            let oc = &self.combiners[ci];
+            match new_ci_of_orig.get(&oc.orig.0) {
+                Some(&nci) => {
+                    let nc = &compiled.combiners[nci];
+                    let nid = if id == oc.left { nc.left } else { nc.right };
+                    surviving_pending.insert((nci, key, start), (nid, count));
+                }
+                None => orphaned.push(((ci, key, start), (id, count))),
+            }
+        }
+        orphaned.sort_by(|((ca, ka, sa), _), ((cb, kb, sb), _)| {
+            (sa, self.combiners[*ca].orig)
+                .cmp(&(sb, self.combiners[*cb].orig))
+                .then_with(|| ka.total_cmp(kb))
+        });
+        for ((ci, key, start), (id, count)) in orphaned {
+            let c = &self.combiners[ci];
+            let (c1, c2) = if id == c.left { (count, 0) } else { (0, count) };
+            let combined = general::combine(
+                c.kind,
+                hamlet_types::TrendVal(c1),
+                hamlet_types::TrendVal(c2),
+                c.same_pattern,
+            );
+            drained.push(WindowResult {
+                query: c.orig,
+                group_key: key,
+                window_start: Ts(start),
+                value: AggValue::Count(combined.0),
+            });
+            self.stats.windows_emitted += 1;
+        }
+
+        // Migrate carried groups: the group is recompiled (identical
+        // runtime — deterministic from the member set), the live runs and
+        // learned statistics move over, and each run re-points at the
+        // recompiled runtime.
+        let mut groups_carried = 0;
+        for (ni, oi) in old_of_new.iter().enumerate() {
+            let Some(oi) = *oi else { continue };
+            groups_carried += 1;
+            let ng = &mut compiled.groups[ni];
+            let og = &mut self.groups[oi];
+            ng.partitions = std::mem::take(&mut og.partitions);
+            std::mem::swap(&mut ng.estimator, &mut og.estimator);
+            let rt = ng.rt.clone();
+            for runs in ng.partitions.values_mut() {
+                for rs in runs.values_mut() {
+                    rs.run.retarget(rt.clone());
+                }
+            }
+        }
+
+        // Commit: swap in the compiled workload, rebuild the expiration
+        // index (group indices changed), keep the stream-global state
+        // (watermark, counters, metrics) running.
+        let groups_rebuilt = compiled.groups.len() - groups_carried;
+        self.groups = compiled.groups;
+        self.combiners = compiled.combiners;
+        self.sub_of = compiled.sub_of;
+        self.route = compiled.route;
+        self.scratch = BatchScratch::new(compiled.num_classes, compiled.num_wnd_classes);
+        self.pending = surviving_pending;
+        self.queries = final_queries;
+        self.epoch += 1;
+        self.expiry.clear();
+        for (gi, g) in self.groups.iter().enumerate() {
+            let within = g.window.within;
+            for (key, runs) in &g.partitions {
+                for &start in runs.keys() {
+                    self.expiry.push(Reverse(ExpiryEntry {
+                        end: window_end(start, within),
+                        start,
+                        group: gi,
+                        key: key.clone(),
+                    }));
+                }
+            }
+        }
+
+        let placements = self
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(ni, g)| self.placement_for(g, old_of_new[ni].is_some()))
+            .collect();
+        Ok(ChurnReport {
+            drained,
+            groups_carried,
+            groups_rebuilt,
+            placements,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Re-runs the Def. 12 benefit model for one group at the churn
+    /// barrier: for each type of the group's template, the a-priori
+    /// sharing decision for a nominal burst, with `sc` predicted from the
+    /// group's divergence statistics (learned, for carried groups; the
+    /// optimistic zero-divergence prior for fresh ones — the same bias
+    /// the per-burst optimizer starts from).
+    fn placement_for(&self, g: &GroupExec, carried_over: bool) -> GroupPlacement {
+        let members: Vec<QueryId> = g.rt.queries.iter().map(|q| q.id).collect();
+        if g.rt.k() < 2 {
+            return GroupPlacement {
+                members,
+                carried_over,
+                benefit: 0.0,
+                shared: false,
+            };
+        }
+        const NOMINAL_BURST: u64 = 16;
+        let probe = Run::new(g.rt.clone());
+        let mut total_benefit = 0.0;
+        let mut shared = false;
+        for tl in 0..g.rt.template.num_types() {
+            let mut ctx = probe.burst_shape(tl);
+            if ctx.candidates.len() < 2 {
+                continue;
+            }
+            ctx.diverging = ctx
+                .candidates
+                .iter()
+                .map(|&q| g.estimator.predict(tl, q, NOMINAL_BURST))
+                .collect();
+            // Def. 12 benefit of sharing the *whole* candidate set (can be
+            // negative — the optimizer would then process solo or share a
+            // subset, which is what `decide` below settles).
+            let bf = NOMINAL_BURST as f64;
+            let sc = 1.0
+                + ctx
+                    .diverging
+                    .iter()
+                    .zip(&ctx.has_edge)
+                    .map(|(&d, &e)| d as f64 + if e { bf } else { 0.0 })
+                    .sum::<f64>();
+            let factors = crate::optimizer::CostFactors {
+                b: bf,
+                n: ctx.n as f64,
+                g: (ctx.g + NOMINAL_BURST) as f64,
+                sp: (ctx.sp as f64).max(1.0),
+                p: ctx.p,
+            };
+            total_benefit += crate::optimizer::benefit(ctx.candidates.len() as f64, sc, &factors);
+            let dec = decide(self.cfg.policy, &ctx, NOMINAL_BURST);
+            shared |= dec.share.len() >= 2;
+        }
+        GroupPlacement {
+            members,
+            carried_over,
+            benefit: total_benefit,
+            shared,
+        }
+    }
+}
+
+/// Reads the workload epoch stamped in an engine checkpoint without
+/// restoring it (v2 blobs predate epochs and report 0). Used by the
+/// parallel/pipeline resume paths to [`HamletEngine::set_epoch`] freshly
+/// built engines before handing them the blob.
+pub fn checkpoint_epoch(bytes: &[u8]) -> Result<u64, crate::checkpoint::CheckpointError> {
+    use crate::checkpoint::{CheckpointError, Dec};
+    let mut d = Dec::new(bytes);
+    d.magic(&crate::checkpoint::ENGINE_MAGIC)?;
+    match d.u16()? {
+        crate::checkpoint::ENGINE_VERSION => d.u64(),
+        crate::checkpoint::ENGINE_VERSION_V2 => Ok(0),
+        other => Err(CheckpointError::BadVersion(other)),
     }
 }
 
@@ -2711,5 +3268,380 @@ mod tests {
         assert!(eng.latency().count() > 0);
         assert!(eng.peak_memory() > 0);
         assert!(eng.stats().runs.events > 0);
+    }
+
+    /// A stream the churn tests share: a, c and bursts of b, two group-by
+    /// values.
+    fn churn_stream(
+        reg: &TypeRegistry,
+        a: EventTypeId,
+        b: EventTypeId,
+        c: EventTypeId,
+        n: u64,
+    ) -> Vec<Event> {
+        (0..n)
+            .map(|t| {
+                let ty = match t % 5 {
+                    0 => a,
+                    1 => c,
+                    _ => b,
+                };
+                ev(reg, ty, t, (t % 2) as i64, t as f64)
+            })
+            .collect()
+    }
+
+    /// Adding and later removing a query whose window differs (its own
+    /// share group) must not perturb the untouched group's output at all.
+    #[test]
+    fn churn_of_unrelated_query_leaves_other_groups_byte_identical() {
+        let (reg, a, b, c) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(20));
+        let q2 = Query::count_star(2, seq(c, b), Window::tumbling(20));
+        let q3 = Query::count_star(7, seq(a, b), Window::tumbling(10));
+        let evs = churn_stream(&reg, a, b, c, 100);
+
+        let mut base = HamletEngine::new(
+            reg.clone(),
+            vec![q1.clone(), q2.clone()],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let baseline = collect(&mut base, evs.clone());
+
+        let mut eng = HamletEngine::new(
+            reg.clone(),
+            vec![q1.clone(), q2.clone()],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        for (i, e) in evs.iter().enumerate() {
+            if i == 33 {
+                let rep = eng.add_query(q3.clone()).unwrap();
+                assert_eq!(rep.groups_carried, 1, "the {{q1,q2}} group carries over");
+                assert_eq!(rep.groups_rebuilt, 1, "q3 starts its own group");
+                assert_eq!(rep.epoch, 1);
+                out.extend(rep.drained);
+            }
+            if i == 71 {
+                let rep = eng.remove_query(QueryId(7)).unwrap();
+                assert_eq!(rep.epoch, 2);
+                out.extend(rep.drained);
+            }
+            out.extend(eng.process(e));
+        }
+        out.extend(eng.flush());
+        let churned: Vec<WindowResult> =
+            out.into_iter().filter(|r| r.query != QueryId(7)).collect();
+        assert_eq!(baseline, churned);
+        assert_eq!(eng.epoch(), 2);
+        assert_eq!(eng.queries().len(), 2);
+    }
+
+    /// Removing a query with open windows drains them exactly once at the
+    /// barrier and never again.
+    #[test]
+    fn removed_query_drains_in_flight_windows_once() {
+        let (reg, a, b, c) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(20));
+        let q2 = Query::count_star(2, seq(c, b), Window::tumbling(20));
+        let evs = churn_stream(&reg, a, b, c, 30);
+        let mut eng =
+            HamletEngine::new(reg.clone(), vec![q1, q2], EngineConfig::default()).unwrap();
+        let mut out = Vec::new();
+        for e in &evs {
+            out.extend(eng.process(e));
+        }
+        // Window [20,40) is mid-flight for both queries.
+        let rep = eng.remove_query(QueryId(2)).unwrap();
+        let q2_drained = rep.drained.iter().filter(|r| r.query == QueryId(2)).count();
+        assert!(q2_drained > 0, "q2's open window drains at the barrier");
+        let before_flush = out.len() + rep.drained.len();
+        out.extend(rep.drained);
+        let flushed = eng.flush();
+        assert!(
+            !flushed.iter().any(|r| r.query == QueryId(2)),
+            "a removed query's windows never emit again after the drain"
+        );
+        out.extend(flushed);
+        assert!(out.len() >= before_flush);
+        // Each of q2's windows appears exactly once overall.
+        let mut seen = std::collections::BTreeSet::new();
+        for r in out.iter().filter(|r| r.query == QueryId(2)) {
+            assert!(
+                seen.insert((r.window_start.ticks(), format!("{}", r.group_key))),
+                "duplicate emission for {r:?}"
+            );
+        }
+    }
+
+    /// Removing the last co-member of a shared group: the survivor's
+    /// group is rebuilt (drain + re-open), and it keeps producing.
+    #[test]
+    fn remove_last_member_of_shared_group() {
+        let (reg, a, b, c) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(20));
+        let q2 = Query::count_star(2, seq(c, b), Window::tumbling(20));
+        let mut eng =
+            HamletEngine::new(reg.clone(), vec![q1, q2], EngineConfig::default()).unwrap();
+        assert_eq!(eng.num_groups(), 1);
+        let evs = churn_stream(&reg, a, b, c, 30);
+        let mut out = Vec::new();
+        for e in &evs {
+            out.extend(eng.process(e));
+        }
+        let rep = eng.remove_query(QueryId(2)).unwrap();
+        assert_eq!(rep.groups_carried, 0, "the shared group was restructured");
+        assert_eq!(rep.groups_rebuilt, 1);
+        assert_eq!(eng.num_groups(), 1);
+        assert!(
+            rep.drained.iter().any(|r| r.query == QueryId(1)),
+            "q1's mid-flight window drains as a prefix"
+        );
+        out.extend(rep.drained);
+        // q1 keeps producing after the churn.
+        for t in 30..60u64 {
+            let ty = if t % 5 == 0 { a } else { b };
+            out.extend(eng.process(&ev(&reg, ty, t, (t % 2) as i64, 0.0)));
+        }
+        out.extend(eng.flush());
+        assert!(out
+            .iter()
+            .any(|r| r.query == QueryId(1) && r.window_start.ticks() >= 40));
+        // The singleton placement reports solo execution.
+        assert_eq!(rep.placements.len(), 1);
+        assert!(!rep.placements[0].shared);
+        assert_eq!(rep.placements[0].benefit, 0.0);
+    }
+
+    /// Adding a query whose Def. 12 benefit is negative (edge predicates
+    /// force an event-level snapshot per burst event): the re-priced
+    /// placement must not share it.
+    #[test]
+    fn negative_benefit_add_goes_solo() {
+        let (reg, a, b, _) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(20));
+        let mut eng = HamletEngine::new(reg.clone(), vec![q1], EngineConfig::default()).unwrap();
+        // Same pattern and window — sharable, so it joins q1's group — but
+        // every adjacent B pair must be non-decreasing in v: an edge
+        // predicate, the Def. 9 worst case (snapshot per event).
+        let v_slot = reg.attr_index(b, "v").unwrap();
+        let q9 = Query::new(
+            QueryId(9),
+            seq(a, b),
+            hamlet_query::AggFunc::CountStar,
+            vec![],
+            vec![hamlet_query::predicate::EdgePredicate {
+                ty: b,
+                cur_attr: v_slot,
+                op: hamlet_query::predicate::CmpOp::Ge,
+                prev_attr: v_slot,
+            }],
+            vec![],
+            vec![],
+            Window::tumbling(20),
+        )
+        .unwrap();
+        let rep = eng.add_query(q9).unwrap();
+        let grp = rep
+            .placements
+            .iter()
+            .find(|p| p.members.len() == 2)
+            .expect("q1 and q9 cluster into one group");
+        assert!(
+            grp.benefit < 0.0,
+            "edge predicates make sharing lose: {}",
+            grp.benefit
+        );
+        assert!(!grp.shared, "negative benefit ⇒ solo execution");
+    }
+
+    /// Churn error paths: duplicate add, unknown remove, double remove —
+    /// and the engine is untouched on error.
+    #[test]
+    fn churn_errors_leave_engine_untouched() {
+        let (reg, a, b, c) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(20));
+        let q2 = Query::count_star(2, seq(c, b), Window::tumbling(20));
+        let mut eng =
+            HamletEngine::new(reg.clone(), vec![q1.clone(), q2], EngineConfig::default()).unwrap();
+        assert!(matches!(
+            eng.add_query(q1.clone()),
+            Err(ChurnError::Duplicate(QueryId(1)))
+        ));
+        assert!(matches!(
+            eng.remove_query(QueryId(42)),
+            Err(ChurnError::Unknown(QueryId(42)))
+        ));
+        assert_eq!(eng.epoch(), 0, "failed churn does not bump the epoch");
+        eng.remove_query(QueryId(2)).unwrap();
+        assert!(matches!(
+            eng.remove_query(QueryId(2)),
+            Err(ChurnError::Unknown(QueryId(2)))
+        ));
+        assert_eq!(eng.epoch(), 1);
+        // Unsupported workloads are rejected with the compile error and
+        // leave the engine running.
+        let mut neg = Query::count_star(3, seq(a, b), Window::tumbling(20));
+        neg.pattern = Pattern::seq(vec![
+            Pattern::Type(a),
+            Pattern::Not(Box::new(Pattern::Type(c))),
+            Pattern::plus(Pattern::Type(b)),
+        ]);
+        neg.agg = hamlet_query::AggFunc::Min(b, 1);
+        match eng.add_query(neg) {
+            Err(ChurnError::Engine(EngineError::Unsupported(_))) => {}
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        assert_eq!(eng.epoch(), 1);
+        assert_eq!(eng.queries().len(), 1);
+    }
+
+    /// Checkpoint after churn restores only into an engine at the same
+    /// epoch; cross-epoch and pre-churn blobs are rejected with a clear
+    /// error; v2-era semantics (epoch 0) keep working.
+    #[test]
+    fn churn_versions_the_checkpoint_epoch() {
+        let (reg, a, b, c) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(20));
+        let q2 = Query::count_star(2, seq(c, b), Window::tumbling(20));
+        let evs = churn_stream(&reg, a, b, c, 90);
+        let mut eng = HamletEngine::new(
+            reg.clone(),
+            vec![q1.clone(), q2.clone()],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        for e in &evs[..40] {
+            out.extend(eng.process(e));
+        }
+        let pre_churn_blob = eng.checkpoint();
+        assert_eq!(
+            crate::executor::checkpoint_epoch(&pre_churn_blob).unwrap(),
+            0
+        );
+        let rep = eng.remove_query(QueryId(2)).unwrap();
+        out.extend(rep.drained);
+        for e in &evs[40..60] {
+            out.extend(eng.process(e));
+        }
+        let blob = eng.checkpoint();
+        assert_eq!(crate::executor::checkpoint_epoch(&blob).unwrap(), 1);
+
+        // Restoring into a fresh engine over the final query set fails
+        // without the epoch — the clear cross-epoch error…
+        let mut fresh =
+            HamletEngine::new(reg.clone(), vec![q1.clone()], EngineConfig::default()).unwrap();
+        match fresh.restore(&blob) {
+            Err(crate::checkpoint::CheckpointError::WorkloadMismatch(msg)) => {
+                assert!(msg.contains("epoch"), "unhelpful error: {msg}");
+            }
+            other => panic!("expected WorkloadMismatch, got {other:?}"),
+        }
+        // …and succeeds once the epoch is declared.
+        fresh.set_epoch(1);
+        fresh.restore(&blob).unwrap();
+        let mut resumed = Vec::new();
+        for e in &evs[60..] {
+            resumed.extend(fresh.process(e));
+        }
+        resumed.extend(fresh.flush());
+        let mut direct = Vec::new();
+        for e in &evs[60..] {
+            direct.extend(eng.process(e));
+        }
+        direct.extend(eng.flush());
+        assert_eq!(direct, resumed, "restored suffix is byte-identical");
+
+        // The pre-churn blob no longer restores into the churned engine.
+        let mut eng2 = HamletEngine::new(
+            reg.clone(),
+            vec![q1.clone(), q2.clone()],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        eng2.remove_query(QueryId(2)).unwrap();
+        assert!(matches!(
+            eng2.restore(&pre_churn_blob),
+            Err(crate::checkpoint::CheckpointError::WorkloadMismatch(_))
+        ));
+    }
+
+    /// Churn across general (OR/AND) queries: pending halves re-key to
+    /// the renumbered combiner table, removed general queries settle
+    /// their halves at the barrier, and untouched queries are unaffected.
+    #[test]
+    fn churn_with_general_queries_settles_pending_halves() {
+        let (reg, a, b, c) = registry();
+        let q1 = Query::count_star(1, seq(a, b), Window::tumbling(20));
+        let mut q_or = Query::count_star(2, seq(a, b), Window::tumbling(20));
+        // Branches must be type-disjoint; the left half SEQ(a, b+) shares
+        // q1's group, the right half c+ is its own group.
+        q_or.pattern = Pattern::Or(
+            Box::new(seq(a, b)),
+            Box::new(Pattern::plus(Pattern::Type(c))),
+        );
+        let evs = churn_stream(&reg, a, b, c, 100);
+
+        let mut base = HamletEngine::new(
+            reg.clone(),
+            vec![q1.clone(), q_or.clone()],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let baseline = collect(&mut base, evs.clone());
+
+        // Remove the OR query mid-stream, then re-add it; q1's output must
+        // be untouched, and the OR query's windows all appear.
+        let mut eng = HamletEngine::new(
+            reg.clone(),
+            vec![q1.clone(), q_or.clone()],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        for (i, e) in evs.iter().enumerate() {
+            if i == 50 {
+                let rep = eng.remove_query(QueryId(2)).unwrap();
+                out.extend(rep.drained);
+                let rep = eng.add_query(q_or.clone()).unwrap();
+                out.extend(rep.drained);
+            }
+            out.extend(eng.process(e));
+        }
+        out.extend(eng.flush());
+        // q1 shares a group with the OR query's *left half*, so the churn
+        // touches it too: its mid-flight window [40,60) splits into a
+        // drained prefix plus a reopened suffix (the documented churn
+        // contract); every other window is byte-identical to baseline.
+        let q1_rows = |rs: &[WindowResult], w: u64| -> Vec<WindowResult> {
+            rs.iter()
+                .filter(|r| r.query == QueryId(1) && r.window_start.ticks() == w)
+                .cloned()
+                .collect()
+        };
+        for w in [0u64, 20, 60, 80] {
+            assert_eq!(q1_rows(&baseline, w), q1_rows(&out, w), "window {w}");
+        }
+        assert_eq!(
+            q1_rows(&out, 40).len(),
+            2,
+            "the mid-flight window splits at the barrier"
+        );
+        // Every window of the OR query emits (possibly split at the
+        // barrier), and they cover the same window starts as baseline.
+        let windows = |rs: &[WindowResult], q: u32| -> std::collections::BTreeSet<u64> {
+            rs.iter()
+                .filter(|r| r.query == QueryId(q))
+                .map(|r| r.window_start.ticks())
+                .collect()
+        };
+        assert_eq!(
+            windows(&baseline, 2),
+            windows(&out, 2),
+            "OR query covers the same windows"
+        );
     }
 }

@@ -56,7 +56,8 @@ pub mod workload;
 
 pub use checkpoint::CheckpointError;
 pub use executor::{
-    sort_results, AggValue, EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult,
+    checkpoint_epoch, sort_results, AggValue, ChurnError, ChurnOp, ChurnReport, EngineConfig,
+    EngineError, EngineStats, GroupPlacement, HamletEngine, WindowResult,
 };
 pub use metrics::{LatencyHistogram, LatencyRecorder};
 pub use optimizer::SharingPolicy;

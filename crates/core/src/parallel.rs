@@ -42,7 +42,8 @@
 
 use crate::checkpoint::{self, CheckpointError, Dec};
 use crate::executor::{
-    sort_results, EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult,
+    checkpoint_epoch, sort_results, ChurnError, ChurnOp, EngineConfig, EngineError, EngineStats,
+    HamletEngine, WindowResult,
 };
 use crate::metrics::LatencyRecorder;
 use hamlet_query::Query;
@@ -76,6 +77,27 @@ type WorkerOutput = (
 enum EndMode {
     Flush,
     Checkpoint,
+}
+
+/// What the router sends a shard worker during a churned run: a routed
+/// batch, or a churn op every worker applies at the same stream position
+/// (the coordinated per-shard barrier — channel FIFO order guarantees all
+/// pre-op events are processed first).
+enum ShardMsg {
+    Batch(Vec<Event>),
+    Churn(ChurnOp),
+}
+
+/// Applies one validated churn op to an engine, returning the results it
+/// drained at the barrier.
+fn apply_op(eng: &mut HamletEngine, op: ChurnOp) -> Vec<WindowResult> {
+    let report = match op {
+        ChurnOp::Add(q) => eng.add_query(q),
+        ChurnOp::Remove(id) => eng.remove_query(id),
+    };
+    report
+        .expect("churn ops validated before execution started")
+        .drained
 }
 
 /// Magic tag opening a serialized [`ParallelCheckpoint`] container.
@@ -315,6 +337,207 @@ impl ParallelEngine {
             .map(|x| x.report)
     }
 
+    /// Processes a finite stream with **runtime query churn**: each
+    /// `(position, op)` pair applies its add/remove after `position`
+    /// events of the stream have been routed (positions non-decreasing).
+    ///
+    /// Churn applies at a coordinated per-shard barrier: routing pauses,
+    /// every in-flight batch is flushed to its shard, every shard applies
+    /// the op at the same stream position (channel FIFO order), and the
+    /// router re-plans before routing resumes. Results drained at the
+    /// barriers (see the churn contract on
+    /// [`HamletEngine::remove_query`]) are
+    /// merged into the report's canonically sorted results, so nothing is
+    /// dropped.
+    ///
+    /// The whole op sequence is validated (ids, compilability of every
+    /// intermediate workload) before any event is processed; on error the
+    /// engine is untouched. On success the engine's query set — and its
+    /// router — end at the final workload, so a subsequent
+    /// [`run`](Self::run) sees the post-churn workload.
+    pub fn run_with_churn(
+        &mut self,
+        events: &[Event],
+        ops: &[(usize, ChurnOp)],
+    ) -> Result<ParallelReport, ChurnError> {
+        for w in ops.windows(2) {
+            assert!(w[0].0 <= w[1].0, "churn positions must be non-decreasing");
+        }
+        // Validate the whole op sequence upfront: simulate the query-list
+        // evolution and compile every intermediate workload, so worker
+        // threads can treat churn application as infallible.
+        let mut sim = self.queries.clone();
+        let mut probe_cfg = self.cfg.clone();
+        probe_cfg.shard = None;
+        probe_cfg.track_latency = false;
+        probe_cfg.mem_sample_every = 0;
+        for (_, op) in ops {
+            match op {
+                ChurnOp::Add(q) => {
+                    if sim.iter().any(|p| p.id == q.id) {
+                        return Err(ChurnError::Duplicate(q.id));
+                    }
+                    sim.push(q.clone());
+                }
+                ChurnOp::Remove(id) => {
+                    if !sim.iter().any(|p| p.id == *id) {
+                        return Err(ChurnError::Unknown(*id));
+                    }
+                    sim.retain(|p| p.id != *id);
+                }
+            }
+            HamletEngine::new(self.reg.clone(), sim.clone(), probe_cfg.clone())
+                .map_err(ChurnError::Engine)?;
+        }
+
+        let t0 = Instant::now();
+        let n = self.workers as usize;
+        let mut events_total = 0u64;
+        let outputs: Vec<WorkerOutput> = if n == 1 {
+            let mut eng =
+                HamletEngine::new(self.reg.clone(), self.queries.clone(), self.shard_cfg(0))
+                    .expect("validated in ParallelEngine::new");
+            let mut out = Vec::new();
+            let mut pos = 0usize;
+            for (at, op) in ops {
+                let at = (*at).min(events.len());
+                for chunk in events[pos..at].chunks(self.batch.max(1)) {
+                    events_total += chunk.len() as u64;
+                    out.extend(eng.process_batch(chunk));
+                }
+                pos = at;
+                out.extend(apply_op(&mut eng, op.clone()));
+            }
+            for chunk in events[pos..].chunks(self.batch.max(1)) {
+                events_total += chunk.len() as u64;
+                out.extend(eng.process_batch(chunk));
+            }
+            out.extend(eng.flush());
+            vec![(
+                out,
+                *eng.stats(),
+                eng.latency().clone(),
+                eng.peak_memory(),
+                None,
+            )]
+        } else {
+            let batch = self.batch;
+            let workers = self.workers;
+            let cfgs: Vec<EngineConfig> = (0..n).map(|idx| self.shard_cfg(idx)).collect();
+            let reg0 = self.reg.clone();
+            let queries0 = self.queries.clone();
+            let router = &mut self.router;
+            std::thread::scope(|scope| {
+                let mut txs = Vec::with_capacity(n);
+                let mut handles = Vec::with_capacity(n);
+                for cfg in &cfgs {
+                    let (tx, rx) = mpsc::sync_channel::<ShardMsg>(PIPELINE_DEPTH);
+                    txs.push(tx);
+                    let (reg, queries, cfg) = (reg0.clone(), queries0.clone(), cfg.clone());
+                    handles.push(scope.spawn(move || {
+                        let mut eng = HamletEngine::new(reg, queries, cfg)
+                            .expect("validated in ParallelEngine::new");
+                        let mut out = Vec::new();
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                ShardMsg::Batch(b) => out.extend(eng.process_batch(&b)),
+                                ShardMsg::Churn(op) => out.extend(apply_op(&mut eng, op)),
+                            }
+                        }
+                        out.extend(eng.flush());
+                        (
+                            out,
+                            *eng.stats(),
+                            eng.latency().clone(),
+                            eng.peak_memory(),
+                            None,
+                        )
+                    }));
+                }
+                let mut buffers: Vec<Vec<Event>> =
+                    (0..n).map(|_| Vec::with_capacity(batch)).collect();
+                let route = |router: &HamletEngine,
+                             buffers: &mut Vec<Vec<Event>>,
+                             span: &[Event],
+                             events_total: &mut u64| {
+                    for e in span {
+                        *events_total += 1;
+                        let mut mask = router.shard_mask(e, workers);
+                        while mask != 0 {
+                            let idx = mask.trailing_zeros() as usize;
+                            mask &= mask - 1;
+                            buffers[idx].push(e.clone());
+                            if buffers[idx].len() >= batch {
+                                let full =
+                                    std::mem::replace(&mut buffers[idx], Vec::with_capacity(batch));
+                                let _ = txs[idx].send(ShardMsg::Batch(full));
+                            }
+                        }
+                    }
+                };
+                let mut pos = 0usize;
+                for (at, op) in ops {
+                    let at = (*at).min(events.len());
+                    route(router, &mut buffers, &events[pos..at], &mut events_total);
+                    pos = at;
+                    // Coordinated barrier: flush every shard's partial
+                    // batch, then enqueue the op on every channel. FIFO
+                    // delivery means each worker applies it after exactly
+                    // the pre-op events — the same cut on every shard.
+                    for (idx, buf) in buffers.iter_mut().enumerate() {
+                        if !buf.is_empty() {
+                            let full = std::mem::take(buf);
+                            let _ = txs[idx].send(ShardMsg::Batch(full));
+                        }
+                    }
+                    for tx in &txs {
+                        let _ = tx.send(ShardMsg::Churn(op.clone()));
+                    }
+                    // Re-plan routing: the router's share groups (and so
+                    // the shard masks) follow the new workload.
+                    apply_op(router, op.clone());
+                }
+                route(router, &mut buffers, &events[pos..], &mut events_total);
+                for (idx, buf) in buffers.into_iter().enumerate() {
+                    if !buf.is_empty() {
+                        let _ = txs[idx].send(ShardMsg::Batch(buf));
+                    }
+                }
+                drop(txs);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            })
+        };
+        if n == 1 {
+            // The degenerate path never touched the router; catch it up so
+            // the engine ends at the final workload either way.
+            for (_, op) in ops {
+                apply_op(&mut self.router, op.clone());
+            }
+        }
+        self.queries = sim;
+
+        let mut report = ParallelReport {
+            results: Vec::new(),
+            stats: Vec::new(),
+            peak_mem: Vec::new(),
+            latency: Vec::new(),
+            events: events_total,
+            wall: Duration::ZERO,
+        };
+        for (results, stats, latency, peak, _) in outputs {
+            report.results.extend(results);
+            report.stats.push(stats);
+            report.latency.push(latency);
+            report.peak_mem.push(peak);
+        }
+        sort_results(&mut report.results);
+        report.wall = t0.elapsed();
+        Ok(report)
+    }
+
     /// Shard engine configuration for worker `idx`.
     fn shard_cfg(&self, idx: usize) -> EngineConfig {
         let mut cfg = self.cfg.clone();
@@ -338,12 +561,28 @@ impl ParallelEngine {
     ) -> Result<ParallelCheckpointReport, CheckpointError> {
         let t0 = Instant::now();
         let n = self.workers as usize;
+        let mut epoch = None;
         if let Some(c) = restore {
             if c.workers != self.workers {
                 return Err(CheckpointError::WorkloadMismatch(format!(
                     "checkpoint taken under {} workers, resuming under {}",
                     c.workers, self.workers
                 )));
+            }
+            // All shards of a coordinated checkpoint were taken at the
+            // same barrier, so they must agree on the workload epoch; a
+            // mixed container is corrupt, not restorable shard-by-shard.
+            for s in &c.shards {
+                let e = checkpoint_epoch(s)?;
+                match epoch {
+                    None => epoch = Some(e),
+                    Some(e0) if e0 != e => {
+                        return Err(CheckpointError::WorkloadMismatch(format!(
+                            "mixed workload epochs in checkpoint container ({e0} vs {e})"
+                        )))
+                    }
+                    Some(_) => {}
+                }
             }
         }
         let mut engines: Vec<Option<HamletEngine>> = Vec::with_capacity(n);
@@ -357,6 +596,12 @@ impl ParallelEngine {
                         self.shard_cfg(idx),
                     )
                     .expect("validated in ParallelEngine::new");
+                    if let Some(e) = epoch {
+                        // This engine's query set must be the checkpoint's
+                        // post-churn set (the fingerprint still validates
+                        // that); adopt the blob's churn generation.
+                        eng.set_epoch(e);
+                    }
                     eng.restore(&c.shards[idx])?;
                     Some(eng)
                 }
@@ -753,6 +998,123 @@ mod tests {
         ));
         let blob = pre.checkpoint.to_bytes();
         assert!(ParallelCheckpoint::from_bytes(&blob[..blob.len() - 2]).is_err());
+    }
+
+    /// Runtime churn at a coordinated barrier: results are identical
+    /// across worker counts (the 1-worker path is the reference), ops
+    /// validate upfront, and the engine ends at the final workload.
+    #[test]
+    fn churned_run_is_worker_count_invariant() {
+        let (reg, queries, events) = setup();
+        let q3 = parse_query(
+            &reg,
+            9,
+            "RETURN COUNT(*) PATTERN SEQ(A, B+) GROUP BY g WITHIN 10",
+        )
+        .unwrap();
+        let ops = vec![
+            (60usize, ChurnOp::Add(q3.clone())),
+            (140usize, ChurnOp::Remove(QueryId(9))),
+        ];
+        let mut reference = None;
+        for workers in [1u32, 2, 4] {
+            let mut eng = ParallelEngine::new(
+                reg.clone(),
+                queries.clone(),
+                EngineConfig::default(),
+                workers,
+            )
+            .unwrap();
+            let rep = eng.run_with_churn(&events, &ops).unwrap();
+            assert_eq!(rep.events, events.len() as u64, "{workers} workers");
+            match &reference {
+                None => reference = Some(rep.results),
+                Some(r) => assert_eq!(r, &rep.results, "{workers} workers"),
+            }
+            // The engine ended at the final (post-churn) workload: another
+            // run must behave like a fresh engine over that workload.
+            assert_eq!(eng.queries.len(), queries.len());
+            let after = eng.run(&events);
+            let fresh = ParallelEngine::new(
+                reg.clone(),
+                queries.clone(),
+                EngineConfig::default(),
+                workers,
+            )
+            .unwrap()
+            .run(&events);
+            assert_eq!(after.results, fresh.results, "{workers} workers, after");
+        }
+        // The churned results include q9's windows (drained or closed).
+        let r = reference.unwrap();
+        assert!(r.iter().any(|x| x.query == QueryId(9)));
+
+        // Validation: a bad op sequence is rejected before any processing.
+        let mut eng =
+            ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 2).unwrap();
+        assert!(matches!(
+            eng.run_with_churn(&events, &[(0, ChurnOp::Remove(QueryId(77)))]),
+            Err(ChurnError::Unknown(QueryId(77)))
+        ));
+        assert!(matches!(
+            eng.run_with_churn(&events, &[(0, ChurnOp::Add(queries[0].clone()))]),
+            Err(ChurnError::Duplicate(QueryId(1)))
+        ));
+    }
+
+    /// A checkpoint taken after churn resumes into a `ParallelEngine`
+    /// built with the final query set (the blob's epoch is adopted from
+    /// the container), and rejects an engine whose set never churned.
+    #[test]
+    fn post_churn_checkpoint_resumes_with_epoch() {
+        let (reg, queries, events) = setup();
+        // Drive a single-shard churned prefix through the core engine to
+        // get a post-churn parallel container.
+        let mut eng = ParallelEngine::new(
+            reg.clone(),
+            vec![queries[0].clone(), queries[1].clone()],
+            EngineConfig::default(),
+            1,
+        )
+        .unwrap();
+        let _ = eng
+            .run_with_churn(&events[..100], &[(50, ChurnOp::Remove(QueryId(2)))])
+            .unwrap();
+        // Build the same churned state directly on a core engine and
+        // checkpoint it as a 1-worker container.
+        let mut core =
+            HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default()).unwrap();
+        let mut pre = Vec::new();
+        for e in &events[..50] {
+            pre.extend(core.process(e));
+        }
+        let rep = core.remove_query(QueryId(2)).unwrap();
+        pre.extend(rep.drained);
+        for e in &events[50..100] {
+            pre.extend(core.process(e));
+        }
+        let container = ParallelCheckpoint {
+            workers: 1,
+            shards: vec![core.checkpoint()],
+        };
+        // Resume with the final (one-query) workload: epoch adopted.
+        let final_set = vec![queries[0].clone()];
+        let resumed = ParallelEngine::new(reg.clone(), final_set, EngineConfig::default(), 1)
+            .unwrap()
+            .resume(&container, &events[100..])
+            .unwrap();
+        let mut direct = Vec::new();
+        for e in &events[100..] {
+            direct.extend(core.process(e));
+        }
+        direct.extend(core.flush());
+        sort_results(&mut direct);
+        assert_eq!(direct, resumed.results);
+        // An engine over the pre-churn two-query set cannot restore it.
+        let err = ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 1)
+            .unwrap()
+            .resume(&container, &events[100..]);
+        assert!(matches!(err, Err(CheckpointError::WorkloadMismatch(_))));
     }
 
     #[test]

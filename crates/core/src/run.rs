@@ -127,8 +127,8 @@ impl GroupRuntime {
     /// True iff every burst of this group is *uniform*: each event applies
     /// the same linear map regardless of its content, so a pending burst is
     /// fully described by its length and [`Run::process_burst_ext`] replays
-    /// it with the closed form of
-    /// [`burst_fast_path`](Run::burst_fast_path). Requires the weight-free
+    /// it with the closed form of the internal `Run::burst_fast_path`
+    /// helper. Requires the weight-free
     /// `CountOnly` skeleton, no edge predicates, no selection predicates,
     /// and no negation constraints anywhere in the template. The engine
     /// checks this once at build time and buffers such groups' bursts as a
@@ -400,6 +400,19 @@ impl Run {
             matched_scratch: Vec::new(),
             pred_scratch: LinearExpr::zero(),
         }
+    }
+
+    /// Re-points the run at a freshly compiled runtime of the *same*
+    /// shape (identical template type count and member count). Used by
+    /// runtime query churn when a share group survives a workload change
+    /// unchanged: the group is recompiled (so the engine's structures
+    /// match a fresh build of the new workload exactly), and the live
+    /// runs adopt the recompiled runtime. The runtime is deterministic
+    /// from the group's members, so the swap cannot change behavior.
+    pub(crate) fn retarget(&mut self, rt: Arc<GroupRuntime>) {
+        debug_assert_eq!(self.rt.template.num_types(), rt.template.num_types());
+        debug_assert_eq!(self.rt.k(), rt.k());
+        self.rt = rt;
     }
 
     /// Events processed so far (`n`).

@@ -32,6 +32,13 @@
 //!   the sink: for an in-order stream the drained output is
 //!   byte-identical to offline `process`+`flush`
 //!   (`tests/pipeline_equivalence.rs`).
+//! * **Runtime query churn** — queries can be added and removed while
+//!   the pipeline runs, either on a schedule
+//!   ([`PipelineBuilder::churn_at`], applied when the watermark first
+//!   reaches the trigger time) or live
+//!   ([`PipelineHandle::add_query`] / [`remove_query`](PipelineHandle::remove_query)).
+//!   Every shard engine re-plans only the touched share groups at the
+//!   same watermark barrier, so no result is dropped or duplicated.
 //!
 //! ```
 //! use hamlet_pipeline::{Pipeline, ReplaySource, VecSink, BoundedLateness};
@@ -74,11 +81,15 @@ pub use stats::{LatencySummary, MetricsSnapshot};
 pub use watermark::{BoundedLateness, ReorderBuffer, WatermarkPolicy};
 
 use hamlet_core::checkpoint::CheckpointError;
-use hamlet_core::executor::{EngineConfig, EngineError, EngineStats, HamletEngine, WindowResult};
+use hamlet_core::executor::{
+    checkpoint_epoch, ChurnError, ChurnOp, EngineConfig, EngineError, EngineStats, HamletEngine,
+    WindowResult,
+};
 use hamlet_core::{LatencyHistogram, LatencyRecorder};
-use hamlet_query::Query;
+use hamlet_query::{Query, QueryId};
 use hamlet_types::{Event, Ts, TypeRegistry};
 use stats::SharedStats;
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -94,6 +105,20 @@ pub const DEFAULT_CHANNEL_CAPACITY: usize = 8;
 /// A routed unit of work: the event plus its ingest stamp (for
 /// end-to-end latency accounting).
 type Routed = (Event, Instant);
+/// What flows over a worker's event channel: routed batches, or a churn
+/// op riding the same FIFO — so every worker applies it at exactly the
+/// same stream cut (after everything the ingest stage routed before it,
+/// before everything after).
+enum WorkerMsg {
+    Batch(Vec<Routed>),
+    Churn(ChurnOp),
+}
+/// A live churn request from a [`PipelineHandle`] to the ingest stage;
+/// the ack carries the post-churn workload epoch (or the rejection).
+struct ChurnRequest {
+    op: ChurnOp,
+    ack: mpsc::Sender<Result<u64, ChurnError>>,
+}
 /// What one worker thread returns at shutdown; the final slot carries
 /// the shard's serialized engine state when the run ended at a
 /// checkpoint barrier instead of a flush.
@@ -139,6 +164,30 @@ impl fmt::Display for ResumeError {
 
 impl std::error::Error for ResumeError {}
 
+/// Why a live [`PipelineHandle::add_query`] /
+/// [`PipelineHandle::remove_query`] call failed.
+#[derive(Debug)]
+pub enum PipelineChurnError {
+    /// The op was rejected (duplicate/unknown id or a non-compiling
+    /// post-churn workload); the running workload is unchanged.
+    Rejected(ChurnError),
+    /// The pipeline is no longer ingesting: the source ended,
+    /// [`PipelineHandle::stop`] was called, or a drain/checkpoint is in
+    /// progress. The op was not applied.
+    Stopped,
+}
+
+impl fmt::Display for PipelineChurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineChurnError::Rejected(e) => write!(f, "rejected: {e}"),
+            PipelineChurnError::Stopped => write!(f, "the pipeline has stopped ingesting"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineChurnError {}
+
 /// Dead-letter hook: invoked (on the ingest thread) with every late
 /// event the pipeline drops.
 pub type LateHook = Box<dyn FnMut(Event) + Send>;
@@ -158,6 +207,7 @@ impl Pipeline {
             channel_capacity: DEFAULT_CHANNEL_CAPACITY,
             policy: Box::new(BoundedLateness::new(0)),
             on_late: None,
+            churn_at: Vec::new(),
         }
     }
 }
@@ -172,6 +222,7 @@ pub struct PipelineBuilder {
     channel_capacity: usize,
     policy: Box<dyn WatermarkPolicy>,
     on_late: Option<LateHook>,
+    churn_at: Vec<(Ts, ChurnOp)>,
 }
 
 impl PipelineBuilder {
@@ -217,6 +268,49 @@ impl PipelineBuilder {
     /// Dead-letter hook for late events (called on the ingest thread).
     pub fn on_late(mut self, hook: impl FnMut(Event) + Send + 'static) -> Self {
         self.on_late = Some(Box::new(hook));
+        self
+    }
+
+    /// Schedules churn ops in event time: each op is applied at the
+    /// **watermark barrier** where the watermark first reaches its
+    /// trigger — events up to and including the trigger time are
+    /// processed under the old workload, everything after under the new.
+    /// The whole schedule is validated at spawn (duplicate/unknown ids,
+    /// every intermediate workload must compile), so a bad script fails
+    /// synchronously instead of inside a thread. Ops whose trigger the
+    /// stream never reaches are discarded at drain. Repeated calls
+    /// append; the merged schedule is applied in trigger order (ties in
+    /// insertion order).
+    ///
+    /// ```
+    /// use hamlet_core::ChurnOp;
+    /// use hamlet_pipeline::{BoundedLateness, Pipeline, ReplaySource, VecSink};
+    /// use hamlet_query::{parse_query, QueryId};
+    /// use hamlet_types::{EventBuilder, Ts, TypeRegistry};
+    /// use std::sync::Arc;
+    ///
+    /// let mut reg = TypeRegistry::new();
+    /// let a = reg.register("A", &[]);
+    /// let b = reg.register("B", &[]);
+    /// let reg = Arc::new(reg);
+    /// let q1 = parse_query(&reg, 1, "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 10").unwrap();
+    /// let q2 = parse_query(&reg, 2, "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 20").unwrap();
+    /// let events: Vec<_> = (0..30)
+    ///     .map(|t| EventBuilder::new(&reg, if t % 3 == 0 { a } else { b }, t).build())
+    ///     .collect();
+    /// let handle = Pipeline::builder(reg, vec![q1])
+    ///     // q2 joins once the watermark passes t=15; earlier events
+    ///     // are processed under the original workload.
+    ///     .churn_at(vec![(Ts(15), ChurnOp::Add(q2))])
+    ///     .watermark(BoundedLateness::new(0))
+    ///     .spawn(ReplaySource::new(events), VecSink::new())
+    ///     .unwrap();
+    /// let report = handle.drain();
+    /// assert!(report.sink.results.iter().any(|r| r.query == QueryId(2)));
+    /// ```
+    pub fn churn_at(mut self, schedule: Vec<(Ts, ChurnOp)>) -> Self {
+        self.churn_at.extend(schedule);
+        self.churn_at.sort_by_key(|(t, _)| *t); // stable: ties keep insertion order
         self
     }
 
@@ -297,8 +391,65 @@ impl PipelineBuilder {
             channel_capacity,
             policy,
             on_late,
+            churn_at,
         } = self;
         let n = workers as usize;
+
+        // The probe configuration used to compile-check churned
+        // workloads without shard filtering or metrics overhead.
+        let mut probe_cfg = engine_cfg.clone();
+        probe_cfg.shard = None;
+        probe_cfg.track_latency = false;
+        probe_cfg.mem_sample_every = 0;
+
+        // Validate the whole churn schedule now: simulate the query-set
+        // evolution and compile every intermediate workload, so workers
+        // can never hit a churn failure mid-stream.
+        {
+            let mut sim = queries.clone();
+            for (i, (_, op)) in churn_at.iter().enumerate() {
+                let invalid = |e: ChurnError| {
+                    ResumeError::Engine(EngineError::Churn(format!("entry {i}: {e}")))
+                };
+                match op {
+                    ChurnOp::Add(q) => {
+                        if sim.iter().any(|x| x.id == q.id) {
+                            return Err(invalid(ChurnError::Duplicate(q.id)));
+                        }
+                        sim.push(q.clone());
+                    }
+                    ChurnOp::Remove(id) => {
+                        if !sim.iter().any(|x| x.id == *id) {
+                            return Err(invalid(ChurnError::Unknown(*id)));
+                        }
+                        sim.retain(|x| x.id != *id);
+                    }
+                }
+                HamletEngine::new(reg.clone(), sim.clone(), probe_cfg.clone())
+                    .map_err(ResumeError::Engine)?;
+            }
+        }
+
+        // A checkpoint taken after churn carries the workload epoch in
+        // every shard blob: all shards must agree (they churn at the same
+        // barrier), and the resumed engines adopt it before restoring.
+        let mut start_epoch = 0u64;
+        if let Some(ck) = restore {
+            let mut agreed = None;
+            for blob in &ck.engines {
+                let e = checkpoint_epoch(blob).map_err(ResumeError::Checkpoint)?;
+                match agreed {
+                    None => agreed = Some(e),
+                    Some(e0) if e0 != e => {
+                        return Err(ResumeError::Checkpoint(CheckpointError::WorkloadMismatch(
+                            format!("mixed workload epochs in pipeline checkpoint ({e0} vs {e})"),
+                        )))
+                    }
+                    Some(_) => {}
+                }
+            }
+            start_epoch = agreed.unwrap_or(0);
+        }
 
         // Build (and restore) every engine up front so errors are
         // synchronous.
@@ -309,6 +460,7 @@ impl PipelineBuilder {
             let mut eng = HamletEngine::new(reg.clone(), queries.clone(), cfg)
                 .map_err(ResumeError::Engine)?;
             if let Some(ck) = restore {
+                eng.set_epoch(start_epoch);
                 eng.restore(&ck.engines[idx])
                     .map_err(ResumeError::Checkpoint)?;
             }
@@ -316,12 +468,8 @@ impl PipelineBuilder {
         }
         // The router only maps events to shards; it never processes.
         let router = if workers > 1 {
-            let mut cfg = engine_cfg.clone();
-            cfg.shard = None;
-            cfg.track_latency = false;
-            cfg.mem_sample_every = 0;
             Some(
-                HamletEngine::new(reg.clone(), queries.clone(), cfg)
+                HamletEngine::new(reg.clone(), queries.clone(), probe_cfg.clone())
                     .map_err(ResumeError::Engine)?,
             )
         } else {
@@ -329,6 +477,7 @@ impl PipelineBuilder {
         };
 
         let shared = Arc::new(SharedStats::new(n));
+        shared.epoch.store(start_epoch, Ordering::Relaxed);
         let stop = Arc::new(AtomicBool::new(false));
 
         // Metrics continuity across a restore: the counters pick up where
@@ -363,7 +512,7 @@ impl PipelineBuilder {
         let mut ctrl_txs = Vec::with_capacity(n);
         let mut worker_handles = Vec::with_capacity(n);
         for (idx, mut engine) in engines.into_iter().enumerate() {
-            let (tx, rx) = mpsc::sync_channel::<Vec<Routed>>(channel_capacity);
+            let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(channel_capacity);
             event_txs.push(tx);
             let (ctrl_tx, ctrl_rx) = mpsc::channel::<WorkerEnd>();
             ctrl_txs.push(ctrl_tx);
@@ -383,11 +532,18 @@ impl PipelineBuilder {
             .spawn(move || sink_loop(sink, &result_rx, &sink_shared))
             .expect("spawn sink thread");
 
+        let (churn_tx, churn_rx) = mpsc::channel::<ChurnRequest>();
         let mut ingest = Ingest {
             source,
             policy,
             on_late,
             router,
+            reg,
+            queries,
+            probe_cfg,
+            scheduled: churn_at.into(),
+            churn_rx,
+            epoch: start_epoch,
             buffer,
             max_seen,
             out: (0..n).map(|_| Vec::with_capacity(batch)).collect(),
@@ -409,6 +565,7 @@ impl PipelineBuilder {
             ingest: ingest_handle,
             workers: worker_handles,
             ctrl: ctrl_txs,
+            churn: churn_tx,
             sink: sink_handle,
             n_workers: workers,
         })
@@ -423,13 +580,26 @@ struct Ingest<Src> {
     policy: Box<dyn WatermarkPolicy>,
     on_late: Option<LateHook>,
     router: Option<HamletEngine>,
+    /// Workload bookkeeping for churn: the current query set (evolves
+    /// with every applied op) and what is needed to compile-check a
+    /// churned workload before committing to it.
+    reg: Arc<TypeRegistry>,
+    queries: Vec<Query>,
+    probe_cfg: EngineConfig,
+    /// Event-time churn schedule, trigger-ordered (validated at spawn).
+    scheduled: VecDeque<(Ts, ChurnOp)>,
+    /// Live churn requests from the handle, polled between source events.
+    churn_rx: mpsc::Receiver<ChurnRequest>,
+    /// Workload epoch — incremented by every applied churn op, in
+    /// lockstep with every worker engine.
+    epoch: u64,
     buffer: ReorderBuffer,
     /// Maximum event time pulled from the source — recorded into
     /// checkpoints as the resumed watermark policy's seed.
     max_seen: Option<Ts>,
     /// Per-worker batch under construction.
     out: Vec<Vec<Routed>>,
-    txs: Vec<mpsc::SyncSender<Vec<Routed>>>,
+    txs: Vec<mpsc::SyncSender<WorkerMsg>>,
     workers: u32,
     batch: usize,
     /// Per-shard event-time tick of the last pushed event — the batching
@@ -446,6 +616,10 @@ impl<Src: Source> Ingest<Src> {
         // stored before it — the checkpoint_mode flag in particular —
         // is visible below.
         while !self.stop.load(Ordering::Acquire) {
+            // Live churn is applied *between* source events — the
+            // watermark barrier. A source blocked inside `next_event`
+            // delays pending requests until it yields.
+            self.poll_live_churn();
             let Some(e) = self.source.next_event() else {
                 break;
             };
@@ -471,6 +645,7 @@ impl<Src: Source> Ingest<Src> {
             if !tranche.is_empty() {
                 self.route_tranche(tranche);
             }
+            self.fire_scheduled_churn(wm);
         }
         // End of stream, drain, or checkpoint. A drain releases the
         // buffered remainder downstream in order — exactly like a
@@ -552,10 +727,90 @@ impl<Src: Source> Ingest<Src> {
         // fails if the worker died (panicked): stop pulling the source so
         // an unbounded run cannot silently discard that shard's events
         // forever — the drain join then surfaces the worker's panic.
-        if self.txs[idx].send(full).is_err() {
+        if self.txs[idx].send(WorkerMsg::Batch(full)).is_err() {
             self.shared.worker_depths[idx].store(0, Ordering::Relaxed);
             self.stop.store(true, Ordering::Relaxed);
         }
+    }
+
+    /// Applies every scheduled churn op whose trigger the watermark has
+    /// reached. The schedule was validated at spawn, but a live op may
+    /// have invalidated an entry since (e.g. already removed the id):
+    /// such entries are skipped and counted, never applied half-way.
+    fn fire_scheduled_churn(&mut self, wm: Ts) {
+        while self.scheduled.front().is_some_and(|(t, _)| *t <= wm) {
+            let (_, op) = self.scheduled.pop_front().expect("front checked");
+            if self.apply_churn(op).is_err() {
+                self.shared.churns_rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains pending live churn requests and acks each with the
+    /// post-churn epoch (or the rejection).
+    fn poll_live_churn(&mut self) {
+        while let Ok(req) = self.churn_rx.try_recv() {
+            let outcome = self.apply_churn(req.op);
+            if outcome.is_err() {
+                self.shared.churns_rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = req.ack.send(outcome);
+        }
+    }
+
+    /// Applies one churn op at the current watermark barrier: validates
+    /// it against the evolving query set, compile-checks the post-churn
+    /// workload (so the workers' own churn cannot fail), ships every
+    /// partial batch followed by the op down each worker's FIFO channel
+    /// (every shard churns at the same stream cut), re-plans the router,
+    /// and bumps the workload epoch.
+    fn apply_churn(&mut self, op: ChurnOp) -> Result<u64, ChurnError> {
+        let mut wanted = self.queries.clone();
+        match &op {
+            ChurnOp::Add(q) => {
+                if wanted.iter().any(|x| x.id == q.id) {
+                    return Err(ChurnError::Duplicate(q.id));
+                }
+                wanted.push(q.clone());
+            }
+            ChurnOp::Remove(id) => {
+                if !wanted.iter().any(|x| x.id == *id) {
+                    return Err(ChurnError::Unknown(*id));
+                }
+                wanted.retain(|x| x.id != *id);
+            }
+        }
+        HamletEngine::new(self.reg.clone(), wanted.clone(), self.probe_cfg.clone())
+            .map_err(ChurnError::Engine)?;
+        // The barrier: everything routed so far reaches each worker
+        // before the op does (per-channel FIFO), everything after it
+        // follows — the same cut on every shard.
+        self.flush_batches();
+        for idx in 0..self.txs.len() {
+            if self.txs[idx].send(WorkerMsg::Churn(op.clone())).is_err() {
+                self.stop.store(true, Ordering::Relaxed);
+            }
+        }
+        if let Some(router) = &mut self.router {
+            // Keep the router's partition routing aligned with the
+            // workers' new workload; it holds no window state to drain.
+            match op {
+                ChurnOp::Add(q) => drop(
+                    router
+                        .add_query(q)
+                        .expect("op validated against the same workload"),
+                ),
+                ChurnOp::Remove(id) => drop(
+                    router
+                        .remove_query(id)
+                        .expect("op validated against the same workload"),
+                ),
+            }
+        }
+        self.queries = wanted;
+        self.epoch += 1;
+        self.shared.epoch.store(self.epoch, Ordering::Relaxed);
+        Ok(self.epoch)
     }
 }
 
@@ -564,7 +819,7 @@ impl<Src: Source> Ingest<Src> {
 fn worker_loop(
     idx: usize,
     engine: &mut HamletEngine,
-    rx: &mpsc::Receiver<Vec<Routed>>,
+    rx: &mpsc::Receiver<WorkerMsg>,
     ctrl_rx: &mpsc::Receiver<WorkerEnd>,
     result_tx: &mpsc::SyncSender<Vec<WindowResult>>,
     shared: &SharedStats,
@@ -573,7 +828,30 @@ fn worker_loop(
     // Reused split buffer: the engine takes `&[Event]`, the arrivals only
     // matter for the batch's last element (see below).
     let mut events: Vec<Event> = Vec::new();
-    while let Ok(batch) = rx.recv() {
+    while let Ok(msg) = rx.recv() {
+        let batch = match msg {
+            WorkerMsg::Batch(batch) => batch,
+            WorkerMsg::Churn(op) => {
+                // The ingest stage validated the op and compiled the
+                // post-churn workload; every worker applies it at the
+                // same stream cut (FIFO channel order). Windows of
+                // touched share groups drain here and reach the sink —
+                // exactly once, like any other result.
+                let drained = match op {
+                    ChurnOp::Add(q) => engine.add_query(q),
+                    ChurnOp::Remove(id) => engine.remove_query(id),
+                }
+                .expect("churn ops are validated by the ingest stage")
+                .drained;
+                if !drained.is_empty() {
+                    shared
+                        .sink_depth
+                        .fetch_add(drained.len(), Ordering::Relaxed);
+                    let _ = result_tx.send(drained);
+                }
+                continue;
+            }
+        };
         let n = batch.len();
         if n == 0 {
             // A zero-length batch is a no-op — no watermark side-effect,
@@ -663,6 +941,8 @@ pub struct PipelineHandle<S> {
     workers: Vec<JoinHandle<WorkerOutput>>,
     /// Per-worker end-of-run command channel (flush vs checkpoint).
     ctrl: Vec<mpsc::Sender<WorkerEnd>>,
+    /// Live churn requests to the ingest stage.
+    churn: mpsc::Sender<ChurnRequest>,
     sink: JoinHandle<S>,
     n_workers: u32,
 }
@@ -680,6 +960,42 @@ impl<S: Sink> PipelineHandle<S> {
     /// interrupted only when it yields.)
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Adds a query to the live workload and blocks until it is applied,
+    /// returning the new workload epoch.
+    ///
+    /// The op takes effect at the next **watermark barrier** — between
+    /// source events, after everything already released has reached the
+    /// workers, never mid-batch. Every shard engine re-plans only the
+    /// share groups the new query touches; untouched groups keep their
+    /// in-flight state, and windows of touched groups drain to the sink
+    /// exactly once (no result is dropped or duplicated). A source
+    /// blocked inside `next_event` delays the barrier (and this call)
+    /// until it yields.
+    pub fn add_query(&self, q: Query) -> Result<u64, PipelineChurnError> {
+        self.churn(ChurnOp::Add(q))
+    }
+
+    /// Removes a query from the live workload and blocks until it is
+    /// applied, returning the new workload epoch. Same barrier semantics
+    /// as [`add_query`](Self::add_query): the removed query's in-flight
+    /// windows drain to the sink at the barrier, exactly once.
+    pub fn remove_query(&self, id: QueryId) -> Result<u64, PipelineChurnError> {
+        self.churn(ChurnOp::Remove(id))
+    }
+
+    fn churn(&self, op: ChurnOp) -> Result<u64, PipelineChurnError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.churn
+            .send(ChurnRequest { op, ack: ack_tx })
+            .map_err(|_| PipelineChurnError::Stopped)?;
+        match ack_rx.recv() {
+            Ok(Ok(epoch)) => Ok(epoch),
+            Ok(Err(e)) => Err(PipelineChurnError::Rejected(e)),
+            // The ingest stage exited with the request still queued.
+            Err(_) => Err(PipelineChurnError::Stopped),
+        }
     }
 
     /// Gracefully drains the pipeline and returns the final report:
@@ -1169,5 +1485,297 @@ mod tests {
     fn too_many_workers_rejected() {
         let (reg, queries, _) = setup();
         let _ = Pipeline::builder(reg, queries).workers(65);
+    }
+
+    fn third_query(reg: &Arc<TypeRegistry>) -> Query {
+        parse_query(
+            reg,
+            3,
+            "RETURN COUNT(*) PATTERN SEQ(A, B+) GROUP BY g WITHIN 10",
+        )
+        .unwrap()
+    }
+
+    /// Offline reference for a churned run: with an in-order stream and
+    /// zero slack, the pipeline's watermark equals each event's time, so
+    /// a scheduled op fires right after the first event at/past its
+    /// trigger — this mirrors that barrier exactly.
+    fn offline_churned(
+        reg: &Arc<TypeRegistry>,
+        queries: &[Query],
+        events: &[Event],
+        schedule: &[(Ts, ChurnOp)],
+    ) -> Vec<WindowResult> {
+        let mut eng =
+            HamletEngine::new(reg.clone(), queries.to_vec(), EngineConfig::default()).unwrap();
+        let mut out = Vec::new();
+        let mut next = 0;
+        for e in events {
+            out.extend(eng.process(e));
+            while next < schedule.len() && schedule[next].0 <= e.time {
+                let report = match schedule[next].1.clone() {
+                    ChurnOp::Add(q) => eng.add_query(q),
+                    ChurnOp::Remove(id) => eng.remove_query(id),
+                }
+                .unwrap();
+                out.extend(report.drained);
+                next += 1;
+            }
+        }
+        out.extend(eng.flush());
+        out
+    }
+
+    /// A scheduled add + remove mid-stream matches the same churn
+    /// applied to an offline engine at the same event-time barriers —
+    /// raw emission order with one worker, canonical order when sharded.
+    /// An op scheduled past the stream's end never fires.
+    #[test]
+    fn scheduled_churn_matches_offline_replan() {
+        let (reg, queries, events) = setup();
+        let schedule = vec![
+            (Ts(99), ChurnOp::Add(third_query(&reg))),
+            (Ts(199), ChurnOp::Remove(QueryId(2))),
+            (Ts(9_999), ChurnOp::Remove(QueryId(1))), // beyond the stream: discarded
+        ];
+        let expected = offline_churned(&reg, &queries, &events, &schedule);
+        let handle = Pipeline::builder(reg.clone(), queries.clone())
+            .churn_at(schedule.clone())
+            .spawn(ReplaySource::new(events.clone()), VecSink::new())
+            .unwrap();
+        let report = handle.drain();
+        assert_eq!(report.sink.results, expected, "single-worker churn");
+
+        let mut canonical = expected;
+        sort_results(&mut canonical);
+        for workers in [2u32, 4] {
+            let handle = Pipeline::builder(reg.clone(), queries.clone())
+                .workers(workers)
+                .batch(16)
+                .churn_at(schedule.clone())
+                .spawn(ReplaySource::new(events.clone()), VecSink::new())
+                .unwrap();
+            let report = handle.drain();
+            let mut got = report.sink.results;
+            sort_results(&mut got);
+            assert_eq!(got, canonical, "{workers}-worker churn");
+        }
+    }
+
+    /// The whole churn schedule is validated when the pipeline spawns.
+    #[test]
+    fn churn_schedule_is_validated_at_spawn() {
+        let (reg, queries, _) = setup();
+        let dup = queries[0].clone();
+        let err = Pipeline::builder(reg.clone(), queries.clone())
+            .churn_at(vec![(Ts(5), ChurnOp::Add(dup))])
+            .spawn(ReplaySource::new(vec![]), NullSink)
+            .err();
+        assert!(matches!(err, Some(EngineError::Churn(_))), "{err:?}");
+        let err = Pipeline::builder(reg, queries)
+            .churn_at(vec![(Ts(5), ChurnOp::Remove(QueryId(77)))])
+            .spawn(ReplaySource::new(vec![]), NullSink)
+            .err();
+        assert!(matches!(err, Some(EngineError::Churn(_))), "{err:?}");
+    }
+
+    /// A source fed over a channel, so a test controls exactly when the
+    /// ingest loop can make progress.
+    struct ChannelSource(mpsc::Receiver<Event>);
+
+    impl Source for ChannelSource {
+        fn next_event(&mut self) -> Option<Event> {
+            self.0.recv().ok()
+        }
+    }
+
+    /// Live `add_query`/`remove_query` on a running pipeline: acks carry
+    /// monotone epochs, invalid ops are rejected without disturbing the
+    /// workload, no window is emitted twice, and the pipeline keeps
+    /// producing for the new workload after each barrier.
+    #[test]
+    fn live_churn_applies_between_source_events() {
+        let (reg, queries, _) = setup();
+        let a = reg.type_id("A").unwrap();
+        let b = reg.type_id("B").unwrap();
+        let c = reg.type_id("C").unwrap();
+        // Captures only `Copy` ids, so the closure itself is `Copy` and
+        // each feeder thread gets its own.
+        let mk = move |t: u64| {
+            let ty = match t % 5 {
+                0 => a,
+                1 => c,
+                _ => b,
+            };
+            Event::new(Ts(t), ty, vec![AttrValue::Int((t % 7) as i64)])
+        };
+        for workers in [1u32, 4] {
+            let (tx_ev, rx_ev) = mpsc::channel::<Event>();
+            for t in 0..150 {
+                tx_ev.send(mk(t)).unwrap();
+            }
+            let handle = Pipeline::builder(reg.clone(), queries.clone())
+                .workers(workers)
+                .batch(16)
+                .spawn(ChannelSource(rx_ev), VecSink::new())
+                .unwrap();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !(handle.metrics().ingested == 150 && handle.metrics().queued() == 0) {
+                assert!(Instant::now() < deadline, "prefix never drained");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert_eq!(handle.metrics().epoch, 0);
+
+            // Feed slowly from here: the churn barrier falls between two
+            // source events, and pending ops are applied at the next one.
+            let done = Arc::new(AtomicBool::new(false));
+            let done_feeder = done.clone();
+            let feeder = std::thread::spawn(move || {
+                for t in 150..20_000u64 {
+                    if done_feeder.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if tx_ev.send(mk(t)).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+            assert_eq!(handle.add_query(third_query(&reg)).unwrap(), 1);
+            assert!(
+                matches!(
+                    handle.add_query(queries[0].clone()),
+                    Err(PipelineChurnError::Rejected(ChurnError::Duplicate(
+                        QueryId(1)
+                    )))
+                ),
+                "duplicate id must be rejected"
+            );
+            assert!(
+                matches!(
+                    handle.remove_query(QueryId(77)),
+                    Err(PipelineChurnError::Rejected(ChurnError::Unknown(QueryId(
+                        77
+                    ))))
+                ),
+                "unknown id must be rejected"
+            );
+            assert_eq!(handle.remove_query(QueryId(2)).unwrap(), 2);
+            assert_eq!(handle.metrics().epoch, 2);
+            // Let the post-churn workload run long enough to close
+            // windows of the added query, then cut the stream.
+            let target = handle.metrics().ingested + 60;
+            while handle.metrics().ingested < target {
+                assert!(Instant::now() < deadline, "post-churn stream stalled");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            done.store(true, Ordering::Relaxed);
+            feeder.join().unwrap();
+            // The feeder hung up: once ingest observes the end of the
+            // stream, churn can no longer be applied.
+            while !handle.metrics().source_done {
+                assert!(Instant::now() < deadline, "source never ended");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert!(
+                matches!(
+                    handle.remove_query(QueryId(1)),
+                    Err(PipelineChurnError::Stopped)
+                ),
+                "churn after the stream ended must report Stopped"
+            );
+            let report = handle.drain();
+
+            // Per the churn contract: q1's group is restructured when q3
+            // (same pattern) joins it, so a q1 window in flight at that
+            // barrier may split into a drained prefix + post-barrier
+            // suffix (two rows). q2 (removed, solo group) and q3 (added)
+            // windows must appear exactly once.
+            let mut mult = std::collections::BTreeMap::new();
+            for r in &report.sink.results {
+                *mult
+                    .entry((r.query, format!("{}", r.group_key), r.window_start))
+                    .or_insert(0u32) += 1;
+            }
+            for ((q, key, start), n) in &mult {
+                let cap = if *q == QueryId(1) { 2 } else { 1 };
+                assert!(
+                    *n <= cap,
+                    "window emitted {n} times (cap {cap}): {q:?} {key} {start:?}"
+                );
+            }
+            let max_start = |qid: QueryId| {
+                report
+                    .sink
+                    .results
+                    .iter()
+                    .filter(|r| r.query == qid)
+                    .map(|r| r.window_start)
+                    .max()
+            };
+            let q2_last = max_start(QueryId(2)).expect("q2 ran before its removal");
+            let q3_last = max_start(QueryId(3)).expect("the added query must produce");
+            assert!(
+                q3_last > q2_last,
+                "q2 must stop at its removal barrier (last {q2_last:?}) while q3 continues (last {q3_last:?})"
+            );
+            assert_eq!(report.results, report.sink.results.len() as u64);
+        }
+    }
+
+    /// Churn bumps the workload epoch inside every shard's checkpoint
+    /// blob; resuming adopts it, and resuming under the pre-churn
+    /// workload is rejected.
+    #[test]
+    fn checkpoint_after_churn_resumes_with_epoch() {
+        let (reg, queries, events) = setup();
+        let schedule = vec![(Ts(99), ChurnOp::Add(third_query(&reg)))];
+        let expected = offline_churned(&reg, &queries, &events, &schedule);
+        let cut = 200;
+        let handle = Pipeline::builder(reg.clone(), queries.clone())
+            .churn_at(schedule)
+            .spawn(ReplaySource::new(events[..cut].to_vec()), VecSink::new())
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !(handle.metrics().source_done && handle.metrics().queued() == 0) {
+            assert!(Instant::now() < deadline, "prefix never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(handle.metrics().epoch, 1);
+        let frozen = handle.checkpoint();
+        for blob in &frozen.checkpoint.engines {
+            assert_eq!(
+                checkpoint_epoch(blob).unwrap(),
+                1,
+                "epoch stamped per shard"
+            );
+        }
+
+        let mut final_queries = queries.clone();
+        final_queries.push(third_query(&reg));
+        let resumed = Pipeline::builder(reg.clone(), final_queries)
+            .resume(
+                &frozen.checkpoint,
+                ReplaySource::new(events[cut..].to_vec()),
+                frozen.sink,
+            )
+            .unwrap();
+        assert_eq!(resumed.metrics().epoch, 1, "resume adopts the blob epoch");
+        let report = resumed.drain();
+        assert_eq!(report.sink.results, expected, "churned resume diverged");
+
+        // The pre-churn workload no longer matches the checkpoint.
+        let err = Pipeline::builder(reg, queries)
+            .resume(&frozen.checkpoint, ReplaySource::new(vec![]), NullSink)
+            .err();
+        assert!(
+            matches!(
+                err,
+                Some(ResumeError::Checkpoint(CheckpointError::WorkloadMismatch(
+                    _
+                )))
+            ),
+            "{err:?}"
+        );
     }
 }

@@ -36,6 +36,11 @@ pub(crate) struct SharedStats {
     pub(crate) worker_depths: Vec<AtomicUsize>,
     /// Results currently queued to the sink.
     pub(crate) sink_depth: AtomicUsize,
+    /// Workload epoch: number of churn ops ever applied to this
+    /// workload (continues across checkpoint/resume).
+    pub(crate) epoch: AtomicU64,
+    /// Scheduled churn ops skipped because a live op invalidated them.
+    pub(crate) churns_rejected: AtomicU64,
     /// End-to-end (ingest → emit) result latency histogram.
     pub(crate) latency: Mutex<LatencyHistogram>,
 }
@@ -55,6 +60,8 @@ impl SharedStats {
             reorder_depth: AtomicUsize::new(0),
             worker_depths: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
             sink_depth: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            churns_rejected: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::new()),
         }
     }
@@ -93,6 +100,8 @@ impl SharedStats {
                 .map(|d| d.load(Ordering::Relaxed))
                 .collect(),
             sink_depth: self.sink_depth.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
+            churns_rejected: self.churns_rejected.load(Ordering::Relaxed),
             latency,
         }
     }
@@ -139,6 +148,12 @@ pub struct MetricsSnapshot {
     pub worker_depths: Vec<usize>,
     /// Results queued to the sink.
     pub sink_depth: usize,
+    /// Workload epoch: churn ops applied so far (0 until the first
+    /// add/remove; continues across checkpoint/resume).
+    pub epoch: u64,
+    /// Scheduled churn ops skipped because a live op invalidated them
+    /// (e.g. the id they named was already removed).
+    pub churns_rejected: u64,
     /// End-to-end (ingest → emit) result latency.
     pub latency: LatencySummary,
 }

@@ -35,7 +35,22 @@
 //! `--state FILE` (checkpoint file), `--resume` (restore from `--state`
 //! and continue the same generated stream to completion — the stream is
 //! regenerated deterministically from the seed, so the checkpoint's
-//! source cursor repositions it exactly).
+//! source cursor repositions it exactly), `--churn-script FILE` (apply
+//! timestamped add/remove ops to the live workload).
+//!
+//! A churn script holds one op per line — `<ts> add <query-id>` or
+//! `<ts> remove <query-id>`, with blank lines and `#` comments ignored —
+//! applied when the pipeline watermark first reaches `<ts>`. Query ids
+//! index the dataset's generated workload: ids below `--queries` name
+//! the initial queries (remove them, then re-add them later), and ids at
+//! or above it draw additional queries from the same generator, so
+//! `120 add 10` grows a `--queries 10` workload at t=120:
+//!
+//! ```text
+//! # drop query 3 two minutes in, bring in a fresh one at three
+//! 120 remove 3
+//! 180 add 10
+//! ```
 
 use hamlet::prelude::*;
 use hamlet_stream::{nyc_taxi, ridesharing, smart_home, stock};
@@ -66,6 +81,7 @@ struct Args {
     checkpoint_after: u64,
     state: Option<String>,
     resume: bool,
+    churn_script: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -92,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_after: 0,
         state: None,
         resume: false,
+        churn_script: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     if it.peek().map(String::as_str) == Some("pipeline") {
@@ -128,6 +145,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--state" => args.state = Some(val("--state")?),
             "--resume" => args.resume = true,
+            "--churn-script" => args.churn_script = Some(val("--churn-script")?),
             "--policy" => {
                 args.policy = match val("--policy")?.as_str() {
                     "dynamic" => SharingPolicy::Dynamic,
@@ -145,7 +163,8 @@ fn parse_args() -> Result<Args, String> {
                      [--skew Z] [--seed S] [--show N] [--explain]\n\
                      pipeline mode: [--workers W] [--eps OFFERED_RATE] [--slack TICKS] \
                      [--max-lateness TICKS] [--metrics-ms MS] [--metrics-json] \
-                     [--checkpoint-after N --state FILE] [--resume --state FILE]"
+                     [--checkpoint-after N --state FILE] [--resume --state FILE] \
+                     [--churn-script FILE (lines: `<ts> add|remove <query-id>`)]"
                 );
                 std::process::exit(0);
             }
@@ -163,6 +182,34 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // A churn script references workload queries by id; ids at or above
+    // `--queries` draw extra queries from the same deterministic
+    // generator, so the pool is sized to the largest id the script adds.
+    let script: Vec<(u64, bool, u32)> = match &args.churn_script {
+        Some(path) => {
+            if !args.pipeline {
+                eprintln!("error: --churn-script is a pipeline-mode flag");
+                std::process::exit(2);
+            }
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: read {path}: {e}");
+                std::process::exit(2);
+            });
+            parse_churn_script(&text).unwrap_or_else(|e| {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => Vec::new(),
+    };
+    let pool_size = script
+        .iter()
+        .filter(|(_, add, _)| *add)
+        .map(|&(_, _, id)| id as usize + 1)
+        .max()
+        .unwrap_or(0)
+        .max(args.queries);
+
     let gen = GenConfig {
         events_per_min: args.rate,
         minutes: args.minutes,
@@ -172,30 +219,30 @@ fn main() {
         seed: args.seed,
         max_lateness: if args.pipeline { args.max_lateness } else { 0 },
     };
-    let (reg, events, queries): (Arc<TypeRegistry>, Vec<Event>, Vec<Query>) =
+    let (reg, events, pool): (Arc<TypeRegistry>, Vec<Event>, Vec<Query>) =
         match args.dataset.as_str() {
             "ridesharing" => {
                 let reg = ridesharing::registry();
                 let ev = ridesharing::generate(&reg, &gen);
-                let qs = ridesharing::workload_shared_kleene(&reg, args.queries, args.window);
+                let qs = ridesharing::workload_shared_kleene(&reg, pool_size, args.window);
                 (reg, ev, qs)
             }
             "nyc" => {
                 let reg = nyc_taxi::registry();
                 let ev = nyc_taxi::generate(&reg, &gen);
-                let qs = nyc_taxi::workload(&reg, args.queries, args.window);
+                let qs = nyc_taxi::workload(&reg, pool_size, args.window);
                 (reg, ev, qs)
             }
             "smarthome" => {
                 let reg = smart_home::registry();
                 let ev = smart_home::generate(&reg, &gen);
-                let qs = smart_home::workload(&reg, args.queries, args.window);
+                let qs = smart_home::workload(&reg, pool_size, args.window);
                 (reg, ev, qs)
             }
             "stock" => {
                 let reg = stock::registry();
                 let ev = stock::generate(&reg, &gen);
-                let qs = stock::workload_diverse(&reg, args.queries, args.seed);
+                let qs = stock::workload_diverse(&reg, pool_size, args.seed);
                 (reg, ev, qs)
             }
             other => {
@@ -203,12 +250,64 @@ fn main() {
                 std::process::exit(2);
             }
         };
+    let queries: Vec<Query> = pool[..args.queries].to_vec();
+    let schedule: Vec<(Ts, ChurnOp)> = script
+        .iter()
+        .map(|&(ts, add, id)| {
+            let op = if add {
+                ChurnOp::Add(pool[id as usize].clone())
+            } else {
+                ChurnOp::Remove(QueryId(id))
+            };
+            (Ts(ts), op)
+        })
+        .collect();
 
     if args.pipeline {
-        run_pipeline(&args, reg, events, queries);
+        run_pipeline(&args, reg, events, queries, schedule);
     } else {
         run_offline(&args, reg, events, queries);
     }
+}
+
+/// Parses a churn script: one `<ts> add|remove <query-id>` per line;
+/// blank lines and `#` comments are ignored. Each op fires when the
+/// pipeline watermark first reaches its timestamp.
+fn parse_churn_script(text: &str) -> Result<Vec<(u64, bool, u32)>, String> {
+    let mut out = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(ts), Some(op), Some(id), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "line {}: expected `<ts> add|remove <query-id>`, got {line:?}",
+                n + 1
+            ));
+        };
+        let ts: u64 = ts
+            .parse()
+            .map_err(|e| format!("line {}: bad timestamp {ts:?}: {e}", n + 1))?;
+        let id: u32 = id
+            .parse()
+            .map_err(|e| format!("line {}: bad query id {id:?}: {e}", n + 1))?;
+        let add = match op {
+            "add" => true,
+            "remove" => false,
+            other => {
+                return Err(format!(
+                    "line {}: unknown op {other:?} (want add or remove)",
+                    n + 1
+                ))
+            }
+        };
+        out.push((ts, add, id));
+    }
+    Ok(out)
 }
 
 /// One [`MetricsSnapshot`] as a single JSON line for tooling — the same
@@ -247,7 +346,13 @@ fn metrics_json_line(m: &MetricsSnapshot) -> String {
 /// Live mode: feed the stream through the online pipeline, printing
 /// metrics snapshots while it runs, then drain (or checkpoint) and
 /// summarize.
-fn run_pipeline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries: Vec<Query>) {
+fn run_pipeline(
+    args: &Args,
+    reg: Arc<TypeRegistry>,
+    events: Vec<Event>,
+    queries: Vec<Query>,
+    schedule: Vec<(Ts, ChurnOp)>,
+) {
     if (args.checkpoint_after > 0 || args.resume) && args.state.is_none() {
         eprintln!("error: --checkpoint-after/--resume need --state FILE");
         std::process::exit(2);
@@ -315,12 +420,14 @@ fn run_pipeline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries
     // ingest thread would throttle the very pipeline being measured. The
     // full count is in every metrics line and the drain summary.
     let mut dead_logged = 0u32;
+    let churned = !schedule.is_empty();
     let builder = Pipeline::builder(reg, queries)
         .engine_config(EngineConfig {
             policy: args.policy,
             ..EngineConfig::default()
         })
         .workers(args.workers)
+        .churn_at(schedule)
         .watermark(BoundedLateness::new(args.slack))
         .on_late(move |e| {
             if dead_logged < 3 {
@@ -412,6 +519,7 @@ fn run_pipeline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries
         }
         std::thread::sleep(Duration::from_millis(args.metrics_ms.clamp(20, 2_000)));
     }
+    let final_metrics = handle.metrics();
     let report = handle.drain();
     println!(
         "\ndrained in {:?}: {} events ({:.0} ev/s), {} late, {} results",
@@ -432,6 +540,12 @@ fn run_pipeline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries
         report.peak_mem.iter().sum::<usize>() / 1024,
         report.merged_stats().late_skips,
     );
+    if churned {
+        println!(
+            "workload epoch {} ({} scheduled churn op(s) rejected)",
+            final_metrics.epoch, final_metrics.churns_rejected,
+        );
+    }
     if args.show_results > 0 {
         println!("\nsample results:");
         for r in report.sink.results.iter().take(args.show_results) {

@@ -66,13 +66,14 @@ pub use hamlet_types;
 pub mod prelude {
     pub use hamlet_baselines::{GretaEngine, SharonEngine, TwoStepEngine};
     pub use hamlet_core::{
-        sort_results, AggValue, CheckpointError, EngineConfig, HamletEngine, ParallelCheckpoint,
-        ParallelEngine, ParallelReport, SharingPolicy, WindowResult,
+        checkpoint_epoch, sort_results, AggValue, CheckpointError, ChurnError, ChurnOp,
+        ChurnReport, EngineConfig, HamletEngine, ParallelCheckpoint, ParallelEngine,
+        ParallelReport, SharingPolicy, WindowResult,
     };
     pub use hamlet_pipeline::{
         BoundedLateness, CountingSink, MetricsSnapshot, NullSink, Pipeline, PipelineCheckpoint,
-        PipelineHandle, PipelineReport, RateLimitedSource, ReplaySource, Sink, Source, VecSink,
-        WatermarkPolicy,
+        PipelineChurnError, PipelineHandle, PipelineReport, RateLimitedSource, ReplaySource, Sink,
+        Source, VecSink, WatermarkPolicy,
     };
     pub use hamlet_query::{parse_pattern, parse_query, AggFunc, Pattern, Query, QueryId, Window};
     pub use hamlet_stream::GenConfig;

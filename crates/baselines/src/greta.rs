@@ -185,6 +185,7 @@ impl GretaEngine {
 
     /// Processes one event for every query; returns closed-window results.
     pub fn process(&mut self, e: &Event) -> Vec<WindowResult> {
+        // hamlet-lint: allow(wallclock) -- arrival stamp for the latency recorder; never reaches results
         let now = Instant::now();
         let mut out = Vec::new();
         self.emit_expired(e.time, &mut out);
@@ -220,6 +221,7 @@ impl GretaEngine {
             let meta = &qx.meta;
             let within = meta.query.window.within;
             let (mm_id, _) = mm_identity(&meta.skeleton);
+            // hamlet-lint: allow(unordered-iter) -- baseline emission order is unspecified; the harness sorts before comparing (tests/equivalence.rs)
             for (key, runs) in qx.partitions.iter_mut() {
                 while let Some((&start, _)) = runs.first_key_value() {
                     if hamlet_types::time::window_end(start, within) > watermark.ticks() {
@@ -232,6 +234,7 @@ impl GretaEngine {
                     out.push(emit(meta, &run, key.clone(), start, mm_id));
                 }
             }
+            // hamlet-lint: allow(unordered-iter) -- prunes empty partitions; no order-sensitive effect
             qx.partitions.retain(|_, r| !r.is_empty());
         }
     }
@@ -259,6 +262,7 @@ impl GretaEngine {
             .iter()
             .map(|qx| {
                 qx.partitions
+                    // hamlet-lint: allow(unordered-iter) -- commutative sum (memory accounting)
                     .values()
                     .flat_map(|r| r.values())
                     .map(GRun::mem_bytes)

@@ -146,6 +146,7 @@ impl SharonEngine {
 
     /// Processes one event; returns closed-window results.
     pub fn process(&mut self, e: &Event) -> Vec<WindowResult> {
+        // hamlet-lint: allow(wallclock) -- arrival stamp for the latency recorder; never reaches results
         let now = Instant::now();
         let mut out = Vec::new();
         self.emit_expired(e.time, &mut out);
@@ -214,6 +215,7 @@ impl SharonEngine {
     fn emit_expired(&mut self, watermark: Ts, out: &mut Vec<WindowResult>) {
         for flat in &mut self.flats {
             let within = flat.query.window.within;
+            // hamlet-lint: allow(unordered-iter) -- baseline emission order is unspecified; the harness sorts before comparing (tests/equivalence.rs)
             for (key, runs) in flat.partitions.iter_mut() {
                 while let Some((&start, _)) = runs.first_key_value() {
                     if hamlet_types::time::window_end(start, within) > watermark.ticks() {
@@ -241,6 +243,7 @@ impl SharonEngine {
                     });
                 }
             }
+            // hamlet-lint: allow(unordered-iter) -- prunes empty partitions; no order-sensitive effect
             flat.partitions.retain(|_, r| !r.is_empty());
         }
     }
@@ -269,6 +272,7 @@ impl SharonEngine {
             .iter()
             .map(|f| {
                 f.partitions
+                    // hamlet-lint: allow(unordered-iter) -- commutative sum (memory accounting)
                     .values()
                     .flat_map(|r| r.values())
                     .map(|run| run.dp.len() * std::mem::size_of::<NodeVal>())

@@ -105,6 +105,7 @@ impl TwoStepEngine {
 
     /// Processes one event (step 1: shared graph construction).
     pub fn process(&mut self, e: &Event) -> Vec<WindowResult> {
+        // hamlet-lint: allow(wallclock) -- arrival stamp for the latency recorder; never reaches results
         let now = Instant::now();
         let mut out = Vec::new();
         self.emit_expired(e.time, &mut out);
@@ -149,6 +150,7 @@ impl TwoStepEngine {
         for g in &mut self.groups {
             let within = g.window.within;
             let mut finished = Vec::new();
+            // hamlet-lint: allow(unordered-iter) -- baseline emission order is unspecified; the harness sorts before comparing (tests/equivalence.rs)
             for (key, runs) in g.partitions.iter_mut() {
                 while let Some((&start, _)) = runs.first_key_value() {
                     if hamlet_types::time::window_end(start, within) > watermark.ticks() {
@@ -158,6 +160,7 @@ impl TwoStepEngine {
                     finished.push((key.clone(), start, run));
                 }
             }
+            // hamlet-lint: allow(unordered-iter) -- prunes empty partitions; no order-sensitive effect
             g.partitions.retain(|_, r| !r.is_empty());
             for (key, start, run) in finished {
                 if let Some(arr) = run.last_arrival {
@@ -208,6 +211,7 @@ impl TwoStepEngine {
             .iter()
             .map(|g| {
                 g.partitions
+                    // hamlet-lint: allow(unordered-iter) -- commutative sum (memory accounting)
                     .values()
                     .flat_map(|r| r.values())
                     .map(|run| run.events.iter().map(Event::mem_bytes).sum::<usize>())

@@ -41,7 +41,7 @@ fn bench_snapshot_levels(c: &mut Criterion) {
                 "RETURN COUNT(*) PATTERN SEQ(Open, Tick+) WHERE Tick.price < 250 \
                  GROUP BY company WITHIN 300",
             )
-            .unwrap()
+            .expect("bench query parses")
         })
         .collect();
     // Divergent: query-specific thresholds → event-level snapshots.
@@ -56,7 +56,7 @@ fn bench_snapshot_levels(c: &mut Criterion) {
                     100 + 15 * i
                 ),
             )
-            .unwrap()
+            .expect("bench query parses")
         })
         .collect();
 
@@ -170,7 +170,7 @@ fn bench_window_overlap(c: &mut Criterion) {
                          GROUP BY district {clause}"
                     ),
                 )
-                .unwrap()
+                .expect("bench query parses")
             })
             .collect();
         g.bench_function(label, |b| {

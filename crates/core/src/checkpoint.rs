@@ -314,17 +314,29 @@ impl<'a> Dec<'a> {
 
     /// Little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, CheckpointError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        let b = self
+            .take(2)?
+            .try_into()
+            .map_err(|_| CheckpointError::UnexpectedEof)?;
+        Ok(u16::from_le_bytes(b))
     }
 
     /// Little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let b = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| CheckpointError::UnexpectedEof)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let b = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| CheckpointError::UnexpectedEof)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// `usize` (bounded by the blob length to refuse absurd

@@ -935,6 +935,7 @@ impl HamletEngine {
     /// the index of the first unconsumed event (see
     /// [`process_batch`](Self::process_batch) for the invariant).
     fn process_segment(&mut self, events: &[Event], first: usize, head_wm: Ts) -> usize {
+        // hamlet-lint: allow(wallclock) -- latency stamp (only under track_latency); feeds the recorder, not results
         let now = self.cfg.track_latency.then(Instant::now);
         let policy = self.cfg.policy;
         let mode = self.cfg.divergence;
@@ -1070,6 +1071,7 @@ impl HamletEngine {
             if !g.partitions.contains_key(&b.key) {
                 g.partitions.insert(b.key.clone(), BTreeMap::new());
             }
+            // hamlet-lint: allow(panic-hygiene) -- get_mut right after contains_key/insert of the same key; entry() would clone the key on every probe
             let runs = g.partitions.get_mut(&b.key).expect("inserted above");
             let mut late_skipped = false;
             let mut last_time: Option<u64> = None;
@@ -1222,6 +1224,7 @@ impl HamletEngine {
     /// engine state with the batched path, so the two may be interleaved
     /// freely.
     pub fn process_reference(&mut self, e: &Event) -> Vec<WindowResult> {
+        // hamlet-lint: allow(wallclock) -- latency stamp (only under track_latency); feeds the recorder, not results
         let now = self.cfg.track_latency.then(Instant::now);
         let mut out = Vec::new();
         // Monotone watermark: an out-of-order event must not rewind
@@ -1263,6 +1266,7 @@ impl HamletEngine {
             if !g.partitions.contains_key(&key) {
                 g.partitions.insert(key.clone(), BTreeMap::new());
             }
+            // hamlet-lint: allow(panic-hygiene) -- get_mut right after contains_key/insert of the same key; entry() would clone the key on every probe
             let runs = g.partitions.get_mut(&key).expect("inserted above");
             let mut late_skipped = false;
             for start in starts {
@@ -1349,7 +1353,9 @@ impl HamletEngine {
         let wm = watermark.ticks();
         let mut finished: Vec<(usize, GroupKey, u64, RunState)> = Vec::new();
         while self.expiry.peek().is_some_and(|Reverse(e)| e.end <= wm) {
-            let Reverse(e) = self.expiry.pop().expect("peeked above");
+            let Some(Reverse(e)) = self.expiry.pop() else {
+                break;
+            };
             let g = &mut self.groups[e.group];
             // Lazy invalidation: skip entries whose run is already gone.
             let Some(runs) = g.partitions.get_mut(&e.key) else {
@@ -1641,6 +1647,7 @@ impl HamletEngine {
     fn live_state_bytes(&self) -> usize {
         let mut b = 0;
         for g in &self.groups {
+            // hamlet-lint: allow(unordered-iter) -- commutative sum (memory accounting)
             for runs in g.partitions.values() {
                 for rs in runs.values() {
                     b += rs.run.mem_bytes();
@@ -1946,6 +1953,7 @@ impl HamletEngine {
         self.expiry.clear();
         for (gi, g) in self.groups.iter().enumerate() {
             let within = g.window.within;
+            // hamlet-lint: allow(unordered-iter) -- heap rebuild; expiry drains every due entry before finalize_finished sorts emissions canonically
             for (key, runs) in &g.partitions {
                 for &start in runs.keys() {
                     self.expiry.push(Reverse(ExpiryEntry {
@@ -2129,6 +2137,7 @@ impl HamletEngine {
             if *carried {
                 continue;
             }
+            // hamlet-lint: allow(unordered-iter) -- drained windows flow through finalize_finished, which sorts before emitting
             for (key, runs) in std::mem::take(&mut self.groups[oi].partitions) {
                 for (start, rs) in runs {
                     finished.push((oi, key.clone(), start, rs));
@@ -2152,6 +2161,7 @@ impl HamletEngine {
             .collect();
         let mut surviving_pending = HashMap::new();
         let mut orphaned: Vec<PendingHalf> = Vec::new();
+        // hamlet-lint: allow(unordered-iter) -- re-keys into a map; orphaned halves are sorted canonically before emitting below
         for ((ci, key, start), (id, count)) in self.pending.drain() {
             let oc = &self.combiners[ci];
             match new_ci_of_orig.get(&oc.orig.0) {
@@ -2199,6 +2209,7 @@ impl HamletEngine {
             ng.partitions = std::mem::take(&mut og.partitions);
             std::mem::swap(&mut ng.estimator, &mut og.estimator);
             let rt = ng.rt.clone();
+            // hamlet-lint: allow(unordered-iter) -- uniform retarget of every run; order-free
             for runs in ng.partitions.values_mut() {
                 for rs in runs.values_mut() {
                     rs.run.retarget(rt.clone());
@@ -2221,6 +2232,7 @@ impl HamletEngine {
         self.expiry.clear();
         for (gi, g) in self.groups.iter().enumerate() {
             let within = g.window.within;
+            // hamlet-lint: allow(unordered-iter) -- heap rebuild; expiry drains every due entry before finalize_finished sorts emissions canonically
             for (key, runs) in &g.partitions {
                 for &start in runs.keys() {
                     self.expiry.push(Reverse(ExpiryEntry {
@@ -2337,6 +2349,7 @@ fn flush_burst(
     if b == 0 {
         return;
     }
+    // hamlet-lint: allow(wallclock) -- decision-time accounting only (stats.decision_time)
     let t0 = Instant::now();
     let mut ctx = rs.run.burst_shape(tl);
     let exact = match mode {

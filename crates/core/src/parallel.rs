@@ -96,6 +96,7 @@ fn apply_op(eng: &mut HamletEngine, op: ChurnOp) -> Vec<WindowResult> {
         ChurnOp::Remove(id) => eng.remove_query(id),
     };
     report
+        // hamlet-lint: allow(panic-hygiene) -- a shard failing a pre-validated churn must not run past the cut; the panic surfaces at join
         .expect("churn ops validated before execution started")
         .drained
 }
@@ -304,6 +305,7 @@ impl ParallelEngine {
     /// boundaries only affect pipelining granularity, not results.
     pub fn run_batches<'a>(&self, batches: impl Iterator<Item = &'a [Event]>) -> ParallelReport {
         self.execute(batches, None, EndMode::Flush)
+            // hamlet-lint: allow(panic-hygiene) -- execute() without a restore blob has no error path (checkpoint decode is the only failure)
             .expect("no checkpoint to restore, engines validated in new")
             .report
     }
@@ -316,6 +318,7 @@ impl ParallelEngine {
     /// checkpoint and emit after [`resume`](Self::resume).
     pub fn run_to_checkpoint(&self, events: &[Event]) -> ParallelCheckpointReport {
         self.execute(events.chunks(self.batch), None, EndMode::Checkpoint)
+            // hamlet-lint: allow(panic-hygiene) -- execute() without a restore blob has no error path (checkpoint decode is the only failure)
             .expect("no checkpoint to restore, engines validated in new")
     }
 
@@ -390,12 +393,14 @@ impl ParallelEngine {
                 .map_err(ChurnError::Engine)?;
         }
 
+        // hamlet-lint: allow(wallclock) -- run-duration measurement for the report
         let t0 = Instant::now();
         let n = self.workers as usize;
         let mut events_total = 0u64;
         let outputs: Vec<WorkerOutput> = if n == 1 {
             let mut eng =
                 HamletEngine::new(self.reg.clone(), self.queries.clone(), self.shard_cfg(0))
+                    // hamlet-lint: allow(panic-hygiene) -- the same config already built an engine in ParallelEngine::new; reconstruction is deterministic
                     .expect("validated in ParallelEngine::new");
             let mut out = Vec::new();
             let mut pos = 0usize;
@@ -436,6 +441,7 @@ impl ParallelEngine {
                     let (reg, queries, cfg) = (reg0.clone(), queries0.clone(), cfg.clone());
                     handles.push(scope.spawn(move || {
                         let mut eng = HamletEngine::new(reg, queries, cfg)
+                            // hamlet-lint: allow(panic-hygiene) -- the same config already built an engine in ParallelEngine::new; reconstruction is deterministic
                             .expect("validated in ParallelEngine::new");
                         let mut out = Vec::new();
                         while let Ok(msg) = rx.recv() {
@@ -506,6 +512,7 @@ impl ParallelEngine {
                 drop(txs);
                 handles
                     .into_iter()
+                    // hamlet-lint: allow(panic-hygiene) -- join propagates a worker panic; swallowing it would fake a clean run
                     .map(|h| h.join().expect("worker thread panicked"))
                     .collect()
             })
@@ -559,6 +566,7 @@ impl ParallelEngine {
         restore: Option<&ParallelCheckpoint>,
         mode: EndMode,
     ) -> Result<ParallelCheckpointReport, CheckpointError> {
+        // hamlet-lint: allow(wallclock) -- run-duration measurement for the report
         let t0 = Instant::now();
         let n = self.workers as usize;
         let mut epoch = None;
@@ -595,6 +603,7 @@ impl ParallelEngine {
                         self.queries.clone(),
                         self.shard_cfg(idx),
                     )
+                    // hamlet-lint: allow(panic-hygiene) -- the same config already built an engine in ParallelEngine::new; reconstruction is deterministic
                     .expect("validated in ParallelEngine::new");
                     if let Some(e) = epoch {
                         // This engine's query set must be the checkpoint's
@@ -612,8 +621,10 @@ impl ParallelEngine {
         let (outputs, pause) = if n == 1 {
             // Degenerate case: no routing, no threads — the baseline the
             // scaling experiments compare against.
+            // hamlet-lint: allow(panic-hygiene) -- engines was built with exactly one slot per worker above
             let mut eng = engines.pop().expect("one slot").unwrap_or_else(|| {
                 HamletEngine::new(self.reg.clone(), self.queries.clone(), self.shard_cfg(0))
+                    // hamlet-lint: allow(panic-hygiene) -- the same config already built an engine in ParallelEngine::new; reconstruction is deterministic
                     .expect("validated in ParallelEngine::new")
             });
             let mut out = Vec::new();
@@ -621,6 +632,7 @@ impl ParallelEngine {
                 events_total += batch.len() as u64;
                 out.extend(eng.process_batch(batch));
             }
+            // hamlet-lint: allow(wallclock) -- barrier-pause measurement for the report
             let barrier = Instant::now();
             let ckpt = match mode {
                 EndMode::Flush => {
@@ -696,6 +708,7 @@ impl ParallelEngine {
                 handles.push(scope.spawn(move || {
                     let mut eng = pre_built.unwrap_or_else(|| {
                         HamletEngine::new(reg, queries, cfg)
+                            // hamlet-lint: allow(panic-hygiene) -- the same config already built an engine in ParallelEngine::new; reconstruction is deterministic
                             .expect("validated in ParallelEngine::new")
                     });
                     let mut out = Vec::new();
@@ -751,9 +764,11 @@ impl ParallelEngine {
                 }
             }
             drop(txs); // end-of-stream barrier: workers drain, then flush or checkpoint
+                       // hamlet-lint: allow(wallclock) -- barrier-pause measurement for the report
             let barrier = Instant::now();
             let outputs = handles
                 .into_iter()
+                // hamlet-lint: allow(panic-hygiene) -- join propagates a worker panic; swallowing it would fake a clean run
                 .map(|h| h.join().expect("worker thread panicked"))
                 .collect();
             (outputs, barrier.elapsed())

@@ -91,6 +91,7 @@ impl GroupRuntime {
                 }
             }
             for n in &tpl.per_query[qi].negations {
+                // hamlet-lint: allow(panic-hygiene) -- the group template interns every negated type at construction
                 let nl = tpl.local(n.neg_ty).expect("negated type interned");
                 let kind = match &n.kind {
                     NegKind::Leading { .. } => LocalNegKind::Leading,
@@ -269,20 +270,18 @@ impl RunStats {
         self.graphlet_snapshots + self.event_snapshots
     }
 
-    /// Serializes the counters (checkpoint codec).
+    /// Serializes the counters (checkpoint codec). Kept unrolled, one
+    /// call per field, so the decode mirror below is positionally
+    /// auditable (and checked by hamlet-lint's codec-symmetry rule).
     pub(crate) fn encode(&self, e: &mut crate::checkpoint::Enc) {
-        for v in [
-            self.graphlet_snapshots,
-            self.event_snapshots,
-            self.graphlets,
-            self.merges,
-            self.splits,
-            self.shared_bursts,
-            self.solo_bursts,
-            self.events,
-        ] {
-            e.u64(v);
-        }
+        e.u64(self.graphlet_snapshots);
+        e.u64(self.event_snapshots);
+        e.u64(self.graphlets);
+        e.u64(self.merges);
+        e.u64(self.splits);
+        e.u64(self.shared_bursts);
+        e.u64(self.solo_bursts);
+        e.u64(self.events);
     }
 
     /// Mirror of [`encode`](Self::encode).
@@ -674,6 +673,7 @@ impl Run {
         let m = TrendVal(if b >= 64 { 0 } else { 1u64 << b });
         let g = m - TrendVal::ONE;
         if !share.is_empty() {
+            // hamlet-lint: allow(panic-hygiene) -- a non-empty share set implies the shared graphlet was created when the burst opened
             let sh = self.active[tl].shared.as_mut().expect("shared graphlet");
             let (x, unit) = (sh.x, sh.unit);
             sh.sum_exprs.scale(m);
@@ -695,6 +695,7 @@ impl Run {
             if tpl.start[tl].contains(q) && !self.start_blocked[q] {
                 step.count += TrendVal::ONE;
             }
+            // hamlet-lint: allow(panic-hygiene) -- a solo query reaching here implies its solo graphlet was created when the burst opened
             let solo = self.active[tl].solo[q].as_mut().expect("solo graphlet");
             if tpl.self_loop[tl].contains(q) {
                 solo.sum.scale(m);
@@ -970,6 +971,7 @@ impl Run {
             matched.extend(share.iter().map(|q| (q, rt.selects(tl, q, e))));
             let any_edge = share.iter().any(|q| !rt.edge[tl][q].is_empty());
             let uniform = !any_edge && matched.iter().all(|&(_, m)| m);
+            // hamlet-lint: allow(panic-hygiene) -- a non-empty share set implies the shared graphlet was created when the burst opened
             let sh = self.active[tl].shared.as_ref().expect("shared graphlet");
             let expr = if uniform {
                 // Eq. 2 symbolically: preds = x (+ unit) + in-graphlet
@@ -1004,6 +1006,7 @@ impl Run {
                 self.stats.event_snapshots += 1;
                 LinearExpr::snapshot(z)
             };
+            // hamlet-lint: allow(panic-hygiene) -- a non-empty share set implies the shared graphlet was created when the burst opened
             let sh = self.active[tl].shared.as_mut().expect("shared graphlet");
             sh.sum_exprs.add_assign(&expr);
             sh.size += 1;
@@ -1061,6 +1064,7 @@ impl Run {
                 }
             }
 
+            // hamlet-lint: allow(panic-hygiene) -- a solo query reaching here implies its solo graphlet was created when the burst opened
             let solo = self.active[tl].solo[q].as_mut().expect("solo graphlet");
             solo.sum.add(val);
             solo.mm.fold(mmv.0, self.is_min);

@@ -14,6 +14,10 @@
 //! a shared binary. Debug-only — release codegen is free to fold
 //! allocations differently, and tier-1 CI runs the debug profile.
 
+// The counting global allocator IS the point of this test; wrapping the
+// system allocator requires implementing the unsafe GlobalAlloc trait.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -1,0 +1,313 @@
+//! Structural context over the token stream: `#[cfg(test)]` regions,
+//! `fn`/`impl` spans, and `hamlet-lint: allow(...)` annotations.
+
+use crate::scan::{Clean, Token};
+use crate::{Finding, RULES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Token-index ranges (inclusive start, exclusive end) of code gated
+/// behind `#[cfg(test)]` or `#[test]`.
+pub fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(after_attr) = match_test_attr(toks, i) {
+            // Skip any further stacked attributes.
+            let mut j = after_attr;
+            while j + 1 < toks.len() && toks[j].is_p('#') && toks[j + 1].is_p('[') {
+                j = match_bracket(toks, j + 1);
+            }
+            // An item keyword means the gate covers a braced item whose
+            // signature may legitimately contain `,` (fn params,
+            // generics); otherwise stay conservative and treat `,` as a
+            // terminator (enum variant, struct field).
+            let itemish = toks.get(j).and_then(|t| t.word()).is_some_and(|w| {
+                matches!(
+                    w,
+                    "pub"
+                        | "fn"
+                        | "mod"
+                        | "impl"
+                        | "struct"
+                        | "enum"
+                        | "trait"
+                        | "union"
+                        | "async"
+                        | "unsafe"
+                        | "extern"
+                        | "const"
+                        | "static"
+                )
+            });
+            // Find the gated item's body: the first `{` before any
+            // terminator that would end an item without a body
+            // (`;` for `use`; `,` only in non-item position).
+            let mut open = None;
+            let mut paren = 0i64;
+            while j < toks.len() {
+                if toks[j].is_p('(') {
+                    paren += 1;
+                } else if toks[j].is_p(')') {
+                    paren -= 1;
+                } else if toks[j].is_p('{') {
+                    open = Some(j);
+                    break;
+                } else if toks[j].is_p(';') || (toks[j].is_p(',') && !itemish && paren == 0) {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(o) = open {
+                let close = match_brace(toks, o);
+                regions.push((i, close));
+                i = close;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// If tokens at `i` start a `#[test]`/`#[cfg(test)]`-style attribute,
+/// returns the index just past its closing `]`.
+fn match_test_attr(toks: &[Token], i: usize) -> Option<usize> {
+    if !toks.get(i)?.is_p('#') || !toks.get(i + 1)?.is_p('[') {
+        return None;
+    }
+    // #[test]
+    if toks.get(i + 2)?.is_word("test") && toks.get(i + 3)?.is_p(']') {
+        return Some(i + 4);
+    }
+    // #[cfg(test)]
+    if toks.get(i + 2)?.is_word("cfg")
+        && toks.get(i + 3)?.is_p('(')
+        && toks.get(i + 4)?.is_word("test")
+        && toks.get(i + 5)?.is_p(')')
+        && toks.get(i + 6)?.is_p(']')
+    {
+        return Some(i + 7);
+    }
+    None
+}
+
+/// Index just past the bracket group opened at `open` (which must be
+/// `[`), for skipping attribute bodies.
+fn match_bracket(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_p('[') {
+            depth += 1;
+        } else if toks[j].is_p(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index just past the brace block opened at `open` (which must be `{`).
+pub fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_p('{') {
+            depth += 1;
+        } else if toks[j].is_p('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// True iff token index `i` falls in any of the (sorted) regions.
+pub fn in_regions(regions: &[(usize, usize)], i: usize) -> bool {
+    regions.iter().any(|&(s, e)| i >= s && i < e)
+}
+
+/// A function item found in the token stream.
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Token range of the parameter list (inside the parens).
+    pub params: (usize, usize),
+    /// Token range of the body (inside the braces); empty for
+    /// body-less declarations.
+    pub body: (usize, usize),
+    /// Index into the impl-span list of the smallest enclosing `impl`
+    /// block, if any.
+    pub impl_idx: Option<usize>,
+}
+
+/// Finds `fn` items and groups them by enclosing `impl` block.
+pub fn fn_spans(toks: &[Token]) -> Vec<FnSpan> {
+    // Collect impl block body spans first.
+    let mut impls: Vec<(usize, usize)> = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_word("impl") {
+            continue;
+        }
+        // Skip `impl` in type position (`-> impl Trait`, `&impl T`,
+        // `(impl T`, `, impl T`, `<impl T`, `= impl T`).
+        if i > 0 {
+            let prev = &toks[i - 1];
+            if ['>', '-', '(', ',', '&', '<', '=']
+                .iter()
+                .any(|&c| prev.is_p(c))
+                || prev.is_word("dyn")
+            {
+                continue;
+            }
+        }
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is_p('{') && !toks[j].is_p(';') {
+            j += 1;
+        }
+        if j < toks.len() && toks[j].is_p('{') {
+            impls.push((j, match_brace(toks, j)));
+        }
+    }
+
+    let mut fns = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_word("fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.word()) else {
+            continue; // `fn(` pointer type
+        };
+        // Parameter list: first `(` after the name (generics may
+        // intervene; they contain no parens).
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_p('(') && !toks[j].is_p('{') && !toks[j].is_p(';') {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_p('(') {
+            continue;
+        }
+        let pstart = j + 1;
+        let mut depth = 0i64;
+        while j < toks.len() {
+            if toks[j].is_p('(') {
+                depth += 1;
+            } else if toks[j].is_p(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let pend = j;
+        // Body: first `{` at paren depth 0 before a `;`.
+        let mut k = j + 1;
+        let mut body = (0usize, 0usize);
+        while k < toks.len() {
+            if toks[k].is_p('{') {
+                body = (k + 1, match_brace(toks, k).saturating_sub(1));
+                break;
+            }
+            if toks[k].is_p(';') {
+                break;
+            }
+            k += 1;
+        }
+        let impl_idx = impls
+            .iter()
+            .enumerate()
+            .filter(|(_, &(s, e))| s < i && i < e)
+            .min_by_key(|(_, &(s, e))| e - s)
+            .map(|(ix, _)| ix);
+        fns.push(FnSpan {
+            name: name.to_string(),
+            line: toks[i].line,
+            params: (pstart, pend),
+            body,
+            impl_idx,
+        });
+    }
+    fns
+}
+
+/// Parsed allow-annotations: line -> set of rule names allowed on that
+/// line and the next. Malformed annotations become findings.
+pub fn annotations(
+    rel: &str,
+    clean: &Clean,
+    findings: &mut Vec<Finding>,
+) -> BTreeMap<usize, BTreeSet<String>> {
+    let mut map: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (line, text) in &clean.comments {
+        let Some(pos) = text.find("hamlet-lint") else {
+            continue;
+        };
+        let bad = |findings: &mut Vec<Finding>, why: &str| {
+            findings.push(Finding {
+                rule: "bad-annotation",
+                file: rel.to_string(),
+                line: *line,
+                message: format!(
+                    "{why}; the grammar is `hamlet-lint: allow(<rule>[, <rule>]) -- <reason>`"
+                ),
+            });
+        };
+        let rest = text[pos + "hamlet-lint".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix(':') else {
+            bad(findings, "missing `:` after `hamlet-lint`");
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            bad(findings, "expected `allow(`");
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad(findings, "unclosed `allow(`");
+            continue;
+        };
+        let mut rules = BTreeSet::new();
+        let mut ok = true;
+        for r in rest[..close].split(',') {
+            let r = r.trim();
+            if RULES.contains(&r) {
+                rules.insert(r.to_string());
+            } else {
+                bad(findings, &format!("unknown rule `{r}` in allow list"));
+                ok = false;
+            }
+        }
+        let tail = rest[close + 1..].trim_start();
+        let reason_ok = tail
+            .strip_prefix("--")
+            .map(str::trim)
+            .is_some_and(|r| !r.is_empty());
+        if !reason_ok {
+            bad(findings, "missing `-- <reason>` after the allow list");
+            ok = false;
+        }
+        if ok {
+            map.entry(*line).or_default().extend(rules);
+        }
+    }
+    map
+}
+
+/// True iff `rule` is allowed at `line` (annotation on the same line or
+/// the line directly above).
+pub fn allowed(map: &BTreeMap<usize, BTreeSet<String>>, rule: &str, line: usize) -> bool {
+    [line, line.saturating_sub(1)]
+        .iter()
+        .any(|l| map.get(l).is_some_and(|s| s.contains(rule)))
+}

@@ -1,0 +1,65 @@
+//! CLI for `hamlet-lint`.
+//!
+//! ```text
+//! hamlet-lint [--json] [--root <dir>]      # lint the workspace (exit 1 on findings)
+//! hamlet-lint [--json] --fixture <file>    # lint one file with all rules forced on
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut fixture: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--fixture" => fixture = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("usage: hamlet-lint [--json] [--root <dir> | --fixture <file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hamlet-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let result = match fixture {
+        Some(f) => hamlet_lint::check_fixture(&f),
+        None => {
+            let root = root.unwrap_or_else(|| PathBuf::from("."));
+            hamlet_lint::run(&root)
+        }
+    };
+    let findings = match result {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hamlet-lint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let objs: Vec<String> = findings.iter().map(|f| f.to_json()).collect();
+        println!("[{}]", objs.join(",\n "));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            eprintln!("hamlet-lint: clean");
+        } else {
+            eprintln!("hamlet-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

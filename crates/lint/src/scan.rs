@@ -1,0 +1,308 @@
+//! Comment/string-aware source cleaning and tokenization.
+//!
+//! The analyzer never parses Rust properly; it works on a *cleaned*
+//! view of each file where comments are removed and string/char
+//! literal contents are blanked (delimiters kept), so that pattern
+//! matching on tokens cannot be fooled by `"Instant::now"` inside a
+//! string or `.unwrap()` inside a doc comment. Plain `//` comments and
+//! string literal contents are captured on the side: comments feed the
+//! allow-annotation parser, strings feed the magic-constant check.
+
+/// A cleaned source file.
+pub struct Clean {
+    /// Source lines with comments removed and literal contents blanked.
+    pub lines: Vec<String>,
+    /// Plain `//` comment bodies by 1-based line. Doc comments (`///`,
+    /// `//!`) are *not* captured: annotations must be plain comments,
+    /// which lets docs describe the annotation grammar without
+    /// tripping the parser.
+    pub comments: Vec<(usize, String)>,
+    /// String literal contents by 1-based start line.
+    pub strings: Vec<(usize, String)>,
+}
+
+/// Strips comments and blanks literal contents, tracking line numbers.
+pub fn clean(src: &str) -> Clean {
+    let c: Vec<char> = src.chars().collect();
+    let n = c.len();
+    let mut out = Clean {
+        lines: Vec::new(),
+        comments: Vec::new(),
+        strings: Vec::new(),
+    };
+    let mut cur = String::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < n {
+        let ch = c[i];
+        match ch {
+            '\n' => {
+                out.lines.push(std::mem::take(&mut cur));
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && c[i + 1] == '/' => {
+                let mut j = i + 2;
+                let doc = j < n && (c[j] == '/' || c[j] == '!');
+                let start = j;
+                while j < n && c[j] != '\n' {
+                    j += 1;
+                }
+                if !doc {
+                    out.comments.push((line, c[start..j].iter().collect()));
+                }
+                cur.push(' ');
+                i = j;
+            }
+            '/' if i + 1 < n && c[i + 1] == '*' => {
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if c[j] == '\n' {
+                        out.lines.push(std::mem::take(&mut cur));
+                        line += 1;
+                        j += 1;
+                    } else if c[j] == '/' && j + 1 < n && c[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if c[j] == '*' && j + 1 < n && c[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                cur.push(' ');
+                i = j;
+            }
+            '"' => {
+                i = eat_string(&c, i + 1, 0, &mut cur, &mut line, &mut out);
+            }
+            'r' | 'b' if !prev_is_ident(&cur) => {
+                // Possible raw/byte string or byte char prefix.
+                let mut j = i + 1;
+                if j < n && ch == 'b' && c[j] == 'r' {
+                    j += 1;
+                }
+                let raw = ch == 'r' || (j > i + 1);
+                let mut hashes = 0usize;
+                if raw {
+                    while j < n && c[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                }
+                if j < n && c[j] == '"' && (raw || ch == 'b') {
+                    cur.push(ch);
+                    if raw {
+                        i = eat_raw_string(&c, j + 1, hashes, &mut cur, &mut line, &mut out);
+                    } else {
+                        i = eat_string(&c, j + 1, 0, &mut cur, &mut line, &mut out);
+                    }
+                } else if ch == 'b' && i + 1 < n && c[i + 1] == '\'' {
+                    cur.push(' ');
+                    i = eat_char(&c, i + 2);
+                } else {
+                    cur.push(ch);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                if i + 1 < n && c[i + 1] == '\\' {
+                    cur.push(' ');
+                    i = eat_char(&c, i + 2);
+                } else if i + 2 < n && c[i + 2] == '\'' {
+                    cur.push(' ');
+                    i += 3;
+                } else {
+                    // Lifetime: keep the quote so `&'a HashMap` still
+                    // tokenizes with the lifetime marker visible.
+                    cur.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                cur.push(ch);
+                i += 1;
+            }
+        }
+    }
+    out.lines.push(cur);
+    out
+}
+
+fn prev_is_ident(cur: &str) -> bool {
+    cur.chars()
+        .next_back()
+        .is_some_and(|p| p.is_alphanumeric() || p == '_')
+}
+
+/// Consumes a (possibly multi-line) normal string body starting just
+/// past the opening quote; records the content, blanks it in the clean
+/// line, and returns the index just past the closing quote.
+fn eat_string(
+    c: &[char],
+    mut j: usize,
+    _hashes: usize,
+    cur: &mut String,
+    line: &mut usize,
+    out: &mut Clean,
+) -> usize {
+    cur.push('"');
+    let start_line = *line;
+    let mut body = String::new();
+    while j < c.len() {
+        match c[j] {
+            '\\' if j + 1 < c.len() => {
+                body.push(c[j]);
+                body.push(c[j + 1]);
+                // A line-continuation escape still ends a source line.
+                if c[j + 1] == '\n' {
+                    out.lines.push(std::mem::take(cur));
+                    *line += 1;
+                }
+                j += 2;
+            }
+            '"' => {
+                cur.push('"');
+                out.strings.push((start_line, body));
+                return j + 1;
+            }
+            '\n' => {
+                body.push('\n');
+                out.lines.push(std::mem::take(cur));
+                *line += 1;
+                j += 1;
+            }
+            other => {
+                body.push(other);
+                j += 1;
+            }
+        }
+    }
+    out.strings.push((start_line, body));
+    j
+}
+
+/// Same as [`eat_string`] for raw strings: no escapes, terminated by a
+/// quote followed by `hashes` hash marks.
+fn eat_raw_string(
+    c: &[char],
+    mut j: usize,
+    hashes: usize,
+    cur: &mut String,
+    line: &mut usize,
+    out: &mut Clean,
+) -> usize {
+    cur.push('"');
+    let start_line = *line;
+    let mut body = String::new();
+    while j < c.len() {
+        if c[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < c.len() && c[j + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                cur.push('"');
+                out.strings.push((start_line, body));
+                return j + 1 + hashes;
+            }
+        }
+        if c[j] == '\n' {
+            body.push('\n');
+            out.lines.push(std::mem::take(cur));
+            *line += 1;
+        } else {
+            body.push(c[j]);
+        }
+        j += 1;
+    }
+    out.strings.push((start_line, body));
+    j
+}
+
+/// Consumes the rest of a char literal (cursor just past `'` or `'\`),
+/// returning the index past the closing quote.
+fn eat_char(c: &[char], mut j: usize) -> usize {
+    let mut budget = 12usize; // longest form: '\u{10FFFF}'
+    while j < c.len() && budget > 0 {
+        if c[j] == '\'' {
+            return j + 1;
+        }
+        j += 1;
+        budget -= 1;
+    }
+    j
+}
+
+/// One lexical token of cleaned source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier, keyword, or number.
+    Word(String),
+    /// Any single non-whitespace punctuation character.
+    P(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub t: Tok,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// The word text, if this token is a word.
+    pub fn word(&self) -> Option<&str> {
+        match &self.t {
+            Tok::Word(w) => Some(w),
+            Tok::P(_) => None,
+        }
+    }
+
+    /// True iff this token is the punctuation `c`.
+    pub fn is_p(&self, c: char) -> bool {
+        self.t == Tok::P(c)
+    }
+
+    /// True iff this token is the word `w`.
+    pub fn is_word(&self, w: &str) -> bool {
+        self.word() == Some(w)
+    }
+}
+
+/// Tokenizes cleaned lines into words and punctuation.
+pub fn tokens(cl: &Clean) -> Vec<Token> {
+    let mut v = Vec::new();
+    for (ln, l) in cl.lines.iter().enumerate() {
+        let line = ln + 1;
+        let mut chars = l.chars().peekable();
+        while let Some(ch) = chars.next() {
+            if ch.is_alphanumeric() || ch == '_' {
+                let mut w = String::new();
+                w.push(ch);
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        w.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                v.push(Token {
+                    t: Tok::Word(w),
+                    line,
+                });
+            } else if !ch.is_whitespace() {
+                v.push(Token {
+                    t: Tok::P(ch),
+                    line,
+                });
+            }
+        }
+    }
+    v
+}

@@ -1,0 +1,8 @@
+// Annotation-grammar fixture: a missing reason and an unknown rule are
+// each a `bad-annotation` finding.
+
+// hamlet-lint: allow(unordered-iter)
+pub fn f() {}
+
+// hamlet-lint: allow(no-such-rule) -- the rule name is wrong
+pub fn g() {}

@@ -1,0 +1,23 @@
+// L1 fixture: both sanctioned shapes — a canonical sort next to the
+// iteration, and an annotated order-insensitive fold. Must be clean.
+use std::collections::HashMap;
+
+pub struct Emitter {
+    partitions: HashMap<u64, Vec<u64>>,
+}
+
+impl Emitter {
+    pub fn emit_expired(&mut self, wm: u64, out: &mut Vec<(u64, u64)>) {
+        let mut parts: Vec<_> = self.partitions.iter_mut().collect();
+        parts.sort_by_key(|(k, _)| **k);
+        for (key, runs) in parts {
+            runs.retain(|&end| end > wm);
+            out.push((*key, runs.len() as u64));
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        // hamlet-lint: allow(unordered-iter) -- commutative sum
+        self.partitions.values().map(Vec::len).sum()
+    }
+}

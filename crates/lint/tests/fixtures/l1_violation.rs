@@ -1,0 +1,16 @@
+// L1 fixture: the PR-3 bug shape — results pushed straight out of
+// HashMap iteration order on an emission path. Must be flagged.
+use std::collections::HashMap;
+
+pub struct Emitter {
+    partitions: HashMap<u64, Vec<u64>>,
+}
+
+impl Emitter {
+    pub fn emit_expired(&mut self, wm: u64, out: &mut Vec<(u64, u64)>) {
+        for (key, runs) in self.partitions.iter_mut() {
+            runs.retain(|&end| end > wm);
+            out.push((*key, runs.len() as u64));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+// L2 fixture: a positionally symmetric pair, plus magic/version consts
+// that the sibling `l2_allowed.docs.md` documents. Must be clean.
+pub const CKPT_MAGIC: [u8; 4] = *b"HMXX";
+pub const CKPT_VERSION: u16 = 7;
+
+pub struct Thing {
+    a: u32,
+    b: u64,
+    tag: Option<u8>,
+}
+
+impl Thing {
+    pub fn encode(&self, e: &mut Enc) {
+        e.raw(&CKPT_MAGIC);
+        e.u16(CKPT_VERSION);
+        e.u32(self.a);
+        e.u64(self.b);
+        match self.tag {
+            None => e.some(false),
+            Some(t) => {
+                e.some(true);
+                e.u8(t);
+            }
+        }
+    }
+
+    pub fn decode(d: &mut Dec<'_>) -> Result<Thing, CodecError> {
+        d.magic(&CKPT_MAGIC)?;
+        let v = d.u16()?;
+        let a = d.u32()?;
+        let b = d.u64()?;
+        let tag = if d.some()? { Some(d.u8()?) } else { None };
+        let _ = v;
+        Ok(Thing { a, b, tag })
+    }
+}

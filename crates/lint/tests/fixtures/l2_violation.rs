@@ -1,0 +1,20 @@
+// L2 fixture: encode writes (u32, u64) but decode reads (u64, u32) —
+// the pair diverges at codec position 0. Must be flagged.
+pub struct Thing {
+    a: u32,
+    b: u64,
+}
+
+impl Thing {
+    pub fn encode(&self, e: &mut Enc) {
+        e.u32(self.a);
+        e.u64(self.b);
+    }
+
+    pub fn decode(d: &mut Dec<'_>) -> Result<Thing, CodecError> {
+        Ok(Thing {
+            a: d.u64()?,
+            b: d.u32()?,
+        })
+    }
+}

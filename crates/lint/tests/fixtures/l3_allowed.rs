@@ -1,0 +1,13 @@
+// L3 fixture: the same reads, each carrying a justified allow. Must be
+// clean.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    // hamlet-lint: allow(wallclock) -- latency stamp; feeds metrics only
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    // hamlet-lint: allow(wallclock) -- log timestamp; never reaches emitted bytes
+    SystemTime::now()
+}

@@ -1,0 +1,10 @@
+// L3 fixture: wall-clock reads in core-scoped code. Must be flagged.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,8 @@
+// L4 fixture: the expect carries a justified allow and the unwrap is
+// gone. Must be clean.
+pub fn emit(xs: &[u64]) -> u64 {
+    let first = xs.first().copied().unwrap_or(0);
+    // hamlet-lint: allow(panic-hygiene) -- caller guarantees a non-empty batch; a violation must stop the worker
+    let last = *xs.last().expect("non-empty");
+    first + last
+}

@@ -1,0 +1,7 @@
+// L4 fixture: unwrap/expect on a worker-path file. Must be flagged
+// twice.
+pub fn emit(xs: &[u64]) -> u64 {
+    let first = *xs.first().unwrap();
+    let last = *xs.last().expect("non-empty");
+    first + last
+}

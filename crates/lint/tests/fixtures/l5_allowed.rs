@@ -1,0 +1,10 @@
+// L5 fixture: the same cast, annotated with why it fits; a narrowing
+// cast away from time arithmetic is out of scope. Must be clean.
+pub fn pane_index(window_start: u64, ts: u64, pane: u64) -> u32 {
+    // hamlet-lint: allow(truncating-cast) -- pane count is bounded by within/pane <= u32::MAX by construction
+    ((ts - window_start) / pane) as u32
+}
+
+pub fn small(len: u64) -> u32 {
+    len as u32
+}

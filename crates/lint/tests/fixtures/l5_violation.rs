@@ -1,0 +1,5 @@
+// L5 fixture: a bare narrowing cast inside window arithmetic. Must be
+// flagged.
+pub fn pane_index(window_start: u64, ts: u64, pane: u64) -> u32 {
+    ((ts - window_start) / pane) as u32
+}

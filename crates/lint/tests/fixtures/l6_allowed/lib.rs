@@ -1,0 +1,5 @@
+//! L6 fixture: the forbid attribute is present. Must be clean.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,4 @@
+//! L6 fixture: a library crate root without `#![forbid(unsafe_code)]`.
+//! Must be flagged.
+
+pub fn noop() {}

@@ -1,0 +1,30 @@
+//! The workspace itself must lint clean: every historical finding is
+//! either fixed or carries a reasoned allow-annotation. A regression
+//! here means new code re-introduced a pattern the rules exist to stop
+//! (unordered emission, codec drift, wall-clock in core, bare panics on
+//! worker paths).
+
+use std::path::PathBuf;
+
+#[test]
+fn the_workspace_has_no_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "expected the workspace root at {root:?}"
+    );
+    let findings = hamlet_lint::run(&root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "hamlet-lint found {} issue(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

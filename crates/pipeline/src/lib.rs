@@ -500,6 +500,7 @@ impl PipelineBuilder {
             // in release order, so re-pushing preserves equal-timestamp
             // arrival ties; arrival stamps restart now (they only feed
             // latency metrics).
+            // hamlet-lint: allow(wallclock) -- restored arrival stamps only feed latency metrics
             let now = Instant::now();
             for ev in &ck.buffered {
                 buffer.push(ev.clone(), now);
@@ -521,6 +522,7 @@ impl PipelineBuilder {
             let handle = std::thread::Builder::new()
                 .name(format!("hamlet-pipe-worker-{idx}"))
                 .spawn(move || worker_loop(idx, &mut engine, &rx, &ctrl_rx, &result_tx, &shared))
+                // hamlet-lint: allow(panic-hygiene) -- thread spawn failing at startup leaves nothing to clean up; abort the pipeline
                 .expect("spawn worker thread");
             worker_handles.push(handle);
         }
@@ -530,6 +532,7 @@ impl PipelineBuilder {
         let sink_handle = std::thread::Builder::new()
             .name("hamlet-pipe-sink".into())
             .spawn(move || sink_loop(sink, &result_rx, &sink_shared))
+            // hamlet-lint: allow(panic-hygiene) -- thread spawn failing at startup leaves nothing to clean up; abort the pipeline
             .expect("spawn sink thread");
 
         let (churn_tx, churn_rx) = mpsc::channel::<ChurnRequest>();
@@ -557,6 +560,7 @@ impl PipelineBuilder {
         let ingest_handle = std::thread::Builder::new()
             .name("hamlet-pipe-ingest".into())
             .spawn(move || ingest.run())
+            // hamlet-lint: allow(panic-hygiene) -- thread spawn failing at startup leaves nothing to clean up; abort the pipeline
             .expect("spawn ingest thread");
 
         Ok(PipelineHandle {
@@ -623,6 +627,7 @@ impl<Src: Source> Ingest<Src> {
             let Some(e) = self.source.next_event() else {
                 break;
             };
+            // hamlet-lint: allow(wallclock) -- ingest arrival stamp; latency metrics only
             let arrival = Instant::now();
             self.shared.ingested.fetch_add(1, Ordering::Relaxed);
             if self.max_seen.is_none_or(|m| e.time > m) {
@@ -739,7 +744,9 @@ impl<Src: Source> Ingest<Src> {
     /// such entries are skipped and counted, never applied half-way.
     fn fire_scheduled_churn(&mut self, wm: Ts) {
         while self.scheduled.front().is_some_and(|(t, _)| *t <= wm) {
-            let (_, op) = self.scheduled.pop_front().expect("front checked");
+            let Some((_, op)) = self.scheduled.pop_front() else {
+                break;
+            };
             if self.apply_churn(op).is_err() {
                 self.shared.churns_rejected.fetch_add(1, Ordering::Relaxed);
             }
@@ -786,25 +793,21 @@ impl<Src: Source> Ingest<Src> {
         // before the op does (per-channel FIFO), everything after it
         // follows — the same cut on every shard.
         self.flush_batches();
+        if let Some(router) = &mut self.router {
+            // Re-plan the router before any worker sees the op: ingest
+            // is the only thread that routes, so between the flush above
+            // and the sends below no event observes the routing — and a
+            // rejected re-plan (the dry-run makes that unreachable)
+            // fails the churn cleanly instead of desyncing shards.
+            // It holds no window state to drain.
+            match &op {
+                ChurnOp::Add(q) => drop(router.add_query(q.clone())?),
+                ChurnOp::Remove(id) => drop(router.remove_query(*id)?),
+            }
+        }
         for idx in 0..self.txs.len() {
             if self.txs[idx].send(WorkerMsg::Churn(op.clone())).is_err() {
                 self.stop.store(true, Ordering::Relaxed);
-            }
-        }
-        if let Some(router) = &mut self.router {
-            // Keep the router's partition routing aligned with the
-            // workers' new workload; it holds no window state to drain.
-            match op {
-                ChurnOp::Add(q) => drop(
-                    router
-                        .add_query(q)
-                        .expect("op validated against the same workload"),
-                ),
-                ChurnOp::Remove(id) => drop(
-                    router
-                        .remove_query(id)
-                        .expect("op validated against the same workload"),
-                ),
             }
         }
         self.queries = wanted;
@@ -841,6 +844,7 @@ fn worker_loop(
                     ChurnOp::Add(q) => engine.add_query(q),
                     ChurnOp::Remove(id) => engine.remove_query(id),
                 }
+                // hamlet-lint: allow(panic-hygiene) -- ingest dry-ran this op; a worker that cannot apply it must not keep running on a diverged shard
                 .expect("churn ops are validated by the ingest stage")
                 .drained;
                 if !drained.is_empty() {
@@ -874,16 +878,21 @@ fn worker_loop(
             // event (see `Ingest::push_to`), so that final event is the
             // only one in the batch that can advance this engine's
             // watermark and close windows — identical attribution to the
-            // old per-event loop.
-            let latency = last_arrival.expect("non-empty batch").elapsed();
-            for _ in 0..emitted.len() {
-                local.record(latency);
+            // old per-event loop. A non-empty batch always stamped an
+            // arrival; the `if let` makes that panic-free rather than
+            // asserted.
+            if let Some(arrival) = last_arrival {
+                let latency = arrival.elapsed();
+                for _ in 0..emitted.len() {
+                    local.record(latency);
+                }
+                // One lock per batch, not per result: N workers recording
+                // per-event would contend on the shared histogram and
+                // inflate the very tail latency being measured.
+                // hamlet-lint: allow(panic-hygiene) -- a poisoned latency lock means a recorder panicked; propagate it
+                shared.latency.lock().expect("latency lock").merge(&local);
+                local = LatencyHistogram::new();
             }
-            // One lock per batch, not per result: N workers recording
-            // per-event would contend on the shared histogram and
-            // inflate the very tail latency being measured.
-            shared.latency.lock().expect("latency lock").merge(&local);
-            local = LatencyHistogram::new();
             shared
                 .sink_depth
                 .fetch_add(emitted.len(), Ordering::Relaxed);
@@ -1008,6 +1017,7 @@ impl<S: Sink> PipelineHandle<S> {
     /// events the pipeline released (see `tests/pipeline_equivalence.rs`
     /// for the byte-identity property).
     pub fn drain(self) -> PipelineReport<S> {
+        // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
         self.ingest.join().expect("ingest thread panicked");
         for tx in &self.ctrl {
             let _ = tx.send(WorkerEnd::Flush);
@@ -1016,12 +1026,15 @@ impl<S: Sink> PipelineHandle<S> {
         let mut peak_mem = Vec::with_capacity(self.workers.len());
         let mut engine_latency = LatencyRecorder::new();
         for handle in self.workers {
+            // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
             let (s, lat, peak, _) = handle.join().expect("worker thread panicked");
             stats.push(s);
             peak_mem.push(peak);
             engine_latency.merge(&lat);
         }
+        // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
         let sink = self.sink.join().expect("sink thread panicked");
+        // hamlet-lint: allow(panic-hygiene) -- a poisoned lock means a recorder panicked; propagate it
         let latency = self.shared.latency.lock().expect("latency lock").clone();
         PipelineReport {
             sink,
@@ -1065,7 +1078,9 @@ impl<S: Sink> PipelineHandle<S> {
         // stop-observed ⇒ mode-visible.
         self.shared.checkpoint_mode.store(true, Ordering::Relaxed);
         self.stop.store(true, Ordering::Release);
+        // hamlet-lint: allow(wallclock) -- checkpoint-pause measurement for the report
         let barrier = Instant::now();
+        // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
         let exit = self.ingest.join().expect("ingest thread panicked");
         for tx in &self.ctrl {
             let _ = tx.send(WorkerEnd::Checkpoint);
@@ -1073,10 +1088,13 @@ impl<S: Sink> PipelineHandle<S> {
         let mut stats = Vec::with_capacity(self.workers.len());
         let mut engines = Vec::with_capacity(self.workers.len());
         for handle in self.workers {
+            // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
             let (s, _, _, blob) = handle.join().expect("worker thread panicked");
             stats.push(s);
+            // hamlet-lint: allow(panic-hygiene) -- every worker was sent WorkerEnd::Checkpoint before this join
             engines.push(blob.expect("worker was told to checkpoint"));
         }
+        // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
         let sink = self.sink.join().expect("sink thread panicked");
         let pause = barrier.elapsed();
         let counters = [

@@ -86,9 +86,11 @@ impl<S: Source> RateLimitedSource<S> {
 impl<S: Source> Source for RateLimitedSource<S> {
     fn next_event(&mut self) -> Option<Event> {
         let e = self.inner.next_event()?;
+        // hamlet-lint: allow(wallclock) -- the paced source's purpose is metering real time; event timestamps are untouched
         let start = *self.started.get_or_insert_with(Instant::now);
         let target = start + Duration::from_secs_f64(self.emitted as f64 / self.events_per_sec);
         loop {
+            // hamlet-lint: allow(wallclock) -- the paced source's purpose is metering real time; event timestamps are untouched
             let now = Instant::now();
             if now >= target {
                 break;

@@ -73,6 +73,7 @@ impl SharedStats {
 
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let latency = {
+            // hamlet-lint: allow(panic-hygiene) -- a poisoned lock means a recorder panicked; propagate it
             let h = self.latency.lock().expect("latency lock");
             LatencySummary {
                 count: h.count(),

@@ -43,9 +43,14 @@ impl Window {
         let lo = t.saturating_sub(self.within - 1);
         // first aligned start ≥ lo
         let first_start = lo.div_ceil(self.slide) * self.slide;
-        (first_start..=last_start)
-            .step_by(self.slide as usize)
-            .map(Ts)
+        // Step in u64 rather than `step_by(slide as usize)`: a slide
+        // above u32::MAX would silently truncate on 32-bit targets.
+        let slide = self.slide;
+        let seed = (first_start <= last_start).then_some(first_start);
+        std::iter::successors(seed, move |&s| {
+            s.checked_add(slide).filter(|&n| n <= last_start)
+        })
+        .map(Ts)
     }
 
     /// Number of overlapping instances covering any given instant.

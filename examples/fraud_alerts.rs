@@ -30,7 +30,7 @@ fn main() {
             "RETURN COUNT(*) PATTERN SEQ(Login, NOT Review, Transfer+) \
              GROUP BY account WITHIN 120",
         )
-        .unwrap(),
+        .expect("example setup is valid"),
         // Escalating transfers: each strictly larger than the previous
         // (edge predicate) — the classic smurfing shape.
         parse_query(
@@ -39,7 +39,7 @@ fn main() {
             "RETURN COUNT(*) PATTERN SEQ(Login, Transfer+) \
              WHERE Transfer.amount > PREV.amount GROUP BY account WITHIN 120",
         )
-        .unwrap(),
+        .expect("example setup is valid"),
         // Either suspicious shape counts (disjunction over disjoint
         // branches, §5).
         parse_query(
@@ -48,7 +48,7 @@ fn main() {
             "RETURN COUNT(*) PATTERN SEQ(Flag, Transfer+) OR SEQ(Review, Wire+) \
              GROUP BY account WITHIN 120",
         )
-        .unwrap(),
+        .expect("example setup is valid"),
         // Repeated sessions: nested Kleene (Example 10).
         parse_query(
             &reg,
@@ -56,7 +56,7 @@ fn main() {
             "RETURN COUNT(*) PATTERN (SEQ(Login, Transfer+))+ \
              GROUP BY account WITHIN 120",
         )
-        .unwrap(),
+        .expect("example setup is valid"),
     ];
 
     // A synthetic payments stream: 96 accounts, bursty transfer runs.
@@ -81,8 +81,8 @@ fn main() {
     }
 
     // Sequential run.
-    let mut engine =
-        HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default()).unwrap();
+    let mut engine = HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default())
+        .expect("example setup is valid");
     println!("{}", engine.explain());
     let mut results = Vec::new();
     let t0 = std::time::Instant::now();
@@ -117,7 +117,7 @@ fn main() {
     // could come straight off a generator without holding the full
     // stream).
     let par: ParallelReport = ParallelEngine::new(reg.clone(), queries, EngineConfig::default(), 4)
-        .unwrap()
+        .expect("example setup is valid")
         .run_batches(hamlet_stream::batches(&events, 2048));
     sort_results(&mut results);
     assert_eq!(results, par.results);

@@ -30,8 +30,8 @@ fn main() {
     );
 
     // --- HAMLET with the dynamic sharing optimizer ----------------------
-    let mut hamlet =
-        HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default()).unwrap();
+    let mut hamlet = HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default())
+        .expect("engine builds");
     let t0 = Instant::now();
     let mut hamlet_results = Vec::new();
     for e in &events {
@@ -41,7 +41,7 @@ fn main() {
     let hamlet_time = t0.elapsed();
 
     // --- GRETA: each query independently ---------------------------------
-    let mut greta = GretaEngine::new(reg.clone(), queries.clone()).unwrap();
+    let mut greta = GretaEngine::new(reg.clone(), queries.clone()).expect("engine builds");
     let t0 = Instant::now();
     let mut greta_results = Vec::new();
     for e in &events {

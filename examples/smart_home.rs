@@ -30,17 +30,18 @@ fn main() {
             "RETURN COUNT(Load) PATTERN SEQ(Start, Load+) \
              GROUP BY house WITHIN 60 SLIDE 30",
         )
-        .unwrap(),
+        .expect("example setup is valid"),
         parse_query(
             &reg,
             2,
             "RETURN AVG(Load.value) PATTERN SEQ(Work, Load+) \
              WHERE Load.value > 200 GROUP BY house WITHIN 60 SLIDE 30",
         )
-        .unwrap(),
+        .expect("example setup is valid"),
     ];
 
-    let mut engine = HamletEngine::new(reg.clone(), queries, EngineConfig::default()).unwrap();
+    let mut engine = HamletEngine::new(reg.clone(), queries, EngineConfig::default())
+        .expect("example setup is valid");
     let mut results = Vec::new();
     for e in &events {
         results.extend(engine.process(e));

@@ -24,7 +24,7 @@ fn run(
             ..EngineConfig::default()
         },
     )
-    .unwrap();
+    .expect("example setup is valid");
     let t0 = Instant::now();
     let mut results = Vec::new();
     for e in events {

@@ -584,6 +584,7 @@ fn run_offline(args: &Args, reg: Arc<TypeRegistry>, events: Vec<Event>, queries:
         println!("\n{}", engine.explain());
     }
 
+    // hamlet-lint: allow(wallclock) -- CLI throughput measurement for --metrics output
     let t0 = Instant::now();
     let mut results = Vec::new();
     for e in &events {

@@ -46,8 +46,8 @@ fn stream(reg: &Arc<TypeRegistry>, seed: u64, events_per_min: u64, groups: u64) 
 /// Offline reference: one engine, events in slice order, then flush.
 /// Raw emission order — no normalization.
 fn offline(reg: &Arc<TypeRegistry>, queries: &[Query], events: &[Event]) -> Vec<WindowResult> {
-    let mut eng =
-        HamletEngine::new(reg.clone(), queries.to_vec(), EngineConfig::default()).unwrap();
+    let mut eng = HamletEngine::new(reg.clone(), queries.to_vec(), EngineConfig::default())
+        .expect("engine builds");
     let mut out = Vec::new();
     for e in events {
         out.extend(eng.process(e));

@@ -54,8 +54,8 @@ fn churned_reference(
     events: &[Event],
     ops: &[(usize, ChurnOp)],
 ) -> Vec<WindowResult> {
-    let mut eng =
-        HamletEngine::new(reg.clone(), initial.to_vec(), EngineConfig::default()).unwrap();
+    let mut eng = HamletEngine::new(reg.clone(), initial.to_vec(), EngineConfig::default())
+        .expect("engine builds");
     let mut out = Vec::new();
     let mut pos = 0usize;
     for (at, op) in ops {
@@ -65,8 +65,8 @@ fn churned_reference(
         }
         pos = at;
         let report = match op {
-            ChurnOp::Add(q) => eng.add_query(q.clone()).unwrap(),
-            ChurnOp::Remove(id) => eng.remove_query(*id).unwrap(),
+            ChurnOp::Add(q) => eng.add_query(q.clone()).expect("churn add applies"),
+            ChurnOp::Remove(id) => eng.remove_query(*id).expect("churn remove applies"),
         };
         out.extend(report.drained);
     }

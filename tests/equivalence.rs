@@ -25,7 +25,7 @@ fn registry() -> Arc<TypeRegistry> {
 fn ev(reg: &TypeRegistry, name: &str, t: u64, g: i64, v: f64) -> Event {
     Event::new(
         Ts(t),
-        reg.type_id(name).unwrap(),
+        reg.type_id(name).expect("type registered"),
         vec![AttrValue::Int(g), AttrValue::Float(v)],
     )
 }
@@ -73,7 +73,7 @@ fn run_hamlet(
             ..EngineConfig::default()
         },
     )
-    .unwrap();
+    .expect("engine builds");
     let mut out = Vec::new();
     for e in events {
         out.extend(eng.process(e));
@@ -83,7 +83,7 @@ fn run_hamlet(
 }
 
 fn run_greta(reg: &Arc<TypeRegistry>, queries: &[Query], events: &[Event]) -> Vec<WindowResult> {
-    let mut eng = GretaEngine::new(reg.clone(), queries.to_vec()).unwrap();
+    let mut eng = GretaEngine::new(reg.clone(), queries.to_vec()).expect("engine builds");
     let mut out = Vec::new();
     for e in events {
         out.extend(eng.process(e));
@@ -93,7 +93,7 @@ fn run_greta(reg: &Arc<TypeRegistry>, queries: &[Query], events: &[Event]) -> Ve
 }
 
 fn run_twostep(reg: &Arc<TypeRegistry>, queries: &[Query], events: &[Event]) -> Vec<WindowResult> {
-    let mut eng = TwoStepEngine::new(reg.clone(), queries.to_vec(), None).unwrap();
+    let mut eng = TwoStepEngine::new(reg.clone(), queries.to_vec(), None).expect("engine builds");
     let mut out = Vec::new();
     for e in events {
         out.extend(eng.process(e));

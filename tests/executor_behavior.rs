@@ -18,7 +18,7 @@ fn registry() -> Arc<TypeRegistry> {
 fn ev(reg: &TypeRegistry, name: &str, t: u64, g: i64, driver: i64) -> Event {
     Event::new(
         Ts(t),
-        reg.type_id(name).unwrap(),
+        reg.type_id(name).expect("type registered"),
         vec![
             AttrValue::Int(g),
             AttrValue::Float(t as f64),

@@ -25,7 +25,7 @@ fn abc_runtime() -> Arc<GroupRuntime> {
         Pattern::seq(vec![Pattern::Type(C), Pattern::plus(Pattern::Type(B))]),
         Window::tumbling(10_000),
     ));
-    let plan = analyze(&[q1, q2]).unwrap();
+    let plan = analyze(&[q1, q2]).expect("queries analyze");
     assert_eq!(plan.groups.len(), 1, "q1, q2 are sharable (Def. 5)");
     GroupRuntime::new(&plan.groups[0])
 }

@@ -18,8 +18,8 @@ fn reference(
     queries: &[Query],
     events: &[Event],
 ) -> Vec<WindowResult> {
-    let mut eng =
-        HamletEngine::new(reg.clone(), queries.to_vec(), EngineConfig::default()).unwrap();
+    let mut eng = HamletEngine::new(reg.clone(), queries.to_vec(), EngineConfig::default())
+        .expect("engine builds");
     let mut out = Vec::new();
     for e in events {
         out.extend(eng.process(e));
@@ -44,7 +44,7 @@ fn assert_workers_match(
             EngineConfig::default(),
             workers,
         )
-        .unwrap()
+        .expect("engine builds")
         .run(events);
         // Bit-identical: same window set, same keys, same aggregates,
         // same (guaranteed) order — zero rows included, no normalization.

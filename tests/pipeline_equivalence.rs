@@ -22,7 +22,7 @@ fn offline(reg: &Arc<TypeRegistry>, queries: &[Query], events: &[Event]) -> Vec<
         queries.to_vec(),
         hamlet_core::EngineConfig::default(),
     )
-    .unwrap();
+    .expect("engine builds");
     let mut out = Vec::new();
     for e in events {
         out.extend(eng.process(e));
@@ -43,7 +43,7 @@ fn online(
         .workers(workers)
         .watermark(BoundedLateness::new(slack))
         .spawn(ReplaySource::new(events.to_vec()), VecSink::new())
-        .unwrap()
+        .expect("pipeline spawns")
         .drain()
 }
 

@@ -39,7 +39,7 @@ fn drive_hamlet(
             ..EngineConfig::default()
         },
     )
-    .unwrap();
+    .expect("engine builds");
     let mut out = Vec::new();
     for e in events {
         out.extend(eng.process(e));

@@ -8,9 +8,9 @@
 //! cargo run -p hamlet-bench --release --bin figures -- --quick --bench-json out.json
 //! ```
 //!
-//! Available ids: fig9_events fig_batch fig9_queries fig11_nyc fig11_sh
-//! fig11_queries fig12_events fig12_queries fig_scaling fig_expiry
-//! fig_latency fig_checkpoint fig_churn overhead all
+//! Available ids: fig9_events fig_batch fig_obs fig9_queries fig11_nyc
+//! fig11_sh fig11_queries fig12_events fig12_queries fig_scaling
+//! fig_expiry fig_latency fig_checkpoint fig_churn overhead all
 //!
 //! Flags:
 //! - `--quick`            small sweeps (CI-sized)
@@ -21,9 +21,10 @@
 use hamlet_bench::figures::{self, Figure};
 use hamlet_bench::{bench_json, markdown_table};
 
-const ALL_FIGURES: [&str; 13] = [
+const ALL_FIGURES: [&str; 14] = [
     "fig9_events",
     "fig_batch",
+    "fig_obs",
     "fig9_queries",
     "fig11_nyc",
     "fig11_sh",
@@ -106,6 +107,7 @@ fn main() {
         let fig = match t.as_str() {
             "fig9_events" => figures::fig9_events(quick),
             "fig_batch" => figures::fig_batch(quick),
+            "fig_obs" => figures::fig_obs(quick),
             "fig9_queries" => figures::fig9_queries(quick),
             "fig11_nyc" => figures::fig11_nyc(quick),
             "fig11_sh" => figures::fig11_smart_home(quick),

@@ -46,6 +46,14 @@
 //!   path: if churn quietly degenerated into a full rebuild, the
 //!   advantage over restart-per-change would evaporate. A missing
 //!   `fig_churn` sweep is a failure.
+//! - `--max-obs-overhead <frac>` allowed throughput cost of the
+//!   observability layer in `fig_obs` (default 0.03, i.e. `HAMLET-obs`
+//!   must hold ≥ 97% of `HAMLET-noobs` throughput; 0 disables). Both
+//!   systems come from the same `BENCH.json` run, so the ratio is
+//!   machine-independent. Judged on the geometric mean across the swept
+//!   rates, `fig_batch` style. A missing `fig_obs` sweep is a failure:
+//!   the per-share-group registry rides the hot path, and this gate is
+//!   what keeps it honest.
 //! - `--system <name>`          system to gate on (default `HAMLET`)
 //!
 //! Exit code 0 = pass, 1 = regression/scaling failure, 2 = usage or
@@ -119,6 +127,7 @@ fn main() {
     let mut max_checkpoint_pause = 3.0f64;
     let mut min_batch_speedup = 2.0f64;
     let mut min_churn_advantage = 1.5f64;
+    let mut max_obs_overhead = 0.03f64;
     let mut system = "HAMLET".to_string();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -168,6 +177,12 @@ fn main() {
             "--min-churn-advantage" => {
                 min_churn_advantage = take("--min-churn-advantage").parse().unwrap_or_else(|e| {
                     eprintln!("bad --min-churn-advantage: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--max-obs-overhead" => {
+                max_obs_overhead = take("--max-obs-overhead").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --max-obs-overhead: {e}");
                     std::process::exit(2);
                 })
             }
@@ -511,6 +526,61 @@ fn main() {
                 println!(
                     "FAIL fig_churn: online churn = {geomean:.2}x of restart-per-change \
                      (geomean of {n} op counts, needs >= {min_churn_advantage:.2}x)"
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    // 8. The observability layer must stay near-free: `HAMLET-obs`
+    //    (per-share-group registry on, the production default) against
+    //    `HAMLET-noobs` (identical engine, counters compiled out of the
+    //    run) on the `fig_obs` sweep. Same-run ratio, geomean across
+    //    rates, fig_batch style. If a counter sneaks into an inner loop
+    //    or the registry starts allocating per event, this is the gate
+    //    that catches it.
+    if max_obs_overhead > 0.0 {
+        let obs: Vec<Point> = points(&current, "HAMLET-obs")
+            .into_iter()
+            .filter(|p| p.figure == "fig_obs")
+            .collect();
+        let noobs: Vec<Point> = points(&current, "HAMLET-noobs")
+            .into_iter()
+            .filter(|p| p.figure == "fig_obs")
+            .collect();
+        let mut log_sum = 0.0f64;
+        let mut n = 0u32;
+        for op in &obs {
+            let Some(np) = noobs.iter().find(|p| p.x == op.x) else {
+                continue;
+            };
+            let ratio = op.throughput / np.throughput.max(f64::MIN_POSITIVE);
+            println!(
+                "     fig_obs/{}: instrumented {:.0} ev/s = {ratio:.3}x of bare {:.0} ev/s",
+                op.x, op.throughput, np.throughput
+            );
+            log_sum += ratio.max(f64::MIN_POSITIVE).ln();
+            n += 1;
+        }
+        let floor = 1.0 - max_obs_overhead;
+        if n == 0 {
+            println!(
+                "FAIL fig_obs: observability sweep missing from {current_path} \
+                 (run the sweep or pass --max-obs-overhead 0)"
+            );
+            failures += 1;
+        } else {
+            let geomean = (log_sum / n as f64).exp();
+            if geomean >= floor {
+                println!(
+                    "OK   fig_obs: instrumented = {geomean:.3}x of bare \
+                     (geomean of {n} rates, needs >= {floor:.3}x)"
+                );
+            } else {
+                println!(
+                    "FAIL fig_obs: instrumented = {geomean:.3}x of bare \
+                     (geomean of {n} rates, needs >= {floor:.3}x — the \
+                     metrics registry is taxing the hot path)"
                 );
                 failures += 1;
             }

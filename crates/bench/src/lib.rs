@@ -64,6 +64,14 @@ pub enum System {
     /// still inside an open window. Also driven by
     /// [`figures::fig_churn`].
     HamletRestart,
+    /// The production batched engine with per-share-group observability
+    /// counters on (`EngineConfig::obs`, the default) — the instrumented
+    /// side of the `fig_obs` overhead A/B.
+    HamletObs,
+    /// The same engine with observability off — `fig_obs`'s
+    /// uninstrumented denominator. CI gates the throughput ratio of the
+    /// two (`perf_gate --max-obs-overhead`).
+    HamletNoObs,
 }
 
 impl System {
@@ -82,6 +90,8 @@ impl System {
             System::HamletBatch(_) => "HAMLET-batch".into(),
             System::HamletChurn => "HAMLET-churn".into(),
             System::HamletRestart => "HAMLET-restart".into(),
+            System::HamletObs => "HAMLET-obs".into(),
+            System::HamletNoObs => "HAMLET-noobs".into(),
         }
     }
 }
@@ -276,6 +286,33 @@ pub fn run_system(
                         m.results += eng.process_reference(e).len() as u64;
                     }
                 }
+            }
+            m.results += eng.flush().len() as u64;
+            m.wall = t0.elapsed();
+            m.latency_avg = eng.latency().avg();
+            m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+            let s = eng.stats();
+            m.snapshots = s.runs.snapshots();
+            m.shared_bursts = s.runs.shared_bursts;
+            m.solo_bursts = s.runs.solo_bursts;
+            m.transitions = s.runs.merges + s.runs.splits;
+        }
+        System::HamletObs | System::HamletNoObs => {
+            // The observability A/B pair (`fig_obs`): the production
+            // batched hot path, identical in every respect except the
+            // `obs` flag — instrumented engines carry per-share-group
+            // counter registries, uninstrumented ones carry none.
+            let mut eng = HamletEngine::new(
+                reg.clone(),
+                queries.to_vec(),
+                EngineConfig {
+                    obs: matches!(system, System::HamletObs),
+                    ..EngineConfig::default()
+                },
+            )
+            .expect("engine builds");
+            for batch in events.chunks(1024) {
+                m.results += eng.process_batch(batch).len() as u64;
             }
             m.results += eng.flush().len() as u64;
             m.wall = t0.elapsed();

@@ -41,12 +41,19 @@ use std::time::Duration;
 pub const ENGINE_MAGIC: [u8; 4] = *b"HMEN";
 /// Engine checkpoint format version. v2 added the count-only burst tail
 /// (`burst_extra`) to each run's pending-burst record; v3 added the
-/// workload *epoch* (runtime query churn generation) to the header.
-/// v2 blobs still restore — into engines at epoch 0, the only epoch v2
-/// could describe (see `docs/checkpoint-format.md`).
-pub const ENGINE_VERSION: u16 = 3;
+/// workload *epoch* (runtime query churn generation) to the header; v4
+/// appended the per-share-group observability counters at the tail.
+/// v2/v3 blobs still restore — v2 into engines at epoch 0 (the only
+/// epoch v2 could describe), v3 with the per-group counters zeroed
+/// (see `docs/checkpoint-format.md`).
+pub const ENGINE_VERSION: u16 = 4;
 
-/// The previous engine format version, still accepted by
+/// The v3 engine format version (epoch header, no per-group
+/// observability tail), still accepted by
+/// [`crate::HamletEngine::restore`].
+pub const ENGINE_VERSION_V3: u16 = 3;
+
+/// The v2 engine format version, still accepted by
 /// [`crate::HamletEngine::restore`] for blobs written before the
 /// workload epoch existed.
 pub const ENGINE_VERSION_V2: u16 = 2;
@@ -124,6 +131,33 @@ pub fn read_container(
         blobs.push(d.bytes()?);
     }
     Ok((workers, blobs))
+}
+
+/// Like [`read_container`] but accepting any of several format
+/// versions; returns which one the blob carries so the caller can
+/// branch on tail fields added by later versions.
+pub fn read_container_any(
+    d: &mut Dec<'_>,
+    magic: &[u8; 4],
+    accepted: &[u16],
+) -> Result<(u16, u32, Vec<Vec<u8>>), CheckpointError> {
+    d.magic(magic)?;
+    let v = d.u16()?;
+    if !accepted.contains(&v) {
+        return Err(CheckpointError::BadVersion(v));
+    }
+    let workers = d.u32()?;
+    let n = d.seq_len()?;
+    if n != workers as usize {
+        return Err(CheckpointError::Corrupt(format!(
+            "{n} shard blobs for {workers} workers"
+        )));
+    }
+    let mut blobs = Vec::with_capacity(n);
+    for _ in 0..n {
+        blobs.push(d.bytes()?);
+    }
+    Ok((v, workers, blobs))
 }
 
 /// Binary encoder: appends fixed-width little-endian primitives and

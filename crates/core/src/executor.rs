@@ -15,6 +15,7 @@ use crate::metrics::{LatencyRecorder, MemoryGauge};
 use crate::optimizer::{decide, DivergenceEstimator, SharingPolicy};
 use crate::run::{GroupRuntime, MemberOutput, Run, RunStats};
 use crate::workload::{self, WorkloadError};
+use hamlet_obs::{GroupMetrics, SpanRecorder, Stage};
 use hamlet_query::{AggFunc, Query, QueryId, Window};
 use hamlet_types::time::window_end;
 use hamlet_types::{AttrValue, Event, GroupKey, Ts, TypeRegistry};
@@ -55,6 +56,12 @@ pub struct EngineConfig {
     /// only the partitions whose key hashes to `index` — the building
     /// block of [`crate::parallel::ParallelEngine`]. `None` owns all.
     pub shard: Option<(u32, u32)>,
+    /// Maintain the per-share-group observability registry
+    /// ([`HamletEngine::group_metrics`]): live counters per group plus
+    /// the Def. 12 benefit priced at placement. Off, `group_metrics()`
+    /// is empty and the per-group counter sites vanish (the
+    /// `fig_obs` sweep prices the difference; it is budgeted ≤ 3%).
+    pub obs: bool,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +72,7 @@ impl Default for EngineConfig {
             mem_sample_every: 256,
             track_latency: true,
             shard: None,
+            obs: true,
         }
     }
 }
@@ -631,6 +639,13 @@ pub struct HamletEngine {
     /// counted in [`EngineStats::late_skips`]) instead of resurrecting
     /// the window and double-emitting it at flush.
     watermark: Option<Ts>,
+    /// Per-share-group observability registry (`cfg.obs`): one
+    /// [`GroupMetrics`] per group, parallel to `groups`. Empty when
+    /// disabled, so every counter site is a single `get_mut` miss.
+    obs: Vec<GroupMetrics>,
+    /// Attached stage-span recorder and the lane to record on
+    /// (`None` = spans off; see [`Self::attach_span_recorder`]).
+    span: Option<(Arc<SpanRecorder>, u32)>,
     /// The original (pre-decomposition) query set, kept so runtime churn
     /// can recompile the workload from scratch.
     queries: Vec<Query>,
@@ -648,7 +663,7 @@ impl HamletEngine {
         cfg: EngineConfig,
     ) -> Result<HamletEngine, EngineError> {
         let compiled = Self::compile(&reg, &queries, &cfg)?;
-        Ok(HamletEngine {
+        let mut eng = HamletEngine {
             reg,
             cfg,
             groups: compiled.groups,
@@ -664,11 +679,37 @@ impl HamletEngine {
             scratch: BatchScratch::new(compiled.num_classes, compiled.num_wnd_classes),
             route: compiled.route,
             arena: EventArena::new(),
+            obs: Vec::new(),
+            span: None,
             event_counter: 0,
             watermark: None,
             queries,
             epoch: 0,
-        })
+        };
+        if eng.cfg.obs {
+            eng.obs = eng.build_obs();
+        }
+        Ok(eng)
+    }
+
+    /// Builds the per-group observability registry for the current
+    /// compiled workload, pricing each group's Def. 12 benefit and
+    /// sharing decision exactly as a churn barrier would
+    /// ([`Self::placement_for`]); counters start at zero.
+    fn build_obs(&self) -> Vec<GroupMetrics> {
+        let sigs = Self::group_sigs(&self.groups, &self.sub_of, &self.combiners);
+        self.groups
+            .iter()
+            .zip(sigs)
+            .enumerate()
+            .map(|(gi, (g, sig))| {
+                let p = self.placement_for(g, false);
+                let mut m = GroupMetrics::new(gi as u32, sig);
+                m.shared = p.shared;
+                m.benefit = p.benefit;
+                m
+            })
+            .collect()
     }
 
     /// Compiles a query list into executable share groups: decomposes
@@ -913,6 +954,8 @@ impl HamletEngine {
     /// assert_eq!(fast, slow); // batching never changes results
     /// ```
     pub fn process_batch(&mut self, events: &[Event]) -> Vec<WindowResult> {
+        let batch_span = self.span.clone();
+        let batch_t = batch_span.as_ref().map(|(rec, _)| rec.start());
         let mut out = Vec::new();
         let mut i = 0;
         while i < events.len() {
@@ -925,8 +968,40 @@ impl HamletEngine {
                 _ => events[i].time,
             };
             self.watermark = Some(head_wm);
+            // Span only the drains that will actually pop something —
+            // the per-segment no-op case stays a heap peek.
+            let drain_span = if self.span.is_some()
+                && self
+                    .expiry
+                    .peek()
+                    .is_some_and(|Reverse(e)| e.end <= head_wm.ticks())
+            {
+                self.span.clone()
+            } else {
+                None
+            };
+            let drain_t = drain_span.as_ref().map(|(rec, _)| rec.start());
+            let before = out.len();
             self.emit_expired(head_wm, &mut out);
+            if let (Some((rec, lane)), Some(t)) = (drain_span, drain_t) {
+                rec.record(
+                    lane,
+                    Stage::ExpiryDrain,
+                    t,
+                    Some(head_wm.ticks()),
+                    (out.len() - before) as u64,
+                );
+            }
             i = self.process_segment(events, i, head_wm);
+        }
+        if let (Some((rec, lane)), Some(t)) = (batch_span, batch_t) {
+            rec.record(
+                lane,
+                Stage::ProcessBatch,
+                t,
+                self.watermark.map(|w| w.ticks()),
+                events.len() as u64,
+            );
         }
         out
     }
@@ -1061,6 +1136,9 @@ impl HamletEngine {
         // ---- Processing phase (first-appearance bucket order) ----------
         for mut b in buckets.drain(..) {
             let gi = b.group as usize;
+            if let Some(m) = self.obs.get_mut(gi) {
+                m.events_routed += b.events.len() as u64;
+            }
             let g = &mut self.groups[gi];
             let window = g.window;
             let within = window.within;
@@ -1154,6 +1232,9 @@ impl HamletEngine {
                                 key: b.key.clone(),
                             }));
                             self.stats.expiry_pushes += 1;
+                            if let Some(m) = self.obs.get_mut(gi) {
+                                m.runs_created += 1;
+                            }
                             v.insert(RunState::new(g.rt.clone()))
                         }
                     };
@@ -1252,6 +1333,9 @@ impl HamletEngine {
                 }
             }
             routed = true;
+            if let Some(m) = self.obs.get_mut(gi) {
+                m.events_routed += 1;
+            }
             let (window, pane, rt) = {
                 let g = &self.groups[gi];
                 (g.window, g.pane, g.rt.clone())
@@ -1294,6 +1378,9 @@ impl HamletEngine {
                             key: key.clone(),
                         }));
                         self.stats.expiry_pushes += 1;
+                        if let Some(m) = self.obs.get_mut(gi) {
+                            m.runs_created += 1;
+                        }
                         v.insert(RunState::new(rt.clone()))
                     }
                 };
@@ -1427,6 +1514,14 @@ impl HamletEngine {
             );
             let outputs = rs.run.finalize();
             self.stats.runs.add(rs.run.stats());
+            if let Some(m) = self.obs.get_mut(gi) {
+                let s = rs.run.stats();
+                m.runs_expired += 1;
+                m.shared_bursts += s.shared_bursts;
+                m.solo_bursts += s.solo_bursts;
+                m.graphlet_snapshots += s.graphlet_snapshots;
+                m.event_snapshots += s.event_snapshots;
+            }
             if let Some(arr) = rs.last_arrival {
                 self.latency.record(arr.elapsed());
             }
@@ -1482,6 +1577,14 @@ impl HamletEngine {
                             value: AggValue::Count(combined.0),
                         });
                         self.stats.windows_emitted += 1;
+                        // Attributed to the later-finalizing half's
+                        // group: both halves of a (key, window) expire
+                        // at the same watermark in canonical order, so
+                        // the attribution is deterministic and
+                        // shard-invariant.
+                        if let Some(m) = self.obs.get_mut(gi) {
+                            m.results_emitted += 1;
+                        }
                     }
                 }
                 continue;
@@ -1493,6 +1596,9 @@ impl HamletEngine {
                 value: render(&q.agg, o),
             });
             self.stats.windows_emitted += 1;
+            if let Some(m) = self.obs.get_mut(gi) {
+                m.results_emitted += 1;
+            }
         }
     }
 
@@ -1521,6 +1627,9 @@ impl HamletEngine {
     /// as late ([`EngineStats::late_skips`]) instead of resurrecting and
     /// re-emitting windows the flush already emitted.
     pub fn flush(&mut self) -> Vec<WindowResult> {
+        let flush_span = self.span.clone();
+        let flush_t = flush_span.as_ref().map(|(rec, _)| rec.start());
+        let wm_before = self.watermark.map(|w| w.ticks());
         // Capture the end-of-stream state before draining it: short
         // streams (or small shards) may never hit a periodic sample, and
         // peak_memory() would otherwise read 0.
@@ -1558,8 +1667,26 @@ impl HamletEngine {
                 value: AggValue::Count(combined.0),
             });
             self.stats.windows_emitted += 1;
+            // Cold path: attribute the unmatched half to the group
+            // that held it (linear group scan, once per orphan half).
+            if let Some(gi) = self.group_of_sub(id) {
+                if let Some(m) = self.obs.get_mut(gi) {
+                    m.results_emitted += 1;
+                }
+            }
+        }
+        if let (Some((rec, lane)), Some(t)) = (flush_span, flush_t) {
+            rec.record(lane, Stage::Flush, t, wm_before, out.len() as u64);
         }
         out
+    }
+
+    /// The group index holding (sub-)query `id`, if any. Linear scan —
+    /// only used on cold paths (flush, churn orphan settlement).
+    fn group_of_sub(&self, id: QueryId) -> Option<usize> {
+        self.groups
+            .iter()
+            .position(|g| g.rt.queries.iter().any(|q| q.id == id))
     }
 
     /// Renders the compiled sharing plan: share groups, their members,
@@ -1616,6 +1743,24 @@ impl HamletEngine {
     /// Engine statistics.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Per-share-group observability registry: one [`GroupMetrics`] per
+    /// compiled share group (parallel to the group order `explain`
+    /// prints), with the Def. 12 benefit and sharing decision priced at
+    /// placement and re-priced at each churn epoch. Empty when
+    /// [`EngineConfig::obs`] is off.
+    pub fn group_metrics(&self) -> &[GroupMetrics] {
+        &self.obs
+    }
+
+    /// Attaches a stage-span recorder; the engine records
+    /// [`Stage::ProcessBatch`] (one span per [`Self::process_batch`]
+    /// call), [`Stage::ExpiryDrain`] (non-empty watermark drains), and
+    /// [`Stage::Flush`] on `lane`. Pipeline workers attach their
+    /// shard's engine at lane `1 + worker_index` (lane 0 is ingest).
+    pub fn attach_span_recorder(&mut self, rec: Arc<SpanRecorder>, lane: u32) {
+        self.span = Some((rec, lane));
     }
 
     /// Per-result latency recorder.
@@ -1814,6 +1959,26 @@ impl HamletEngine {
                 e.u64(wm.ticks());
             }
         }
+        // v4 tail: per-share-group observability counters (placement
+        // fields are *not* serialized — benefit/shared are re-priced by
+        // the restoring engine's own build/churn, keeping round-trip
+        // identity independent of estimator drift).
+        e.usize(self.obs.len());
+        for m in &self.obs {
+            // Fixed 8-slot layout, mirrored by restore's counter loop.
+            for c in [
+                m.events_routed,
+                m.runs_created,
+                m.runs_expired,
+                m.shared_bursts,
+                m.solo_bursts,
+                m.graphlet_snapshots,
+                m.event_snapshots,
+                m.results_emitted,
+            ] {
+                e.u64(c);
+            }
+        }
         e.finish()
     }
 
@@ -1833,10 +1998,10 @@ impl HamletEngine {
         d.magic(&crate::checkpoint::ENGINE_MAGIC)?;
         let version = d.u16()?;
         // v2 blobs predate the workload epoch; they can only describe an
-        // engine that never churned, i.e. epoch 0. v3 carries the epoch
+        // engine that never churned, i.e. epoch 0. v3/v4 carry the epoch
         // explicitly. Anything else is unknown.
         let blob_epoch = match version {
-            crate::checkpoint::ENGINE_VERSION => d.u64()?,
+            crate::checkpoint::ENGINE_VERSION | crate::checkpoint::ENGINE_VERSION_V3 => d.u64()?,
             crate::checkpoint::ENGINE_VERSION_V2 => 0,
             other => return Err(CheckpointError::BadVersion(other)),
         };
@@ -1938,6 +2103,26 @@ impl HamletEngine {
         let gauge = MemoryGauge::decode(&mut d)?;
         let event_counter = d.u64()?;
         let watermark = if d.some()? { Some(Ts(d.u64()?)) } else { None };
+        // v4 tail: per-group observability counters. Earlier versions
+        // (and blobs from obs-disabled engines, which write length 0)
+        // restore with zeroed counters.
+        let mut obs_counters: Vec<[u64; 8]> = Vec::new();
+        if version == crate::checkpoint::ENGINE_VERSION {
+            let n_obs = d.seq_len()?;
+            if n_obs != 0 && n_obs != self.groups.len() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "{n_obs} observability records for {} groups",
+                    self.groups.len()
+                )));
+            }
+            for _ in 0..n_obs {
+                let mut c = [0u64; 8];
+                for slot in &mut c {
+                    *slot = d.u64()?;
+                }
+                obs_counters.push(c);
+            }
+        }
         d.expect_end()?;
 
         // Commit: swap the decoded state in and rebuild the expiration
@@ -1971,6 +2156,20 @@ impl HamletEngine {
         self.gauge = gauge;
         self.event_counter = event_counter;
         self.watermark = watermark;
+        // Replace the per-group counters wholesale (restore semantics):
+        // a blob without them resets this engine's registry to zero.
+        // Placement fields keep what this engine priced at build/churn.
+        for (gi, m) in self.obs.iter_mut().enumerate() {
+            let c = obs_counters.get(gi).copied().unwrap_or_default();
+            m.events_routed = c[0];
+            m.runs_created = c[1];
+            m.runs_expired = c[2];
+            m.shared_bursts = c[3];
+            m.solo_bursts = c[4];
+            m.graphlet_snapshots = c[5];
+            m.event_snapshots = c[6];
+            m.results_emitted = c[7];
+        }
         // The arena is not checkpointed; start the restored engine with
         // an empty pool so `state_bytes` matches a fresh engine's.
         self.arena = EventArena::new();
@@ -2194,6 +2393,13 @@ impl HamletEngine {
                 value: AggValue::Count(combined.0),
             });
             self.stats.windows_emitted += 1;
+            // The old groups are still installed here; attribute the
+            // orphaned half to the (old) group that held it.
+            if let Some(gi) = self.group_of_sub(id) {
+                if let Some(m) = self.obs.get_mut(gi) {
+                    m.results_emitted += 1;
+                }
+            }
         }
 
         // Migrate carried groups: the group is recompiled (identical
@@ -2245,12 +2451,36 @@ impl HamletEngine {
             }
         }
 
-        let placements = self
+        let placements: Vec<GroupPlacement> = self
             .groups
             .iter()
             .enumerate()
             .map(|(ni, g)| self.placement_for(g, old_of_new[ni].is_some()))
             .collect();
+
+        // Rebuild the observability registry for the new group layout:
+        // carried groups keep their counters (moved via the signature
+        // match), rebuilt groups start at zero (their history was
+        // drained above), and every group takes the placement the
+        // benefit model just re-priced.
+        if self.cfg.obs {
+            let old_obs = std::mem::take(&mut self.obs);
+            self.obs = new_sigs
+                .iter()
+                .enumerate()
+                .map(|(ni, sig)| {
+                    let mut m = match old_of_new[ni].and_then(|oi| old_obs.get(oi)) {
+                        Some(old) => old.clone(),
+                        None => GroupMetrics::default(),
+                    };
+                    m.group = ni as u32;
+                    m.sig = sig.clone();
+                    m.shared = placements[ni].shared;
+                    m.benefit = placements[ni].benefit;
+                    m
+                })
+                .collect();
+        }
         Ok(ChurnReport {
             drained,
             groups_carried,
@@ -2330,7 +2560,7 @@ pub fn checkpoint_epoch(bytes: &[u8]) -> Result<u64, crate::checkpoint::Checkpoi
     let mut d = Dec::new(bytes);
     d.magic(&crate::checkpoint::ENGINE_MAGIC)?;
     match d.u16()? {
-        crate::checkpoint::ENGINE_VERSION => d.u64(),
+        crate::checkpoint::ENGINE_VERSION | crate::checkpoint::ENGINE_VERSION_V3 => d.u64(),
         crate::checkpoint::ENGINE_VERSION_V2 => Ok(0),
         other => Err(CheckpointError::BadVersion(other)),
     }

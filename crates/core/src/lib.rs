@@ -59,6 +59,7 @@ pub use executor::{
     checkpoint_epoch, sort_results, AggValue, ChurnError, ChurnOp, ChurnReport, EngineConfig,
     EngineError, EngineStats, GroupPlacement, HamletEngine, WindowResult,
 };
+pub use hamlet_obs::{GroupMetrics, Span, SpanRecorder, Stage};
 pub use metrics::{LatencyHistogram, LatencyRecorder};
 pub use optimizer::SharingPolicy;
 pub use parallel::{

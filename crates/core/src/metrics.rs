@@ -199,6 +199,18 @@ impl LatencyHistogram {
         self.quantile(0.99)
     }
 
+    /// Non-empty buckets as `(low edge in ns, sample count)` pairs,
+    /// ascending — the sparse form metrics exporters ship so consumers
+    /// can reconstruct any quantile, not just the pre-picked p50/p99.
+    pub fn sparse_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::value(i), n))
+            .collect()
+    }
+
     /// Merges another histogram (bucket-wise).
     pub fn merge(&mut self, o: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {

@@ -46,6 +46,7 @@ use crate::executor::{
     HamletEngine, WindowResult,
 };
 use crate::metrics::LatencyRecorder;
+use hamlet_obs::{merge_group_metrics, GroupMetrics};
 use hamlet_query::Query;
 use hamlet_types::{Event, TypeRegistry};
 use std::sync::{mpsc, Arc};
@@ -61,13 +62,15 @@ pub const DEFAULT_BATCH: usize = 1024;
 const PIPELINE_DEPTH: usize = 4;
 
 /// What one worker returns: results, stats, latency recorder, peak
-/// bytes, and — when the run ends at a checkpoint barrier instead of a
-/// flush — the shard's serialized engine state.
+/// bytes, per-share-group observability counters, and — when the run
+/// ends at a checkpoint barrier instead of a flush — the shard's
+/// serialized engine state.
 type WorkerOutput = (
     Vec<WindowResult>,
     EngineStats,
     LatencyRecorder,
     usize,
+    Vec<GroupMetrics>,
     Option<Vec<u8>>,
 );
 
@@ -192,6 +195,10 @@ pub struct ParallelReport {
     pub peak_mem: Vec<usize>,
     /// Per-worker result latency recorders.
     pub latency: Vec<LatencyRecorder>,
+    /// Per-worker per-share-group observability counters (index =
+    /// shard index; empty inner vectors when `EngineConfig::obs` is
+    /// off). Merge with [`Self::merged_group_metrics`].
+    pub group_metrics: Vec<Vec<GroupMetrics>>,
     /// Events fed to the router.
     pub events: u64,
     /// End-to-end wall time of the run (routing + processing + merge).
@@ -215,6 +222,13 @@ impl ParallelReport {
             total.merge(l);
         }
         total
+    }
+
+    /// Per-share-group counters summed across shards, keyed by group
+    /// signature and sorted canonically — byte-identical for any
+    /// worker count over the same workload and stream.
+    pub fn merged_group_metrics(&self) -> Vec<GroupMetrics> {
+        merge_group_metrics(self.group_metrics.iter().cloned())
     }
 
     /// Sum of the per-worker peaks — the aggregate state footprint if
@@ -423,6 +437,7 @@ impl ParallelEngine {
                 *eng.stats(),
                 eng.latency().clone(),
                 eng.peak_memory(),
+                eng.group_metrics().to_vec(),
                 None,
             )]
         } else {
@@ -456,6 +471,7 @@ impl ParallelEngine {
                             *eng.stats(),
                             eng.latency().clone(),
                             eng.peak_memory(),
+                            eng.group_metrics().to_vec(),
                             None,
                         )
                     }));
@@ -531,14 +547,16 @@ impl ParallelEngine {
             stats: Vec::new(),
             peak_mem: Vec::new(),
             latency: Vec::new(),
+            group_metrics: Vec::new(),
             events: events_total,
             wall: Duration::ZERO,
         };
-        for (results, stats, latency, peak, _) in outputs {
+        for (results, stats, latency, peak, groups, _) in outputs {
             report.results.extend(results);
             report.stats.push(stats);
             report.latency.push(latency);
             report.peak_mem.push(peak);
+            report.group_metrics.push(groups);
         }
         sort_results(&mut report.results);
         report.wall = t0.elapsed();
@@ -648,6 +666,7 @@ impl ParallelEngine {
                     *eng.stats(),
                     eng.latency().clone(),
                     eng.peak_memory(),
+                    eng.group_metrics().to_vec(),
                     ckpt,
                 )],
                 pause,
@@ -661,15 +680,17 @@ impl ParallelEngine {
             stats: Vec::new(),
             peak_mem: Vec::new(),
             latency: Vec::new(),
+            group_metrics: Vec::new(),
             events: events_total,
             wall: Duration::ZERO,
         };
         let mut shards = Vec::with_capacity(n);
-        for (results, stats, latency, peak, ckpt) in outputs {
+        for (results, stats, latency, peak, groups, ckpt) in outputs {
             report.results.extend(results);
             report.stats.push(stats);
             report.latency.push(latency);
             report.peak_mem.push(peak);
+            report.group_metrics.push(groups);
             if let Some(c) = ckpt {
                 shards.push(c);
             }
@@ -729,6 +750,7 @@ impl ParallelEngine {
                         *eng.stats(),
                         eng.latency().clone(),
                         eng.peak_memory(),
+                        eng.group_metrics().to_vec(),
                         ckpt,
                     )
                 }));

@@ -13,7 +13,7 @@
 //! |------|------|------------------|
 //! | L1 | `unordered-iter`   | no `HashMap`/`HashSet` iteration outside tests without a canonical sort or an allow |
 //! | L2 | `codec-symmetry`   | paired encode/decode fns make positionally matching codec calls; magic/version consts appear in `docs/checkpoint-format.md` |
-//! | L3 | `wallclock`        | `Instant::now`/`SystemTime` confined to `metrics.rs`/`stats.rs`/bench code |
+//! | L3 | `wallclock`        | `Instant::now`/`SystemTime` confined to `metrics.rs`/`stats.rs`/`crates/obs`/bench code |
 //! | L4 | `panic-hygiene`    | no `unwrap()`/`expect()` on worker/emission paths (core + pipeline) |
 //! | L5 | `truncating-cast`  | no bare narrowing `as` casts in timestamp/window arithmetic |
 //! | L6 | `forbid-unsafe`    | every non-compat library crate root carries `#![forbid(unsafe_code)]` |
@@ -142,6 +142,7 @@ const LIB_SRC: &[&str] = &[
     "crates/core/src/",
     "crates/pipeline/src/",
     "crates/baselines/src/",
+    "crates/obs/src/",
     "src/",
 ];
 
@@ -153,9 +154,11 @@ pub fn classify(rel: &str) -> Class {
         || rel.starts_with("examples/");
     let lib_src = LIB_SRC.iter().any(|p| rel.starts_with(p));
     // Wall-clock measurement homes: the metrics/stats modules own
-    // latency/gauge sampling; everything else must justify the read.
+    // latency/gauge sampling, and the observability crate's whole job
+    // is timestamping spans; everything else must justify the read.
     let l3_allowed = rel.ends_with("/metrics.rs")
         || rel.ends_with("/stats.rs")
+        || rel.starts_with("crates/obs/src/")
         || rel.starts_with("crates/bench/")
         || rel.starts_with("crates/lint/");
     // Worker/emission paths: the engine core and the online pipeline.

@@ -366,7 +366,7 @@ fn codec_calls(cx: &FileCx, f: &FnSpan, decode_side: bool) -> Vec<(Slot, usize)>
         // Nested sub-struct calls: `x.encode(&mut e)` / `T::decode(&mut d, ..)`,
         // plus the shared container helpers.
         let nested = if decode_side {
-            (w == "decode" || w == "read_container")
+            (w == "decode" || w == "read_container" || w == "read_container_any")
                 && toks.get(i + 1).is_some_and(|t| t.is_p('('))
                 && args_mention(toks, i + 1, &recvs)
         } else {

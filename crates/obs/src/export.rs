@@ -1,0 +1,216 @@
+//! Exporters: Chrome `trace_event` JSON and Prometheus text exposition.
+//!
+//! Both are plain string builders with no I/O and no floating-point
+//! formatting ambiguity, so output for a fixed input is byte-stable —
+//! tests golden it directly.
+
+use crate::span::Span;
+
+/// Render spans as a Chrome `trace_event` JSON object (the
+/// `{"traceEvents": [...]}` flavor), loadable in `chrome://tracing`
+/// and Perfetto.
+///
+/// Each span becomes a complete event (`"ph":"X"`) with microsecond
+/// `ts`/`dur` (fractional, 3 decimal digits — full nanosecond
+/// precision), `pid` 0, and the lane as `tid`. The dropped-span count
+/// rides along in `otherData` so a truncated timeline is visibly
+/// truncated. Spans should already be sorted (as
+/// [`SpanRecorder::snapshot`](crate::SpanRecorder::snapshot) returns
+/// them); the input order is preserved verbatim.
+pub fn chrome_trace(spans: &[Span], dropped: u64) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedSpans\":\"");
+    out.push_str(&dropped.to_string());
+    out.push_str("\"},\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        out.push_str(s.stage.as_str());
+        out.push_str("\",\"cat\":\"hamlet\",\"ph\":\"X\",\"pid\":0,\"tid\":");
+        out.push_str(&s.lane.to_string());
+        out.push_str(",\"ts\":");
+        push_us(&mut out, s.start_ns);
+        out.push_str(",\"dur\":");
+        push_us(&mut out, s.dur_ns);
+        out.push_str(",\"args\":{\"batch\":");
+        out.push_str(&s.batch.to_string());
+        if let Some(wm) = s.watermark {
+            out.push_str(",\"watermark\":");
+            out.push_str(&wm.to_string());
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Append nanoseconds as fractional microseconds (`12.345`), the unit
+/// Chrome's trace viewer expects. Integer math only: byte-stable.
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&(ns / 1000).to_string());
+    out.push('.');
+    let frac = ns % 1000;
+    if frac < 100 {
+        out.push('0');
+    }
+    if frac < 10 {
+        out.push('0');
+    }
+    out.push_str(&frac.to_string());
+}
+
+/// Incremental builder for the Prometheus text exposition format.
+///
+/// The caller owns metric naming and emission order; the builder owns
+/// escaping and syntax. Emit a [`header`](PromText::header) once per
+/// metric family, then one sample line per label set.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    /// Emit `# HELP` and `# TYPE` lines for a metric family.
+    /// `kind` is `"counter"`, `"gauge"`, etc.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emit one integer-valued sample line.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_raw(name, labels, &value.to_string());
+    }
+
+    /// Emit one float-valued sample line. Rust's shortest-round-trip
+    /// `Display` for `f64` is deterministic, so output stays
+    /// byte-stable; non-finite values render as Prometheus' `NaN`,
+    /// `+Inf`, `-Inf`.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let text = if value.is_nan() {
+            "NaN".to_string()
+        } else if value == f64::INFINITY {
+            "+Inf".to_string()
+        } else if value == f64::NEG_INFINITY {
+            "-Inf".to_string()
+        } else {
+            value.to_string()
+        };
+        self.sample_raw(name, labels, &text);
+    }
+
+    fn sample_raw(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                push_escaped(&mut self.out, v);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn push_escaped(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+
+    fn span(start_ns: u64, dur_ns: u64, wm: Option<u64>) -> Span {
+        Span {
+            stage: Stage::ProcessBatch,
+            lane: 2,
+            start_ns,
+            dur_ns,
+            watermark: wm,
+            batch: 64,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_padding() {
+        let got = chrome_trace(&[span(1_234_567, 890, Some(7)), span(5, 1000, None)], 3);
+        assert_eq!(
+            got,
+            "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedSpans\":\"3\"},\
+             \"traceEvents\":[\
+             {\"name\":\"process_batch\",\"cat\":\"hamlet\",\"ph\":\"X\",\"pid\":0,\"tid\":2,\
+             \"ts\":1234.567,\"dur\":0.890,\"args\":{\"batch\":64,\"watermark\":7}},\
+             {\"name\":\"process_batch\",\"cat\":\"hamlet\",\"ph\":\"X\",\"pid\":0,\"tid\":2,\
+             \"ts\":0.005,\"dur\":1.000,\"args\":{\"batch\":64}}]}\n"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_empty_is_valid() {
+        let got = chrome_trace(&[], 0);
+        assert!(got.starts_with('{') && got.ends_with("]}\n"));
+        assert!(got.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn prom_text_escaping_and_values() {
+        let mut p = PromText::new();
+        p.header("hamlet_events_routed_total", "Events routed.", "counter");
+        p.sample_u64("hamlet_events_routed_total", &[("group", "1+2L")], 42);
+        p.sample_f64("hamlet_group_benefit", &[("group", "a\"b\\c\nd")], 1.5);
+        let text = p.finish();
+        assert_eq!(
+            text,
+            "# HELP hamlet_events_routed_total Events routed.\n\
+             # TYPE hamlet_events_routed_total counter\n\
+             hamlet_events_routed_total{group=\"1+2L\"} 42\n\
+             hamlet_group_benefit{group=\"a\\\"b\\\\c\\nd\"} 1.5\n"
+        );
+    }
+
+    #[test]
+    fn prom_non_finite_floats() {
+        let mut p = PromText::new();
+        p.sample_f64("x", &[], f64::NAN);
+        p.sample_f64("x", &[], f64::INFINITY);
+        p.sample_f64("x", &[], f64::NEG_INFINITY);
+        assert_eq!(p.finish(), "x NaN\nx +Inf\nx -Inf\n");
+    }
+}

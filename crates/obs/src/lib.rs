@@ -1,0 +1,36 @@
+//! Sharing-aware observability for the HAMLET engine.
+//!
+//! The paper's whole contribution is *dynamic* sharing: the optimizer
+//! prices a Def. 12 benefit per share group and re-decides at burst
+//! granularity. Flat totals (`EngineStats`) cannot show an operator
+//! *which* group or *which* stage moved when throughput does, so this
+//! crate provides the three attribution primitives the engine, the
+//! parallel router, and the live pipeline thread through their hot
+//! paths:
+//!
+//! * [`GroupMetrics`] — per-share-group counters (events routed, runs
+//!   created/expired, shared vs. solo bursts, snapshot reuse, results)
+//!   plus the benefit the optimizer priced at placement, merged across
+//!   shards order-insensitively by [`merge_group_metrics`].
+//! * [`SpanRecorder`] — per-lane fixed-capacity ring buffers of stage
+//!   [`Span`]s (bounded memory, drop-oldest, lock-free on the
+//!   single-writer hot path) tagged with worker id, event-time
+//!   watermark, and batch size.
+//! * [`export`] — Prometheus text exposition and Chrome `trace_event`
+//!   JSON, both byte-stable for a fixed run so tests can golden them.
+//!
+//! The crate is dependency-free and does no I/O; callers decide where
+//! the text goes. It is also the only library code outside
+//! `metrics.rs`/`stats.rs` allowed to read the wall clock (hamlet-lint
+//! rule L3): spans need real timestamps, and keeping every clock read
+//! behind [`SpanRecorder`] keeps the rest of the engine deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+mod group;
+mod span;
+
+pub use group::{merge_group_metrics, GroupMetrics};
+pub use span::{Span, SpanRecorder, SpanStart, Stage};

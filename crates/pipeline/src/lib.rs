@@ -85,7 +85,8 @@ use hamlet_core::executor::{
     checkpoint_epoch, ChurnError, ChurnOp, EngineConfig, EngineError, EngineStats, HamletEngine,
     WindowResult,
 };
-use hamlet_core::{LatencyHistogram, LatencyRecorder};
+use hamlet_core::{GroupMetrics, LatencyHistogram, LatencyRecorder, Span, SpanRecorder, Stage};
+use hamlet_obs::merge_group_metrics;
 use hamlet_query::{Query, QueryId};
 use hamlet_types::{Event, Ts, TypeRegistry};
 use stats::SharedStats;
@@ -122,7 +123,13 @@ struct ChurnRequest {
 /// What one worker thread returns at shutdown; the final slot carries
 /// the shard's serialized engine state when the run ended at a
 /// checkpoint barrier instead of a flush.
-type WorkerOutput = (EngineStats, LatencyRecorder, usize, Option<Vec<u8>>);
+type WorkerOutput = (
+    EngineStats,
+    LatencyRecorder,
+    usize,
+    Vec<GroupMetrics>,
+    Option<Vec<u8>>,
+);
 
 /// How a worker ends once its event channel closes: drain every open
 /// window into the sink, or freeze the engine state into a checkpoint.
@@ -208,6 +215,7 @@ impl Pipeline {
             policy: Box::new(BoundedLateness::new(0)),
             on_late: None,
             churn_at: Vec::new(),
+            trace_capacity: 0,
         }
     }
 }
@@ -223,6 +231,7 @@ pub struct PipelineBuilder {
     policy: Box<dyn WatermarkPolicy>,
     on_late: Option<LateHook>,
     churn_at: Vec<(Ts, ChurnOp)>,
+    trace_capacity: usize,
 }
 
 impl PipelineBuilder {
@@ -268,6 +277,22 @@ impl PipelineBuilder {
     /// Dead-letter hook for late events (called on the ingest thread).
     pub fn on_late(mut self, hook: impl FnMut(Event) + Send + 'static) -> Self {
         self.on_late = Some(Box::new(hook));
+        self
+    }
+
+    /// Enables stage span tracing: every pipeline stage (ingest, reorder
+    /// release, route, per-worker batch processing, expiry drains, flush,
+    /// checkpoint pause, churn barriers) records [`Span`]s into per-lane
+    /// rings holding at most `capacity` spans each (lane 0 = ingest,
+    /// lanes 1.. = workers). Memory is bounded: full rings drop their
+    /// oldest span and count it in
+    /// [`MetricsSnapshot::dropped_spans`]. `capacity` 0 (the default)
+    /// disables tracing entirely — the recorder then never reads the
+    /// clock, so an untraced pipeline pays only a branch per stage.
+    /// Export with [`PipelineHandle::export_chrome_trace`] or read them
+    /// from [`PipelineReport::spans`].
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 
@@ -392,6 +417,7 @@ impl PipelineBuilder {
             policy,
             on_late,
             churn_at,
+            trace_capacity,
         } = self;
         let n = workers as usize;
 
@@ -401,6 +427,7 @@ impl PipelineBuilder {
         probe_cfg.shard = None;
         probe_cfg.track_latency = false;
         probe_cfg.mem_sample_every = 0;
+        probe_cfg.obs = false;
 
         // Validate the whole churn schedule now: simulate the query-set
         // evolution and compile every intermediate workload, so workers
@@ -476,7 +503,14 @@ impl PipelineBuilder {
             None
         };
 
-        let shared = Arc::new(SharedStats::new(n));
+        // Lane 0 traces the ingest stage, lanes 1..=n the workers.
+        let spans = Arc::new(if trace_capacity > 0 {
+            SpanRecorder::new(n + 1, trace_capacity)
+        } else {
+            SpanRecorder::disabled()
+        });
+        let accum = restore.map(|ck| ck.elapsed).unwrap_or(Duration::ZERO);
+        let shared = Arc::new(SharedStats::new(n, accum, spans.clone()));
         shared.epoch.store(start_epoch, Ordering::Relaxed);
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -513,6 +547,13 @@ impl PipelineBuilder {
         let mut ctrl_txs = Vec::with_capacity(n);
         let mut worker_handles = Vec::with_capacity(n);
         for (idx, mut engine) in engines.into_iter().enumerate() {
+            if spans.is_enabled() {
+                engine.attach_span_recorder(spans.clone(), 1 + idx as u32);
+            }
+            // Publish each shard's priced groups before any event flows,
+            // so a snapshot taken immediately after spawn already shows
+            // the optimizer's placement decisions.
+            shared.publish_groups(idx, engine.group_metrics().to_vec());
             let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(channel_capacity);
             event_txs.push(tx);
             let (ctrl_tx, ctrl_rx) = mpsc::channel::<WorkerEnd>();
@@ -624,9 +665,14 @@ impl<Src: Source> Ingest<Src> {
             // watermark barrier. A source blocked inside `next_event`
             // delays pending requests until it yields.
             self.poll_live_churn();
+            let pull = self.shared.spans.start();
             let Some(e) = self.source.next_event() else {
                 break;
             };
+            // The ingest span measures the source pull (wait) time — the
+            // signal that separates a source-bound run from an
+            // engine-bound one in a trace.
+            self.shared.spans.record(0, Stage::Ingest, pull, None, 1);
             // hamlet-lint: allow(wallclock) -- ingest arrival stamp; latency metrics only
             let arrival = Instant::now();
             self.shared.ingested.fetch_add(1, Ordering::Relaxed);
@@ -643,12 +689,21 @@ impl<Src: Source> Ingest<Src> {
                 continue;
             }
             self.buffer.push(e, arrival);
+            let release = self.shared.spans.start();
             let tranche = self.buffer.release(wm);
             self.shared
                 .reorder_depth
                 .store(self.buffer.len(), Ordering::Relaxed);
             if !tranche.is_empty() {
+                let n = tranche.len() as u64;
+                self.shared
+                    .spans
+                    .record(0, Stage::ReorderRelease, release, Some(wm.ticks()), n);
+                let route = self.shared.spans.start();
                 self.route_tranche(tranche);
+                self.shared
+                    .spans
+                    .record(0, Stage::Route, route, Some(wm.ticks()), n);
             }
             self.fire_scheduled_churn(wm);
         }
@@ -789,6 +844,7 @@ impl<Src: Source> Ingest<Src> {
         }
         HamletEngine::new(self.reg.clone(), wanted.clone(), self.probe_cfg.clone())
             .map_err(ChurnError::Engine)?;
+        let barrier = self.shared.spans.start();
         // The barrier: everything routed so far reaches each worker
         // before the op does (per-channel FIFO), everything after it
         // follows — the same cut on every shard.
@@ -813,6 +869,9 @@ impl<Src: Source> Ingest<Src> {
         self.queries = wanted;
         self.epoch += 1;
         self.shared.epoch.store(self.epoch, Ordering::Relaxed);
+        self.shared
+            .spans
+            .record(0, Stage::ChurnBarrier, barrier, None, 0);
         Ok(self.epoch)
     }
 }
@@ -831,10 +890,17 @@ fn worker_loop(
     // Reused split buffer: the engine takes `&[Event]`, the arrivals only
     // matter for the batch's last element (see below).
     let mut events: Vec<Event> = Vec::new();
+    let lane = 1 + idx as u32;
+    // Periodic group-metrics publish cadence, in batches: frequent
+    // enough for live dashboards, rare enough that the clone + try_lock
+    // never show up next to the engine's own batch cost.
+    const PUBLISH_EVERY: u64 = 64;
+    let mut batches = 0u64;
     while let Ok(msg) = rx.recv() {
         let batch = match msg {
             WorkerMsg::Batch(batch) => batch,
             WorkerMsg::Churn(op) => {
+                let barrier = shared.spans.start();
                 // The ingest stage validated the op and compiled the
                 // post-churn workload; every worker applies it at the
                 // same stream cut (FIFO channel order). Windows of
@@ -853,6 +919,12 @@ fn worker_loop(
                         .fetch_add(drained.len(), Ordering::Relaxed);
                     let _ = result_tx.send(drained);
                 }
+                shared
+                    .spans
+                    .record(lane, Stage::ChurnBarrier, barrier, None, 0);
+                // Churn replaces the share groups: re-publish promptly so
+                // snapshots never show the pre-churn layout for long.
+                shared.try_publish_groups(idx, engine.group_metrics());
                 continue;
             }
         };
@@ -898,6 +970,10 @@ fn worker_loop(
                 .fetch_add(emitted.len(), Ordering::Relaxed);
             let _ = result_tx.send(emitted);
         }
+        batches += 1;
+        if batches.is_multiple_of(PUBLISH_EVERY) {
+            shared.try_publish_groups(idx, engine.group_metrics());
+        }
     }
     // Channel closed: the queue is drained — the barrier. The handle
     // says how to end: drain() flushes every in-flight window into the
@@ -916,10 +992,15 @@ fn worker_loop(
             None
         }
     };
+    // Final publish is blocking: the shard's last word must land even if
+    // a snapshot reader holds the lock right now.
+    let groups = engine.group_metrics().to_vec();
+    shared.publish_groups(idx, groups.clone());
     (
         *engine.stats(),
         engine.latency().clone(),
         engine.peak_memory(),
+        groups,
         checkpoint,
     )
 }
@@ -961,6 +1042,19 @@ impl<S: Sink> PipelineHandle<S> {
     /// latency tail. Never blocks the data path.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.snapshot()
+    }
+
+    /// The current metrics snapshot rendered in the Prometheus text
+    /// exposition format (see [`MetricsSnapshot::to_prometheus`]).
+    pub fn export_prometheus(&self) -> String {
+        self.metrics().to_prometheus()
+    }
+
+    /// Every stage span recorded so far as Chrome `trace_event` JSON,
+    /// loadable in `chrome://tracing` / Perfetto. Empty (but valid)
+    /// unless the pipeline was built with [`PipelineBuilder::trace`].
+    pub fn export_chrome_trace(&self) -> String {
+        hamlet_obs::export::chrome_trace(&self.shared.spans.snapshot(), self.shared.spans.dropped())
     }
 
     /// Requests shutdown without waiting: the source stops being pulled
@@ -1025,12 +1119,14 @@ impl<S: Sink> PipelineHandle<S> {
         let mut stats = Vec::with_capacity(self.workers.len());
         let mut peak_mem = Vec::with_capacity(self.workers.len());
         let mut engine_latency = LatencyRecorder::new();
+        let mut worker_groups = Vec::with_capacity(self.workers.len());
         for handle in self.workers {
             // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
-            let (s, lat, peak, _) = handle.join().expect("worker thread panicked");
+            let (s, lat, peak, groups, _) = handle.join().expect("worker thread panicked");
             stats.push(s);
             peak_mem.push(peak);
             engine_latency.merge(&lat);
+            worker_groups.push(groups);
         }
         // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
         let sink = self.sink.join().expect("sink thread panicked");
@@ -1042,11 +1138,14 @@ impl<S: Sink> PipelineHandle<S> {
             released: self.shared.released.load(Ordering::Relaxed),
             late: self.shared.late.load(Ordering::Relaxed),
             results: self.shared.results.load(Ordering::Relaxed),
-            wall: self.shared.started.elapsed(),
+            wall: self.shared.elapsed(),
             stats,
             peak_mem,
             engine_latency,
             latency,
+            group_metrics: merge_group_metrics(worker_groups),
+            spans: self.shared.spans.snapshot(),
+            dropped_spans: self.shared.spans.dropped(),
         }
     }
 
@@ -1078,6 +1177,7 @@ impl<S: Sink> PipelineHandle<S> {
         // stop-observed ⇒ mode-visible.
         self.shared.checkpoint_mode.store(true, Ordering::Relaxed);
         self.stop.store(true, Ordering::Release);
+        let pause_span = self.shared.spans.start();
         // hamlet-lint: allow(wallclock) -- checkpoint-pause measurement for the report
         let barrier = Instant::now();
         // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
@@ -1089,7 +1189,7 @@ impl<S: Sink> PipelineHandle<S> {
         let mut engines = Vec::with_capacity(self.workers.len());
         for handle in self.workers {
             // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
-            let (s, _, _, blob) = handle.join().expect("worker thread panicked");
+            let (s, _, _, _, blob) = handle.join().expect("worker thread panicked");
             stats.push(s);
             // hamlet-lint: allow(panic-hygiene) -- every worker was sent WorkerEnd::Checkpoint before this join
             engines.push(blob.expect("worker was told to checkpoint"));
@@ -1097,12 +1197,16 @@ impl<S: Sink> PipelineHandle<S> {
         // hamlet-lint: allow(panic-hygiene) -- join propagates the thread's panic; swallowing it would fake a clean drain
         let sink = self.sink.join().expect("sink thread panicked");
         let pause = barrier.elapsed();
+        self.shared
+            .spans
+            .record(0, Stage::CheckpointPause, pause_span, None, 0);
         let counters = [
             self.shared.ingested.load(Ordering::Relaxed),
             self.shared.late.load(Ordering::Relaxed),
             self.shared.released.load(Ordering::Relaxed),
             self.shared.results.load(Ordering::Relaxed),
         ];
+        let wall = self.shared.elapsed();
         PipelineCheckpointReport {
             checkpoint: PipelineCheckpoint {
                 workers: self.n_workers,
@@ -1111,11 +1215,14 @@ impl<S: Sink> PipelineHandle<S> {
                 events_pulled: counters[0],
                 max_seen: exit.max_seen,
                 counters,
+                elapsed: wall,
             },
             sink,
             pause,
-            wall: self.shared.started.elapsed(),
+            wall,
             stats,
+            spans: self.shared.spans.snapshot(),
+            dropped_spans: self.shared.spans.dropped(),
         }
     }
 }
@@ -1133,10 +1240,16 @@ pub struct PipelineCheckpointReport<S> {
     /// stage had quiesced and serialized — the unavailability window a
     /// live deployment would see.
     pub pause: Duration,
-    /// Wall time from spawn to checkpoint completion.
+    /// Wall time of the logical run up to checkpoint completion
+    /// (accumulated across resumes).
     pub wall: Duration,
     /// Per-worker engine statistics at the barrier.
     pub stats: Vec<EngineStats>,
+    /// Stage spans recorded up to the barrier (empty unless the pipeline
+    /// was built with [`PipelineBuilder::trace`]).
+    pub spans: Vec<Span>,
+    /// Spans shed by full or contended trace rings.
+    pub dropped_spans: u64,
 }
 
 /// Everything a finished pipeline run measured, plus the sink itself.
@@ -1152,7 +1265,9 @@ pub struct PipelineReport<S> {
     pub late: u64,
     /// Window results delivered to the sink.
     pub results: u64,
-    /// Wall time from spawn to drain completion.
+    /// Wall time from spawn to drain completion. For a resumed pipeline
+    /// this includes the time accumulated before the checkpoint, so
+    /// throughput reflects the whole logical run.
     pub wall: Duration,
     /// Per-worker engine statistics (index = shard).
     pub stats: Vec<EngineStats>,
@@ -1163,6 +1278,14 @@ pub struct PipelineReport<S> {
     pub engine_latency: LatencyRecorder,
     /// End-to-end (ingest → emit) latency histogram (p50/p99).
     pub latency: LatencyHistogram,
+    /// Per-share-group metrics merged across shard workers (empty when
+    /// the engines ran with [`EngineConfig::obs`] off).
+    pub group_metrics: Vec<GroupMetrics>,
+    /// Stage spans recorded over the run (empty unless the pipeline was
+    /// built with [`PipelineBuilder::trace`]).
+    pub spans: Vec<Span>,
+    /// Spans shed by full or contended trace rings.
+    pub dropped_spans: u64,
 }
 
 impl<S> PipelineReport<S> {
@@ -1738,6 +1861,153 @@ mod tests {
                 "q2 must stop at its removal barrier (last {q2_last:?}) while q3 continues (last {q3_last:?})"
             );
             assert_eq!(report.results, report.sink.results.len() as u64);
+        }
+    }
+
+    /// A resumed pipeline's elapsed time continues from the checkpoint
+    /// instead of restarting at zero — the regression that made
+    /// `ingest_eps()` overreport after every resume.
+    #[test]
+    fn resumed_pipeline_reports_accumulated_elapsed() {
+        let (reg, queries, events) = setup();
+        let cut = events.len() / 2;
+        let handle = Pipeline::builder(reg.clone(), queries.clone())
+            .spawn(ReplaySource::new(events[..cut].to_vec()), VecSink::new())
+            .unwrap();
+        // Hold the pipeline open long enough that the banked time
+        // dominates clock granularity.
+        std::thread::sleep(Duration::from_millis(20));
+        let frozen = handle.checkpoint();
+        let banked = frozen.checkpoint.elapsed();
+        assert!(banked >= Duration::from_millis(20), "banked {banked:?}");
+        assert_eq!(frozen.wall, banked);
+        let blob = frozen.checkpoint.to_bytes();
+        let restored = PipelineCheckpoint::from_bytes(&blob).unwrap();
+        assert_eq!(restored.elapsed(), banked, "elapsed survives the codec");
+        let resumed = Pipeline::builder(reg, queries)
+            .resume(
+                &restored,
+                ReplaySource::new(events[cut..].to_vec()),
+                frozen.sink,
+            )
+            .unwrap();
+        let snap = resumed.metrics();
+        assert!(
+            snap.elapsed >= banked,
+            "resumed elapsed {:?} lost the banked {banked:?}",
+            snap.elapsed
+        );
+        let report = resumed.drain();
+        assert!(
+            report.wall >= banked,
+            "report wall restarted: {:?}",
+            report.wall
+        );
+    }
+
+    /// Tracing enabled: the drain report carries stage spans from both
+    /// the ingest lane and worker lanes, the live exporters produce
+    /// well-formed output, and ring memory stays bounded.
+    #[test]
+    fn traced_run_records_stage_spans() {
+        let (reg, queries, events) = setup();
+        let cap = 64;
+        let handle = Pipeline::builder(reg, queries)
+            .trace(cap)
+            .batch(16)
+            .spawn(ReplaySource::new(events), VecSink::new())
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !(handle.metrics().source_done && handle.metrics().queued() == 0) {
+            assert!(Instant::now() < deadline, "stream never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let trace = handle.export_chrome_trace();
+        assert!(trace.starts_with('{') && trace.ends_with("]}\n"));
+        assert!(trace.contains("\"name\":\"process_batch\""));
+        let prom = handle.export_prometheus();
+        assert!(prom.contains("hamlet_ingested_total 300"));
+        assert!(prom.contains("hamlet_group_events_routed_total{group="));
+        let report = handle.drain();
+        assert!(!report.spans.is_empty());
+        let lanes: std::collections::BTreeSet<u32> = report.spans.iter().map(|s| s.lane).collect();
+        assert!(lanes.contains(&0), "ingest lane must record");
+        assert!(lanes.iter().any(|&l| l > 0), "worker lane must record");
+        let stages: std::collections::BTreeSet<&str> =
+            report.spans.iter().map(|s| s.stage.as_str()).collect();
+        for want in [
+            "ingest",
+            "reorder_release",
+            "route",
+            "process_batch",
+            "flush",
+        ] {
+            assert!(stages.contains(want), "missing stage {want}: {stages:?}");
+        }
+        // Bounded memory: 2 lanes (1 worker + ingest) x cap spans.
+        assert!(
+            report.spans.len() <= 2 * cap,
+            "{} spans",
+            report.spans.len()
+        );
+    }
+
+    /// An untraced pipeline records nothing and exports an empty (but
+    /// valid) trace.
+    #[test]
+    fn untraced_run_records_no_spans() {
+        let (reg, queries, events) = setup();
+        let handle = Pipeline::builder(reg, queries)
+            .spawn(ReplaySource::new(events), VecSink::new())
+            .unwrap();
+        let report = handle.drain();
+        assert!(report.spans.is_empty());
+        assert_eq!(report.dropped_spans, 0);
+    }
+
+    /// Per-share-group metrics are identical however the stream is
+    /// sharded: 1-worker and 4-worker runs of the same stream must agree
+    /// counter for counter (the merge is order-insensitive).
+    #[test]
+    fn group_metrics_identical_across_worker_counts() {
+        let (reg, queries, events) = setup();
+        let run = |workers: u32| {
+            let handle = Pipeline::builder(reg.clone(), queries.clone())
+                .workers(workers)
+                .batch(16)
+                .spawn(ReplaySource::new(events.clone()), VecSink::new())
+                .unwrap();
+            handle.drain().group_metrics
+        };
+        let solo = run(1);
+        let sharded = run(4);
+        assert!(!solo.is_empty(), "obs is on by default");
+        assert_eq!(solo.len(), sharded.len());
+        for (a, b) in solo.iter().zip(sharded.iter()) {
+            assert_eq!(a.sig, b.sig);
+            assert_eq!(a.events_routed, b.events_routed, "group {}", a.sig_label());
+            assert_eq!(a.runs_created, b.runs_created, "group {}", a.sig_label());
+            assert_eq!(a.runs_expired, b.runs_expired, "group {}", a.sig_label());
+            assert_eq!(a.shared_bursts, b.shared_bursts, "group {}", a.sig_label());
+            assert_eq!(a.solo_bursts, b.solo_bursts, "group {}", a.sig_label());
+            assert_eq!(
+                a.graphlet_snapshots,
+                b.graphlet_snapshots,
+                "group {}",
+                a.sig_label()
+            );
+            assert_eq!(
+                a.event_snapshots,
+                b.event_snapshots,
+                "group {}",
+                a.sig_label()
+            );
+            assert_eq!(
+                a.results_emitted,
+                b.results_emitted,
+                "group {}",
+                a.sig_label()
+            );
         }
     }
 

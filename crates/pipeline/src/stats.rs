@@ -2,10 +2,11 @@
 //! [`MetricsSnapshot`] a [`PipelineHandle`](crate::PipelineHandle) serves
 //! at any moment of a run.
 
-use hamlet_core::LatencyHistogram;
+use hamlet_core::{GroupMetrics, LatencyHistogram, SpanRecorder};
+use hamlet_obs::merge_group_metrics;
 use hamlet_types::Ts;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Counters all pipeline stages update as they run. Plain atomics +
@@ -13,6 +14,17 @@ use std::time::{Duration, Instant};
 /// longer than a bucket increment.
 pub(crate) struct SharedStats {
     pub(crate) started: Instant,
+    /// Run time accumulated by previous incarnations of this pipeline
+    /// (restored from a checkpoint), so `elapsed`/`ingest_eps()` report
+    /// the whole logical run, not just the post-resume slice.
+    pub(crate) accum: Duration,
+    /// Stage span recorder shared by all pipeline stages (lane 0 =
+    /// ingest, lanes 1.. = workers). Disabled (zero-capacity) unless
+    /// tracing was requested at spawn.
+    pub(crate) spans: Arc<SpanRecorder>,
+    /// Per-worker share-group metrics slots, published periodically by
+    /// each worker and merged across shards on snapshot.
+    pub(crate) groups: Mutex<Vec<Vec<GroupMetrics>>>,
     /// Events pulled from the source.
     pub(crate) ingested: AtomicU64,
     /// Events dropped as late (behind the watermark at arrival).
@@ -46,9 +58,12 @@ pub(crate) struct SharedStats {
 }
 
 impl SharedStats {
-    pub(crate) fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize, accum: Duration, spans: Arc<SpanRecorder>) -> Self {
         SharedStats {
             started: Instant::now(),
+            accum,
+            spans,
+            groups: Mutex::new(vec![Vec::new(); workers]),
             ingested: AtomicU64::new(0),
             late: AtomicU64::new(0),
             released: AtomicU64::new(0),
@@ -71,20 +86,55 @@ impl SharedStats {
         self.watermark_set.store(true, Ordering::Release);
     }
 
+    /// Total wall time for the logical run: what this incarnation has
+    /// run plus what earlier incarnations banked before checkpointing.
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.accum + self.started.elapsed()
+    }
+
+    /// Replaces a worker's published share-group metrics slot (blocking
+    /// lock — for spawn-time and final publishes, where staleness is not
+    /// an option).
+    pub(crate) fn publish_groups(&self, worker: usize, groups: Vec<GroupMetrics>) {
+        let mut slots = self.groups.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(slot) = slots.get_mut(worker) {
+            *slot = groups;
+        }
+    }
+
+    /// Best-effort periodic publish from the hot path: a contended lock
+    /// skips the update (the next publish catches up) rather than stall
+    /// the worker behind a snapshot reader.
+    pub(crate) fn try_publish_groups(&self, worker: usize, groups: &[GroupMetrics]) {
+        if let Ok(mut slots) = self.groups.try_lock() {
+            if let Some(slot) = slots.get_mut(worker) {
+                slot.clear();
+                slot.extend_from_slice(groups);
+            }
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
-        let latency = {
+        let (latency, latency_buckets) = {
             // hamlet-lint: allow(panic-hygiene) -- a poisoned lock means a recorder panicked; propagate it
             let h = self.latency.lock().expect("latency lock");
-            LatencySummary {
-                count: h.count(),
-                avg: h.avg(),
-                p50: h.p50(),
-                p99: h.p99(),
-                max: h.max(),
-            }
+            (
+                LatencySummary {
+                    count: h.count(),
+                    avg: h.avg(),
+                    p50: h.p50(),
+                    p99: h.p99(),
+                    max: h.max(),
+                },
+                h.sparse_buckets(),
+            )
+        };
+        let groups = {
+            let slots = self.groups.lock().unwrap_or_else(PoisonError::into_inner);
+            merge_group_metrics(slots.iter().cloned())
         };
         MetricsSnapshot {
-            elapsed: self.started.elapsed(),
+            elapsed: self.elapsed(),
             ingested: self.ingested.load(Ordering::Relaxed),
             late: self.late.load(Ordering::Relaxed),
             released: self.released.load(Ordering::Relaxed),
@@ -104,6 +154,9 @@ impl SharedStats {
             epoch: self.epoch.load(Ordering::Relaxed),
             churns_rejected: self.churns_rejected.load(Ordering::Relaxed),
             latency,
+            latency_buckets,
+            groups,
+            dropped_spans: self.spans.dropped(),
         }
     }
 }
@@ -157,9 +210,201 @@ pub struct MetricsSnapshot {
     pub churns_rejected: u64,
     /// End-to-end (ingest → emit) result latency.
     pub latency: LatencySummary,
+    /// Sparse latency histogram: `(bucket low edge in ns, samples)`
+    /// pairs, ascending — the full distribution behind [`Self::latency`].
+    pub latency_buckets: Vec<(u64, u64)>,
+    /// Per-share-group metrics (Def. 12 benefit, events routed, runs,
+    /// bursts, snapshots, results), merged across shard workers. Empty
+    /// when the engines run with observability disabled.
+    pub groups: Vec<GroupMetrics>,
+    /// Stage spans discarded because a ring was full or contended.
+    pub dropped_spans: u64,
 }
 
 impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format —
+    /// run totals, queue depths, the latency summary plus full sparse
+    /// histogram, and one labeled sample set per share group (keyed by
+    /// the group's query signature, e.g. `1+2L`). Output for a fixed
+    /// snapshot is byte-stable.
+    pub fn to_prometheus(&self) -> String {
+        use hamlet_obs::export::PromText;
+        let mut p = PromText::new();
+        p.header("hamlet_uptime_seconds", "Run wall time.", "gauge");
+        p.sample_f64("hamlet_uptime_seconds", &[], self.elapsed.as_secs_f64());
+        p.header(
+            "hamlet_ingested_total",
+            "Events pulled from the source.",
+            "counter",
+        );
+        p.sample_u64("hamlet_ingested_total", &[], self.ingested);
+        p.header("hamlet_late_total", "Late events dropped.", "counter");
+        p.sample_u64("hamlet_late_total", &[], self.late);
+        p.header(
+            "hamlet_released_total",
+            "Events released to workers.",
+            "counter",
+        );
+        p.sample_u64("hamlet_released_total", &[], self.released);
+        p.header(
+            "hamlet_results_total",
+            "Window results delivered to the sink.",
+            "counter",
+        );
+        p.sample_u64("hamlet_results_total", &[], self.results);
+        if let Some(wm) = self.watermark {
+            p.header(
+                "hamlet_watermark",
+                "Current event-time watermark (ticks).",
+                "gauge",
+            );
+            p.sample_u64("hamlet_watermark", &[], wm.ticks());
+        }
+        p.header(
+            "hamlet_queue_depth",
+            "Events or results queued per pipeline stage.",
+            "gauge",
+        );
+        p.sample_u64(
+            "hamlet_queue_depth",
+            &[("stage", "reorder")],
+            self.reorder_depth as u64,
+        );
+        for (i, d) in self.worker_depths.iter().enumerate() {
+            let worker = i.to_string();
+            p.sample_u64(
+                "hamlet_queue_depth",
+                &[("stage", "worker"), ("worker", &worker)],
+                *d as u64,
+            );
+        }
+        p.sample_u64(
+            "hamlet_queue_depth",
+            &[("stage", "sink")],
+            self.sink_depth as u64,
+        );
+        p.header(
+            "hamlet_epoch",
+            "Workload epoch (churn ops applied).",
+            "gauge",
+        );
+        p.sample_u64("hamlet_epoch", &[], self.epoch);
+        p.header(
+            "hamlet_churns_rejected_total",
+            "Scheduled churn ops skipped as invalidated.",
+            "counter",
+        );
+        p.sample_u64("hamlet_churns_rejected_total", &[], self.churns_rejected);
+        p.header(
+            "hamlet_latency_seconds",
+            "End-to-end (ingest to emit) result latency.",
+            "summary",
+        );
+        p.sample_f64(
+            "hamlet_latency_seconds",
+            &[("quantile", "0.5")],
+            self.latency.p50.as_secs_f64(),
+        );
+        p.sample_f64(
+            "hamlet_latency_seconds",
+            &[("quantile", "0.99")],
+            self.latency.p99.as_secs_f64(),
+        );
+        p.sample_f64(
+            "hamlet_latency_seconds_sum",
+            &[],
+            self.latency.avg.as_secs_f64() * self.latency.count as f64,
+        );
+        p.sample_u64("hamlet_latency_seconds_count", &[], self.latency.count);
+        p.header(
+            "hamlet_latency_bucket_total",
+            "Latency histogram: samples per bucket (label = bucket low edge, ns).",
+            "counter",
+        );
+        for &(ns, n) in &self.latency_buckets {
+            let edge = ns.to_string();
+            p.sample_u64("hamlet_latency_bucket_total", &[("le_ns", &edge)], n);
+        }
+        p.header(
+            "hamlet_dropped_spans_total",
+            "Stage spans shed by full or contended trace rings.",
+            "counter",
+        );
+        p.sample_u64("hamlet_dropped_spans_total", &[], self.dropped_spans);
+        if !self.groups.is_empty() {
+            p.header(
+                "hamlet_group_shared",
+                "1 if the optimizer placed the group shared, else 0.",
+                "gauge",
+            );
+            p.header(
+                "hamlet_group_benefit",
+                "Def. 12 sharing benefit priced at placement.",
+                "gauge",
+            );
+            for g in &self.groups {
+                let sig = g.sig_label();
+                p.sample_u64(
+                    "hamlet_group_shared",
+                    &[("group", &sig)],
+                    u64::from(g.shared),
+                );
+                p.sample_f64("hamlet_group_benefit", &[("group", &sig)], g.benefit);
+            }
+            type Get = fn(&GroupMetrics) -> u64;
+            let counters: [(&str, &str, Get); 8] = [
+                (
+                    "hamlet_group_events_routed_total",
+                    "Events routed into the group.",
+                    |g| g.events_routed,
+                ),
+                (
+                    "hamlet_group_runs_created_total",
+                    "Per-key window runs created.",
+                    |g| g.runs_created,
+                ),
+                (
+                    "hamlet_group_runs_expired_total",
+                    "Runs finalized by watermark expiry.",
+                    |g| g.runs_expired,
+                ),
+                (
+                    "hamlet_group_shared_bursts_total",
+                    "Bursts processed shared.",
+                    |g| g.shared_bursts,
+                ),
+                (
+                    "hamlet_group_solo_bursts_total",
+                    "Bursts processed per-query.",
+                    |g| g.solo_bursts,
+                ),
+                (
+                    "hamlet_group_graphlet_snapshots_total",
+                    "Graphlet-level snapshots taken.",
+                    |g| g.graphlet_snapshots,
+                ),
+                (
+                    "hamlet_group_event_snapshots_total",
+                    "Event-level snapshots taken.",
+                    |g| g.event_snapshots,
+                ),
+                (
+                    "hamlet_group_results_total",
+                    "Window results emitted by the group.",
+                    |g| g.results_emitted,
+                ),
+            ];
+            for (name, help, get) in counters {
+                p.header(name, help, "counter");
+                for g in &self.groups {
+                    let sig = g.sig_label();
+                    p.sample_u64(name, &[("group", &sig)], get(g));
+                }
+            }
+        }
+        p.finish()
+    }
+
     /// Ingest throughput in events/second over the run so far.
     pub fn ingest_eps(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
@@ -180,9 +425,13 @@ impl MetricsSnapshot {
 mod tests {
     use super::*;
 
+    fn test_stats(workers: usize) -> SharedStats {
+        SharedStats::new(workers, Duration::ZERO, Arc::new(SpanRecorder::disabled()))
+    }
+
     #[test]
     fn snapshot_reflects_counters() {
-        let s = SharedStats::new(3);
+        let s = test_stats(3);
         s.ingested.store(100, Ordering::Relaxed);
         s.late.store(2, Ordering::Relaxed);
         s.released.store(98, Ordering::Relaxed);
@@ -205,7 +454,37 @@ mod tests {
 
     #[test]
     fn watermark_none_before_first_event() {
-        let s = SharedStats::new(1);
+        let s = test_stats(1);
         assert_eq!(s.snapshot().watermark, None);
+    }
+
+    #[test]
+    fn elapsed_carries_accumulated_time() {
+        let spans = Arc::new(SpanRecorder::disabled());
+        let s = SharedStats::new(1, Duration::from_secs(10), spans);
+        assert!(s.snapshot().elapsed >= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn snapshot_merges_published_groups() {
+        let s = test_stats(2);
+        let mut a = GroupMetrics::new(0, vec![(1, 0)]);
+        a.events_routed = 3;
+        let mut b = GroupMetrics::new(0, vec![(1, 0)]);
+        b.events_routed = 4;
+        s.publish_groups(0, vec![a]);
+        s.publish_groups(1, vec![b]);
+        let snap = s.snapshot();
+        assert_eq!(snap.groups.len(), 1);
+        assert_eq!(snap.groups[0].events_routed, 7);
+    }
+
+    #[test]
+    fn snapshot_exposes_latency_buckets() {
+        let s = test_stats(1);
+        s.latency.lock().unwrap().record(Duration::from_micros(10));
+        s.latency.lock().unwrap().record(Duration::from_micros(10));
+        let snap = s.snapshot();
+        assert_eq!(snap.latency_buckets.iter().map(|&(_, n)| n).sum::<u64>(), 2);
     }
 }

@@ -30,7 +30,12 @@
 //! ticks), `--slack T` (reorder-stage watermark slack; events later than
 //! this are dead-lettered), `--metrics-ms M` (live metrics print
 //! interval, 0 = quiet), `--metrics-json` (emit each metrics snapshot as
-//! one JSON line for tooling), `--checkpoint-after N` (quiesce and
+//! one JSON line for tooling, including per-share-group counters and
+//! the latency histogram buckets), `--prom-out FILE` (write the final
+//! metrics snapshot as a Prometheus text-format scrape), `--trace-out
+//! FILE` (record stage spans and write a Chrome `trace_event` JSON file
+//! — open in `chrome://tracing` or Perfetto), `--checkpoint-after N`
+//! (quiesce and
 //! checkpoint once N events have been ingested; requires `--state`),
 //! `--state FILE` (checkpoint file), `--resume` (restore from `--state`
 //! and continue the same generated stream to completion — the stream is
@@ -78,6 +83,8 @@ struct Args {
     max_lateness: u64,
     metrics_ms: u64,
     metrics_json: bool,
+    trace_out: Option<String>,
+    prom_out: Option<String>,
     checkpoint_after: u64,
     state: Option<String>,
     resume: bool,
@@ -105,6 +112,8 @@ fn parse_args() -> Result<Args, String> {
         max_lateness: 0,
         metrics_ms: 250,
         metrics_json: false,
+        trace_out: None,
+        prom_out: None,
         checkpoint_after: 0,
         state: None,
         resume: false,
@@ -138,6 +147,8 @@ fn parse_args() -> Result<Args, String> {
                 args.metrics_ms = val("--metrics-ms")?.parse().map_err(|e| format!("{e}"))?
             }
             "--metrics-json" => args.metrics_json = true,
+            "--trace-out" => args.trace_out = Some(val("--trace-out")?),
+            "--prom-out" => args.prom_out = Some(val("--prom-out")?),
             "--checkpoint-after" => {
                 args.checkpoint_after = val("--checkpoint-after")?
                     .parse()
@@ -163,6 +174,8 @@ fn parse_args() -> Result<Args, String> {
                      [--skew Z] [--seed S] [--show N] [--explain]\n\
                      pipeline mode: [--workers W] [--eps OFFERED_RATE] [--slack TICKS] \
                      [--max-lateness TICKS] [--metrics-ms MS] [--metrics-json] \
+                     [--trace-out FILE (Chrome trace_event JSON)] \
+                     [--prom-out FILE (Prometheus text format)] \
                      [--checkpoint-after N --state FILE] [--resume --state FILE] \
                      [--churn-script FILE (lines: `<ts> add|remove <query-id>`)]"
                 );
@@ -185,6 +198,10 @@ fn main() {
     // A churn script references workload queries by id; ids at or above
     // `--queries` draw extra queries from the same deterministic
     // generator, so the pool is sized to the largest id the script adds.
+    if !args.pipeline && (args.trace_out.is_some() || args.prom_out.is_some()) {
+        eprintln!("error: --trace-out/--prom-out are pipeline-mode flags");
+        std::process::exit(2);
+    }
     let script: Vec<(u64, bool, u32)> = match &args.churn_script {
         Some(path) => {
             if !args.pipeline {
@@ -313,15 +330,23 @@ fn parse_churn_script(text: &str) -> Result<Vec<(u64, bool, u32)>, String> {
 /// One [`MetricsSnapshot`] as a single JSON line for tooling — the same
 /// hand-rolled, non-finite-guarded formatting as `BENCH.json`
 /// (`hamlet_bench::json::num`), so a stalled pipeline (0-duration rates)
-/// can never emit invalid JSON.
+/// can never emit invalid JSON. Includes the sparse latency histogram
+/// (`[upper_bound_ns, count]` pairs) and one row per share group.
 fn metrics_json_line(m: &MetricsSnapshot) -> String {
     use hamlet_bench::json::num;
     let depths: Vec<String> = m.worker_depths.iter().map(|d| d.to_string()).collect();
+    let buckets: Vec<String> = m
+        .latency_buckets
+        .iter()
+        .map(|(le, n)| format!("[{le},{n}]"))
+        .collect();
+    let groups: Vec<String> = m.groups.iter().map(group_json).collect();
     format!(
         "{{\"elapsed\":{},\"ingested\":{},\"late\":{},\"released\":{},\"results\":{},\
          \"watermark\":{},\"source_done\":{},\"reorder_depth\":{},\"worker_depths\":[{}],\
          \"sink_depth\":{},\"ingest_eps\":{},\"latency\":{{\"count\":{},\"avg\":{},\
-         \"p50\":{},\"p99\":{},\"max\":{}}}}}",
+         \"p50\":{},\"p99\":{},\"max\":{},\"buckets_ns\":[{}]}},\"dropped_spans\":{},\
+         \"groups\":[{}]}}",
         num(m.elapsed.as_secs_f64()),
         m.ingested,
         m.late,
@@ -340,7 +365,41 @@ fn metrics_json_line(m: &MetricsSnapshot) -> String {
         num(m.latency.p50.as_secs_f64()),
         num(m.latency.p99.as_secs_f64()),
         num(m.latency.max.as_secs_f64()),
+        buckets.join(","),
+        m.dropped_spans,
+        groups.join(","),
     )
+}
+
+/// One share group's counters as a JSON object (see [`GroupMetrics`]).
+fn group_json(g: &GroupMetrics) -> String {
+    use hamlet_bench::json::num;
+    format!(
+        "{{\"group\":{:?},\"shared\":{},\"benefit\":{},\"events_routed\":{},\
+         \"runs_created\":{},\"runs_expired\":{},\"shared_bursts\":{},\"solo_bursts\":{},\
+         \"graphlet_snapshots\":{},\"event_snapshots\":{},\"results\":{}}}",
+        g.sig_label(),
+        g.shared,
+        num(g.benefit),
+        g.events_routed,
+        g.runs_created,
+        g.runs_expired,
+        g.shared_bursts,
+        g.solo_bursts,
+        g.graphlet_snapshots,
+        g.event_snapshots,
+        g.results_emitted,
+    )
+}
+
+/// Writes an exporter artifact, failing loudly: an observability file
+/// the user asked for silently missing is worse than a hard exit.
+fn write_export(path: &str, what: &str, body: &str) {
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: write {what} {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{what} written to {path}");
 }
 
 /// Live mode: feed the stream through the online pipeline, printing
@@ -421,7 +480,17 @@ fn run_pipeline(
     // full count is in every metrics line and the drain summary.
     let mut dead_logged = 0u32;
     let churned = !schedule.is_empty();
+    // Span ring size per lane when --trace-out is active: ~3 MB per lane
+    // at 48 bytes per span, and long runs keep the most recent window
+    // (drop-oldest; the drop count lands in the trace metadata and in
+    // `dropped_spans` of every metrics line).
+    const TRACE_CAPACITY: usize = 65_536;
     let builder = Pipeline::builder(reg, queries)
+        .trace(if args.trace_out.is_some() {
+            TRACE_CAPACITY
+        } else {
+            0
+        })
         .engine_config(EngineConfig {
             policy: args.policy,
             ..EngineConfig::default()
@@ -495,6 +564,16 @@ fn run_pipeline(
                 );
             }
             let path = args.state.as_deref().expect("validated above");
+            // Exporters snapshot here rather than after the barrier:
+            // `checkpoint` consumes the handle, so the artifacts cover
+            // everything up to the quiesce (the pause itself is only in
+            // the summary line below).
+            if let Some(p) = &args.prom_out {
+                write_export(p, "prometheus metrics", &handle.export_prometheus());
+            }
+            if let Some(p) = &args.trace_out {
+                write_export(p, "chrome trace", &handle.export_chrome_trace());
+            }
             let frozen = handle.checkpoint();
             let blob = frozen.checkpoint.to_bytes();
             if let Err(e) = std::fs::write(path, &blob) {
@@ -520,6 +599,15 @@ fn run_pipeline(
         std::thread::sleep(Duration::from_millis(args.metrics_ms.clamp(20, 2_000)));
     }
     let final_metrics = handle.metrics();
+    // Exporters snapshot before the drain tears the pipeline down: the
+    // prom text is the final scrape, the trace holds the whole run (or
+    // its most recent TRACE_CAPACITY spans per lane).
+    if let Some(p) = &args.prom_out {
+        write_export(p, "prometheus metrics", &handle.export_prometheus());
+    }
+    if let Some(p) = &args.trace_out {
+        write_export(p, "chrome trace", &handle.export_chrome_trace());
+    }
     let report = handle.drain();
     println!(
         "\ndrained in {:?}: {} events ({:.0} ev/s), {} late, {} results",

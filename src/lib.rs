@@ -67,7 +67,7 @@ pub mod prelude {
     pub use hamlet_baselines::{GretaEngine, SharonEngine, TwoStepEngine};
     pub use hamlet_core::{
         checkpoint_epoch, sort_results, AggValue, CheckpointError, ChurnError, ChurnOp,
-        ChurnReport, EngineConfig, HamletEngine, ParallelCheckpoint, ParallelEngine,
+        ChurnReport, EngineConfig, GroupMetrics, HamletEngine, ParallelCheckpoint, ParallelEngine,
         ParallelReport, SharingPolicy, WindowResult,
     };
     pub use hamlet_pipeline::{

@@ -54,7 +54,30 @@
 //!   rates, `fig_batch` style. A missing `fig_obs` sweep is a failure:
 //!   the per-share-group registry rides the hot path, and this gate is
 //!   what keeps it honest.
+//! - `--max-recovery-time <frac>` allowed growth of the `fig_checkpoint`
+//!   restore/chain-replay time vs baseline per (x, system) point
+//!   (default 3.0, i.e. up to 4× plus a 10 ms absolute floor; 0
+//!   disables). Covers the full-checkpoint restore (`HAMLET`) and the
+//!   base+delta chain replays (`HAMLET-delta`, `HAMLET-par4-delta`) —
+//!   the budget that keeps "restart from the store" an operational
+//!   answer rather than a theoretical one.
+//! - `--max-cadence-overhead <frac>` allowed sustained throughput cost
+//!   of cutting a delta checkpoint every `CUT_CADENCE` events in
+//!   `fig_checkpoint` (default 0.5; 0 disables): `HAMLET-delta` must
+//!   hold ≥ (1 − frac) of `HAMLET-nockpt`, the identical loop with no
+//!   cuts. Same-run ratio, geomean across cardinalities, `fig_obs`
+//!   style. A missing pair is a failure.
+//! - `--max-delta-ratio <frac>` maximum steady-state mean-delta /
+//!   full-base size ratio for `HAMLET-delta` at the 10⁴-key point of
+//!   `fig_checkpoint` (default 0.5; 0 disables). Same-run byte ratio,
+//!   machine-independent. If a "delta" quietly re-encodes most of the
+//!   state, incremental checkpointing has lost its reason to exist —
+//!   this is the gate that says so.
 //! - `--system <name>`          system to gate on (default `HAMLET`)
+//!
+//! A figure present in the current report but absent from the baseline
+//! is reported as one `SKIP` line (new sweeps are not silently
+//! half-gated; regenerate the baseline to gate them).
 //!
 //! Exit code 0 = pass, 1 = regression/scaling failure, 2 = usage or
 //! unreadable/invalid input.
@@ -71,6 +94,13 @@ struct Point {
     /// Checkpoint pause in seconds (0 for runs without a checkpoint;
     /// absent in pre-checkpoint baselines, which parse as 0).
     checkpoint_pause: f64,
+    /// Restore / chain-replay time in seconds (0 when not measured;
+    /// absent in pre-delta baselines, which parse as 0).
+    recovery_time: f64,
+    /// Full checkpoint (or chain base) size in bytes (0 when none).
+    checkpoint_bytes: f64,
+    /// Mean delta record size in bytes (0 for full-only runs).
+    delta_bytes: f64,
 }
 
 fn load(path: &str) -> Result<Json, String> {
@@ -80,6 +110,17 @@ fn load(path: &str) -> Result<Json, String> {
         Some("hamlet-bench-v1") => Ok(doc),
         other => Err(format!("{path}: unexpected schema {other:?}")),
     }
+}
+
+/// Figure ids present in a report, in document order.
+fn figure_ids(doc: &Json) -> Vec<String> {
+    doc.get("figures")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|fig| fig.get("id").and_then(Json::as_str))
+        .map(str::to_string)
+        .collect()
 }
 
 /// Extracts every (figure, x) throughput for one system name.
@@ -108,6 +149,15 @@ fn points(doc: &Json, system: &str) -> Vec<Point> {
                                 .get("checkpoint_pause")
                                 .and_then(Json::as_f64)
                                 .unwrap_or(0.0),
+                            recovery_time: m
+                                .get("recovery_time")
+                                .and_then(Json::as_f64)
+                                .unwrap_or(0.0),
+                            checkpoint_bytes: m
+                                .get("checkpoint_bytes")
+                                .and_then(Json::as_f64)
+                                .unwrap_or(0.0),
+                            delta_bytes: m.get("delta_bytes").and_then(Json::as_f64).unwrap_or(0.0),
                         });
                     }
                 }
@@ -128,6 +178,9 @@ fn main() {
     let mut min_batch_speedup = 2.0f64;
     let mut min_churn_advantage = 1.5f64;
     let mut max_obs_overhead = 0.03f64;
+    let mut max_recovery_time = 3.0f64;
+    let mut max_cadence_overhead = 0.5f64;
+    let mut max_delta_ratio = 0.5f64;
     let mut system = "HAMLET".to_string();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -186,6 +239,24 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--max-recovery-time" => {
+                max_recovery_time = take("--max-recovery-time").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --max-recovery-time: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--max-cadence-overhead" => {
+                max_cadence_overhead = take("--max-cadence-overhead").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --max-cadence-overhead: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--max-delta-ratio" => {
+                max_delta_ratio = take("--max-delta-ratio").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --max-delta-ratio: {e}");
+                    std::process::exit(2);
+                })
+            }
             "--system" => system = take("--system"),
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
@@ -209,6 +280,21 @@ fn main() {
     };
 
     let mut failures = 0u32;
+
+    // 0. A figure measured now but absent from the committed baseline
+    //    gets one explicit SKIP line instead of being silently ignored
+    //    by every per-point baseline comparison below — a new sweep is
+    //    visible as ungated until the baseline is regenerated.
+    let base_figs = figure_ids(&baseline);
+    for fig in figure_ids(&current) {
+        if !base_figs.contains(&fig) {
+            println!(
+                "SKIP {fig}: present in {current_path} but missing from the baseline \
+                 {baseline_path} — no baseline comparison ran for it; regenerate the \
+                 baseline to gate this sweep"
+            );
+        }
+    }
 
     // 1. Throughput regression of the gated system vs the baseline.
     let base_points = points(&baseline, &system);
@@ -581,6 +667,150 @@ fn main() {
                     "FAIL fig_obs: instrumented = {geomean:.3}x of bare \
                      (geomean of {n} rates, needs >= {floor:.3}x — the \
                      metrics registry is taxing the hot path)"
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    // 9. Recovery must stay within budget vs the baseline: the plain
+    //    restore (`HAMLET`) and the base+delta chain replays
+    //    (`HAMLET-delta`, `HAMLET-par4-delta`). Restores are short and
+    //    noisy on shared hosts, so the bound is multiplicative with a
+    //    10 ms absolute floor, check-5 style. A zero recovery against a
+    //    nonzero baseline means the restore was not measured — a
+    //    failure, not a pass.
+    if max_recovery_time > 0.0 {
+        const RECOVERY_FLOOR_SECS: f64 = 0.010;
+        for rc_system in ["HAMLET", "HAMLET-delta", "HAMLET-par4-delta"] {
+            let base: Vec<Point> = points(&baseline, rc_system)
+                .into_iter()
+                .filter(|p| p.figure == "fig_checkpoint" && p.recovery_time > 0.0)
+                .collect();
+            let cur = points(&current, rc_system);
+            for bp in &base {
+                let Some(cp) = cur
+                    .iter()
+                    .find(|p| p.figure == "fig_checkpoint" && p.x == bp.x)
+                else {
+                    println!(
+                        "MISS fig_checkpoint/{} {rc_system}: point present in baseline \
+                         but not measured now",
+                        bp.x
+                    );
+                    failures += 1;
+                    continue;
+                };
+                let limit = bp.recovery_time * (1.0 + max_recovery_time) + RECOVERY_FLOOR_SECS;
+                let verdict = if cp.recovery_time > limit || cp.recovery_time <= 0.0 {
+                    failures += 1;
+                    "FAIL"
+                } else {
+                    "OK  "
+                };
+                println!(
+                    "{verdict} fig_checkpoint/{} {rc_system}: recovery {:.3}ms vs baseline \
+                     {:.3}ms (limit {:.3}ms)",
+                    bp.x,
+                    cp.recovery_time * 1e3,
+                    bp.recovery_time * 1e3,
+                    limit * 1e3,
+                );
+            }
+        }
+    }
+
+    // 10. Cutting a delta every CUT_CADENCE events must stay cheap:
+    //     `HAMLET-delta` against `HAMLET-nockpt`, the identical loop
+    //     with no cuts, both from the same run. Same-run ratio, geomean
+    //     across the swept cardinalities, fig_obs style. This is the
+    //     sustained price of the checkpoint cadence — the pause gate
+    //     only sees the per-cut stall.
+    if max_cadence_overhead > 0.0 {
+        let delta: Vec<Point> = points(&current, "HAMLET-delta")
+            .into_iter()
+            .filter(|p| p.figure == "fig_checkpoint")
+            .collect();
+        let bare: Vec<Point> = points(&current, "HAMLET-nockpt")
+            .into_iter()
+            .filter(|p| p.figure == "fig_checkpoint")
+            .collect();
+        let mut log_sum = 0.0f64;
+        let mut n = 0u32;
+        for dp in &delta {
+            let Some(np) = bare.iter().find(|p| p.x == dp.x) else {
+                continue;
+            };
+            let ratio = dp.throughput / np.throughput.max(f64::MIN_POSITIVE);
+            println!(
+                "     fig_checkpoint/{} keys: delta-cadence {:.0} ev/s = {ratio:.3}x of \
+                 no-checkpoint {:.0} ev/s",
+                dp.x, dp.throughput, np.throughput
+            );
+            log_sum += ratio.max(f64::MIN_POSITIVE).ln();
+            n += 1;
+        }
+        let floor = 1.0 - max_cadence_overhead;
+        if n == 0 {
+            println!(
+                "FAIL fig_checkpoint: delta-cadence pair missing from {current_path} \
+                 (run the sweep or pass --max-cadence-overhead 0)"
+            );
+            failures += 1;
+        } else {
+            let geomean = (log_sum / n as f64).exp();
+            if geomean >= floor {
+                println!(
+                    "OK   fig_checkpoint: delta cadence = {geomean:.3}x of no-checkpoint \
+                     (geomean of {n} cardinalities, needs >= {floor:.3}x)"
+                );
+            } else {
+                println!(
+                    "FAIL fig_checkpoint: delta cadence = {geomean:.3}x of no-checkpoint \
+                     (geomean of {n} cardinalities, needs >= {floor:.3}x — cutting a \
+                     delta is taxing the hot path)"
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    // 11. A delta must actually be incremental: at the 10⁴-key point —
+    //     where at most CUT_CADENCE of the keys are touched between
+    //     cuts — the steady-state mean delta record must stay below the
+    //     configured fraction of the full base size. Same-run byte
+    //     ratio, machine-independent. (At low cardinality every
+    //     partition is dirty by the next cut and deltas legitimately
+    //     approach the base size, so only the high-cardinality point is
+    //     gated.)
+    if max_delta_ratio > 0.0 {
+        let point = points(&current, "HAMLET-delta")
+            .into_iter()
+            .find(|p| p.figure == "fig_checkpoint" && p.x == "10000");
+        match point {
+            Some(p) if p.delta_bytes > 0.0 && p.checkpoint_bytes > 0.0 => {
+                let ratio = p.delta_bytes / p.checkpoint_bytes;
+                if ratio <= max_delta_ratio {
+                    println!(
+                        "OK   fig_checkpoint/10000 HAMLET-delta: mean delta {:.0} B = \
+                         {ratio:.3}x of base {:.0} B (needs <= {max_delta_ratio:.3}x)",
+                        p.delta_bytes, p.checkpoint_bytes
+                    );
+                } else {
+                    println!(
+                        "FAIL fig_checkpoint/10000 HAMLET-delta: mean delta {:.0} B = \
+                         {ratio:.3}x of base {:.0} B (needs <= {max_delta_ratio:.3}x — \
+                         deltas are re-encoding most of the state)",
+                        p.delta_bytes, p.checkpoint_bytes
+                    );
+                    failures += 1;
+                }
+            }
+            _ => {
+                println!(
+                    "FAIL fig_checkpoint: HAMLET-delta 10000-key point (with delta and \
+                     base sizes) missing from {current_path} (run the sweep or pass \
+                     --max-delta-ratio 0)"
                 );
                 failures += 1;
             }

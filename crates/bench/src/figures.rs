@@ -588,19 +588,49 @@ pub fn fig_latency(quick: bool) -> Figure {
     }
 }
 
-/// Checkpoint experiment (beyond the paper, PR 5): checkpoint **size**
-/// and **pause time** versus partition-key cardinality, for the single
-/// engine and the 4-worker coordinated parallel checkpoint.
+/// Checkpoint experiment (beyond the paper, PR 5; delta chains PR 10):
+/// checkpoint **size**, **pause time**, **sustained cadence overhead**,
+/// and **recovery time** versus partition-key cardinality.
 ///
-/// Each run processes half the stream, checkpoints (the measured pause),
-/// restores into a fresh engine, and finishes the stream — so every
-/// point also exercises the recovery path end to end. State grows with
-/// the number of simultaneously live partitions, so key cardinality is
-/// the axis that stresses both blob size and serialization pause. CI
-/// gates the pause against the committed baseline
-/// (`perf_gate --max-checkpoint-pause`).
+/// Two families of runs per cardinality:
+///
+/// * The PR 5 full-checkpoint pair — single engine and 4-worker
+///   coordinated parallel checkpoint — each processes half the stream,
+///   checkpoints (the measured pause), restores into a fresh engine
+///   (the measured recovery), and finishes the stream.
+/// * The PR 10 delta-chain runs — `HAMLET-delta` and
+///   `HAMLET-par4-delta` cut an incremental checkpoint into a
+///   [`MemStore`](hamlet_core::MemStore) every `CUT_CADENCE` events
+///   (every `COMPACT_EVERY`th cut a full base), then recover a fresh
+///   engine from the stored chain; `HAMLET-nockpt` is the identical
+///   loop with no cuts, the denominator for the sustained overhead at
+///   that cadence. Every delta run asserts inline that the recovered
+///   state is **byte-identical** to the survivor's own full checkpoint
+///   at the same barrier.
+///
+/// The cardinality axis doubles as a dirty-fraction sweep: at 100 keys
+/// every partition is touched between cuts (deltas ≈ base size), at
+/// 10⁴ keys at most `CUT_CADENCE`/10⁴ ≈ 5% of them are (deltas ≪
+/// base). State
+/// grows with the number of simultaneously live partitions, so the same
+/// axis stresses blob size and serialization pause. CI gates the pause
+/// (`perf_gate --max-checkpoint-pause`), the recovery time
+/// (`--max-recovery-time`), the cadence overhead
+/// (`--max-cadence-overhead`), and the steady-state delta/base size
+/// ratio at 10⁴ keys (`--max-delta-ratio`) against the committed
+/// baseline.
 pub fn fig_checkpoint(quick: bool) -> Figure {
-    use hamlet_core::ParallelEngine;
+    use hamlet_core::{CheckpointStore, CutKind, MemStore, ParallelEngine, Snapshot};
+
+    /// Fixed cut cadence (events between cuts) for the delta-chain runs.
+    /// A delta re-encodes every partition touched since the previous cut
+    /// (~1 KiB each under this workload), so the cadence bounds the
+    /// steady-state delta size: at most `CUT_CADENCE` dirty partitions
+    /// per record regardless of how large the total state grows.
+    const CUT_CADENCE: usize = 500;
+    /// Every `COMPACT_EVERY`th cadence cut is a full base.
+    const COMPACT_EVERY: u64 = 8;
+
     let reg = ridesharing::registry();
     let queries = ridesharing::workload_shared_kleene(&reg, 5, 30);
     let cardinalities: Vec<u64> = if quick {
@@ -635,10 +665,12 @@ pub fn fig_checkpoint(quick: bool) -> Figure {
             let p0 = Instant::now();
             let blob = eng.checkpoint();
             let pause = p0.elapsed();
+            let r0 = Instant::now();
             let mut resumed =
                 HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default())
                     .expect("engine builds");
             resumed.restore(&blob).expect("own checkpoint restores");
+            let recovery = r0.elapsed();
             for e in &events[cut..] {
                 results += resumed.process(e).len() as u64;
             }
@@ -650,6 +682,7 @@ pub fn fig_checkpoint(quick: bool) -> Figure {
             m.peak_mem_bytes = resumed.peak_memory().max(resumed.state_bytes());
             m.checkpoint_bytes = blob.len() as u64;
             m.checkpoint_pause = pause;
+            m.recovery_time = recovery;
             ms.push(m);
         }
 
@@ -675,11 +708,175 @@ pub fn fig_checkpoint(quick: bool) -> Figure {
             m.checkpoint_pause = pre.pause;
             ms.push(m);
         }
+
+        // Fixed-cadence delta chain on the single engine: sustained
+        // overhead while cutting every CUT_CADENCE events, then chain
+        // recovery into a fresh engine, with an inline byte-identity
+        // assert against the surviving engine at the same barrier.
+        {
+            let store = MemStore::new();
+            let t0 = Instant::now();
+            let mut eng = HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default())
+                .expect("engine builds");
+            let mut results = 0u64;
+            let mut cuts = 0u64;
+            let mut cut_time = Duration::ZERO;
+            let (mut delta_sum, mut deltas, mut base_bytes) = (0u64, 0u64, 0u64);
+            for chunk in events.chunks(CUT_CADENCE) {
+                for e in chunk {
+                    results += eng.process(e).len() as u64;
+                }
+                // Every chunk ends with a cut — the final, possibly
+                // partial one too, so the chain tip and the survivor
+                // freeze the same barrier.
+                let kind = if cuts.is_multiple_of(COMPACT_EVERY) {
+                    CutKind::Full
+                } else {
+                    CutKind::Delta
+                };
+                let p0 = Instant::now();
+                let ck = eng.cut(kind).expect("cadence cut");
+                cut_time += p0.elapsed();
+                if ck.is_delta() {
+                    delta_sum += ck.len() as u64;
+                    deltas += 1;
+                } else {
+                    base_bytes = ck.len() as u64;
+                }
+                store.append(&ck).expect("chain append");
+                cuts += 1;
+            }
+            let wall = t0.elapsed();
+            let chain = store.load_chain().expect("chain loads");
+            let r0 = Instant::now();
+            let mut recovered =
+                HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default())
+                    .expect("engine builds");
+            recovered.restore_chain(&chain).expect("chain restores");
+            let recovery = r0.elapsed();
+            // Byte-identity: base + delta replay reproduces exactly the
+            // state the surviving engine holds at the same barrier.
+            assert!(
+                recovered.checkpoint() == eng.checkpoint(),
+                "chain restore must be byte-identical to the survivor at {keys} keys"
+            );
+            results += eng.flush().len() as u64;
+            let mut m =
+                Measurement::zero(System::HamletDeltaChain, events.len() as u64, queries.len());
+            m.wall = wall;
+            m.results = results;
+            m.throughput_eps = events.len() as f64 / wall.as_secs_f64().max(1e-9);
+            m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+            m.checkpoint_bytes = base_bytes;
+            m.checkpoint_pause = if cuts > 0 {
+                cut_time / cuts as u32
+            } else {
+                Duration::ZERO
+            };
+            m.delta_bytes = delta_sum.checked_div(deltas).unwrap_or(0);
+            m.recovery_time = recovery;
+            ms.push(m);
+        }
+
+        // The identical loop with no cuts at all: the denominator for
+        // the sustained cadence overhead (`--max-cadence-overhead`).
+        {
+            let t0 = Instant::now();
+            let mut eng = HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default())
+                .expect("engine builds");
+            let mut results = 0u64;
+            for e in &events {
+                results += eng.process(e).len() as u64;
+            }
+            results += eng.flush().len() as u64;
+            let mut m = Measurement::zero(
+                System::HamletNoCheckpoint,
+                events.len() as u64,
+                queries.len(),
+            );
+            m.wall = t0.elapsed();
+            m.results = results;
+            m.throughput_eps = events.len() as f64 / m.wall.as_secs_f64().max(1e-9);
+            m.peak_mem_bytes = eng.peak_memory().max(eng.state_bytes());
+            ms.push(m);
+        }
+
+        // 4-worker coordinated delta chain through the parallel
+        // session: per-shard delta frames packed into one container per
+        // cut, recovery decomposes and replays them per shard.
+        {
+            let store = MemStore::new();
+            let t0 = Instant::now();
+            let par = ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 4)
+                .expect("parallel engine builds");
+            let mut live = par.session();
+            let mut results = 0u64;
+            let mut cuts = 0u64;
+            let mut cut_time = Duration::ZERO;
+            let (mut delta_sum, mut deltas, mut base_bytes) = (0u64, 0u64, 0u64);
+            for chunk in events.chunks(CUT_CADENCE) {
+                results += live.process(chunk).len() as u64;
+                let kind = if cuts.is_multiple_of(COMPACT_EVERY) {
+                    CutKind::Full
+                } else {
+                    CutKind::Delta
+                };
+                let p0 = Instant::now();
+                let ck = live.cut(kind).expect("coordinated cut");
+                cut_time += p0.elapsed();
+                if ck.is_delta() {
+                    delta_sum += ck.len() as u64;
+                    deltas += 1;
+                } else {
+                    base_bytes = ck.len() as u64;
+                }
+                store.append(&ck).expect("chain append");
+                cuts += 1;
+            }
+            let wall = t0.elapsed();
+            let chain = store.load_chain().expect("chain loads");
+            let r0 = Instant::now();
+            let par2 =
+                ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 4)
+                    .expect("parallel engine builds");
+            let mut recovered = par2.session();
+            recovered.restore_chain(&chain).expect("chain restores");
+            let recovery = r0.elapsed();
+            // Byte-identity at the shared barrier: both sessions cut a
+            // full container before either processes anything further.
+            assert!(
+                recovered
+                    .cut(CutKind::Full)
+                    .expect("verify cut")
+                    .into_bytes()
+                    == live.cut(CutKind::Full).expect("verify cut").into_bytes(),
+                "parallel chain restore must be byte-identical to the survivor at {keys} keys"
+            );
+            results += live.flush().len() as u64;
+            let mut m = Measurement::zero(
+                System::HamletParallelDelta(4),
+                events.len() as u64,
+                queries.len(),
+            );
+            m.wall = wall;
+            m.results = results;
+            m.throughput_eps = events.len() as f64 / wall.as_secs_f64().max(1e-9);
+            m.checkpoint_bytes = base_bytes;
+            m.checkpoint_pause = if cuts > 0 {
+                cut_time / cuts as u32
+            } else {
+                Duration::ZERO
+            };
+            m.delta_bytes = delta_sum.checked_div(deltas).unwrap_or(0);
+            m.recovery_time = recovery;
+            ms.push(m);
+        }
         rows.push((format!("{keys}"), ms));
     }
     Figure {
         id: "fig_checkpoint",
-        title: "Checkpoint: size and pause vs partition cardinality (Ridesharing, 5 queries)"
+        title: "Checkpoint: full vs delta-chain size, pause, cadence overhead, and recovery \
+                vs partition cardinality (Ridesharing, 5 queries)"
             .into(),
         rows,
         x_label: "partition keys",
@@ -1101,15 +1298,35 @@ mod tests {
         assert_eq!(fig.x_label, "partition keys");
         assert_eq!(fig.rows.len(), 3);
         for (x, ms) in &fig.rows {
-            assert_eq!(ms.len(), 2, "{x}: single-engine and 4-worker runs");
+            assert_eq!(
+                ms.len(),
+                5,
+                "{x}: full pair + delta chain + no-checkpoint + parallel delta runs"
+            );
             for m in ms {
+                assert!(m.results > 0, "{x}/{:?}: run completed", m.system);
+                if m.system == System::HamletNoCheckpoint {
+                    assert_eq!(m.checkpoint_bytes, 0, "{x}: nockpt run cut nothing");
+                    continue;
+                }
                 assert!(m.checkpoint_bytes > 0, "{x}/{:?}: blob measured", m.system);
                 assert!(
                     m.checkpoint_pause > Duration::ZERO,
                     "{x}/{:?}: pause measured",
                     m.system
                 );
-                assert!(m.results > 0, "{x}/{:?}: recovery path completed", m.system);
+            }
+            // Every delta-chain run measured its recovery and its
+            // steady-state delta size (COMPACT_EVERY > the quick cut
+            // count would leave deltas == 0 and gut the sweep).
+            for sys in [System::HamletDeltaChain, System::HamletParallelDelta(4)] {
+                let m = ms.iter().find(|m| m.system == sys).expect("delta row");
+                assert!(
+                    m.recovery_time > Duration::ZERO,
+                    "{x}/{:?}: recovery measured",
+                    sys
+                );
+                assert!(m.delta_bytes > 0, "{x}/{:?}: delta size measured", sys);
             }
         }
         // Checkpoint size tracks live state: 100x the partitions must
@@ -1121,6 +1338,29 @@ mod tests {
             "blob size did not grow with cardinality: {} vs {}",
             bytes_at("10000"),
             bytes_at("100")
+        );
+        // The delta story: at 10^4 keys at most CUT_CADENCE/10^4 of the
+        // partitions are dirty between cuts, so the steady-state delta
+        // must be a small fraction of its base — while at 10^2 keys
+        // every partition is touched and deltas buy little. CI gates
+        // the same ratio (--max-delta-ratio).
+        let delta = |x: &str| {
+            fig.rows
+                .iter()
+                .find(|(k, _)| k == x)
+                .expect("row")
+                .1
+                .iter()
+                .find(|m| m.system == System::HamletDeltaChain)
+                .expect("delta row")
+                .clone()
+        };
+        let big = delta("10000");
+        assert!(
+            big.delta_bytes * 2 <= big.checkpoint_bytes,
+            "steady-state delta ({} B) not small vs base ({} B) at 10^4 keys",
+            big.delta_bytes,
+            big.checkpoint_bytes
         );
     }
 

@@ -72,6 +72,22 @@ pub enum System {
     /// uninstrumented denominator. CI gates the throughput ratio of the
     /// two (`perf_gate --max-obs-overhead`).
     HamletNoObs,
+    /// The engine taking fixed-cadence **delta** checkpoints into a
+    /// [`hamlet_core::CheckpointStore`] while it runs, then recovering
+    /// a fresh engine from the stored base + delta chain. The system
+    /// behind `fig_checkpoint`'s sustained-overhead and recovery-time
+    /// sweeps. Driven by [`figures::fig_checkpoint`] (the cadence and
+    /// compaction schedule live there).
+    HamletDeltaChain,
+    /// The identical engine and loop with no checkpointing at all —
+    /// `fig_checkpoint`'s denominator for the sustained cadence
+    /// overhead (`perf_gate --max-cadence-overhead`). Also driven by
+    /// [`figures::fig_checkpoint`].
+    HamletNoCheckpoint,
+    /// The `n`-worker parallel session taking coordinated fixed-cadence
+    /// delta cuts, then recovering a fresh session from the chain. Also
+    /// driven by [`figures::fig_checkpoint`].
+    HamletParallelDelta(u32),
 }
 
 impl System {
@@ -92,6 +108,9 @@ impl System {
             System::HamletRestart => "HAMLET-restart".into(),
             System::HamletObs => "HAMLET-obs".into(),
             System::HamletNoObs => "HAMLET-noobs".into(),
+            System::HamletDeltaChain => "HAMLET-delta".into(),
+            System::HamletNoCheckpoint => "HAMLET-nockpt".into(),
+            System::HamletParallelDelta(w) => format!("HAMLET-par{w}-delta"),
         }
     }
 }
@@ -136,8 +155,20 @@ pub struct Measurement {
     pub checkpoint_bytes: u64,
     /// Checkpoint pause: how long the drain barrier + state
     /// serialization stalled processing (`fig_checkpoint` runs only) —
-    /// the tail CI gates via `perf_gate --max-checkpoint-pause`.
+    /// the tail CI gates via `perf_gate --max-checkpoint-pause`. For
+    /// delta-chain runs this is the *mean* per-cut pause at the fixed
+    /// cadence.
     pub checkpoint_pause: Duration,
+    /// Mean serialized size of one incremental delta record
+    /// (delta-chain `fig_checkpoint` runs only; 0 when the run cut no
+    /// deltas). CI gates the ratio against `checkpoint_bytes` — the
+    /// base size — via `perf_gate --max-delta-ratio`.
+    pub delta_bytes: u64,
+    /// Recovery time: building a fresh engine and replaying the stored
+    /// base + delta chain into it (`fig_checkpoint` runs only; 0 when
+    /// the run measured no recovery). CI gates it against the committed
+    /// baseline via `perf_gate --max-recovery-time`.
+    pub recovery_time: Duration,
 }
 
 impl Measurement {
@@ -152,7 +183,8 @@ impl Measurement {
              \"latency_p50\":{},\"latency_p99\":{},\
              \"throughput_eps\":{},\"peak_mem_bytes\":{},\"snapshots\":{},\"shared_bursts\":{},\
              \"solo_bursts\":{},\"transitions\":{},\"results\":{},\"truncated\":{},\
-             \"checkpoint_bytes\":{},\"checkpoint_pause\":{}}}",
+             \"checkpoint_bytes\":{},\"checkpoint_pause\":{},\"delta_bytes\":{},\
+             \"recovery_time\":{}}}",
             self.system.name(),
             self.events,
             self.queries,
@@ -170,6 +202,8 @@ impl Measurement {
             self.truncated,
             self.checkpoint_bytes,
             json::num(self.checkpoint_pause.as_secs_f64()),
+            self.delta_bytes,
+            json::num(self.recovery_time.as_secs_f64()),
         )
     }
 }
@@ -196,6 +230,8 @@ impl Measurement {
             truncated: 0,
             checkpoint_bytes: 0,
             checkpoint_pause: Duration::ZERO,
+            delta_bytes: 0,
+            recovery_time: Duration::ZERO,
         }
     }
 }
@@ -380,6 +416,15 @@ pub fn run_system(
             // mis-routed sweep silently pass the churn gate.
             panic!(
                 "{} needs a churn schedule; drive it through figures::fig_churn",
+                system.name()
+            );
+        }
+        System::HamletDeltaChain | System::HamletNoCheckpoint | System::HamletParallelDelta(_) => {
+            // Defined by a cut cadence and compaction schedule this
+            // signature cannot carry — `figures::fig_checkpoint` drives
+            // them directly, same as the churn pair above.
+            panic!(
+                "{} needs a checkpoint cadence; drive it through figures::fig_checkpoint",
                 system.name()
             );
         }

@@ -58,6 +58,83 @@ pub const ENGINE_VERSION_V3: u16 = 3;
 /// workload epoch existed.
 pub const ENGINE_VERSION_V2: u16 = 2;
 
+/// Magic tag opening every delta-chain record (`HMDL`): a *base* (a
+/// full engine blob re-framed as the root of a chain) or an
+/// incremental *delta* (only the partitions, pending halves, and
+/// counters touched since the previous cut). See
+/// `docs/checkpoint-format.md` for the layout and the chain rules.
+pub const DELTA_MAGIC: [u8; 4] = *b"HMDL";
+/// Delta-chain record format version.
+pub const DELTA_VERSION: u16 = 1;
+
+/// Kind byte of an `HMDL` frame carrying a full base snapshot.
+pub const DELTA_KIND_BASE: u8 = 0;
+/// Kind byte of an `HMDL` frame carrying an incremental delta.
+pub const DELTA_KIND_DELTA: u8 = 1;
+
+/// Parsed `HMDL` frame: the chain metadata a store or a
+/// [`Checkpoint`](crate::Checkpoint) handle needs without decoding the
+/// payload, plus the payload itself (a full engine blob for a base, a
+/// delta body for a delta).
+pub struct DeltaFrame {
+    /// True for a base record (kind 0), false for a delta (kind 1).
+    pub base: bool,
+    /// Chain sequence number of this record (monotone per engine).
+    pub seq: u64,
+    /// Sequence number of the predecessor record (0 before the first).
+    pub parent: u64,
+    /// Workload epoch the record was cut at.
+    pub epoch: u64,
+    /// Record payload, opaque at the frame level.
+    pub payload: Vec<u8>,
+}
+
+/// Frames one delta-chain record: magic, version, kind, chain position
+/// (`seq`/`parent`), epoch, then the length-prefixed payload.
+pub fn write_delta_frame(base: bool, seq: u64, parent: u64, epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.raw(&DELTA_MAGIC);
+    e.u16(DELTA_VERSION);
+    e.u8(if base {
+        DELTA_KIND_BASE
+    } else {
+        DELTA_KIND_DELTA
+    });
+    e.u64(seq);
+    e.u64(parent);
+    e.u64(epoch);
+    e.bytes(payload);
+    e.finish()
+}
+
+/// Mirror of [`write_delta_frame`]: parses and validates the frame,
+/// returning the chain metadata and the payload.
+pub fn read_delta_frame(bytes: &[u8]) -> Result<DeltaFrame, CheckpointError> {
+    let mut d = Dec::new(bytes);
+    d.magic(&DELTA_MAGIC)?;
+    let v = d.u16()?;
+    if v != DELTA_VERSION {
+        return Err(CheckpointError::BadVersion(v));
+    }
+    let base = match d.u8()? {
+        DELTA_KIND_BASE => true,
+        DELTA_KIND_DELTA => false,
+        k => return Err(CheckpointError::Corrupt(format!("delta record kind {k}"))),
+    };
+    let seq = d.u64()?;
+    let parent = d.u64()?;
+    let epoch = d.u64()?;
+    let payload = d.bytes()?;
+    d.expect_end()?;
+    Ok(DeltaFrame {
+        base,
+        seq,
+        parent,
+        epoch,
+        payload,
+    })
+}
+
 /// Errors surfaced while decoding or validating a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
@@ -72,6 +149,10 @@ pub enum CheckpointError {
     /// The checkpoint's workload fingerprint does not match the engine
     /// it is being restored into.
     WorkloadMismatch(String),
+    /// A checkpoint store failed to read or write the underlying
+    /// medium (only produced by store implementations, never by the
+    /// codec itself).
+    Io(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -84,6 +165,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::WorkloadMismatch(m) => {
                 write!(f, "checkpoint does not match this workload: {m}")
             }
+            CheckpointError::Io(m) => write!(f, "checkpoint store io error: {m}"),
         }
     }
 }

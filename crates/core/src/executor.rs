@@ -20,7 +20,7 @@ use hamlet_query::{AggFunc, Query, QueryId, Window};
 use hamlet_types::time::window_end;
 use hamlet_types::{AttrValue, Event, GroupKey, Ts, TypeRegistry};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -600,6 +600,33 @@ pub struct ChurnReport {
 /// arrived first and its trend count.
 type PendingHalf = ((usize, GroupKey, u64), (QueryId, u64));
 
+/// Decoded-but-not-applied content of one delta record: per-group
+/// partition removals/upserts plus the full scalar tail. Staged so a
+/// chain restore can decode every record before committing any
+/// (chain-level decode-then-commit, mirroring [`HamletEngine::restore`]).
+struct DeltaStage {
+    /// Parallel to `HamletEngine::groups`.
+    groups: Vec<GroupDeltaStage>,
+    pending_removals: Vec<(usize, GroupKey, u64)>,
+    pending_upserts: Vec<PendingHalf>,
+    stats: EngineStats,
+    latency: LatencyRecorder,
+    gauge: MemoryGauge,
+    event_counter: u64,
+    watermark: Option<Ts>,
+    obs: Vec<[u64; 8]>,
+}
+
+/// One group's slice of a [`DeltaStage`]: partitions that vanished
+/// since the parent cut, partitions re-encoded wholesale because they
+/// were (possibly) touched, and the group's full divergence estimator
+/// (small, so deltas always carry it rather than diffing it).
+struct GroupDeltaStage {
+    removals: Vec<GroupKey>,
+    upserts: Vec<(GroupKey, BTreeMap<u64, RunState>)>,
+    estimator: DivergenceEstimator,
+}
+
 /// The multi-query trend aggregation engine (§2.2).
 pub struct HamletEngine {
     reg: Arc<TypeRegistry>,
@@ -653,6 +680,23 @@ pub struct HamletEngine {
     /// Stamped into checkpoints so restore can reject state taken under
     /// a different query set generation.
     epoch: u64,
+    /// Partitions possibly touched since the last chain cut, as
+    /// `(group index, key)`. At cut time a touched key still present is
+    /// re-encoded wholesale (upsert); an absent one becomes a removal.
+    dirty_parts: HashSet<(usize, GroupKey)>,
+    /// Pending general-query half slots possibly touched since the last
+    /// cut (same present/absent → upsert/removal rule).
+    dirty_pending: HashSet<(usize, GroupKey, u64)>,
+    /// Sequence number of the last chain record cut from this engine
+    /// (0 = never cut; the first cut is always a base).
+    cut_seq: u64,
+    /// Dirty tracking is off until the first [`Self::cut_record`], so
+    /// engines that never cut pay nothing for the chain machinery.
+    track_dirty: bool,
+    /// Set when state jumped without going through the dirty log
+    /// (runtime churn, a legacy full `restore`): the next delta cut is
+    /// silently promoted to a base.
+    delta_unsound: bool,
 }
 
 impl HamletEngine {
@@ -685,6 +729,11 @@ impl HamletEngine {
             watermark: None,
             queries,
             epoch: 0,
+            dirty_parts: HashSet::new(),
+            dirty_pending: HashSet::new(),
+            cut_seq: 0,
+            track_dirty: false,
+            delta_unsound: false,
         };
         if eng.cfg.obs {
             eng.obs = eng.build_obs();
@@ -1139,6 +1188,9 @@ impl HamletEngine {
             if let Some(m) = self.obs.get_mut(gi) {
                 m.events_routed += b.events.len() as u64;
             }
+            if self.track_dirty {
+                self.dirty_parts.insert((gi, b.key.clone()));
+            }
             let g = &mut self.groups[gi];
             let window = g.window;
             let within = window.within;
@@ -1336,6 +1388,9 @@ impl HamletEngine {
             if let Some(m) = self.obs.get_mut(gi) {
                 m.events_routed += 1;
             }
+            if self.track_dirty {
+                self.dirty_parts.insert((gi, key.clone()));
+            }
             let (window, pane, rt) = {
                 let g = &self.groups[gi];
                 (g.window, g.pane, g.rt.clone())
@@ -1456,6 +1511,9 @@ impl HamletEngine {
             if runs.is_empty() {
                 g.partitions.remove(&e.key);
             }
+            if self.track_dirty {
+                self.dirty_parts.insert((e.group, e.key.clone()));
+            }
             finished.push((e.group, e.key, e.start, rs));
         }
         self.finalize_finished(finished, out);
@@ -1476,6 +1534,9 @@ impl HamletEngine {
                 while let Some((&start, _)) = runs.first_key_value() {
                     if window_end(start, within) <= watermark.ticks() {
                         let rs = runs.remove(&start).expect("first key exists");
+                        if self.track_dirty {
+                            self.dirty_parts.insert((gi, key.clone()));
+                        }
                         finished.push((gi, key.clone(), start, rs));
                     } else {
                         break;
@@ -1551,6 +1612,9 @@ impl HamletEngine {
                 // Half of a decomposed OR/AND query: combine when both
                 // halves of the same (key, window) have arrived.
                 let slot = (ci, key.clone(), start);
+                if self.track_dirty {
+                    self.dirty_pending.insert(slot.clone());
+                }
                 let count = o.raw.count.0;
                 match self.pending.remove(&slot) {
                     None => {
@@ -1645,6 +1709,11 @@ impl HamletEngine {
         // HashMap, so impose the canonical (window_start, query, key)
         // order before emitting — end-of-stream output must not depend
         // on hash iteration order.
+        if self.track_dirty {
+            for slot in self.pending.keys() {
+                self.dirty_pending.insert(slot.clone());
+            }
+        }
         let mut pending: Vec<_> = self.pending.drain().collect();
         pending.sort_by(|((ca, ka, sa), _), ((cb, kb, sb), _)| {
             (sa, self.combiners[*ca].orig)
@@ -2135,21 +2204,6 @@ impl HamletEngine {
             g.partitions = parts;
             g.estimator = est;
         }
-        self.expiry.clear();
-        for (gi, g) in self.groups.iter().enumerate() {
-            let within = g.window.within;
-            // hamlet-lint: allow(unordered-iter) -- heap rebuild; expiry drains every due entry before finalize_finished sorts emissions canonically
-            for (key, runs) in &g.partitions {
-                for &start in runs.keys() {
-                    self.expiry.push(Reverse(ExpiryEntry {
-                        end: window_end(start, within),
-                        start,
-                        group: gi,
-                        key: key.clone(),
-                    }));
-                }
-            }
-        }
         self.pending = pending;
         self.stats = stats;
         self.latency = latency;
@@ -2170,9 +2224,450 @@ impl HamletEngine {
             m.event_snapshots = c[6];
             m.results_emitted = c[7];
         }
-        // The arena is not checkpointed; start the restored engine with
-        // an empty pool so `state_bytes` matches a fresh engine's.
+        self.rebuild_derived();
+        // A legacy full restore jumps state without going through the
+        // dirty log; any open delta interval is void. restore_chain
+        // re-arms tracking after it finishes replaying.
+        self.dirty_parts.clear();
+        self.dirty_pending.clear();
+        self.delta_unsound = true;
+        Ok(())
+    }
+
+    /// Rebuilds the state that is derived rather than serialized after
+    /// any wholesale state swap: the watermark expiration index (exactly
+    /// one entry per live run, as `process()` maintains) and the event
+    /// arena (restored engines start with an empty pool so
+    /// `state_bytes` matches a fresh engine's).
+    fn rebuild_derived(&mut self) {
+        self.expiry.clear();
+        for (gi, g) in self.groups.iter().enumerate() {
+            let within = g.window.within;
+            // hamlet-lint: allow(unordered-iter) -- heap rebuild; expiry drains every due entry before finalize_finished sorts emissions canonically
+            for (key, runs) in &g.partitions {
+                for &start in runs.keys() {
+                    self.expiry.push(Reverse(ExpiryEntry {
+                        end: window_end(start, within),
+                        start,
+                        group: gi,
+                        key: key.clone(),
+                    }));
+                }
+            }
+        }
         self.arena = EventArena::new();
+    }
+
+    /// True when the engine can cut a *sound* delta record: dirty
+    /// tracking is armed (a chain cut happened) and state has not
+    /// jumped past the dirty log since (no churn, no legacy restore).
+    pub(crate) fn delta_ready(&self) -> bool {
+        self.track_dirty && !self.delta_unsound && self.cut_seq > 0
+    }
+
+    /// Cuts the next record of this engine's checkpoint chain and
+    /// advances the dirty log: a `Full` cut (or any cut the engine
+    /// cannot prove a sound delta for — the first cut, post-churn,
+    /// post-legacy-restore) emits a base frame wrapping a full
+    /// [`checkpoint`](Self::checkpoint) blob; a `Delta` cut emits only
+    /// the partitions and pending halves touched since the previous
+    /// cut. Restore with [`crate::Snapshot::restore_chain`].
+    pub(crate) fn cut_record(&mut self, kind: crate::store::CutKind) -> Vec<u8> {
+        use crate::checkpoint::{write_delta_frame, Enc};
+        let base = !(matches!(kind, crate::store::CutKind::Delta) && self.delta_ready());
+        let seq = self.cut_seq + 1;
+        let payload = if base {
+            self.checkpoint()
+        } else {
+            let mut e = Enc::new();
+            self.encode_delta(&mut e);
+            e.finish()
+        };
+        let parent = if base { 0 } else { self.cut_seq };
+        let rec = write_delta_frame(base, seq, parent, self.epoch, &payload);
+        self.cut_seq = seq;
+        self.track_dirty = true;
+        self.delta_unsound = false;
+        self.dirty_parts.clear();
+        self.dirty_pending.clear();
+        rec
+    }
+
+    /// Encodes the delta-record payload: everything (possibly) touched
+    /// since the last cut, in the same canonical orders — and the same
+    /// per-run layout — as the full format, plus the full scalar tail
+    /// (estimators, stats, counters, watermark, obs; all small).
+    /// Layout in `docs/checkpoint-format.md`. Mirrored by
+    /// [`decode_delta`](Self::decode_delta).
+    fn encode_delta(&self, e: &mut crate::checkpoint::Enc) {
+        // Split the dirty log per group: a touched key still present is
+        // re-encoded wholesale, a vanished one becomes a removal.
+        let mut removals: Vec<Vec<&GroupKey>> = vec![Vec::new(); self.groups.len()];
+        let mut upserts: Vec<Vec<(&GroupKey, &BTreeMap<u64, RunState>)>> =
+            vec![Vec::new(); self.groups.len()];
+        for (gi, key) in &self.dirty_parts {
+            match self.groups[*gi].partitions.get(key) {
+                Some(runs) => upserts[*gi].push((key, runs)),
+                None => removals[*gi].push(key),
+            }
+        }
+        for v in &mut removals {
+            v.sort_by(|a, b| a.total_cmp(b));
+        }
+        for v in &mut upserts {
+            v.sort_by(|(a, _), (b, _)| a.total_cmp(b));
+        }
+        let mut prem: Vec<&(usize, GroupKey, u64)> = Vec::new();
+        // Borrowed halves of `pending` entries, `(&key, &value)`.
+        let mut pups = Vec::new();
+        for slot in &self.dirty_pending {
+            match self.pending.get_key_value(slot) {
+                Some(kv) => pups.push(kv),
+                None => prem.push(slot),
+            }
+        }
+        prem.sort_by(|(ca, ka, sa), (cb, kb, sb)| {
+            (ca, sa).cmp(&(cb, sb)).then_with(|| ka.total_cmp(kb))
+        });
+        pups.sort_by(|((ca, ka, sa), _), ((cb, kb, sb), _)| {
+            (ca, sa).cmp(&(cb, sb)).then_with(|| ka.total_cmp(kb))
+        });
+
+        e.bytes(&self.fingerprint());
+        e.usize(self.groups.len());
+        for (g, (rem, ups)) in self.groups.iter().zip(removals.into_iter().zip(upserts)) {
+            e.usize(rem.len());
+            for key in rem {
+                e.group_key(key);
+            }
+            e.usize(ups.len());
+            for (key, runs) in ups {
+                e.group_key(key);
+                e.usize(runs.len());
+                for (&start, rs) in runs {
+                    e.u64(start);
+                    rs.run.encode(e);
+                    match rs.burst_ty {
+                        None => e.some(false),
+                        Some(tl) => {
+                            e.some(true);
+                            e.usize(tl);
+                        }
+                    }
+                    e.usize(rs.burst.len());
+                    for ev in &rs.burst {
+                        e.event(ev);
+                    }
+                    e.u64(rs.burst_extra);
+                    e.u64(rs.burst_pane);
+                }
+            }
+            g.estimator.encode(e);
+        }
+        e.usize(prem.len());
+        for (ci, key, start) in prem {
+            e.usize(*ci);
+            e.group_key(key);
+            e.u64(*start);
+        }
+        e.usize(pups.len());
+        for ((ci, key, start), (id, count)) in pups {
+            e.usize(*ci);
+            e.group_key(key);
+            e.u64(*start);
+            e.u32(id.0);
+            e.u64(*count);
+        }
+        self.stats.encode(e);
+        self.latency.encode(e);
+        self.gauge.encode(e);
+        e.u64(self.event_counter);
+        match self.watermark {
+            None => e.some(false),
+            Some(wm) => {
+                e.some(true);
+                e.u64(wm.ticks());
+            }
+        }
+        e.usize(self.obs.len());
+        for m in &self.obs {
+            // Fixed 8-slot layout, shared with the full format.
+            for c in [
+                m.events_routed,
+                m.runs_created,
+                m.runs_expired,
+                m.shared_bursts,
+                m.solo_bursts,
+                m.graphlet_snapshots,
+                m.event_snapshots,
+                m.results_emitted,
+            ] {
+                e.u64(c);
+            }
+        }
+    }
+
+    /// Decodes one delta-record payload into a [`DeltaStage`] without
+    /// touching engine state (validated against this engine's workload
+    /// fingerprint and bounds). Mirror of
+    /// [`encode_delta`](Self::encode_delta).
+    fn decode_delta(
+        &self,
+        d: &mut crate::checkpoint::Dec,
+    ) -> Result<DeltaStage, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let fp = d.bytes()?;
+        if fp != self.fingerprint() {
+            return Err(CheckpointError::WorkloadMismatch(
+                "compiled workload, sharding, or combiners differ from the delta record".into(),
+            ));
+        }
+        let n_groups = d.seq_len()?;
+        if n_groups != self.groups.len() {
+            return Err(CheckpointError::WorkloadMismatch(format!(
+                "{n_groups} groups in delta record, {} compiled",
+                self.groups.len()
+            )));
+        }
+        let mut groups = Vec::with_capacity(n_groups);
+        for g in &self.groups {
+            let n_rem = d.seq_len()?;
+            let mut removals = Vec::with_capacity(n_rem);
+            for _ in 0..n_rem {
+                removals.push(d.group_key()?);
+            }
+            let n_ups = d.seq_len()?;
+            let mut upserts = Vec::with_capacity(n_ups);
+            for _ in 0..n_ups {
+                let key = d.group_key()?;
+                let n_runs = d.seq_len()?;
+                let mut runs = BTreeMap::new();
+                for _ in 0..n_runs {
+                    let start = d.u64()?;
+                    let run = Run::decode(d, g.rt.clone())?;
+                    let burst_ty = if d.some()? {
+                        let tl = d.usize()?;
+                        if tl >= g.rt.template.num_types() {
+                            return Err(CheckpointError::Corrupt(format!(
+                                "burst type {tl} of {}",
+                                g.rt.template.num_types()
+                            )));
+                        }
+                        Some(tl)
+                    } else {
+                        None
+                    };
+                    let n_burst = d.seq_len()?;
+                    let mut burst = Vec::with_capacity(n_burst);
+                    for _ in 0..n_burst {
+                        burst.push(d.event()?);
+                    }
+                    let burst_extra = d.u64()?;
+                    let burst_pane = d.u64()?;
+                    runs.insert(
+                        start,
+                        RunState {
+                            run,
+                            burst_ty,
+                            burst,
+                            burst_extra,
+                            burst_pane,
+                            // As in a full restore: wall-clock stamps do
+                            // not survive; the next arrival re-stamps.
+                            last_arrival: None,
+                        },
+                    );
+                }
+                upserts.push((key, runs));
+            }
+            let estimator = DivergenceEstimator::decode(d, g.rt.template.num_types(), g.rt.k())?;
+            groups.push(GroupDeltaStage {
+                removals,
+                upserts,
+                estimator,
+            });
+        }
+        let n_prem = d.seq_len()?;
+        let mut pending_removals = Vec::with_capacity(n_prem);
+        for _ in 0..n_prem {
+            let ci = d.usize()?;
+            if ci >= self.combiners.len() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "pending combiner index {ci} out of range"
+                )));
+            }
+            let key = d.group_key()?;
+            let start = d.u64()?;
+            pending_removals.push((ci, key, start));
+        }
+        let n_pups = d.seq_len()?;
+        let mut pending_upserts = Vec::with_capacity(n_pups);
+        for _ in 0..n_pups {
+            let ci = d.usize()?;
+            if ci >= self.combiners.len() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "pending combiner index {ci} out of range"
+                )));
+            }
+            let key = d.group_key()?;
+            let start = d.u64()?;
+            let id = QueryId(d.u32()?);
+            let count = d.u64()?;
+            pending_upserts.push(((ci, key, start), (id, count)));
+        }
+        let stats = EngineStats::decode(d)?;
+        let latency = LatencyRecorder::decode(d)?;
+        let gauge = MemoryGauge::decode(d)?;
+        let event_counter = d.u64()?;
+        let watermark = if d.some()? { Some(Ts(d.u64()?)) } else { None };
+        let n_obs = d.seq_len()?;
+        if n_obs != 0 && n_obs != self.groups.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{n_obs} observability records for {} groups",
+                self.groups.len()
+            )));
+        }
+        let mut obs = Vec::with_capacity(n_obs);
+        for _ in 0..n_obs {
+            let mut c = [0u64; 8];
+            for slot in &mut c {
+                *slot = d.u64()?;
+            }
+            obs.push(c);
+        }
+        d.expect_end()?;
+        Ok(DeltaStage {
+            groups,
+            pending_removals,
+            pending_upserts,
+            stats,
+            latency,
+            gauge,
+            event_counter,
+            watermark,
+            obs,
+        })
+    }
+
+    /// Replays one staged delta on top of the current state. Pure state
+    /// mutation — all validation happened in
+    /// [`decode_delta`](Self::decode_delta). Derived state (expiry
+    /// index, arena) is rebuilt once by the caller after the last delta.
+    fn apply_delta(&mut self, s: DeltaStage) {
+        for (g, gs) in self.groups.iter_mut().zip(s.groups) {
+            for key in gs.removals {
+                g.partitions.remove(&key);
+            }
+            for (key, runs) in gs.upserts {
+                g.partitions.insert(key, runs);
+            }
+            g.estimator = gs.estimator;
+        }
+        for slot in s.pending_removals {
+            self.pending.remove(&slot);
+        }
+        for (slot, val) in s.pending_upserts {
+            self.pending.insert(slot, val);
+        }
+        self.stats = s.stats;
+        self.latency = s.latency;
+        self.gauge = s.gauge;
+        self.event_counter = s.event_counter;
+        self.watermark = s.watermark;
+        for (gi, m) in self.obs.iter_mut().enumerate() {
+            let c = s.obs.get(gi).copied().unwrap_or_default();
+            m.events_routed = c[0];
+            m.runs_created = c[1];
+            m.runs_expired = c[2];
+            m.shared_bursts = c[3];
+            m.solo_bursts = c[4];
+            m.graphlet_snapshots = c[5];
+            m.event_snapshots = c[6];
+            m.results_emitted = c[7];
+        }
+    }
+
+    /// Restores the engine from an ordered checkpoint chain: the last
+    /// base record (earlier records are obsolete history a store may
+    /// legitimately still hold) followed by its contiguous deltas.
+    /// Validates the whole chain — linkage (`parent` == predecessor
+    /// `seq`), epoch uniformity, workload fingerprints — and decodes
+    /// every record before committing any state. A bare engine blob
+    /// ([`checkpoint`](Self::checkpoint)) is accepted as a chain of one.
+    pub(crate) fn restore_chain_bytes(
+        &mut self,
+        records: &[&[u8]],
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::{read_delta_frame, CheckpointError, Dec, DeltaFrame, DELTA_MAGIC};
+        if records.is_empty() {
+            return Err(CheckpointError::Corrupt("empty checkpoint chain".into()));
+        }
+        let mut frames = Vec::with_capacity(records.len());
+        for r in records {
+            if r.len() >= 4 && r[..4] == DELTA_MAGIC {
+                frames.push(read_delta_frame(r)?);
+            } else {
+                // A bare engine blob restores as a chain of one base.
+                frames.push(DeltaFrame {
+                    base: true,
+                    seq: 0,
+                    parent: 0,
+                    epoch: checkpoint_epoch(r)?,
+                    payload: r.to_vec(),
+                });
+            }
+        }
+        let Some(base_idx) = frames.iter().rposition(|f| f.base) else {
+            return Err(CheckpointError::Corrupt(
+                "checkpoint chain has no base record".into(),
+            ));
+        };
+        let chain = &frames[base_idx..];
+        let chain_epoch = chain[0].epoch;
+        if checkpoint_epoch(&chain[0].payload)? != chain_epoch {
+            return Err(CheckpointError::Corrupt(
+                "base frame epoch disagrees with its payload".into(),
+            ));
+        }
+        for w in chain.windows(2) {
+            if w[1].epoch != chain_epoch {
+                return Err(CheckpointError::WorkloadMismatch(format!(
+                    "delta seq {} was cut at workload epoch {} but the chain base is at \
+                     epoch {chain_epoch} — the query set churned mid-chain",
+                    w[1].seq, w[1].epoch
+                )));
+            }
+            if w[1].parent != w[0].seq {
+                return Err(CheckpointError::Corrupt(format!(
+                    "broken checkpoint chain: record seq {} expects parent seq {} but \
+                     follows seq {}",
+                    w[1].seq, w[1].parent, w[0].seq
+                )));
+            }
+        }
+        // Stage every delta before committing anything; the bounds they
+        // are validated against (groups, combiners) are workload-derived
+        // and unchanged by the base restore below.
+        let mut stages = Vec::with_capacity(chain.len().saturating_sub(1));
+        for f in &chain[1..] {
+            let mut d = Dec::new(&f.payload);
+            stages.push(self.decode_delta(&mut d)?);
+        }
+        let saved_epoch = self.epoch;
+        self.epoch = chain_epoch;
+        if let Err(e) = self.restore(&chain[0].payload) {
+            self.epoch = saved_epoch;
+            return Err(e);
+        }
+        for s in stages {
+            self.apply_delta(s);
+        }
+        self.rebuild_derived();
+        self.cut_seq = chain.last().map(|f| f.seq).unwrap_or(0);
+        self.track_dirty = true;
+        self.delta_unsound = false;
+        self.dirty_parts.clear();
+        self.dirty_pending.clear();
         Ok(())
     }
 
@@ -2435,6 +2930,12 @@ impl HamletEngine {
         self.pending = surviving_pending;
         self.queries = final_queries;
         self.epoch += 1;
+        // Group indices just changed meaning; the dirty log keyed by the
+        // old layout is useless. The next delta cut is promoted to a
+        // base, which re-snapshots everything under the new layout.
+        self.dirty_parts.clear();
+        self.dirty_pending.clear();
+        self.delta_unsound = true;
         self.expiry.clear();
         for (gi, g) in self.groups.iter().enumerate() {
             let within = g.window.within;

@@ -51,6 +51,7 @@ pub mod optimizer;
 pub mod parallel;
 pub mod run;
 pub mod snapshot;
+pub mod store;
 pub mod template;
 pub mod workload;
 
@@ -63,7 +64,11 @@ pub use hamlet_obs::{GroupMetrics, Span, SpanRecorder, Stage};
 pub use metrics::{LatencyHistogram, LatencyRecorder};
 pub use optimizer::SharingPolicy;
 pub use parallel::{
-    ParallelCheckpoint, ParallelCheckpointReport, ParallelEngine, ParallelReport, DEFAULT_BATCH,
+    ParallelCheckpoint, ParallelCheckpointReport, ParallelEngine, ParallelReport, ParallelSession,
+    DEFAULT_BATCH,
 };
 pub use run::{BurstCtx, GroupRuntime, MemberOutput, Run, RunStats};
+pub use store::{
+    Checkpoint, CheckpointKind, CheckpointStore, CutKind, DirStore, MemStore, Snapshot,
+};
 pub use workload::{analyze, AggSkeleton, ShareGroup, WorkloadPlan};

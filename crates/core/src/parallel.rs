@@ -308,6 +308,33 @@ impl ParallelEngine {
         self
     }
 
+    /// Opens a **live session** over this engine's workload and
+    /// sharding: the per-shard engines are built once and held across
+    /// calls, so processing can interleave with coordinated chain cuts
+    /// ([`crate::Snapshot::cut`]). The offline methods on `self`
+    /// ([`run`](Self::run) etc.) are unaffected.
+    pub fn session(&self) -> ParallelSession {
+        let mut router_cfg = self.cfg.clone();
+        router_cfg.shard = None;
+        router_cfg.track_latency = false;
+        router_cfg.mem_sample_every = 0;
+        let router = HamletEngine::new(self.reg.clone(), self.queries.clone(), router_cfg)
+            // hamlet-lint: allow(panic-hygiene) -- the same config already built an engine in ParallelEngine::new; reconstruction is deterministic
+            .expect("validated in ParallelEngine::new");
+        let engines = (0..self.workers as usize)
+            .map(|idx| {
+                HamletEngine::new(self.reg.clone(), self.queries.clone(), self.shard_cfg(idx))
+                    // hamlet-lint: allow(panic-hygiene) -- the same config already built an engine in ParallelEngine::new; reconstruction is deterministic
+                    .expect("validated in ParallelEngine::new")
+            })
+            .collect();
+        ParallelSession {
+            workers: self.workers,
+            router,
+            engines,
+        }
+    }
+
     /// Processes a finite stream and merges the window results.
     pub fn run(&self, events: &[Event]) -> ParallelReport {
         self.run_batches(events.chunks(self.batch))
@@ -798,6 +825,140 @@ impl ParallelEngine {
     }
 }
 
+/// A live partition-parallel session (see [`ParallelEngine::session`]):
+/// `workers` shard-owning engines held in memory across calls, plus the
+/// routing engine. Results are canonically sorted per call, so output
+/// is identical across worker counts, call boundary by call boundary.
+///
+/// Implements [`crate::Snapshot`]: [`cut`](crate::Snapshot::cut) takes
+/// a coordinated per-shard chain record (every shard at the same stream
+/// position — the caller is between `process` calls, so no shard has
+/// seen an event another has not been offered) and packs them into one
+/// `HMPC` container; [`restore_chain`](crate::Snapshot::restore_chain)
+/// decomposes a container chain back into per-shard chains. On a
+/// restore error the session may be partially restored — discard it.
+pub struct ParallelSession {
+    workers: u32,
+    /// Routing-only engine (never processes events); see
+    /// [`ParallelEngine::router`].
+    router: HamletEngine,
+    /// One shard-owning engine per worker (index = shard).
+    engines: Vec<HamletEngine>,
+}
+
+impl ParallelSession {
+    /// Routes one slice of the stream to the shard engines and returns
+    /// the merged, canonically sorted results it emitted.
+    pub fn process(&mut self, events: &[Event]) -> Vec<WindowResult> {
+        let n = self.engines.len();
+        let mut out: Vec<WindowResult> = if n == 1 {
+            self.engines[0].process_batch(events)
+        } else {
+            let workers = self.workers;
+            let mut bufs: Vec<Vec<Event>> = vec![Vec::new(); n];
+            for e in events {
+                let mut mask = self.router.shard_mask(e, workers);
+                while mask != 0 {
+                    let idx = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    bufs[idx].push(e.clone());
+                }
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .engines
+                    .iter_mut()
+                    .zip(&bufs)
+                    .map(|(eng, buf)| scope.spawn(move || eng.process_batch(buf)))
+                    .collect();
+                handles
+                    .into_iter()
+                    // hamlet-lint: allow(panic-hygiene) -- join propagates a worker panic; swallowing it would fake a clean run
+                    .flat_map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            })
+        };
+        sort_results(&mut out);
+        out
+    }
+
+    /// Finalizes every in-flight window on every shard (end of stream),
+    /// merged and canonically sorted.
+    pub fn flush(&mut self) -> Vec<WindowResult> {
+        let mut out: Vec<WindowResult> = if self.engines.len() == 1 {
+            self.engines[0].flush()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .engines
+                    .iter_mut()
+                    .map(|eng| scope.spawn(move || eng.flush()))
+                    .collect();
+                handles
+                    .into_iter()
+                    // hamlet-lint: allow(panic-hygiene) -- join propagates a worker panic; swallowing it would fake a clean run
+                    .flat_map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            })
+        };
+        sort_results(&mut out);
+        out
+    }
+
+    /// Number of shard workers in the session.
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+}
+
+impl crate::store::Snapshot for ParallelSession {
+    fn cut(
+        &mut self,
+        kind: crate::store::CutKind,
+    ) -> Result<crate::store::Checkpoint, CheckpointError> {
+        // The record kind must be uniform across shards (the container
+        // handle peeks the first shard and speaks for all): a delta cut
+        // happens only when *every* shard can prove one sound.
+        let kind = match kind {
+            crate::store::CutKind::Delta if self.engines.iter().all(HamletEngine::delta_ready) => {
+                crate::store::CutKind::Delta
+            }
+            _ => crate::store::CutKind::Full,
+        };
+        let blobs: Vec<Vec<u8>> = self
+            .engines
+            .iter_mut()
+            .map(|e| e.cut_record(kind))
+            .collect();
+        let bytes =
+            checkpoint::container_header(&PARALLEL_MAGIC, PARALLEL_VERSION, self.workers, &blobs)
+                .finish();
+        crate::store::Checkpoint::from_bytes(bytes)
+    }
+
+    fn restore_chain(&mut self, chain: &[crate::store::Checkpoint]) -> Result<(), CheckpointError> {
+        let n = self.engines.len();
+        let mut per_shard: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+        for ck in chain {
+            let pc = ParallelCheckpoint::from_bytes(ck.as_bytes())?;
+            if pc.workers != self.workers || pc.shards.len() != n {
+                return Err(CheckpointError::WorkloadMismatch(format!(
+                    "checkpoint taken under {} workers, restoring under {}",
+                    pc.workers, self.workers
+                )));
+            }
+            for (idx, blob) in pc.shards.into_iter().enumerate() {
+                per_shard[idx].push(blob);
+            }
+        }
+        for (eng, records) in self.engines.iter_mut().zip(&per_shard) {
+            let refs: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+            eng.restore_chain_bytes(&refs)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1152,6 +1313,53 @@ mod tests {
             .unwrap()
             .resume(&container, &events[100..]);
         assert!(matches!(err, Err(CheckpointError::WorkloadMismatch(_))));
+    }
+
+    /// A live session matches the offline run across worker counts, and
+    /// a chain cut mid-stream restores into a fresh session that
+    /// finishes the stream identically (the 4-worker delta path of
+    /// `tests/delta_checkpoint.rs`, in miniature).
+    #[test]
+    fn session_chain_cut_and_restore_matches_offline() {
+        use crate::store::{CutKind, Snapshot};
+        let (reg, queries, events) = setup();
+        let offline = ParallelEngine::new(reg.clone(), queries.clone(), EngineConfig::default(), 4)
+            .unwrap()
+            .run(&events);
+        for workers in [1u32, 4] {
+            let par = ParallelEngine::new(
+                reg.clone(),
+                queries.clone(),
+                EngineConfig::default(),
+                workers,
+            )
+            .unwrap();
+            let mut sess = par.session();
+            let mut out = Vec::new();
+            let mut chain = Vec::new();
+            for (i, seg) in events.chunks(50).enumerate() {
+                out.extend(sess.process(seg));
+                let ck = sess.cut(CutKind::Delta).unwrap();
+                assert_eq!(ck.is_delta(), i > 0, "first cut promotes to base");
+                assert_eq!(ck.seq(), i as u64 + 1);
+                chain.push(ck);
+            }
+            // The cut session and a chain-restored session describe the
+            // same state: their next full cuts agree byte-for-byte...
+            let mut revived = par.session();
+            revived.restore_chain(&chain).unwrap();
+            assert_eq!(
+                revived.cut(CutKind::Full).unwrap().as_bytes(),
+                sess.cut(CutKind::Full).unwrap().as_bytes()
+            );
+            // ...and they drain the remaining in-flight windows
+            // identically.
+            let flushed = sess.flush();
+            assert_eq!(revived.flush(), flushed);
+            out.extend(flushed);
+            sort_results(&mut out);
+            assert_eq!(out, offline.results, "{workers} workers");
+        }
     }
 
     #[test]

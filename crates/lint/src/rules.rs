@@ -213,6 +213,8 @@ const PAIRS: &[(&str, &str)] = &[
     ("to_bytes", "from_bytes"),
     ("checkpoint", "restore"),
     ("container_header", "read_container"),
+    ("encode_delta", "decode_delta"),
+    ("write_delta_frame", "read_delta_frame"),
 ];
 
 /// Positional class of one codec call. `Len` unifies `usize`/`seq_len`,

@@ -85,7 +85,10 @@ use hamlet_core::executor::{
     checkpoint_epoch, ChurnError, ChurnOp, EngineConfig, EngineError, EngineStats, HamletEngine,
     WindowResult,
 };
-use hamlet_core::{GroupMetrics, LatencyHistogram, LatencyRecorder, Span, SpanRecorder, Stage};
+use hamlet_core::{
+    Checkpoint, CheckpointStore, CutKind, GroupMetrics, LatencyHistogram, LatencyRecorder,
+    Snapshot, Span, SpanRecorder, Stage,
+};
 use hamlet_obs::merge_group_metrics;
 use hamlet_query::{Query, QueryId};
 use hamlet_types::{Event, Ts, TypeRegistry};
@@ -113,12 +116,25 @@ type Routed = (Event, Instant);
 enum WorkerMsg {
     Batch(Vec<Routed>),
     Churn(ChurnOp),
+    /// A coordinated checkpoint cut riding the same FIFO: the worker
+    /// serializes its engine (full or delta, per `kind`) at exactly this
+    /// stream position and replies with `(shard, frame)`.
+    Cut {
+        kind: CutKind,
+        reply: mpsc::Sender<(usize, Result<Checkpoint, CheckpointError>)>,
+    },
 }
 /// A live churn request from a [`PipelineHandle`] to the ingest stage;
 /// the ack carries the post-churn workload epoch (or the rejection).
 struct ChurnRequest {
     op: ChurnOp,
     ack: mpsc::Sender<Result<u64, ChurnError>>,
+}
+/// An on-demand [`Snapshot::cut`] request from a [`PipelineHandle`] to
+/// the ingest stage; applied at the next barrier between source events.
+struct CutRequest {
+    kind: CutKind,
+    ack: mpsc::Sender<Result<Checkpoint, CheckpointError>>,
 }
 /// What one worker thread returns at shutdown; the final slot carries
 /// the shard's serialized engine state when the run ended at a
@@ -216,9 +232,17 @@ impl Pipeline {
             on_late: None,
             churn_at: Vec::new(),
             trace_capacity: 0,
+            store: None,
+            checkpoint_every: None,
+            compact_every: DEFAULT_COMPACT_EVERY,
         }
     }
 }
+
+/// Default compaction cadence: every this-many cadence cuts, the cut is
+/// promoted to a full base (compacting the store's chain) instead of a
+/// delta.
+pub const DEFAULT_COMPACT_EVERY: u64 = 8;
 
 /// Configures and spawns a [`PipelineHandle`].
 pub struct PipelineBuilder {
@@ -232,6 +256,9 @@ pub struct PipelineBuilder {
     on_late: Option<LateHook>,
     churn_at: Vec<(Ts, ChurnOp)>,
     trace_capacity: usize,
+    store: Option<Arc<dyn CheckpointStore>>,
+    checkpoint_every: Option<u64>,
+    compact_every: u64,
 }
 
 impl PipelineBuilder {
@@ -296,6 +323,49 @@ impl PipelineBuilder {
         self
     }
 
+    /// The [`CheckpointStore`] cadence cuts and on-demand
+    /// [`Snapshot::cut`]s append to — base/delta chain management
+    /// (linkage validation, compaction GC) is the store's job. Required
+    /// when [`checkpoint_every`](Self::checkpoint_every) is set;
+    /// [`Pipeline::builder`]`(…).resume_from` reads the same store back.
+    pub fn checkpoint_store(mut self, store: Arc<dyn CheckpointStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Enables periodic delta checkpoints: every `released` events
+    /// released past the reorder stage, the ingest thread runs a
+    /// **drain-barrier cut** — every partial batch is flushed down the
+    /// worker FIFOs, each shard engine serializes the state that changed
+    /// since the previous cut (a delta frame; periodically a full base,
+    /// see [`compact_every`](Self::compact_every)), and the assembled
+    /// container is appended to the configured
+    /// [`checkpoint_store`](Self::checkpoint_store). The pipeline keeps
+    /// running; the pause is the flush + serialize time, visible as
+    /// `checkpoint_pause` spans and the
+    /// [`MetricsSnapshot::checkpoints`] counters.
+    ///
+    /// Recovery: [`resume_from`](Self::resume_from) replays base +
+    /// deltas and repositions the source; results emitted between the
+    /// last completed cut and the crash are re-emitted on resume
+    /// (at-least-once across a crash — a run that resumes from a cut it
+    /// took itself never duplicates).
+    pub fn checkpoint_every(mut self, released: u64) -> Self {
+        assert!(released >= 1, "checkpoint cadence must be positive");
+        self.checkpoint_every = Some(released);
+        self
+    }
+
+    /// Every `cuts`-th cadence cut is promoted from a delta to a full
+    /// base, compacting the store's chain (default
+    /// [`DEFAULT_COMPACT_EVERY`]). `1` makes every cut a full
+    /// checkpoint.
+    pub fn compact_every(mut self, cuts: u64) -> Self {
+        assert!(cuts >= 1, "compaction cadence must be positive");
+        self.compact_every = cuts;
+        self
+    }
+
     /// Schedules churn ops in event time: each op is applied at the
     /// **watermark barrier** where the watermark first reaches its
     /// trigger — events up to and including the trigger time are
@@ -348,10 +418,11 @@ impl PipelineBuilder {
         Src: Source + 'static,
         S: Sink + 'static,
     {
-        self.spawn_inner(source, sink, None).map_err(|e| match e {
-            ResumeError::Engine(err) => err,
-            ResumeError::Checkpoint(_) => unreachable!("no checkpoint on a fresh spawn"),
-        })
+        self.spawn_inner(source, sink, RestorePlan::Fresh)
+            .map_err(|e| match e {
+                ResumeError::Engine(err) => err,
+                ResumeError::Checkpoint(_) => unreachable!("no checkpoint on a fresh spawn"),
+            })
     }
 
     /// Restores a pipeline from a [`PipelineCheckpoint`] and continues
@@ -368,6 +439,14 @@ impl PipelineBuilder {
     /// the original stream. Continuing to the end of the stream and
     /// draining yields byte-identical output to a run that never
     /// stopped (`tests/checkpoint_equivalence.rs`).
+    ///
+    /// Deprecated: this is the raw single-blob path kept for existing
+    /// callers. New code should persist cuts through a
+    /// [`CheckpointStore`] ([`checkpoint_store`](Self::checkpoint_store)
+    /// \+ [`checkpoint_every`](Self::checkpoint_every) or
+    /// [`Snapshot::cut`] on the handle) and recover with
+    /// [`resume_from`](Self::resume_from), which also replays
+    /// incremental delta chains.
     pub fn resume<Src, S>(
         self,
         checkpoint: &PipelineCheckpoint,
@@ -386,23 +465,90 @@ impl PipelineBuilder {
                 ),
             )));
         }
-        self.spawn_inner(source, sink, Some(checkpoint))
+        self.spawn_inner(source, sink, RestorePlan::Whole(checkpoint))
+    }
+
+    /// Restores a pipeline from the base + delta chain held in a
+    /// [`CheckpointStore`] and continues it: the chain's last base is
+    /// restored into every shard engine, the delta frames are replayed
+    /// in order on top, the frozen reorder-buffer events of the **last**
+    /// record are re-injected ahead of the source, and the metrics
+    /// counters continue from that record.
+    ///
+    /// The builder must be configured like the original pipeline (same
+    /// workload, worker count, watermark slack); `source` must be
+    /// positioned *after* the first
+    /// [`events_pulled`](PipelineCheckpoint::events_pulled) events of
+    /// the original stream, where `events_pulled` is read from the
+    /// chain's newest record (decode it with
+    /// [`PipelineCheckpoint::from_bytes`] over
+    /// [`Checkpoint::as_bytes`], or track the cursor out of band).
+    /// Replaying the remainder of the stream and draining emits exactly
+    /// the results the original run had not yet emitted at the cut —
+    /// byte-identical to the uninterrupted run's suffix
+    /// (`tests/delta_checkpoint.rs`).
+    ///
+    /// An empty store is an error: recovery from nothing is a fresh
+    /// [`spawn`](Self::spawn), and conflating the two would turn a
+    /// mis-pointed store directory into silent data loss.
+    pub fn resume_from<Src, S>(
+        self,
+        store: &dyn CheckpointStore,
+        source: Src,
+        sink: S,
+    ) -> Result<PipelineHandle<S>, ResumeError>
+    where
+        Src: Source + 'static,
+        S: Sink + 'static,
+    {
+        let chain = store.load_chain().map_err(ResumeError::Checkpoint)?;
+        if chain.is_empty() {
+            return Err(ResumeError::Checkpoint(CheckpointError::Corrupt(
+                "the checkpoint store holds no records".into(),
+            )));
+        }
+        let mut records = Vec::with_capacity(chain.len());
+        for ck in &chain {
+            let pc =
+                PipelineCheckpoint::from_bytes(ck.as_bytes()).map_err(ResumeError::Checkpoint)?;
+            if pc.workers != self.workers {
+                return Err(ResumeError::Checkpoint(CheckpointError::WorkloadMismatch(
+                    format!(
+                        "checkpoint taken under {} workers, resuming under {}",
+                        pc.workers, self.workers
+                    ),
+                )));
+            }
+            if pc.engines.len() != pc.workers as usize {
+                return Err(ResumeError::Checkpoint(CheckpointError::Corrupt(format!(
+                    "pipeline record carries {} shard frames for {} workers",
+                    pc.engines.len(),
+                    pc.workers
+                ))));
+            }
+            records.push(pc);
+        }
+        self.spawn_inner(source, sink, RestorePlan::Chain(records))
     }
 
     fn spawn_inner<Src, S>(
         mut self,
         source: Src,
         sink: S,
-        restore: Option<&PipelineCheckpoint>,
+        restore: RestorePlan<'_>,
     ) -> Result<PipelineHandle<S>, ResumeError>
     where
         Src: Source + 'static,
         S: Sink + 'static,
     {
+        assert!(
+            self.checkpoint_every.is_none() || self.store.is_some(),
+            "checkpoint_every requires a checkpoint_store to append to"
+        );
         // Re-seed the watermark policy before destructuring: the resumed
         // policy must never emit a watermark behind the one the
         // checkpointed pipeline already released events under.
-        if let Some(ck) = restore {
+        if let Some(ck) = restore.tail() {
             if let Some(max_seen) = ck.max_seen {
                 let _ = self.policy.observe(max_seen);
             }
@@ -418,6 +564,9 @@ impl PipelineBuilder {
             on_late,
             churn_at,
             trace_capacity,
+            store,
+            checkpoint_every,
+            compact_every,
         } = self;
         let n = workers as usize;
 
@@ -461,7 +610,7 @@ impl PipelineBuilder {
         // every shard blob: all shards must agree (they churn at the same
         // barrier), and the resumed engines adopt it before restoring.
         let mut start_epoch = 0u64;
-        if let Some(ck) = restore {
+        if let RestorePlan::Whole(ck) = &restore {
             let mut agreed = None;
             for blob in &ck.engines {
                 let e = checkpoint_epoch(blob).map_err(ResumeError::Checkpoint)?;
@@ -486,12 +635,42 @@ impl PipelineBuilder {
             cfg.shard = (workers > 1).then_some((idx as u32, workers));
             let mut eng = HamletEngine::new(reg.clone(), queries.clone(), cfg)
                 .map_err(ResumeError::Engine)?;
-            if let Some(ck) = restore {
-                eng.set_epoch(start_epoch);
-                eng.restore(&ck.engines[idx])
-                    .map_err(ResumeError::Checkpoint)?;
+            match &restore {
+                RestorePlan::Fresh => {}
+                RestorePlan::Whole(ck) => {
+                    eng.set_epoch(start_epoch);
+                    eng.restore(&ck.engines[idx])
+                        .map_err(ResumeError::Checkpoint)?;
+                }
+                RestorePlan::Chain(records) => {
+                    // This shard's frame from every record in the chain;
+                    // the engine replays base + deltas (and adopts the
+                    // chain's workload epoch) itself.
+                    let mut shard_chain = Vec::with_capacity(records.len());
+                    for pc in records {
+                        shard_chain.push(
+                            Checkpoint::from_bytes(pc.engines[idx].clone())
+                                .map_err(ResumeError::Checkpoint)?,
+                        );
+                    }
+                    eng.restore_chain(&shard_chain)
+                        .map_err(ResumeError::Checkpoint)?;
+                }
             }
             engines.push(eng);
+        }
+        if let RestorePlan::Chain(_) = &restore {
+            // Chain restore derives each shard's epoch from its frames;
+            // cross-shard agreement is validated after the fact.
+            start_epoch = engines.first().map(HamletEngine::epoch).unwrap_or(0);
+            if let Some(off) = engines.iter().find(|e| e.epoch() != start_epoch) {
+                return Err(ResumeError::Checkpoint(CheckpointError::WorkloadMismatch(
+                    format!(
+                        "mixed workload epochs across restored shards ({start_epoch} vs {})",
+                        off.epoch()
+                    ),
+                )));
+            }
         }
         // The router only maps events to shards; it never processes.
         let router = if workers > 1 {
@@ -509,7 +688,10 @@ impl PipelineBuilder {
         } else {
             SpanRecorder::disabled()
         });
-        let accum = restore.map(|ck| ck.elapsed).unwrap_or(Duration::ZERO);
+        let accum = restore
+            .tail()
+            .map(|ck| ck.elapsed)
+            .unwrap_or(Duration::ZERO);
         let shared = Arc::new(SharedStats::new(n, accum, spans.clone()));
         shared.epoch.store(start_epoch, Ordering::Relaxed);
         let stop = Arc::new(AtomicBool::new(false));
@@ -518,7 +700,7 @@ impl PipelineBuilder {
         // the checkpointed pipeline stopped.
         let mut buffer = ReorderBuffer::new();
         let mut max_seen = None;
-        if let Some(ck) = restore {
+        if let Some(ck) = restore.tail() {
             let [ingested, late, released, results] = ck.counters;
             shared.ingested.store(ingested, Ordering::Relaxed);
             shared.late.store(late, Ordering::Relaxed);
@@ -577,6 +759,7 @@ impl PipelineBuilder {
             .expect("spawn sink thread");
 
         let (churn_tx, churn_rx) = mpsc::channel::<ChurnRequest>();
+        let (cut_tx, cut_rx) = mpsc::channel::<CutRequest>();
         let mut ingest = Ingest {
             source,
             policy,
@@ -587,6 +770,7 @@ impl PipelineBuilder {
             probe_cfg,
             scheduled: churn_at.into(),
             churn_rx,
+            cut_rx,
             epoch: start_epoch,
             buffer,
             max_seen,
@@ -595,6 +779,11 @@ impl PipelineBuilder {
             workers,
             batch,
             last_tick: vec![None; n],
+            store,
+            cut_every: checkpoint_every,
+            compact_every,
+            cuts_taken: 0,
+            last_cut_released: shared.released.load(Ordering::Relaxed),
             shared: shared.clone(),
             stop: stop.clone(),
         };
@@ -611,9 +800,32 @@ impl PipelineBuilder {
             workers: worker_handles,
             ctrl: ctrl_txs,
             churn: churn_tx,
+            cut: cut_tx,
             sink: sink_handle,
             n_workers: workers,
         })
+    }
+}
+
+/// How [`PipelineBuilder::spawn_inner`] seeds engine state: fresh, from
+/// one whole legacy [`PipelineCheckpoint`], or by replaying a base +
+/// delta chain loaded from a [`CheckpointStore`].
+enum RestorePlan<'a> {
+    Fresh,
+    Whole(&'a PipelineCheckpoint),
+    Chain(Vec<PipelineCheckpoint>),
+}
+
+impl RestorePlan<'_> {
+    /// The record carrying the pipeline-level tail state (reorder
+    /// buffer, source cursor, counters, elapsed): the chain's newest
+    /// record — every earlier record's tail is superseded.
+    fn tail(&self) -> Option<&PipelineCheckpoint> {
+        match self {
+            RestorePlan::Fresh => None,
+            RestorePlan::Whole(ck) => Some(ck),
+            RestorePlan::Chain(records) => records.last(),
+        }
     }
 }
 
@@ -635,6 +847,8 @@ struct Ingest<Src> {
     scheduled: VecDeque<(Ts, ChurnOp)>,
     /// Live churn requests from the handle, polled between source events.
     churn_rx: mpsc::Receiver<ChurnRequest>,
+    /// On-demand checkpoint cuts from the handle, polled alongside.
+    cut_rx: mpsc::Receiver<CutRequest>,
     /// Workload epoch — incremented by every applied churn op, in
     /// lockstep with every worker engine.
     epoch: u64,
@@ -650,6 +864,16 @@ struct Ingest<Src> {
     /// Per-shard event-time tick of the last pushed event — the batching
     /// boundary (see [`push_to`](Self::push_to)).
     last_tick: Vec<Option<u64>>,
+    /// Where completed cuts are appended (cadence and on-demand).
+    store: Option<Arc<dyn CheckpointStore>>,
+    /// Cadence: cut after this many released events (None = no cadence).
+    cut_every: Option<u64>,
+    /// Every this-many cadence cuts, promote the cut to a full base.
+    compact_every: u64,
+    /// Cadence cuts taken by this incarnation (drives compaction).
+    cuts_taken: u64,
+    /// `released` counter at the previous cut (cadence anchor).
+    last_cut_released: u64,
     shared: Arc<SharedStats>,
     stop: Arc<AtomicBool>,
 }
@@ -661,10 +885,11 @@ impl<Src: Source> Ingest<Src> {
         // stored before it — the checkpoint_mode flag in particular —
         // is visible below.
         while !self.stop.load(Ordering::Acquire) {
-            // Live churn is applied *between* source events — the
-            // watermark barrier. A source blocked inside `next_event`
-            // delays pending requests until it yields.
+            // Live churn and on-demand cuts are applied *between* source
+            // events — the watermark barrier. A source blocked inside
+            // `next_event` delays pending requests until it yields.
             self.poll_live_churn();
+            self.poll_cut_requests();
             let pull = self.shared.spans.start();
             let Some(e) = self.source.next_event() else {
                 break;
@@ -706,6 +931,7 @@ impl<Src: Source> Ingest<Src> {
                     .record(0, Stage::Route, route, Some(wm.ticks()), n);
             }
             self.fire_scheduled_churn(wm);
+            self.maybe_cadence_cut();
         }
         // End of stream, drain, or checkpoint. A drain releases the
         // buffered remainder downstream in order — exactly like a
@@ -874,6 +1100,143 @@ impl<Src: Source> Ingest<Src> {
             .record(0, Stage::ChurnBarrier, barrier, None, 0);
         Ok(self.epoch)
     }
+
+    /// Drains pending on-demand cut requests; each runs a coordinated
+    /// cut at the current barrier and is acked with the assembled
+    /// [`Checkpoint`].
+    fn poll_cut_requests(&mut self) {
+        while let Ok(req) = self.cut_rx.try_recv() {
+            let outcome = self.coordinated_cut(req.kind);
+            let _ = req.ack.send(outcome);
+        }
+    }
+
+    /// Runs a cadence cut once enough events have been released since
+    /// the previous one. Every `compact_every`-th cadence cut is
+    /// promoted to a full base, compacting the store's chain. A failed
+    /// cut is counted and the pipeline keeps running — the next cadence
+    /// boundary tries again.
+    fn maybe_cadence_cut(&mut self) {
+        let Some(every) = self.cut_every else { return };
+        let released = self.shared.released.load(Ordering::Relaxed);
+        if released.saturating_sub(self.last_cut_released) < every {
+            return;
+        }
+        let compact =
+            self.compact_every <= 1 || (self.cuts_taken + 1).is_multiple_of(self.compact_every);
+        let kind = if compact {
+            CutKind::Full
+        } else {
+            CutKind::Delta
+        };
+        if self.coordinated_cut(kind).is_ok() {
+            self.cuts_taken += 1;
+        }
+    }
+
+    /// A coordinated checkpoint cut at the current barrier: flushes
+    /// every partial batch down the worker FIFOs (so every shard
+    /// serializes at exactly the same stream position), collects one
+    /// frame per shard, assembles the pipeline container, and appends it
+    /// to the configured store.
+    fn coordinated_cut(&mut self, kind: CutKind) -> Result<Checkpoint, CheckpointError> {
+        let span = self.shared.spans.start();
+        let result = self.coordinated_cut_inner(kind);
+        self.shared
+            .spans
+            .record(0, Stage::CheckpointPause, span, None, 0);
+        // Anchor the cadence even on failure: retrying on every released
+        // event while a store stays broken would turn one bad disk into a
+        // per-event barrier.
+        self.last_cut_released = self.shared.released.load(Ordering::Relaxed);
+        match &result {
+            Ok(ck) => {
+                self.shared.checkpoints.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .checkpoint_bytes
+                    .fetch_add(ck.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.shared
+                    .checkpoint_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    fn coordinated_cut_inner(&mut self, kind: CutKind) -> Result<Checkpoint, CheckpointError> {
+        // The same barrier as churn: everything routed so far reaches
+        // each worker before the cut marker does (per-channel FIFO).
+        self.flush_batches();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for idx in 0..self.txs.len() {
+            let msg = WorkerMsg::Cut {
+                kind,
+                reply: reply_tx.clone(),
+            };
+            if self.txs[idx].send(msg).is_err() {
+                self.stop.store(true, Ordering::Relaxed);
+                return Err(CheckpointError::Io(format!(
+                    "worker {idx} is gone; cannot cut"
+                )));
+            }
+        }
+        drop(reply_tx);
+        let n = self.txs.len();
+        let mut frames: Vec<Option<Vec<u8>>> = vec![None; n];
+        for _ in 0..n {
+            match reply_rx.recv() {
+                Ok((idx, Ok(ck))) => frames[idx] = Some(ck.into_bytes()),
+                Ok((_, Err(e))) => return Err(e),
+                Err(_) => {
+                    self.stop.store(true, Ordering::Relaxed);
+                    return Err(CheckpointError::Io("a worker died during the cut".into()));
+                }
+            }
+        }
+        let mut engines = Vec::with_capacity(n);
+        for f in frames {
+            match f {
+                Some(bytes) => engines.push(bytes),
+                None => {
+                    return Err(CheckpointError::Io(
+                        "a shard replied twice during the cut".into(),
+                    ))
+                }
+            }
+        }
+        // Every pre-cut result is now enqueued to the sink (each worker
+        // sent its results before replying with its frame); wait for the
+        // sink thread to land them so the frozen counters are exact.
+        // Bounded, so a wedged sink cannot hang ingest forever.
+        for _ in 0..1_000_000 {
+            if self.shared.sink_depth.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let counters = [
+            self.shared.ingested.load(Ordering::Relaxed),
+            self.shared.late.load(Ordering::Relaxed),
+            self.shared.released.load(Ordering::Relaxed),
+            self.shared.results.load(Ordering::Relaxed),
+        ];
+        let pc = PipelineCheckpoint {
+            workers: self.workers,
+            engines,
+            buffered: self.buffer.contents(),
+            events_pulled: counters[0],
+            max_seen: self.max_seen,
+            counters,
+            elapsed: self.shared.elapsed(),
+        };
+        let ck = Checkpoint::from_bytes(pc.to_bytes())?;
+        if let Some(store) = &self.store {
+            store.append(&ck)?;
+        }
+        Ok(ck)
+    }
 }
 
 /// One shard worker: an engine fed released, in-order events; results go
@@ -925,6 +1288,20 @@ fn worker_loop(
                 // Churn replaces the share groups: re-publish promptly so
                 // snapshots never show the pre-churn layout for long.
                 shared.try_publish_groups(idx, engine.group_metrics());
+                continue;
+            }
+            WorkerMsg::Cut { kind, reply } => {
+                // Coordinated cut: the queue ahead of this marker is
+                // already processed (FIFO), so the frame captures the
+                // shard at exactly the barrier's stream position. The
+                // engine decides full vs delta (it promotes a delta to a
+                // base when it has no sound dirty log yet).
+                let pause = shared.spans.start();
+                let frame = engine.cut(kind);
+                shared
+                    .spans
+                    .record(lane, Stage::CheckpointPause, pause, None, 0);
+                let _ = reply.send((idx, frame));
                 continue;
             }
         };
@@ -1033,8 +1410,45 @@ pub struct PipelineHandle<S> {
     ctrl: Vec<mpsc::Sender<WorkerEnd>>,
     /// Live churn requests to the ingest stage.
     churn: mpsc::Sender<ChurnRequest>,
+    /// On-demand checkpoint cuts to the ingest stage.
+    cut: mpsc::Sender<CutRequest>,
     sink: JoinHandle<S>,
     n_workers: u32,
+}
+
+impl<S: Sink> Snapshot for PipelineHandle<S> {
+    /// Cuts a checkpoint of the **running** pipeline at the next
+    /// barrier between source events (same barrier semantics as
+    /// [`add_query`](PipelineHandle::add_query)) and blocks until the
+    /// assembled container is back — appended to the configured
+    /// [`CheckpointStore`] first, if one was set at build time. The
+    /// pipeline keeps running afterwards; the frame chains onto any
+    /// cadence cuts taken so far. A source blocked inside `next_event`,
+    /// or one that already ended, delays or fails the cut (the ingest
+    /// stage only reaches barriers while events flow).
+    fn cut(&mut self, kind: CutKind) -> Result<Checkpoint, CheckpointError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.cut
+            .send(CutRequest { kind, ack: ack_tx })
+            .map_err(|_| CheckpointError::Io("the pipeline has stopped ingesting".into()))?;
+        match ack_rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(CheckpointError::Io(
+                "the pipeline stopped before reaching the cut barrier".into(),
+            )),
+        }
+    }
+
+    /// A live pipeline cannot restore in place — its engines are owned
+    /// by running worker threads. Always fails; rebuild the pipeline
+    /// with [`PipelineBuilder::resume_from`] instead.
+    fn restore_chain(&mut self, _chain: &[Checkpoint]) -> Result<(), CheckpointError> {
+        Err(CheckpointError::WorkloadMismatch(
+            "a live pipeline cannot restore in place; rebuild it with \
+             Pipeline::builder(...).resume_from(store, source, sink)"
+                .into(),
+        ))
+    }
 }
 
 impl<S: Sink> PipelineHandle<S> {
@@ -1168,6 +1582,14 @@ impl<S: Sink> PipelineHandle<S> {
     /// An unbounded source is cut mid-stream (like
     /// [`stop`](Self::stop)); a finite source that already ended simply
     /// yields a checkpoint whose reorder buffer is empty.
+    ///
+    /// Deprecated: this consuming freeze is kept for existing callers
+    /// and for the final cut of a planned shutdown. A pipeline built
+    /// with [`PipelineBuilder::checkpoint_store`] keeps itself durable
+    /// while running (cadence cuts via
+    /// [`PipelineBuilder::checkpoint_every`], on-demand via
+    /// [`Snapshot::cut`]) and recovers with
+    /// [`PipelineBuilder::resume_from`].
     pub fn checkpoint(self) -> PipelineCheckpointReport<S> {
         // Order matters: the mode flag must be visible to the ingest
         // stage whenever the stop flag is — otherwise ingest could stop
@@ -1862,6 +2284,177 @@ mod tests {
             );
             assert_eq!(report.results, report.sink.results.len() as u64);
         }
+    }
+
+    /// Cadence cuts on a live pipeline: an in-order stream with slack 0
+    /// cuts at exact released counts, so the store's chain is
+    /// deterministic. The cuts must not perturb the output, the chain
+    /// must be base + contiguous deltas, and `resume_from` after a
+    /// mid-delta-interval kill (the stream ends 10 events past the last
+    /// cut) must emit exactly the uninterrupted run's suffix.
+    #[test]
+    fn cadence_cuts_resume_from_store_match_uninterrupted() {
+        let (reg, queries, events) = setup();
+        let expected = offline(&reg, &queries, &events);
+        let store = Arc::new(hamlet_core::MemStore::new());
+        let handle = Pipeline::builder(reg.clone(), queries.clone())
+            .checkpoint_store(store.clone())
+            .checkpoint_every(60)
+            .spawn(ReplaySource::new(events[..250].to_vec()), VecSink::new())
+            .unwrap();
+        let report = handle.drain();
+        assert_eq!(
+            report.sink.results,
+            offline(&reg, &queries, &events[..250]),
+            "cadence cuts perturbed the output"
+        );
+        let chain = store.load_chain().unwrap();
+        assert_eq!(chain.len(), 4, "cadence cuts at released 60/120/180/240");
+        assert!(!chain[0].is_delta(), "the first cut promotes to a base");
+        assert!(chain[1..].iter().all(Checkpoint::is_delta));
+        let tail = PipelineCheckpoint::from_bytes(chain[chain.len() - 1].as_bytes()).unwrap();
+        assert_eq!(tail.events_pulled(), 240);
+
+        // The kill: events 240..250 were processed but never cut. The
+        // resumed run replays from the last cut and emits exactly what
+        // the uninterrupted run emits after stream position 240.
+        let mut oracle =
+            HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default()).unwrap();
+        let mut pre = 0;
+        for e in &events[..240] {
+            pre += oracle.process(e).len();
+        }
+        let resumed = Pipeline::builder(reg, queries)
+            .resume_from(
+                store.as_ref(),
+                ReplaySource::new(events[240..].to_vec()),
+                VecSink::new(),
+            )
+            .unwrap();
+        let report = resumed.drain();
+        assert_eq!(
+            report.sink.results,
+            expected[pre..],
+            "chain resume diverged"
+        );
+        assert_eq!(report.events, events.len() as u64, "counters continue");
+    }
+
+    /// `resume_from` over an empty store must fail loudly, and the
+    /// cadence knob without a store must be rejected at spawn.
+    #[test]
+    fn store_misconfigurations_fail_loudly() {
+        let (reg, queries, _) = setup();
+        let store = hamlet_core::MemStore::new();
+        let err = Pipeline::builder(reg.clone(), queries.clone())
+            .resume_from(&store, ReplaySource::new(vec![]), NullSink)
+            .err();
+        assert!(
+            matches!(
+                err,
+                Some(ResumeError::Checkpoint(CheckpointError::Corrupt(_)))
+            ),
+            "{err:?}"
+        );
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Pipeline::builder(reg, queries)
+                .checkpoint_every(10)
+                .spawn(ReplaySource::new(vec![]), NullSink)
+        }));
+        assert!(res.is_err(), "checkpoint_every without a store must panic");
+    }
+
+    /// On-demand `Snapshot::cut` on a live handle: the cut lands at a
+    /// barrier between source events, is appended to the store on top of
+    /// any cadence cuts, and the pipeline keeps running afterwards.
+    #[test]
+    fn live_cut_appends_to_store_and_pipeline_continues() {
+        let (reg, queries, _) = setup();
+        let a = reg.type_id("A").unwrap();
+        let b = reg.type_id("B").unwrap();
+        let c = reg.type_id("C").unwrap();
+        let mk = move |t: u64| {
+            let ty = match t % 5 {
+                0 => a,
+                1 => c,
+                _ => b,
+            };
+            Event::new(Ts(t), ty, vec![AttrValue::Int((t % 7) as i64)])
+        };
+        let total = 400u64;
+        let (tx_ev, rx_ev) = mpsc::channel::<Event>();
+        for t in 0..150 {
+            tx_ev.send(mk(t)).unwrap();
+        }
+        let store = Arc::new(hamlet_core::MemStore::new());
+        let mut handle = Pipeline::builder(reg.clone(), queries.clone())
+            .checkpoint_store(store.clone())
+            .checkpoint_every(100)
+            .spawn(ChannelSource(rx_ev), VecSink::new())
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !(handle.metrics().ingested == 150 && handle.metrics().queued() == 0) {
+            assert!(Instant::now() < deadline, "prefix never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Feed slowly so the cut barrier falls between source events.
+        let done = Arc::new(AtomicBool::new(false));
+        let done_feeder = done.clone();
+        let feeder = std::thread::spawn(move || {
+            for t in 150..total {
+                if done_feeder.load(Ordering::Relaxed) {
+                    break;
+                }
+                if tx_ev.send(mk(t)).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let ck = handle.cut(hamlet_core::CutKind::Delta).unwrap();
+        assert!(ck.epoch() == 0 && !ck.as_bytes().is_empty());
+        let cursor = PipelineCheckpoint::from_bytes(ck.as_bytes())
+            .unwrap()
+            .events_pulled();
+        assert!(cursor >= 150, "the cut covers at least the fast prefix");
+        let chain = store.load_chain().unwrap();
+        assert_eq!(
+            chain[chain.len() - 1].as_bytes(),
+            ck.as_bytes(),
+            "the on-demand cut is the store's newest record"
+        );
+        let m = handle.metrics();
+        assert!(m.checkpoints >= 2, "cadence cut at 100 plus the live cut");
+        assert_eq!(m.checkpoint_failures, 0);
+        assert!(m.checkpoint_bytes > 0);
+        done.store(true, Ordering::Relaxed);
+        feeder.join().unwrap();
+        let report = handle.drain();
+        assert!(report.events >= cursor, "pipeline kept running after cut");
+
+        // Recovery from the chain: replay everything past the cursor and
+        // compare against the uninterrupted run's suffix.
+        let fed: Vec<Event> = (0..report.events).map(mk).collect();
+        let expected = offline(&reg, &queries, &fed);
+        let mut oracle =
+            HamletEngine::new(reg.clone(), queries.clone(), EngineConfig::default()).unwrap();
+        let mut pre = 0;
+        for e in &fed[..cursor as usize] {
+            pre += oracle.process(e).len();
+        }
+        let resumed = Pipeline::builder(reg, queries)
+            .resume_from(
+                store.as_ref(),
+                ReplaySource::new(fed[cursor as usize..].to_vec()),
+                VecSink::new(),
+            )
+            .unwrap();
+        let report = resumed.drain();
+        assert_eq!(
+            report.sink.results,
+            expected[pre..],
+            "live-cut resume diverged"
+        );
     }
 
     /// A resumed pipeline's elapsed time continues from the checkpoint

@@ -53,6 +53,13 @@ pub(crate) struct SharedStats {
     pub(crate) epoch: AtomicU64,
     /// Scheduled churn ops skipped because a live op invalidated them.
     pub(crate) churns_rejected: AtomicU64,
+    /// Coordinated checkpoint cuts completed (cadence plus on-demand).
+    pub(crate) checkpoints: AtomicU64,
+    /// Total serialized bytes across all completed cuts.
+    pub(crate) checkpoint_bytes: AtomicU64,
+    /// Cuts that failed (a worker died mid-cut or the store rejected
+    /// the append); the pipeline keeps running after a failed cut.
+    pub(crate) checkpoint_failures: AtomicU64,
     /// End-to-end (ingest → emit) result latency histogram.
     pub(crate) latency: Mutex<LatencyHistogram>,
 }
@@ -77,6 +84,9 @@ impl SharedStats {
             sink_depth: AtomicUsize::new(0),
             epoch: AtomicU64::new(0),
             churns_rejected: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            checkpoint_bytes: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::new()),
         }
     }
@@ -153,6 +163,9 @@ impl SharedStats {
             sink_depth: self.sink_depth.load(Ordering::Relaxed),
             epoch: self.epoch.load(Ordering::Relaxed),
             churns_rejected: self.churns_rejected.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
             latency,
             latency_buckets,
             groups,
@@ -208,6 +221,15 @@ pub struct MetricsSnapshot {
     /// Scheduled churn ops skipped because a live op invalidated them
     /// (e.g. the id they named was already removed).
     pub churns_rejected: u64,
+    /// Coordinated checkpoint cuts completed so far (cadence cuts from
+    /// [`PipelineBuilder::checkpoint_every`](crate::PipelineBuilder::checkpoint_every)
+    /// plus on-demand [`Snapshot::cut`](hamlet_core::Snapshot::cut)s).
+    pub checkpoints: u64,
+    /// Total serialized checkpoint bytes across all completed cuts.
+    pub checkpoint_bytes: u64,
+    /// Cuts that failed (a worker died mid-cut or the configured store
+    /// rejected the append). The pipeline keeps running.
+    pub checkpoint_failures: u64,
     /// End-to-end (ingest → emit) result latency.
     pub latency: LatencySummary,
     /// Sparse latency histogram: `(bucket low edge in ns, samples)`
@@ -295,6 +317,28 @@ impl MetricsSnapshot {
             "counter",
         );
         p.sample_u64("hamlet_churns_rejected_total", &[], self.churns_rejected);
+        p.header(
+            "hamlet_checkpoints_total",
+            "Coordinated checkpoint cuts completed.",
+            "counter",
+        );
+        p.sample_u64("hamlet_checkpoints_total", &[], self.checkpoints);
+        p.header(
+            "hamlet_checkpoint_bytes_total",
+            "Serialized bytes across all completed cuts.",
+            "counter",
+        );
+        p.sample_u64("hamlet_checkpoint_bytes_total", &[], self.checkpoint_bytes);
+        p.header(
+            "hamlet_checkpoint_failures_total",
+            "Checkpoint cuts that failed.",
+            "counter",
+        );
+        p.sample_u64(
+            "hamlet_checkpoint_failures_total",
+            &[],
+            self.checkpoint_failures,
+        );
         p.header(
             "hamlet_latency_seconds",
             "End-to-end (ingest to emit) result latency.",

@@ -123,6 +123,12 @@ impl ReorderBuffer {
         std::mem::take(&mut self.held).into_values().collect()
     }
 
+    /// The buffered events in release order, without draining them —
+    /// what a checkpoint cut freezes while the pipeline keeps running.
+    pub fn contents(&self) -> Vec<Event> {
+        self.held.values().map(|(e, _)| e.clone()).collect()
+    }
+
     /// Number of buffered events.
     pub fn len(&self) -> usize {
         self.held.len()

@@ -12,12 +12,18 @@
 //!     --dataset ridesharing --rate 60000 --queries 10 --window 30 \
 //!     --workers 4 --eps 50000 --max-lateness 5 --slack 5 --metrics-ms 250
 //!
-//! # Checkpoint a live pipeline after ~50k events, then resume it:
+//! # Keep a live pipeline durable with periodic delta checkpoints,
+//! # then kill it and resume from the chain on disk:
+//! cargo run --release --bin hamlet-cli -- pipeline \
+//!     --dataset ridesharing --rate 60000 --checkpoint-every 10000 \
+//!     --state /tmp/hamlet-ck
+//! cargo run --release --bin hamlet-cli -- pipeline \
+//!     --dataset ridesharing --rate 60000 --resume --state /tmp/hamlet-ck
+//!
+//! # One-shot: cut a full checkpoint after ~50k events and stop:
 //! cargo run --release --bin hamlet-cli -- pipeline \
 //!     --dataset ridesharing --rate 60000 --checkpoint-after 50000 \
-//!     --state /tmp/hamlet.ck
-//! cargo run --release --bin hamlet-cli -- pipeline \
-//!     --dataset ridesharing --rate 60000 --resume --state /tmp/hamlet.ck
+//!     --state /tmp/hamlet-ck
 //! ```
 //!
 //! Datasets: ridesharing | nyc | smarthome | stock (stock uses the
@@ -34,14 +40,19 @@
 //! the latency histogram buckets), `--prom-out FILE` (write the final
 //! metrics snapshot as a Prometheus text-format scrape), `--trace-out
 //! FILE` (record stage spans and write a Chrome `trace_event` JSON file
-//! — open in `chrome://tracing` or Perfetto), `--checkpoint-after N`
-//! (quiesce and
-//! checkpoint once N events have been ingested; requires `--state`),
-//! `--state FILE` (checkpoint file), `--resume` (restore from `--state`
-//! and continue the same generated stream to completion — the stream is
-//! regenerated deterministically from the seed, so the checkpoint's
-//! source cursor repositions it exactly), `--churn-script FILE` (apply
-//! timestamped add/remove ops to the live workload).
+//! — open in `chrome://tracing` or Perfetto), `--state DIR` (a
+//! [`DirStore`] checkpoint directory holding one base + delta chain;
+//! required by every checkpoint flag), `--checkpoint-every N` (while
+//! the pipeline runs, cut an incremental **delta** checkpoint into the
+//! store every N released events; every `--compact-every`th cut is
+//! promoted to a full base, compacting the chain), `--checkpoint-after
+//! N` (one-shot: cut a full checkpoint once N events have been
+//! ingested, then stop the source and drain), `--resume` (restore from
+//! the newest base + delta chain in `--state` and continue the same
+//! generated stream to completion — the stream is regenerated
+//! deterministically from the seed, so the chain's source cursor
+//! repositions it exactly), `--churn-script FILE` (apply timestamped
+//! add/remove ops to the live workload).
 //!
 //! A churn script holds one op per line — `<ts> add <query-id>` or
 //! `<ts> remove <query-id>`, with blank lines and `#` comments ignored —
@@ -86,6 +97,8 @@ struct Args {
     trace_out: Option<String>,
     prom_out: Option<String>,
     checkpoint_after: u64,
+    checkpoint_every: u64,
+    compact_every: u64,
     state: Option<String>,
     resume: bool,
     churn_script: Option<String>,
@@ -115,6 +128,8 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         prom_out: None,
         checkpoint_after: 0,
+        checkpoint_every: 0,
+        compact_every: 0,
         state: None,
         resume: false,
         churn_script: None,
@@ -154,6 +169,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--checkpoint-every" => {
+                args.checkpoint_every = val("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--compact-every" => {
+                args.compact_every = val("--compact-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--state" => args.state = Some(val("--state")?),
             "--resume" => args.resume = true,
             "--churn-script" => args.churn_script = Some(val("--churn-script")?),
@@ -176,7 +201,9 @@ fn parse_args() -> Result<Args, String> {
                      [--max-lateness TICKS] [--metrics-ms MS] [--metrics-json] \
                      [--trace-out FILE (Chrome trace_event JSON)] \
                      [--prom-out FILE (Prometheus text format)] \
-                     [--checkpoint-after N --state FILE] [--resume --state FILE] \
+                     [--state DIR (checkpoint chain directory)] \
+                     [--checkpoint-every N [--compact-every K]] \
+                     [--checkpoint-after N] [--resume] \
                      [--churn-script FILE (lines: `<ts> add|remove <query-id>`)]"
                 );
                 std::process::exit(0);
@@ -346,6 +373,7 @@ fn metrics_json_line(m: &MetricsSnapshot) -> String {
          \"watermark\":{},\"source_done\":{},\"reorder_depth\":{},\"worker_depths\":[{}],\
          \"sink_depth\":{},\"ingest_eps\":{},\"latency\":{{\"count\":{},\"avg\":{},\
          \"p50\":{},\"p99\":{},\"max\":{},\"buckets_ns\":[{}]}},\"dropped_spans\":{},\
+         \"checkpoints\":{},\"checkpoint_bytes\":{},\"checkpoint_failures\":{},\
          \"groups\":[{}]}}",
         num(m.elapsed.as_secs_f64()),
         m.ingested,
@@ -367,6 +395,9 @@ fn metrics_json_line(m: &MetricsSnapshot) -> String {
         num(m.latency.max.as_secs_f64()),
         buckets.join(","),
         m.dropped_spans,
+        m.checkpoints,
+        m.checkpoint_bytes,
+        m.checkpoint_failures,
         groups.join(","),
     )
 }
@@ -412,38 +443,60 @@ fn run_pipeline(
     queries: Vec<Query>,
     schedule: Vec<(Ts, ChurnOp)>,
 ) {
-    if (args.checkpoint_after > 0 || args.resume) && args.state.is_none() {
-        eprintln!("error: --checkpoint-after/--resume need --state FILE");
+    if (args.checkpoint_after > 0 || args.checkpoint_every > 0 || args.resume)
+        && args.state.is_none()
+    {
+        eprintln!("error: --checkpoint-after/--checkpoint-every/--resume need --state DIR");
         std::process::exit(2);
     }
     if args.checkpoint_after > 0 && args.resume {
         eprintln!("error: --checkpoint-after and --resume are mutually exclusive");
         std::process::exit(2);
     }
+    // `--state DIR` is a DirStore: one file per chain record, written
+    // atomically, compacted whenever a full base lands.
+    let store: Option<Arc<DirStore>> = args.state.as_deref().map(|dir| match DirStore::open(dir) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("error: open checkpoint store {dir}: {e}");
+            std::process::exit(2);
+        }
+    });
 
-    // Resume: reload the checkpoint and reposition the (deterministic,
-    // regenerated) stream at its source cursor; the events the barrier
-    // froze in the reorder buffer travel inside the checkpoint itself.
-    let restored: Option<PipelineCheckpoint> = if args.resume {
-        let path = args.state.as_deref().expect("validated above");
-        let bytes = std::fs::read(path).unwrap_or_else(|e| {
-            eprintln!("error: read {path}: {e}");
+    // Resume: read the newest base + delta chain and reposition the
+    // (deterministic, regenerated) stream at the tip record's source
+    // cursor; the events the cut froze in the reorder buffer travel
+    // inside the chain itself.
+    let cursor = if args.resume {
+        let st = store.as_ref().expect("validated above");
+        let chain = st.load_chain().unwrap_or_else(|e| {
+            eprintln!("error: load checkpoint chain: {e}");
             std::process::exit(2);
         });
-        match PipelineCheckpoint::from_bytes(&bytes) {
-            Ok(ck) => Some(ck),
-            Err(e) => {
-                eprintln!("error: {path}: {e}");
-                std::process::exit(2);
-            }
-        }
+        let Some(tip) = chain.last() else {
+            eprintln!(
+                "error: {} holds no checkpoint records — nothing to resume",
+                st.path().display()
+            );
+            std::process::exit(2);
+        };
+        let tip_ck = PipelineCheckpoint::from_bytes(tip.as_bytes()).unwrap_or_else(|e| {
+            eprintln!("error: decode chain tip: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "restoring from {}: {} record(s) (base seq {} + {} delta(s)), tip seq {} at event {}",
+            st.path().display(),
+            chain.len(),
+            chain[0].seq(),
+            chain.len() - 1,
+            tip.seq(),
+            tip_ck.events_pulled(),
+        );
+        tip_ck.events_pulled() as usize
     } else {
-        None
+        0
     };
-    let cursor = restored
-        .as_ref()
-        .map(|c| c.events_pulled() as usize)
-        .unwrap_or(0);
     if cursor > events.len() {
         eprintln!(
             "error: checkpoint cursor {cursor} beyond the generated stream \
@@ -485,7 +538,7 @@ fn run_pipeline(
     // (drop-oldest; the drop count lands in the trace metadata and in
     // `dropped_spans` of every metrics line).
     const TRACE_CAPACITY: usize = 65_536;
-    let builder = Pipeline::builder(reg, queries)
+    let mut builder = Pipeline::builder(reg, queries)
         .trace(if args.trace_out.is_some() {
             TRACE_CAPACITY
         } else {
@@ -507,22 +560,42 @@ fn run_pipeline(
                 );
             }
         });
+    // Any run with a store keeps it attached: cadence cuts
+    // (`--checkpoint-every`), one-shot cuts (`--checkpoint-after`), and
+    // resumed runs that keep checkpointing all append to the same chain.
+    if let Some(st) = &store {
+        builder = builder.checkpoint_store(st.clone() as Arc<dyn CheckpointStore>);
+        if args.checkpoint_every > 0 {
+            builder = builder.checkpoint_every(args.checkpoint_every);
+        }
+        if args.compact_every > 0 {
+            builder = builder.compact_every(args.compact_every);
+        }
+    }
     let replay = ReplaySource::new(feed);
-    let spawn = match (&restored, args.eps > 0.0) {
-        (Some(ck), true) => builder
-            .resume(ck, RateLimitedSource::new(replay, args.eps), VecSink::new())
+    let spawn = match (args.resume, args.eps > 0.0) {
+        (true, true) => builder
+            .resume_from(
+                store.as_deref().expect("validated above"),
+                RateLimitedSource::new(replay, args.eps),
+                VecSink::new(),
+            )
             .map_err(|e| format!("{e}")),
-        (Some(ck), false) => builder
-            .resume(ck, replay, VecSink::new())
+        (true, false) => builder
+            .resume_from(
+                store.as_deref().expect("validated above"),
+                replay,
+                VecSink::new(),
+            )
             .map_err(|e| format!("{e}")),
-        (None, true) => builder
+        (false, true) => builder
             .spawn(RateLimitedSource::new(replay, args.eps), VecSink::new())
             .map_err(|e| format!("{e}")),
-        (None, false) => builder
+        (false, false) => builder
             .spawn(replay, VecSink::new())
             .map_err(|e| format!("{e}")),
     };
-    let handle = match spawn {
+    let mut handle = match spawn {
         Ok(h) => h,
         Err(e) => {
             eprintln!("engine error: {e}");
@@ -531,6 +604,7 @@ fn run_pipeline(
     };
     // Live view until the source is exhausted and the queues are empty —
     // or the checkpoint threshold is crossed.
+    let mut cut_taken = false;
     loop {
         let m = handle.metrics();
         if args.metrics_json {
@@ -555,7 +629,10 @@ fn run_pipeline(
         // the stream ran out first: the user asked for a checkpoint, so
         // never exit "successfully" without writing one.
         let stream_over = m.source_done && m.queued() == 0;
-        if args.checkpoint_after > 0 && (m.ingested >= args.checkpoint_after || stream_over) {
+        if args.checkpoint_after > 0
+            && !cut_taken
+            && (m.ingested >= args.checkpoint_after || stream_over)
+        {
             if m.ingested < args.checkpoint_after {
                 eprintln!(
                     "warning: stream ended after {} events, before --checkpoint-after {}; \
@@ -563,35 +640,78 @@ fn run_pipeline(
                     m.ingested, args.checkpoint_after
                 );
             }
-            let path = args.state.as_deref().expect("validated above");
-            // Exporters snapshot here rather than after the barrier:
-            // `checkpoint` consumes the handle, so the artifacts cover
-            // everything up to the quiesce (the pause itself is only in
-            // the summary line below).
-            if let Some(p) = &args.prom_out {
-                write_export(p, "prometheus metrics", &handle.export_prometheus());
+            cut_taken = true;
+            let st = store.as_ref().expect("validated above");
+            // Prefer a live full cut at the next source barrier: the
+            // coordinated cut appends to the store itself and chains
+            // onto any `--checkpoint-every` cadence cuts already taken.
+            match handle.cut(CutKind::Full) {
+                Ok(ck) => {
+                    let pc = match PipelineCheckpoint::from_bytes(ck.as_bytes()) {
+                        Ok(pc) => pc,
+                        Err(e) => {
+                            eprintln!("error: decode own cut: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                    println!(
+                        "\ncheckpointed to {} (record seq {}, {} bytes, {} buffered events) \
+                         after {} events; stopping the source",
+                        st.path().display(),
+                        ck.seq(),
+                        ck.len(),
+                        pc.buffered_len(),
+                        pc.events_pulled(),
+                    );
+                    println!(
+                        "resume with: hamlet-cli pipeline ... --resume --state {}",
+                        st.path().display()
+                    );
+                    // The drain path below prints the final summary.
+                    handle.stop();
+                }
+                Err(_) => {
+                    // The source already ended — no barrier left to cut
+                    // at. Freeze the quiesced pipeline the legacy way
+                    // and append the container to the store as a base.
+                    // Exporters snapshot first: `checkpoint` consumes
+                    // the handle.
+                    if let Some(p) = &args.prom_out {
+                        write_export(p, "prometheus metrics", &handle.export_prometheus());
+                    }
+                    if let Some(p) = &args.trace_out {
+                        write_export(p, "chrome trace", &handle.export_chrome_trace());
+                    }
+                    let frozen = handle.checkpoint();
+                    let ck = match Checkpoint::from_bytes(frozen.checkpoint.to_bytes()) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("error: package end-of-stream checkpoint: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                    if let Err(e) = st.append(&ck) {
+                        eprintln!("error: append to {}: {e}", st.path().display());
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "\ncheckpointed to {} after {} events: {} bytes ({} engine state, \
+                         {} buffered events), barrier pause {:?}, {} results already emitted",
+                        st.path().display(),
+                        frozen.checkpoint.events_pulled(),
+                        ck.len(),
+                        frozen.checkpoint.engine_bytes(),
+                        frozen.checkpoint.buffered_len(),
+                        frozen.pause,
+                        frozen.sink.results.len(),
+                    );
+                    println!(
+                        "resume with: hamlet-cli pipeline ... --resume --state {}",
+                        st.path().display()
+                    );
+                    return;
+                }
             }
-            if let Some(p) = &args.trace_out {
-                write_export(p, "chrome trace", &handle.export_chrome_trace());
-            }
-            let frozen = handle.checkpoint();
-            let blob = frozen.checkpoint.to_bytes();
-            if let Err(e) = std::fs::write(path, &blob) {
-                eprintln!("error: write {path}: {e}");
-                std::process::exit(1);
-            }
-            println!(
-                "\ncheckpointed to {path} after {} events: {} bytes ({} engine state, \
-                 {} buffered events), barrier pause {:?}, {} results already emitted",
-                frozen.checkpoint.events_pulled(),
-                blob.len(),
-                frozen.checkpoint.engine_bytes(),
-                frozen.checkpoint.buffered_len(),
-                frozen.pause,
-                frozen.sink.results.len(),
-            );
-            println!("resume with: hamlet-cli pipeline ... --resume --state {path}");
-            return;
         }
         if stream_over {
             break;
@@ -617,6 +737,15 @@ fn run_pipeline(
         report.late,
         report.results,
     );
+    if let Some(st) = &store {
+        println!(
+            "checkpoint store {}: {} cut(s), {} bytes written, {} failure(s)",
+            st.path().display(),
+            final_metrics.checkpoints,
+            final_metrics.checkpoint_bytes,
+            final_metrics.checkpoint_failures,
+        );
+    }
     println!(
         "end-to-end latency avg {:?} p50 {:?} p99 {:?} max {:?} · engine latency avg {:?} · \
          peak state {} KB · late skips {}",
